@@ -1,0 +1,75 @@
+//! Estimator micro-benchmarks (§5.3.1's "tens of milliseconds" claim).
+//!
+//! Measures the pure estimation cost — Algorithm 1, Algorithm 2,
+//! Algorithm 3 repair, and the baselines — as a function of sample size.
+//! The paper's point is that these are negligible next to model
+//! inference; the numbers here make that concrete.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smokescreen_stats::bounds::{clt, ebgs, hoeffding, hoeffding_serfling};
+use smokescreen_stats::estimators::quantile::stein_estimate;
+use smokescreen_stats::{avg_estimate, quantile_estimate, repair_mean_bound, Extreme};
+
+fn sample(n: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(7);
+    (0..n).map(|_| rng.gen_range(0.0..9.0_f64).floor()).collect()
+}
+
+fn bench_mean_estimators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mean_estimators");
+    for &n in &[100usize, 1_000, 10_000] {
+        let data = sample(n);
+        let pop = n * 20;
+        group.bench_with_input(BenchmarkId::new("smokescreen_avg", n), &data, |b, d| {
+            b.iter(|| avg_estimate(black_box(d), pop, 0.05).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("ebgs", n), &data, |b, d| {
+            b.iter(|| ebgs::run(black_box(d), pop, 0.05).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("hoeffding", n), &data, |b, d| {
+            b.iter(|| hoeffding::interval(black_box(d), pop, 0.05).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("hoeffding_serfling", n), &data, |b, d| {
+            b.iter(|| hoeffding_serfling::interval(black_box(d), pop, 0.05).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("clt", n), &data, |b, d| {
+            b.iter(|| clt::interval(black_box(d), pop, 0.05).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_quantile_estimators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantile_estimators");
+    for &n in &[100usize, 1_000, 10_000] {
+        let data = sample(n);
+        let pop = n * 20;
+        group.bench_with_input(BenchmarkId::new("smokescreen_max", n), &data, |b, d| {
+            b.iter(|| quantile_estimate(black_box(d), pop, 0.99, 0.05, Extreme::Max).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("stein", n), &data, |b, d| {
+            b.iter(|| stein_estimate(black_box(d), pop, 0.99, 0.05).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_repair(c: &mut Criterion) {
+    let degraded = avg_estimate(&sample(2_000), 40_000, 0.05).unwrap();
+    let correction = avg_estimate(&sample(800), 40_000, 0.05).unwrap();
+    c.bench_function("repair_mean_bound", |b| {
+        b.iter(|| repair_mean_bound(black_box(&degraded), black_box(&correction)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mean_estimators,
+    bench_quantile_estimators,
+    bench_repair
+);
+criterion_main!(benches);

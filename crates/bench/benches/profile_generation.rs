@@ -1,0 +1,131 @@
+//! Profile-generation benchmarks, including the §3.3.2 ablations that
+//! DESIGN.md calls out: output reuse (nested prefix sampling + cache) and
+//! early stopping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use smokescreen_core::{Aggregate, GeneratorConfig, ProfileGenerator, Workload};
+use smokescreen_degrade::{CandidateGrid, RestrictionIndex};
+use smokescreen_models::SimYoloV4;
+use smokescreen_video::synth::DatasetPreset;
+use smokescreen_video::{ObjectClass, Resolution, VideoCorpus};
+
+struct Fixture {
+    corpus: VideoCorpus,
+    yolo: SimYoloV4,
+    restrictions: RestrictionIndex,
+}
+
+fn fixture() -> Fixture {
+    let corpus = DatasetPreset::Detrac.generate(1).slice(0, 2_000);
+    let restrictions =
+        RestrictionIndex::from_ground_truth(&corpus, &[ObjectClass::Person, ObjectClass::Face]);
+    Fixture {
+        corpus,
+        yolo: SimYoloV4::new(1),
+        restrictions,
+    }
+}
+
+fn grid() -> CandidateGrid {
+    CandidateGrid::explicit(
+        (1..=10).map(|i| i as f64 / 100.0).collect(),
+        vec![
+            Resolution::square(192),
+            Resolution::square(320),
+            Resolution::square(608),
+        ],
+        vec![vec![], vec![ObjectClass::Person]],
+    )
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let f = fixture();
+    let workload = Workload {
+        corpus: &f.corpus,
+        detector: &f.yolo,
+        class: ObjectClass::Car,
+        aggregate: Aggregate::Avg,
+        delta: 0.05,
+    };
+    let grid = grid();
+
+    let mut group = c.benchmark_group("profile_generation");
+    group.sample_size(10);
+
+    group.bench_function("full_grid_no_early_stop", |b| {
+        let gen = ProfileGenerator::new(
+            &workload,
+            &f.restrictions,
+            GeneratorConfig {
+                seed: 0,
+                early_stop_improvement: None,
+                early_stop_min_points: 3,
+            },
+        );
+        b.iter(|| black_box(gen.generate(&grid, None).unwrap()))
+    });
+
+    group.bench_function("with_early_stop", |b| {
+        let gen = ProfileGenerator::new(&workload, &f.restrictions, GeneratorConfig::default());
+        b.iter(|| black_box(gen.generate(&grid, None).unwrap()))
+    });
+
+    group.finish();
+}
+
+fn bench_reuse_ablation(c: &mut Criterion) {
+    // Quantify what the output cache buys: profile the same grid where
+    // every candidate re-runs the detector (cold) vs. shared cache (the
+    // generator's default).
+    let f = fixture();
+    let mut group = c.benchmark_group("reuse_ablation");
+    group.sample_size(10);
+
+    group.bench_function("detector_cold_runs", |b| {
+        // Simulate no-reuse: run the detector on every sampled frame for
+        // every fraction candidate independently.
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for i in 1..=10usize {
+                let n = f.corpus.len() * i / 100;
+                for frame in f.corpus.frames().iter().take(n) {
+                    acc += f
+                        .yolo
+                        .count_direct(frame, Resolution::square(320));
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("detector_prefix_reuse", |b| {
+        // With nested prefixes, only the largest fraction's frames run.
+        b.iter(|| {
+            let n = f.corpus.len() / 10;
+            let mut acc = 0.0f64;
+            for frame in f.corpus.frames().iter().take(n) {
+                acc += f.yolo.count_direct(frame, Resolution::square(320));
+            }
+            black_box(acc)
+        })
+    });
+
+    group.finish();
+}
+
+/// Helper trait call without importing Detector's name into bench scope.
+trait CountDirect {
+    fn count_direct(&self, frame: &smokescreen_video::Frame, res: Resolution) -> f64;
+}
+
+impl CountDirect for SimYoloV4 {
+    fn count_direct(&self, frame: &smokescreen_video::Frame, res: Resolution) -> f64 {
+        use smokescreen_models::Detector as _;
+        self.count(frame, res, ObjectClass::Car)
+    }
+}
+
+criterion_group!(benches, bench_generation, bench_reuse_ablation);
+criterion_main!(benches);

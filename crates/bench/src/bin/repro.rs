@@ -1,0 +1,122 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment>... [--trials N] [--quick] [--out DIR]
+//! repro all
+//! repro list
+//! ```
+//!
+//! Each experiment prints aligned tables to stdout and writes CSVs under
+//! the output directory (default `bench_results/`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use smokescreen_bench::figures::{all_experiments, by_id};
+use smokescreen_bench::table::results_dir;
+use smokescreen_bench::RunConfig;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: repro <experiment>...|all|list [--trials N] [--quick] [--out DIR]");
+        return ExitCode::FAILURE;
+    }
+
+    let mut cfg = RunConfig::default();
+    let mut out_dir: PathBuf = results_dir();
+    let mut ids: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trials" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) if n > 0 => cfg.trials = n,
+                    _ => {
+                        eprintln!("--trials expects a positive integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--quick" => {
+                let trials = cfg.trials.min(RunConfig::quick().trials);
+                cfg = RunConfig {
+                    trials,
+                    ..RunConfig::quick()
+                };
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => out_dir = PathBuf::from(dir),
+                    None => {
+                        eprintln!("--out expects a directory");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--seed" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(s) => cfg.seed = s,
+                    None => {
+                        eprintln!("--seed expects an integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other => ids.push(other.to_string()),
+        }
+        i += 1;
+    }
+
+    if ids.iter().any(|i| i == "list") {
+        for e in all_experiments() {
+            println!("{:10}  {}", e.id(), e.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let experiments: Vec<_> = if ids.iter().any(|i| i == "all") {
+        all_experiments()
+    } else {
+        let mut found = Vec::new();
+        for id in &ids {
+            match by_id(id) {
+                Some(e) => found.push(e),
+                None => {
+                    eprintln!("unknown experiment {id:?}; try `repro list`");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        found
+    };
+
+    for experiment in experiments {
+        eprintln!(
+            "=== {} — {} (trials={}, quick={}) ===",
+            experiment.id(),
+            experiment.describe(),
+            cfg.trials,
+            cfg.quick
+        );
+        let start = std::time::Instant::now();
+        let tables = experiment.run(&cfg);
+        for (i, table) in tables.iter().enumerate() {
+            println!("{}", table.render());
+            let stem = format!("{}_{i}", experiment.id());
+            match table.write_csv(&out_dir, &stem) {
+                Ok(path) => eprintln!("wrote {}", path.display()),
+                Err(e) => eprintln!("csv write failed for {stem}: {e}"),
+            }
+        }
+        eprintln!(
+            "=== {} done in {:.1}s ===\n",
+            experiment.id(),
+            start.elapsed().as_secs_f64()
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,164 @@
+//! Ablations of Smokescreen's two design choices in Algorithm 1/2
+//! (Table 1's "our novelty" column):
+//!
+//! 1. **Which concentration inequality feeds Algorithm 1** — the paper
+//!    replaces EBGS's empirical Bernstein interval with Hoeffding–Serfling
+//!    and drops the anytime union bound. We swap the interval back to
+//!    plain Hoeffding and to empirical Bernstein (both at terminal `n`,
+//!    keeping the harmonic estimator) to isolate the inequality's
+//!    contribution.
+//! 2. **Sampling without replacement in Algorithm 2** — the paper's
+//!    hypergeometric variance carries the finite-population correction
+//!    `√((N−n)/(N−1))`; prior work assumed with-replacement sampling
+//!    (factor 1). We compute both.
+
+use smokescreen_stats::bounds::{empirical_bernstein, hoeffding, hoeffding_serfling};
+use smokescreen_stats::hypergeometric::fraction_std_err_factor;
+use smokescreen_stats::normal::two_sided_z;
+use smokescreen_stats::{quantile_estimate, Extreme, MeanEstimate};
+use smokescreen_video::synth::DatasetPreset;
+
+use crate::figures::Experiment;
+use crate::table::{fmt, Table};
+use crate::workloads::{Bench, ModelKind};
+use crate::RunConfig;
+
+/// The ablation experiment (`repro ablate`).
+pub struct Ablation;
+
+/// Algorithm 1 with a swapped-in mean interval.
+fn alg1_with(
+    interval: smokescreen_stats::bounds::MeanInterval,
+) -> MeanEstimate {
+    let mean_abs = interval.estimate.abs();
+    let lb = (mean_abs - interval.half_width).max(0.0);
+    let ub = mean_abs + interval.half_width;
+    MeanEstimate::from_interval(interval.estimate.signum(), lb, ub, interval.n)
+}
+
+impl Experiment for Ablation {
+    fn id(&self) -> &'static str {
+        "ablate"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Ablate Algorithm 1's inequality choice and Algorithm 2's without-replacement correction"
+    }
+
+    fn run(&self, cfg: &RunConfig) -> Vec<Table> {
+        let bench = Bench::new(DatasetPreset::Detrac, ModelKind::Yolo, cfg);
+        let clip = 5.0;
+
+        // Ablation 1: inequality inside Algorithm 1 (AVG on UA-DETRAC).
+        let mut t1 = Table::new(
+            "Ablation: Algorithm 1's interval (mean err_b over trials, AVG / UA-DETRAC)",
+            &["fraction", "hoeffding_serfling(ours)", "hoeffding", "empirical_bernstein"],
+        );
+        for fraction in [0.002, 0.005, 0.01, 0.02, 0.05, 0.1] {
+            let n = ((bench.n() as f64 * fraction).round() as usize).max(2);
+            let (mut hs_acc, mut h_acc, mut eb_acc) = (0.0, 0.0, 0.0);
+            for t in 0..cfg.trials {
+                let sample = bench.sample_outputs(bench.native(), n, cfg.seed + t as u64);
+                let hs = alg1_with(
+                    hoeffding_serfling::interval(&sample, bench.n(), 0.05).unwrap(),
+                );
+                let h = alg1_with(hoeffding::interval(&sample, bench.n(), 0.05).unwrap());
+                let eb = alg1_with(
+                    empirical_bernstein::interval(&sample, bench.n(), 0.05).unwrap(),
+                );
+                hs_acc += hs.err_b.min(clip);
+                h_acc += h.err_b.min(clip);
+                eb_acc += eb.err_b.min(clip);
+            }
+            let n_t = cfg.trials as f64;
+            t1.push_row(vec![
+                format!("{fraction:.3}"),
+                fmt(hs_acc / n_t),
+                fmt(h_acc / n_t),
+                fmt(eb_acc / n_t),
+            ]);
+        }
+
+        // Ablation 2: FPC in Algorithm 2 (MAX / 0.99-quantile).
+        let mut t2 = Table::new(
+            "Ablation: Algorithm 2 with vs without the finite-population correction (MAX)",
+            &["fraction", "with_fpc(ours)", "without_fpc", "fpc_factor"],
+        );
+        let r = 0.99;
+        let z = two_sided_z(0.05);
+        for fraction in [0.005, 0.02, 0.1, 0.3, 0.6, 0.9] {
+            let n = ((bench.n() as f64 * fraction).round() as usize).max(2);
+            let (mut with_acc, mut without_acc, mut factor_acc) = (0.0, 0.0, 0.0);
+            for t in 0..cfg.trials {
+                let sample = bench.sample_outputs(bench.native(), n, cfg.seed + t as u64);
+                let ours =
+                    quantile_estimate(&sample, bench.n(), r, 0.05, Extreme::Max).unwrap();
+                // Same formula with the with-replacement standard error
+                // 1/√n in place of the hypergeometric factor.
+                let fpc = fraction_std_err_factor(bench.n(), n);
+                let no_fpc_se = 1.0 / (n as f64).sqrt();
+                let spread = (r * (1.0 - r)).sqrt();
+                let without = ((z * spread * no_fpc_se + ours.f_hat) / ours.f_hat + 1.0)
+                    * (ours.f_hat / r);
+                with_acc += ours.err_b.min(clip);
+                without_acc += without.min(clip);
+                factor_acc += fpc * (n as f64).sqrt(); // = √((N−n)/(N−1))
+            }
+            let n_t = cfg.trials as f64;
+            t2.push_row(vec![
+                format!("{fraction:.3}"),
+                fmt(with_acc / n_t),
+                fmt(without_acc / n_t),
+                fmt(factor_acc / n_t),
+            ]);
+        }
+
+        vec![t1, t2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(t: &Table, stem: &str) -> Vec<Vec<f64>> {
+        let dir = std::env::temp_dir().join("ablate-test");
+        let path = t.write_csv(&dir, stem).unwrap();
+        std::fs::read_to_string(path)
+            .unwrap()
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').map(|c| c.parse().unwrap()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn hoeffding_serfling_wins_the_inequality_ablation() {
+        let cfg = RunConfig::quick();
+        let tables = Ablation.run(&cfg);
+        for r in rows(&tables[0], "alg1") {
+            assert!(
+                r[1] <= r[2] + 1e-9,
+                "HS must beat Hoeffding inside Algorithm 1: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fpc_only_matters_at_large_fractions() {
+        let cfg = RunConfig::quick();
+        let tables = Ablation.run(&cfg);
+        let r = rows(&tables[1], "alg2");
+        // With-FPC is never looser, and the advantage grows with the
+        // fraction (the factor √((N−n)/(N−1)) falls toward 0).
+        for row in &r {
+            assert!(row[1] <= row[2] + 1e-9, "{row:?}");
+        }
+        let first_gap = r[0][2] - r[0][1];
+        let last_gap = r[r.len() - 1][2] - r[r.len() - 1][1];
+        assert!(
+            last_gap >= first_gap,
+            "FPC advantage should grow with the fraction: {first_gap} vs {last_gap}"
+        );
+    }
+}

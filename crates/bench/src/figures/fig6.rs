@@ -1,0 +1,210 @@
+//! Figure 6 — error bounds with and without the correction set vs. the
+//! true error, under each intervention type, for AVG and MAX on both
+//! datasets.
+//!
+//! Paper shape, row by row:
+//!
+//! * **frame sampling** (random): both bounds are valid; the corrected
+//!   bound can be tighter when the correction set carries more frames
+//!   than the degraded sample;
+//! * **frame resolution** (non-random): at low resolutions the
+//!   uncorrected bound dips *below* the true error (the red-circled
+//!   region) — it is wrong and would mislead an administrator; the
+//!   corrected bound stays above the truth;
+//! * **image removal** (non-random): restricting `person` biases samples
+//!   (person and car occurrences correlate), again breaking the
+//!   uncorrected bound; the corrected bound holds.
+//!
+//! Correction-set sizes follow §5.2.2: night-street 6% (AVG) / 2% (MAX);
+//! UA-DETRAC 4% (AVG) / 2% (MAX). The sample fraction is 0.5 while
+//! varying non-random knobs, except 0.1 for UA-DETRAC removal (fewer than
+//! half its frames survive `person` removal).
+
+use smokescreen_core::correction::CorrectionSet;
+use smokescreen_core::{corrected_bound, true_relative_error, Aggregate};
+use smokescreen_video::synth::DatasetPreset;
+use smokescreen_video::ObjectClass;
+
+use crate::figures::baselines::smokescreen_estimate;
+use crate::figures::Experiment;
+use crate::table::{fmt, Table};
+use crate::workloads::{resolution_sweep, Bench, ModelKind};
+use crate::RunConfig;
+
+const CLIP: f64 = 5.0;
+
+/// Figure 6 reproduction.
+pub struct Fig6;
+
+/// Correction-set fraction per §5.2.2.
+pub fn correction_fraction(dataset: DatasetPreset, aggregate: Aggregate) -> f64 {
+    match (dataset, aggregate) {
+        (DatasetPreset::NightStreet, Aggregate::Avg) => 0.06,
+        (DatasetPreset::Detrac, Aggregate::Avg) => 0.04,
+        _ => 0.02, // MAX on both datasets
+    }
+}
+
+/// Builds a correction set directly from sampled native outputs.
+fn correction_set(bench: &Bench, aggregate: Aggregate, fraction: f64, seed: u64) -> CorrectionSet {
+    let m = ((bench.n() as f64 * fraction).round() as usize).max(2);
+    let values = bench.sample_outputs(bench.native(), m, seed);
+    let estimate = smokescreen_estimate(aggregate, &values, bench.n(), 0.05);
+    CorrectionSet {
+        values,
+        fraction,
+        estimate,
+        growth_curve: Vec::new(),
+    }
+}
+
+/// One averaged data point: true error, bound without correction, bound
+/// with correction.
+fn run_point(
+    bench: &Bench,
+    aggregate: Aggregate,
+    sample_at: smokescreen_video::Resolution,
+    restricted: &[ObjectClass],
+    sample_n: usize,
+    cfg: &RunConfig,
+) -> (f64, f64, f64) {
+    let population = bench.population();
+    let cs_fraction = correction_fraction(bench.dataset, aggregate);
+    let (mut te, mut without, mut with) = (0.0, 0.0, 0.0);
+    for t in 0..cfg.trials {
+        let seed = cfg.seed + t as u64;
+        let sample = if restricted.is_empty() {
+            bench.sample_outputs(sample_at, sample_n, seed)
+        } else {
+            bench.sample_outputs_after_removal(sample_at, restricted, sample_n, seed)
+        };
+        let est = smokescreen_estimate(aggregate, &sample, bench.n(), 0.05);
+        let cs = correction_set(bench, aggregate, cs_fraction, seed.wrapping_add(50_000));
+        let corrected = corrected_bound(&est, &cs).expect("matching metrics");
+        te += true_relative_error(aggregate, &est, &population).min(CLIP);
+        without += est.err_b().min(CLIP);
+        with += corrected.min(CLIP);
+    }
+    let n = cfg.trials as f64;
+    (te / n, without / n, with / n)
+}
+
+impl Experiment for Fig6 {
+    fn id(&self) -> &'static str {
+        "fig6"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Bounds with/without correction set vs true error under sampling, resolution, and removal"
+    }
+
+    fn run(&self, cfg: &RunConfig) -> Vec<Table> {
+        let mut tables = Vec::new();
+        for dataset in [DatasetPreset::NightStreet, DatasetPreset::Detrac] {
+            let model = ModelKind::paper_default(dataset);
+            let bench = Bench::new(dataset, model, cfg);
+            let native = bench.native();
+            for aggregate in [Aggregate::Avg, Aggregate::Max { r: 0.99 }] {
+                let agg_name = aggregate.name();
+
+                // Row 1: random sampling sweep.
+                let mut t1 = Table::new(
+                    format!("Figure 6 [{} / {agg_name} / sampling]", dataset.name()),
+                    &["fraction", "true_err", "bound_no_cs", "bound_cs"],
+                );
+                for fraction in [0.005, 0.01, 0.02, 0.05, 0.1] {
+                    let n = ((bench.n() as f64 * fraction).round() as usize).max(2);
+                    let (te, wo, wi) = run_point(&bench, aggregate, native, &[], n, cfg);
+                    t1.push_row(vec![format!("{fraction:.4}"), fmt(te), fmt(wo), fmt(wi)]);
+                }
+                tables.push(t1);
+
+                // Row 2: resolution sweep at f = 0.5.
+                let mut t2 = Table::new(
+                    format!("Figure 6 [{} / {agg_name} / resolution]", dataset.name()),
+                    &["resolution", "true_err", "bound_no_cs", "bound_cs"],
+                );
+                let n_half = bench.n() / 2;
+                for res in resolution_sweep(model, native.width) {
+                    let (te, wo, wi) = run_point(&bench, aggregate, res, &[], n_half, cfg);
+                    t2.push_row(vec![res.to_string(), fmt(te), fmt(wo), fmt(wi)]);
+                }
+                tables.push(t2);
+
+                // Row 3: image removal at f = 0.5 (0.1 for DETRAC, whose
+                // person-free frames are a minority).
+                let removal_fraction = if dataset == DatasetPreset::Detrac {
+                    0.1
+                } else {
+                    0.5
+                };
+                let n_rem = ((bench.n() as f64 * removal_fraction).round() as usize).max(2);
+                let mut t3 = Table::new(
+                    format!(
+                        "Figure 6 [{} / {agg_name} / removal, f={removal_fraction}]",
+                        dataset.name()
+                    ),
+                    &["restricted", "true_err", "bound_no_cs", "bound_cs"],
+                );
+                for (label, classes) in [
+                    ("none", vec![]),
+                    ("face", vec![ObjectClass::Face]),
+                    ("person", vec![ObjectClass::Person]),
+                ] {
+                    let (te, wo, wi) = run_point(&bench, aggregate, native, &classes, n_rem, cfg);
+                    t3.push_row(vec![label.to_string(), fmt(te), fmt(wo), fmt(wi)]);
+                }
+                tables.push(t3);
+            }
+        }
+        tables
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(t: &Table, stem: &str) -> Vec<Vec<String>> {
+        let dir = std::env::temp_dir().join("fig6-test");
+        let path = t.write_csv(&dir, stem).unwrap();
+        std::fs::read_to_string(path)
+            .unwrap()
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').map(str::to_string).collect())
+            .collect()
+    }
+
+    #[test]
+    fn corrected_bound_always_covers_true_error() {
+        let cfg = RunConfig::quick();
+        let tables = Fig6.run(&cfg);
+        assert_eq!(tables.len(), 12);
+        for (i, t) in tables.iter().enumerate() {
+            for r in rows(t, &format!("panel-{i}")) {
+                let te: f64 = r[1].parse().unwrap();
+                let with: f64 = r[3].parse().unwrap();
+                assert!(
+                    with >= te - 1e-9,
+                    "panel {i}: corrected bound below averaged true error: {r:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uncorrected_bound_fails_at_low_resolution() {
+        let cfg = RunConfig::quick();
+        let tables = Fig6.run(&cfg);
+        // Panel index 1 is night-street / AVG / resolution.
+        let panel = rows(&tables[1], "res-panel");
+        let lowest = &panel[0];
+        let te: f64 = lowest[1].parse().unwrap();
+        let without: f64 = lowest[2].parse().unwrap();
+        assert!(
+            without < te,
+            "the uncorrected bound should mislead at the lowest resolution: {lowest:?}"
+        );
+    }
+}

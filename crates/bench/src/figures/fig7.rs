@@ -1,0 +1,80 @@
+//! Figure 7 — the YOLOv4 384×384 anomaly on night-street.
+//!
+//! Paper shape: for AVG(cars) with YOLOv4 on night-street, the true
+//! relative error at 384×384 is *larger* than at lower resolutions
+//! (320×320) — error is non-monotone in resolution because of a model
+//! pathology, which only a measured profile can reveal.
+
+use smokescreen_video::synth::DatasetPreset;
+use smokescreen_video::Resolution;
+
+use crate::figures::Experiment;
+use crate::table::{fmt, Table};
+use crate::workloads::{Bench, ModelKind};
+use crate::RunConfig;
+
+/// Figure 7 reproduction.
+pub struct Fig7;
+
+impl Experiment for Fig7 {
+    fn id(&self) -> &'static str {
+        "fig7"
+    }
+
+    fn describe(&self) -> &'static str {
+        "YOLOv4 on night-street: anomalously large AVG error at 384x384"
+    }
+
+    fn run(&self, cfg: &RunConfig) -> Vec<Table> {
+        let bench = Bench::new(DatasetPreset::NightStreet, ModelKind::Yolo, cfg);
+        let truth = mean(&bench.population());
+
+        let mut table = Table::new(
+            "Figure 7: true relative error of AVG(cars), YOLOv4 / night-street",
+            &["resolution", "true_err"],
+        );
+        // The YOLO grid is multiples of 32; include the anomaly band.
+        for side in [128u32, 192, 256, 320, 352, 384, 416, 448, 512, 608] {
+            let res = Resolution::square(side);
+            let err = if truth == 0.0 {
+                0.0
+            } else {
+                (mean(&bench.outputs_at(res)) - truth).abs() / truth
+            };
+            table.push_row(vec![res.to_string(), fmt(err)]);
+        }
+        vec![table]
+    }
+}
+
+fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_at_384_exceeds_lower_resolutions() {
+        let t = &Fig7.run(&RunConfig::quick())[0];
+        let dir = std::env::temp_dir().join("fig7-test");
+        let path = t.write_csv(&dir, "fig7").unwrap();
+        let mut err_at = std::collections::HashMap::new();
+        for line in std::fs::read_to_string(path).unwrap().lines().skip(1) {
+            let (res, err) = line.split_once(',').unwrap();
+            err_at.insert(res.to_string(), err.parse::<f64>().unwrap());
+        }
+        let e384 = err_at["384x384"];
+        let e320 = err_at["320x320"];
+        let e416 = err_at["416x416"];
+        assert!(
+            e384 > e320 && e384 > e416,
+            "non-monotone anomaly expected: 320={e320} 384={e384} 416={e416}"
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Figure 8 — predicted car-count distributions at 608/384/320 on
+//! night-street with YOLOv4.
+//!
+//! Paper shape: the 320×320 histogram tracks the 608×608 (ground-truth)
+//! histogram closely, while 384×384 deviates substantially — explaining
+//! Figure 7's anomaly at the distribution level.
+
+use smokescreen_stats::describe::Histogram;
+use smokescreen_video::synth::DatasetPreset;
+use smokescreen_video::Resolution;
+
+use crate::figures::Experiment;
+use crate::table::{fmt, Table};
+use crate::workloads::{Bench, ModelKind};
+use crate::RunConfig;
+
+const BINS: usize = 12;
+
+/// Figure 8 reproduction.
+pub struct Fig8;
+
+impl Experiment for Fig8 {
+    fn id(&self) -> &'static str {
+        "fig8"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Predicted car-count histograms at 608/384/320 (YOLOv4, night-street)"
+    }
+
+    fn run(&self, cfg: &RunConfig) -> Vec<Table> {
+        let bench = Bench::new(DatasetPreset::NightStreet, ModelKind::Yolo, cfg);
+        let hist = |side: u32| -> Histogram {
+            let mut h = Histogram::new(BINS);
+            for &v in bench.outputs_at(Resolution::square(side)).iter() {
+                h.record(v);
+            }
+            h
+        };
+        let (h608, h384, h320) = (hist(608), hist(384), hist(320));
+
+        let mut table = Table::new(
+            "Figure 8: frames per predicted car count (608 = ground truth)",
+            &["cars", "608x608", "384x384", "320x320"],
+        );
+        for bin in 0..BINS {
+            table.push_row(vec![
+                bin.to_string(),
+                h608.counts()[bin].to_string(),
+                h384.counts()[bin].to_string(),
+                h320.counts()[bin].to_string(),
+            ]);
+        }
+
+        let mut tv = Table::new(
+            "Figure 8 (summary): total-variation distance to the 608x608 distribution",
+            &["resolution", "tv_distance"],
+        );
+        tv.push_row(vec!["384x384".into(), fmt(h608.total_variation(&h384))]);
+        tv.push_row(vec!["320x320".into(), fmt(h608.total_variation(&h320))]);
+
+        vec![table, tv]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_at_384_deviates_more_than_320() {
+        let tables = Fig8.run(&RunConfig::quick());
+        let dir = std::env::temp_dir().join("fig8-test");
+        let path = tables[1].write_csv(&dir, "fig8-tv").unwrap();
+        let content = std::fs::read_to_string(path).unwrap();
+        let rows: Vec<&str> = content.lines().skip(1).collect();
+        let tv384: f64 = rows[0].split(',').nth(1).unwrap().parse().unwrap();
+        let tv320: f64 = rows[1].split(',').nth(1).unwrap().parse().unwrap();
+        assert!(
+            tv384 > tv320,
+            "384 should deviate more from truth than 320: tv384={tv384} tv320={tv320}"
+        );
+    }
+}

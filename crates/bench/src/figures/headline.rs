@@ -1,0 +1,184 @@
+//! The §5.2.1 headline numbers:
+//!
+//! * "our error bound can be up to **154.70% tighter** than baselines" —
+//!   reproduced as the maximum of `(baseline_bound − our_bound) /
+//!   our_bound` over the Figure 4 grid, per baseline;
+//! * "the tight bound can enable tradeoffs that are **88% more
+//!   accurate**" — reproduced by the Figure 2 thought experiment: given
+//!   an error threshold, how much *less* degradation does an
+//!   administrator accept when guided by each method's curve, relative
+//!   to the true curve's optimum?
+
+use smokescreen_core::Aggregate;
+use smokescreen_video::synth::DatasetPreset;
+
+use crate::figures::baselines::{average, run_mean_methods, MethodOutcome};
+use crate::figures::Experiment;
+use crate::table::{fmt, Table};
+use crate::workloads::{Bench, ModelKind};
+use crate::RunConfig;
+
+/// Headline-number reproduction.
+pub struct Headline;
+
+impl Experiment for Headline {
+    fn id(&self) -> &'static str {
+        "headline"
+    }
+
+    fn describe(&self) -> &'static str {
+        "§5.2.1 headline numbers: bound tightness vs baselines, tradeoff accuracy improvement"
+    }
+
+    fn run(&self, cfg: &RunConfig) -> Vec<Table> {
+        let mut tightness = Table::new(
+            "Headline: maximum bound tightness advantage over each baseline (%)",
+            &["dataset", "vs_ebgs", "vs_hoeffding", "vs_hoeffding_serfling"],
+        );
+        let mut tradeoff = Table::new(
+            "Headline: tradeoff accuracy at the per-dataset error threshold (AVG)",
+            &[
+                "dataset",
+                "threshold",
+                "optimal_fraction",
+                "ours_fraction",
+                "ebgs_fraction",
+                "gap_reduction_pct",
+            ],
+        );
+
+        for dataset in [DatasetPreset::NightStreet, DatasetPreset::Detrac] {
+            let bench = Bench::new(dataset, ModelKind::paper_default(dataset), cfg);
+            let population = bench.population();
+
+            // Dense fraction sweep for both analyses, wide enough that
+            // every method's bound eventually meets the threshold.
+            let step = if cfg.quick { 0.03 } else { 0.015 };
+            let points = if cfg.quick { 20 } else { 40 };
+            let fractions: Vec<f64> = (1..=points).map(|i| i as f64 * step).collect();
+            let mut curve: Vec<(f64, MethodOutcome, MethodOutcome, MethodOutcome, MethodOutcome)> =
+                Vec::new();
+            for &f in &fractions {
+                let n = ((bench.n() as f64 * f).round() as usize).max(2);
+                let mut acc: [Vec<MethodOutcome>; 4] = Default::default();
+                for t in 0..cfg.trials {
+                    let sample = bench.sample_outputs(bench.native(), n, cfg.seed + t as u64);
+                    let m = run_mean_methods(Aggregate::Avg, &sample, &population, 0.05);
+                    acc[0].push(m.smokescreen);
+                    acc[1].push(m.ebgs);
+                    acc[2].push(m.hoeffding);
+                    acc[3].push(m.hoeffding_serfling);
+                }
+                curve.push((
+                    f,
+                    average(&acc[0], 10.0),
+                    average(&acc[1], 10.0),
+                    average(&acc[2], 10.0),
+                    average(&acc[3], 10.0),
+                ));
+            }
+
+            // Tightness: max (baseline/ours − 1) · 100 over the sweep.
+            let pct = |ours: f64, other: f64| -> f64 {
+                if ours <= 0.0 {
+                    0.0
+                } else {
+                    (other - ours) / ours * 100.0
+                }
+            };
+            let max_vs = |pick: fn(&(f64, MethodOutcome, MethodOutcome, MethodOutcome, MethodOutcome)) -> f64| {
+                curve
+                    .iter()
+                    .map(|row| pct(row.1.bound, pick(row)))
+                    .fold(0.0, f64::max)
+            };
+            tightness.push_row(vec![
+                dataset.name().to_string(),
+                fmt(max_vs(|r| r.2.bound)),
+                fmt(max_vs(|r| r.3.bound)),
+                fmt(max_vs(|r| r.4.bound)),
+            ]);
+
+            // Tradeoff accuracy: smallest fraction whose curve value meets
+            // the threshold. Thresholds are per-dataset so they are
+            // attainable: night-street's sparse counts (mean ≈ 0.4
+            // cars/frame) keep every guaranteed bound far looser than
+            // UA-DETRAC's dense ones.
+            let threshold = match (dataset, cfg.quick) {
+                (DatasetPreset::NightStreet, false) => 0.40,
+                (DatasetPreset::Detrac, false) => 0.10,
+                // Quick mode caps the corpus at 4,000 frames, so no
+                // guaranteed bound can get as tight as on the full corpus;
+                // relax the thresholds accordingly.
+                (DatasetPreset::NightStreet, true) => 0.50,
+                (DatasetPreset::Detrac, true) => 0.20,
+            };
+            let pick_fraction = |value: fn(&(f64, MethodOutcome, MethodOutcome, MethodOutcome, MethodOutcome)) -> f64| -> f64 {
+                curve
+                    .iter()
+                    .find(|row| value(row) <= threshold)
+                    .map(|row| row.0)
+                    .unwrap_or_else(|| fractions[fractions.len() - 1])
+            };
+            let optimal = pick_fraction(|r| r.1.true_error);
+            let ours = pick_fraction(|r| r.1.bound);
+            let ebgs = pick_fraction(|r| r.2.bound);
+            let gap_ours = (ours - optimal).max(0.0);
+            let gap_ebgs = (ebgs - optimal).max(0.0);
+            let reduction = if gap_ebgs > 0.0 {
+                (gap_ebgs - gap_ours) / gap_ebgs * 100.0
+            } else {
+                0.0
+            };
+            tradeoff.push_row(vec![
+                dataset.name().to_string(),
+                fmt(threshold),
+                fmt(optimal),
+                fmt(ours),
+                fmt(ebgs),
+                fmt(reduction),
+            ]);
+        }
+
+        vec![tightness, tradeoff]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn our_bound_is_materially_tighter_and_enables_better_tradeoffs() {
+        let cfg = RunConfig::quick();
+        let tables = Headline.run(&cfg);
+        let dir = std::env::temp_dir().join("headline-test");
+
+        let path = tables[0].write_csv(&dir, "tightness").unwrap();
+        for line in std::fs::read_to_string(path).unwrap().lines().skip(1) {
+            let cells: Vec<&str> = line.split(',').collect();
+            let vs_ebgs: f64 = cells[1].parse().unwrap();
+            assert!(vs_ebgs > 20.0, "EBGS advantage should be material: {line}");
+        }
+
+        let path = tables[1].write_csv(&dir, "tradeoff").unwrap();
+        for line in std::fs::read_to_string(path).unwrap().lines().skip(1) {
+            let cells: Vec<&str> = line.split(',').collect();
+            let optimal: f64 = cells[2].parse().unwrap();
+            let ours: f64 = cells[3].parse().unwrap();
+            let ebgs: f64 = cells[4].parse().unwrap();
+            assert!(ours >= optimal - 1e-9, "{line}");
+            assert!(
+                ours <= ebgs + 1e-9,
+                "our curve must allow at least as much degradation: {line}"
+            );
+            if line.starts_with("ua-detrac") {
+                let reduction: f64 = cells[5].parse().unwrap();
+                assert!(
+                    reduction > 0.0,
+                    "the tighter bound must buy a better tradeoff on detrac: {line}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! One module per reproduced table/figure.
+
+pub mod ablation;
+pub mod baselines;
+pub mod fig10;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod headline;
+pub mod timing;
+
+use crate::table::Table;
+use crate::RunConfig;
+
+/// An experiment that regenerates one paper artifact.
+pub trait Experiment {
+    /// Experiment id (e.g. `"fig4"`).
+    fn id(&self) -> &'static str;
+    /// One-line description.
+    fn describe(&self) -> &'static str;
+    /// Runs the experiment, producing one table per panel.
+    fn run(&self, cfg: &RunConfig) -> Vec<Table>;
+}
+
+/// All experiments, in paper order.
+pub fn all_experiments() -> Vec<Box<dyn Experiment>> {
+    vec![
+        Box::new(fig3::Fig3),
+        Box::new(fig4::Fig4),
+        Box::new(fig5::Fig5),
+        Box::new(fig6::Fig6),
+        Box::new(fig7::Fig7),
+        Box::new(fig8::Fig8),
+        Box::new(fig9::Fig9),
+        Box::new(fig10::Fig10),
+        Box::new(headline::Headline),
+        Box::new(ablation::Ablation),
+        Box::new(timing::Timing),
+    ]
+}
+
+/// Looks up an experiment by id.
+pub fn by_id(id: &str) -> Option<Box<dyn Experiment>> {
+    all_experiments().into_iter().find(|e| e.id() == id)
+}

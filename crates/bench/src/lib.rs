@@ -1,0 +1,58 @@
+//! Experiment harness reproducing every table and figure of the paper's
+//! evaluation (Section 5).
+//!
+//! Each `figures::figN` module regenerates the data series behind one
+//! figure; the `repro` binary dispatches on experiment ids and writes both
+//! human-readable tables (stdout) and CSV files (`bench_results/`).
+//! Absolute values differ from the paper (our substrate is a calibrated
+//! simulator, not a GPU testbed) but the *shapes* — who wins, where bounds
+//! fail without correction, where the elbow falls — are the reproduction
+//! targets; `EXPERIMENTS.md` records paper-vs-measured for each.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod figures;
+pub mod table;
+pub mod workloads;
+
+/// Experiment-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Trials per data point (the paper uses 100).
+    pub trials: usize,
+    /// Quick mode: smaller corpora and fewer trials, for CI.
+    pub quick: bool,
+    /// Base seed; trial `t` uses `seed + t`.
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            trials: 100,
+            quick: false,
+            seed: 42,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Quick-mode preset (used by integration tests).
+    pub fn quick() -> Self {
+        RunConfig {
+            trials: 12,
+            quick: true,
+            seed: 42,
+        }
+    }
+
+    /// Corpus length cap for the current mode (`None` = full corpus).
+    pub fn corpus_cap(&self) -> Option<usize> {
+        if self.quick {
+            Some(4_000)
+        } else {
+            None
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Plain-text table rendering and CSV output.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A simple column-aligned table that can also serialize itself to CSV.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the table as CSV under the results directory; returns the
+    /// path.
+    pub fn write_csv(&self, dir: &Path, file_stem: &str) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{file_stem}.csv"));
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(path)
+    }
+}
+
+/// Formats a float for table cells (4 significant decimals, `inf` capped).
+pub fn fmt(v: f64) -> String {
+    if v.is_infinite() {
+        "inf".to_string()
+    } else if v.is_nan() {
+        "nan".to_string()
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// The default results directory.
+pub fn results_dir() -> PathBuf {
+    PathBuf::from("bench_results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("demo", &["a", "bbbb"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.push_row(vec!["10".into(), "20000".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.lines().count() >= 4);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let mut t = Table::new("demo", &["x", "y"]);
+        t.push_row(vec![fmt(0.5), fmt(f64::INFINITY)]);
+        let dir = std::env::temp_dir().join("smokescreen-table-test");
+        let path = t.write_csv(&dir, "demo").unwrap();
+        let content = std::fs::read_to_string(path).unwrap();
+        assert_eq!(content, "x,y\n0.5000,inf\n");
+    }
+
+    #[test]
+    fn fmt_edge_cases() {
+        assert_eq!(fmt(f64::NAN), "nan");
+        assert_eq!(fmt(1.0 / 3.0), "0.3333");
+    }
+}

@@ -1,0 +1,151 @@
+//! Bandwidth and energy cost models.
+
+use serde::{Deserialize, Serialize};
+use smokescreen_degrade::InterventionSet;
+use smokescreen_video::codec::{frame_bytes, Quality};
+use smokescreen_video::Resolution;
+
+/// A wireless uplink from a camera.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Sustained uplink bandwidth in bits per second.
+    pub bandwidth_bps: u64,
+}
+
+impl Link {
+    /// A constrained sensor-network uplink (≈2 Mbit/s).
+    pub const SENSOR_NET: Link = Link {
+        bandwidth_bps: 2_000_000,
+    };
+
+    /// Seconds needed to ship the given bytes.
+    pub fn transmit_seconds(&self, bytes: u64) -> f64 {
+        if self.bandwidth_bps == 0 {
+            return f64::INFINITY;
+        }
+        bytes as f64 * 8.0 / self.bandwidth_bps as f64
+    }
+}
+
+/// Per-camera energy model (capture + encode + radio).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Millijoules to capture one frame (sensor + ISP).
+    pub capture_mj_per_frame: f64,
+    /// Nanojoules to encode one pixel.
+    pub encode_nj_per_pixel: f64,
+    /// Nanojoules to transmit one byte over the radio.
+    pub transmit_nj_per_byte: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        // Representative figures for an embedded smart camera.
+        EnergyModel {
+            capture_mj_per_frame: 2.0,
+            encode_nj_per_pixel: 4.0,
+            transmit_nj_per_byte: 200.0,
+        }
+    }
+}
+
+/// The cost of shipping one camera's degraded video.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransmissionCost {
+    /// Frames actually transmitted (after sampling and removal).
+    pub frames: usize,
+    /// Encoded bytes on the wire.
+    pub bytes: u64,
+    /// Total camera-side energy in joules.
+    pub energy_j: f64,
+}
+
+/// Computes the transmission cost for `frames_shipped` frames at the
+/// intervention's resolution/quality under the energy model.
+///
+/// `native` is the camera's capture resolution (used when the intervention
+/// leaves resolution untouched). Capture energy is charged for every
+/// *captured* frame (`frames_total` — the sensor runs regardless), while
+/// encode/transmit energy only accrues for shipped frames: that asymmetry
+/// is why frame sampling saves so much more energy than resolution alone.
+pub fn transmission_cost(
+    set: &InterventionSet,
+    frames_total: usize,
+    frames_shipped: usize,
+    native: Resolution,
+    energy: &EnergyModel,
+) -> TransmissionCost {
+    let res = set.resolution.unwrap_or(native);
+    let quality = set.quality.unwrap_or(Quality::LOSSLESS_ISH);
+    let per_frame = frame_bytes(res, quality);
+    let bytes = per_frame * frames_shipped as u64;
+
+    let capture_j = energy.capture_mj_per_frame * frames_total as f64 / 1e3;
+    let encode_j =
+        energy.encode_nj_per_pixel * res.pixels() as f64 * frames_shipped as f64 / 1e9;
+    let transmit_j = energy.transmit_nj_per_byte * bytes as f64 / 1e9;
+
+    TransmissionCost {
+        frames: frames_shipped,
+        bytes,
+        energy_j: capture_j + encode_j + transmit_j,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_time_scales_with_bytes() {
+        let l = Link {
+            bandwidth_bps: 8_000_000,
+        };
+        assert!((l.transmit_seconds(1_000_000) - 1.0).abs() < 1e-9);
+        assert_eq!(Link { bandwidth_bps: 0 }.transmit_seconds(1), f64::INFINITY);
+    }
+
+    #[test]
+    fn lower_resolution_cuts_bytes_and_energy() {
+        let native = Resolution::square(608);
+        let e = EnergyModel::default();
+        let full = transmission_cost(&InterventionSet::none(), 1_000, 1_000, native, &e);
+        let small = transmission_cost(
+            &InterventionSet::none().with_resolution(Resolution::square(128)),
+            1_000,
+            1_000,
+            native,
+            &e,
+        );
+        assert!(small.bytes < full.bytes / 10);
+        assert!(small.energy_j < full.energy_j);
+    }
+
+    #[test]
+    fn sampling_cuts_transmit_but_not_capture() {
+        let native = Resolution::square(608);
+        let e = EnergyModel::default();
+        let full = transmission_cost(&InterventionSet::none(), 1_000, 1_000, native, &e);
+        let sampled =
+            transmission_cost(&InterventionSet::sampling(0.1), 1_000, 100, native, &e);
+        assert!((sampled.bytes as f64 / full.bytes as f64 - 0.1).abs() < 0.01);
+        // Capture energy floor keeps the ratio above 10%.
+        assert!(sampled.energy_j > full.energy_j * 0.1);
+        assert!(sampled.energy_j < full.energy_j);
+    }
+
+    #[test]
+    fn compression_quality_reduces_bytes() {
+        let native = Resolution::square(608);
+        let e = EnergyModel::default();
+        let hq = transmission_cost(&InterventionSet::none(), 100, 100, native, &e);
+        let lq = transmission_cost(
+            &InterventionSet::none().with_quality(Quality::new(0.2)),
+            100,
+            100,
+            native,
+            &e,
+        );
+        assert!(lq.bytes < hq.bytes);
+    }
+}

@@ -1,0 +1,22 @@
+//! Networked camera fleet simulation.
+//!
+//! The paper's motivation (§1) is that interventions buy *policy goods*:
+//! lower bandwidth and energy at the camera, and less private imagery
+//! shipped off-device. This crate quantifies those goods so an example or
+//! administrator can see exactly what a chosen tradeoff purchases:
+//!
+//! * [`cost`] — transmission bytes, link time, and a camera energy model;
+//! * [`privacy`] — exposure scoring: how many sensitive objects shipped
+//!   off-camera remain *recognizable* at the transmitted resolution;
+//! * [`fleet`] — cameras, transmission plans, and before/after reports.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cost;
+pub mod fleet;
+pub mod privacy;
+
+pub use cost::{EnergyModel, Link, TransmissionCost};
+pub use fleet::{Camera, Fleet, FleetReport};
+pub use privacy::{PrivacyAuditor, PrivacyReport};

@@ -1,0 +1,262 @@
+//! Correction-set construction (§3.3.1).
+//!
+//! The correction set `v_1 … v_m` is a randomly sampled, *otherwise
+//! undegraded* set of model outputs that anchors the repair of biased
+//! bounds. It must itself be as degraded as possible — i.e. as small as
+//! possible — while keeping its own bound `err_b(v)` tight, since the
+//! repaired bound inherits it. The paper's heuristic: grow the set by 1% of
+//! the corpus at a time and stop at the elbow, where the bound improves by
+//! less than 2% per step (or at the administrator's size cap).
+
+use smokescreen_degrade::RestrictionIndex;
+use smokescreen_models::OutputCache;
+
+use crate::estimate::{estimate_from_outputs, Estimate, Workload};
+use crate::Result;
+
+/// Tunables of the construction heuristic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorrectionConfig {
+    /// Growth step as a fraction of the corpus (paper: 1%).
+    pub step: f64,
+    /// Stop when `|err_b(v)|` improves by less than this between steps
+    /// (paper: 2%).
+    pub stall_threshold: f64,
+    /// Administrator's cap on the correction-set fraction.
+    pub max_fraction: f64,
+}
+
+impl Default for CorrectionConfig {
+    fn default() -> Self {
+        CorrectionConfig {
+            step: 0.01,
+            stall_threshold: 0.02,
+            max_fraction: 0.25,
+        }
+    }
+}
+
+/// A constructed correction set for one workload.
+#[derive(Debug, Clone)]
+pub struct CorrectionSet {
+    /// The outputs `v_1 … v_m` (native resolution, random sample).
+    pub values: Vec<f64>,
+    /// Size as a fraction of the corpus.
+    pub fraction: f64,
+    /// Estimate computed from the correction set alone (Algorithm 3
+    /// line 2) — the anchor for repair.
+    pub estimate: Estimate,
+    /// The `err_b(v)` trajectory observed while growing (one entry per 1%
+    /// step), kept for the Figure 9 reproduction.
+    pub growth_curve: Vec<(f64, f64)>,
+}
+
+impl CorrectionSet {
+    /// `m`, the number of frames in the set.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the set is empty (never true for a successfully built set).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Builds a correction set for the workload using the elbow heuristic.
+///
+/// The set applies **only random interventions** (frame sampling) at the
+/// native resolution with no removal — the precondition for its bound to be
+/// valid (§3.2.5). Growth reuses a nested sampling permutation, so each
+/// step only runs the model on the newly added frames; pass a `cache` to
+/// also share outputs with profile generation.
+pub fn build_correction_set(
+    workload: &Workload<'_>,
+    restrictions: &RestrictionIndex,
+    config: &CorrectionConfig,
+    seed: u64,
+    cache: Option<&OutputCache<'_>>,
+) -> Result<CorrectionSet> {
+    let corpus = workload.corpus;
+    let n_total = corpus.len();
+    let step_frames = ((n_total as f64 * config.step).round() as usize).max(1);
+    let max_frames = ((n_total as f64 * config.max_fraction).round() as usize)
+        .clamp(step_frames, n_total);
+
+    // One full-corpus permutation; prefixes are the growing correction set.
+    // Image removal never applies to correction sets, so sample from the
+    // whole corpus.
+    let _ = restrictions; // correction sets ignore removal by design
+    let sampler = smokescreen_stats::sample::PrefixSampler::new(n_total, seed);
+    let native = corpus
+        .native_resolution
+        .min(workload.detector.native_resolution());
+
+    let mut values: Vec<f64> = Vec::with_capacity(max_frames);
+    let mut growth_curve = Vec::new();
+    let mut prev_err: Option<f64> = None;
+    let mut estimate;
+
+    let mut m = step_frames;
+    loop {
+        let m_clamped = m.min(max_frames);
+        // Extend values to cover the prefix of size m.
+        for &idx in &sampler.prefix(m_clamped)[values.len()..] {
+            let frame = corpus.frame(idx).expect("prefix within corpus");
+            let v = match cache {
+                Some(c) => c.count(frame, native, workload.class),
+                None => workload.detector.count(frame, native, workload.class),
+            };
+            values.push(v);
+        }
+        let est = estimate_from_outputs(workload.aggregate, &values, n_total, workload.delta)?;
+        let err = est.err_b();
+        growth_curve.push((m_clamped as f64 / n_total as f64, err));
+        estimate = est;
+
+        let stalled = prev_err.is_some_and(|p| (p - err).abs() < config.stall_threshold);
+        if stalled || m_clamped >= max_frames {
+            break;
+        }
+        prev_err = Some(err);
+        m = m_clamped + step_frames;
+    }
+
+    Ok(CorrectionSet {
+        fraction: values.len() as f64 / n_total as f64,
+        values,
+        estimate,
+        growth_curve,
+    })
+}
+
+/// Sweeps `err_b(v)` over an explicit list of fractions, without the
+/// stopping rule — the raw curve Figure 9 plots against the chosen elbow.
+pub fn correction_error_curve(
+    workload: &Workload<'_>,
+    fractions: &[f64],
+    seed: u64,
+    cache: Option<&OutputCache<'_>>,
+) -> Result<Vec<(f64, f64)>> {
+    let corpus = workload.corpus;
+    let n_total = corpus.len();
+    let sampler = smokescreen_stats::sample::PrefixSampler::new(n_total, seed);
+    let native = corpus
+        .native_resolution
+        .min(workload.detector.native_resolution());
+
+    let mut values: Vec<f64> = Vec::new();
+    let mut out = Vec::with_capacity(fractions.len());
+    let mut sorted = fractions.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite fractions"));
+    for f in sorted {
+        let m = ((n_total as f64 * f).round() as usize).clamp(1, n_total);
+        for &idx in &sampler.prefix(m)[values.len()..] {
+            let frame = corpus.frame(idx).expect("prefix within corpus");
+            let v = match cache {
+                Some(c) => c.count(frame, native, workload.class),
+                None => workload.detector.count(frame, native, workload.class),
+            };
+            values.push(v);
+        }
+        let est = estimate_from_outputs(workload.aggregate, &values, n_total, workload.delta)?;
+        out.push((f, est.err_b()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::Aggregate;
+    use smokescreen_models::Oracle;
+    use smokescreen_video::synth::DatasetPreset;
+    use smokescreen_video::ObjectClass;
+
+    fn workload(corpus: &smokescreen_video::VideoCorpus, agg: Aggregate) -> Workload<'_> {
+        Workload {
+            corpus,
+            detector: &Oracle,
+            class: ObjectClass::Car,
+            aggregate: agg,
+            delta: 0.05,
+        }
+    }
+
+    #[test]
+    fn growth_stops_at_elbow_or_cap() {
+        let corpus = DatasetPreset::Detrac.generate(20).slice(0, 8_000);
+        let w = workload(&corpus, Aggregate::Avg);
+        let restrictions = RestrictionIndex::from_ground_truth(&corpus, &[]);
+        let cs =
+            build_correction_set(&w, &restrictions, &CorrectionConfig::default(), 3, None)
+                .unwrap();
+        assert!(!cs.is_empty());
+        assert!(cs.fraction <= 0.25 + 1e-9);
+        assert_eq!(
+            cs.len(),
+            (cs.fraction * corpus.len() as f64).round() as usize
+        );
+        assert!(!cs.growth_curve.is_empty());
+        // The curve must be recorded at 1%-of-corpus granularity.
+        assert!((cs.growth_curve[0].0 - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_aggregate_needs_smaller_set_than_avg() {
+        // §5.2.3: the chosen fraction for MAX (2%) is below AVG's (4–6%).
+        // The rank-metric bound tightens faster than the mean bound on
+        // these skewed counts.
+        let corpus = DatasetPreset::Detrac.generate(21).slice(0, 8_000);
+        let restrictions = RestrictionIndex::from_ground_truth(&corpus, &[]);
+        let avg = build_correction_set(
+            &workload(&corpus, Aggregate::Avg),
+            &restrictions,
+            &CorrectionConfig::default(),
+            5,
+            None,
+        )
+        .unwrap();
+        let max = build_correction_set(
+            &workload(&corpus, Aggregate::Max { r: 0.99 }),
+            &restrictions,
+            &CorrectionConfig::default(),
+            5,
+            None,
+        )
+        .unwrap();
+        assert!(
+            max.fraction <= avg.fraction,
+            "max={} avg={}",
+            max.fraction,
+            avg.fraction
+        );
+    }
+
+    #[test]
+    fn error_curve_is_broadly_decreasing() {
+        let corpus = DatasetPreset::Detrac.generate(22).slice(0, 6_000);
+        let w = workload(&corpus, Aggregate::Avg);
+        let fractions: Vec<f64> = (1..=10).map(|i| i as f64 / 100.0).collect();
+        let curve = correction_error_curve(&w, &fractions, 7, None).unwrap();
+        assert_eq!(curve.len(), 10);
+        assert!(
+            curve.first().unwrap().1 > curve.last().unwrap().1,
+            "err_b should fall as the set grows: {curve:?}"
+        );
+    }
+
+    #[test]
+    fn cap_binds_when_stall_never_triggers() {
+        let corpus = DatasetPreset::NightStreet.generate(23).slice(0, 2_000);
+        let w = workload(&corpus, Aggregate::Avg);
+        let restrictions = RestrictionIndex::from_ground_truth(&corpus, &[]);
+        let config = CorrectionConfig {
+            step: 0.01,
+            stall_threshold: 0.0, // never stalls
+            max_fraction: 0.05,
+        };
+        let cs = build_correction_set(&w, &restrictions, &config, 1, None).unwrap();
+        assert!((cs.fraction - 0.05).abs() < 0.011);
+    }
+}

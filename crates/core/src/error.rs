@@ -1,0 +1,65 @@
+//! Error type for the Smokescreen core.
+
+use std::fmt;
+
+use smokescreen_stats::StatsError;
+
+/// Errors surfaced by profiling, estimation, and tradeoff selection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An underlying statistical estimator failed.
+    Stats(StatsError),
+    /// The intervention set is malformed (bad fraction, empty resolution…).
+    InvalidIntervention(String),
+    /// The detector does not support a requested resolution.
+    UnsupportedResolution {
+        /// Model name.
+        model: String,
+        /// Offending resolution, as `WxH`.
+        resolution: String,
+    },
+    /// The degraded view contains no frames.
+    EmptyView(String),
+    /// The aggregate/estimate types disagree (e.g. rank repair on a mean
+    /// estimate).
+    AggregateMismatch(&'static str),
+    /// No profile point satisfies the administrator's preferences.
+    NoFeasibleTradeoff,
+    /// Profile (de)serialization failed.
+    Serialization(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Stats(e) => write!(f, "estimator error: {e}"),
+            CoreError::InvalidIntervention(msg) => write!(f, "invalid intervention: {msg}"),
+            CoreError::UnsupportedResolution { model, resolution } => {
+                write!(f, "model {model} does not accept resolution {resolution}")
+            }
+            CoreError::EmptyView(msg) => write!(f, "degraded view is empty: {msg}"),
+            CoreError::AggregateMismatch(what) => {
+                write!(f, "aggregate/estimate type mismatch: {what}")
+            }
+            CoreError::NoFeasibleTradeoff => {
+                write!(f, "no intervention candidate satisfies the preferences")
+            }
+            CoreError::Serialization(msg) => write!(f, "profile serialization: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for CoreError {
+    fn from(e: StatsError) -> Self {
+        CoreError::Stats(e)
+    }
+}

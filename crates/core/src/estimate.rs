@@ -1,0 +1,425 @@
+//! `result_error_est` — the unified answer/bound estimator.
+//!
+//! This is line 1 of Algorithm 3: apply the interventions, run the model
+//! over the sampled frames, and dispatch to the aggregate-specific
+//! estimator of §3.2. It also evaluates the *true* relative error against
+//! the oracle population when asked (experiments only — the whole point of
+//! the system is that production flows never touch the original video).
+
+use serde::{Deserialize, Serialize};
+
+use smokescreen_degrade::{DegradedView, InterventionSet, RestrictionIndex};
+use smokescreen_models::{Detector, OutputCache};
+use smokescreen_stats::estimators::quantile::QuantileEstimate;
+use smokescreen_stats::{
+    avg_estimate, count_estimate, quantile_estimate, sum_estimate, var_estimate, Extreme,
+    MeanEstimate,
+};
+use smokescreen_video::{ObjectClass, VideoCorpus};
+
+use crate::{CoreError, Result};
+
+/// The aggregate function `F_A` of the query.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Aggregate {
+    /// Frame-level average of the model output.
+    Avg,
+    /// Sum of the model output over all frames.
+    Sum,
+    /// Number of frames whose output meets the predicate `output ≥ k`.
+    Count {
+        /// Predicate threshold `k` (e.g. 1.0 = "frame contains a car").
+        at_least: f64,
+    },
+    /// Maximum, approximated by the `r`-quantile with `r` near 1.
+    Max {
+        /// Quantile position (the paper uses 0.99).
+        r: f64,
+    },
+    /// Minimum, approximated by the `r`-quantile with `r` near 0.
+    Min {
+        /// Quantile position (e.g. 0.01).
+        r: f64,
+    },
+    /// Arbitrary `r`-quantile (e.g. MEDIAN at r = 0.5) — a holistic
+    /// extension beyond the paper's extreme-quantile scope, using the
+    /// MAX-form bound of Theorem 3.2 (whose sqrt(r(1-r)) spread term is
+    /// valid at any interior `r`).
+    Quantile {
+        /// Quantile position in `(0, 1)`.
+        r: f64,
+    },
+    /// Variance of the model output (future-work extension, §7).
+    Var,
+}
+
+impl Aggregate {
+    /// Whether the accuracy metric is rank-based (MAX/MIN) rather than
+    /// value-based.
+    pub fn is_rank_metric(self) -> bool {
+        matches!(
+            self,
+            Aggregate::Max { .. } | Aggregate::Min { .. } | Aggregate::Quantile { .. }
+        )
+    }
+
+    /// The quantile position, when rank-based.
+    pub fn quantile_r(self) -> Option<f64> {
+        match self {
+            Aggregate::Max { r } | Aggregate::Min { r } | Aggregate::Quantile { r } => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Short name for display.
+    pub fn name(self) -> &'static str {
+        match self {
+            Aggregate::Avg => "AVG",
+            Aggregate::Sum => "SUM",
+            Aggregate::Count { .. } => "COUNT",
+            Aggregate::Max { .. } => "MAX",
+            Aggregate::Min { .. } => "MIN",
+            Aggregate::Quantile { .. } => "QUANTILE",
+            Aggregate::Var => "VAR",
+        }
+    }
+
+    /// Maps raw per-frame model outputs to the values the estimator
+    /// consumes (identity except for COUNT's indicator transform).
+    pub fn transform(&self, outputs: &[f64]) -> Vec<f64> {
+        match self {
+            Aggregate::Count { at_least } => outputs
+                .iter()
+                .map(|&v| if v >= *at_least { 1.0 } else { 0.0 })
+                .collect(),
+            _ => outputs.to_vec(),
+        }
+    }
+
+    /// The true aggregate over a full population of outputs.
+    pub fn true_value(&self, population: &[f64]) -> f64 {
+        let n = population.len();
+        if n == 0 {
+            return 0.0;
+        }
+        match *self {
+            Aggregate::Avg => population.iter().sum::<f64>() / n as f64,
+            Aggregate::Sum => population.iter().sum(),
+            Aggregate::Count { at_least } => {
+                population.iter().filter(|&&v| v >= at_least).count() as f64
+            }
+            Aggregate::Max { r } | Aggregate::Min { r } | Aggregate::Quantile { r } => {
+                let mut sorted = population.to_vec();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite outputs"));
+                let idx = ((r * n as f64).ceil() as usize).clamp(1, n) - 1;
+                sorted[idx]
+            }
+            Aggregate::Var => {
+                let mean = population.iter().sum::<f64>() / n as f64;
+                population.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64
+            }
+        }
+    }
+}
+
+/// A video analytical query: the paper's `(D, F_model, F_A)` triple plus
+/// the queried class and confidence level.
+pub struct Workload<'a> {
+    /// The original video `D`.
+    pub corpus: &'a VideoCorpus,
+    /// The vision model `F_model`.
+    pub detector: &'a dyn Detector,
+    /// The class the UDF counts per frame (cars in every paper workload).
+    pub class: ObjectClass,
+    /// The aggregate function `F_A`.
+    pub aggregate: Aggregate,
+    /// `δ`: bounds hold with probability at least `1 − δ`.
+    pub delta: f64,
+}
+
+impl<'a> Workload<'a> {
+    /// Per-frame model outputs over the *entire* corpus at native
+    /// resolution — the ground-truth population `X_1 … X_N`. Experiments
+    /// only.
+    pub fn population_outputs(&self) -> Vec<f64> {
+        let res = self
+            .corpus
+            .native_resolution
+            .min(self.detector.native_resolution());
+        self.corpus
+            .frames()
+            .iter()
+            .map(|f| self.detector.count(f, res, self.class))
+            .collect()
+    }
+
+    /// The true query answer (experiments only).
+    pub fn true_answer(&self) -> f64 {
+        self.aggregate.true_value(&self.population_outputs())
+    }
+}
+
+/// An estimate: approximate answer plus `1 − δ` relative-error bound.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Estimate {
+    /// Mean-style estimate (AVG/SUM/COUNT/VAR) — value-relative metric.
+    Mean(MeanEstimate),
+    /// Quantile estimate (MAX/MIN) — rank-relative metric.
+    Quantile(QuantileEstimate),
+}
+
+impl Estimate {
+    /// The approximate answer `Y_approx`.
+    pub fn y_approx(&self) -> f64 {
+        match self {
+            Estimate::Mean(m) => m.y_approx,
+            Estimate::Quantile(q) => q.y_approx,
+        }
+    }
+
+    /// The error upper bound `err_b`.
+    pub fn err_b(&self) -> f64 {
+        match self {
+            Estimate::Mean(m) => m.err_b,
+            Estimate::Quantile(q) => q.err_b,
+        }
+    }
+
+    /// Sample size consumed.
+    pub fn n(&self) -> usize {
+        match self {
+            Estimate::Mean(m) => m.n,
+            Estimate::Quantile(q) => q.n,
+        }
+    }
+}
+
+/// Runs the query under the interventions and estimates the answer plus
+/// error bound (Algorithm 3 line 1).
+///
+/// * `restrictions` — precomputed restricted-class membership prior.
+/// * `seed` — fixes the sampling permutation (vary per trial).
+/// * `cache` — optional model-output cache shared across candidates.
+pub fn result_error_est(
+    workload: &Workload<'_>,
+    restrictions: &RestrictionIndex,
+    set: &InterventionSet,
+    seed: u64,
+    cache: Option<&OutputCache<'_>>,
+) -> Result<Estimate> {
+    if let Some(res) = set.resolution {
+        if !workload.detector.supports(res) {
+            return Err(CoreError::UnsupportedResolution {
+                model: workload.detector.name().to_string(),
+                resolution: res.to_string(),
+            });
+        }
+    }
+    let view = DegradedView::new(workload.corpus, set.clone(), restrictions, seed)
+        .map_err(CoreError::InvalidIntervention)?;
+    let raw = match cache {
+        Some(c) if !view.rewrites_frames() => view.outputs_cached(c, workload.class),
+        _ => view.outputs(workload.detector, workload.class),
+    };
+    if raw.is_empty() {
+        return Err(CoreError::EmptyView(set.describe()));
+    }
+    estimate_from_outputs(
+        workload.aggregate,
+        &raw,
+        workload.corpus.len(),
+        workload.delta,
+    )
+}
+
+/// Dispatches pre-collected per-frame outputs to the right estimator.
+pub fn estimate_from_outputs(
+    aggregate: Aggregate,
+    raw_outputs: &[f64],
+    population: usize,
+    delta: f64,
+) -> Result<Estimate> {
+    let values = aggregate.transform(raw_outputs);
+    let est = match aggregate {
+        Aggregate::Avg => Estimate::Mean(avg_estimate(&values, population, delta)?),
+        Aggregate::Sum => Estimate::Mean(sum_estimate(&values, population, delta)?),
+        Aggregate::Count { .. } => Estimate::Mean(count_estimate(&values, population, delta)?),
+        Aggregate::Max { r } => {
+            Estimate::Quantile(quantile_estimate(&values, population, r, delta, Extreme::Max)?)
+        }
+        Aggregate::Min { r } => {
+            Estimate::Quantile(quantile_estimate(&values, population, r, delta, Extreme::Min)?)
+        }
+        Aggregate::Quantile { r } => {
+            Estimate::Quantile(quantile_estimate(&values, population, r, delta, Extreme::Max)?)
+        }
+        Aggregate::Var => Estimate::Mean(var_estimate(&values, population, delta)?),
+    };
+    Ok(est)
+}
+
+/// True relative error of an estimate against the oracle population
+/// (value-relative for mean aggregates, rank-relative for MAX/MIN).
+/// Experiments only.
+pub fn true_relative_error(
+    aggregate: Aggregate,
+    estimate: &Estimate,
+    population_outputs: &[f64],
+) -> f64 {
+    match (aggregate, estimate) {
+        (
+            Aggregate::Max { r } | Aggregate::Min { r } | Aggregate::Quantile { r },
+            Estimate::Quantile(q),
+        ) => {
+            smokescreen_stats::estimators::quantile::true_rank_error(
+                population_outputs,
+                q.y_approx,
+                r,
+            )
+        }
+        (_, est) => {
+            let truth = aggregate.true_value(population_outputs);
+            if truth == 0.0 {
+                if est.y_approx() == 0.0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                (est.y_approx() - truth).abs() / truth.abs()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smokescreen_models::{Oracle, SimYoloV4};
+    use smokescreen_video::synth::DatasetPreset;
+    use smokescreen_video::Resolution;
+
+    fn workload<'a>(corpus: &'a VideoCorpus, detector: &'a dyn Detector, agg: Aggregate) -> Workload<'a> {
+        // Helper binding lifetimes for tests.
+        Workload {
+            corpus,
+            detector,
+            class: ObjectClass::Car,
+            aggregate: agg,
+            delta: 0.05,
+        }
+    }
+
+    #[test]
+    fn avg_estimate_covers_truth_under_sampling() {
+        let corpus = DatasetPreset::Detrac.generate(10).slice(0, 6_000);
+        let oracle = Oracle;
+        let w = workload(&corpus, &oracle, Aggregate::Avg);
+        let restrictions = RestrictionIndex::from_ground_truth(&corpus, &[]);
+        let pop = w.population_outputs();
+
+        let mut covered = 0;
+        for t in 0..60u64 {
+            let est = result_error_est(
+                &w,
+                &restrictions,
+                &InterventionSet::sampling(0.05),
+                t,
+                None,
+            )
+            .unwrap();
+            if true_relative_error(Aggregate::Avg, &est, &pop) <= est.err_b() {
+                covered += 1;
+            }
+        }
+        assert!(covered >= 57, "covered={covered}/60");
+    }
+
+    #[test]
+    fn count_and_sum_share_relative_bounds() {
+        let corpus = DatasetPreset::Detrac.generate(11).slice(0, 3_000);
+        let oracle = Oracle;
+        let restrictions = RestrictionIndex::from_ground_truth(&corpus, &[]);
+        let sum = result_error_est(
+            &workload(&corpus, &oracle, Aggregate::Sum),
+            &restrictions,
+            &InterventionSet::sampling(0.1),
+            5,
+            None,
+        )
+        .unwrap();
+        let avg = result_error_est(
+            &workload(&corpus, &oracle, Aggregate::Avg),
+            &restrictions,
+            &InterventionSet::sampling(0.1),
+            5,
+            None,
+        )
+        .unwrap();
+        assert!((sum.err_b() - avg.err_b()).abs() < 1e-12);
+        assert!((sum.y_approx() / avg.y_approx() - 3_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unsupported_resolution_is_rejected() {
+        let corpus = DatasetPreset::NightStreet.generate(12).slice(0, 500);
+        let yolo = SimYoloV4::new(1);
+        let w = workload(&corpus, &yolo, Aggregate::Avg);
+        let restrictions = RestrictionIndex::from_ground_truth(&corpus, &[]);
+        let err = result_error_est(
+            &w,
+            &restrictions,
+            &InterventionSet::sampling(0.5).with_resolution(Resolution::square(300)),
+            1,
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::UnsupportedResolution { .. }));
+    }
+
+    #[test]
+    fn max_uses_rank_metric() {
+        let corpus = DatasetPreset::Detrac.generate(13).slice(0, 5_000);
+        let oracle = Oracle;
+        let w = workload(&corpus, &oracle, Aggregate::Max { r: 0.99 });
+        let restrictions = RestrictionIndex::from_ground_truth(&corpus, &[]);
+        let pop = w.population_outputs();
+        let est = result_error_est(&w, &restrictions, &InterventionSet::sampling(0.1), 3, None)
+            .unwrap();
+        assert!(matches!(est, Estimate::Quantile(_)));
+        let err = true_relative_error(Aggregate::Max { r: 0.99 }, &est, &pop);
+        assert!(err <= est.err_b(), "true={err} bound={}", est.err_b());
+    }
+
+    #[test]
+    fn aggregate_true_values() {
+        let pop = [0.0, 1.0, 2.0, 3.0, 4.0];
+        assert_eq!(Aggregate::Avg.true_value(&pop), 2.0);
+        assert_eq!(Aggregate::Sum.true_value(&pop), 10.0);
+        assert_eq!(Aggregate::Count { at_least: 2.0 }.true_value(&pop), 3.0);
+        assert_eq!(Aggregate::Max { r: 0.99 }.true_value(&pop), 4.0);
+        assert_eq!(Aggregate::Min { r: 0.01 }.true_value(&pop), 0.0);
+        assert_eq!(Aggregate::Quantile { r: 0.5 }.true_value(&pop), 2.0);
+        assert_eq!(Aggregate::Var.true_value(&pop), 2.0);
+        assert_eq!(Aggregate::Avg.true_value(&[]), 0.0);
+    }
+
+    #[test]
+    fn count_transform_is_indicator() {
+        let t = Aggregate::Count { at_least: 1.0 }.transform(&[0.0, 0.5, 1.0, 3.0]);
+        assert_eq!(t, vec![0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn cached_and_uncached_agree() {
+        let corpus = DatasetPreset::NightStreet.generate(14).slice(0, 2_000);
+        let yolo = SimYoloV4::new(2);
+        let w = workload(&corpus, &yolo, Aggregate::Avg);
+        let restrictions = RestrictionIndex::from_ground_truth(&corpus, &[]);
+        let cache = OutputCache::new(&yolo);
+        let set = InterventionSet::sampling(0.2).with_resolution(Resolution::square(320));
+        let a = result_error_est(&w, &restrictions, &set, 9, None).unwrap();
+        let b = result_error_est(&w, &restrictions, &set, 9, Some(&cache)).unwrap();
+        assert_eq!(a, b);
+    }
+}

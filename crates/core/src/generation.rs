@@ -1,0 +1,353 @@
+//! Profile generation (§3.1, §3.3.2).
+//!
+//! For every intervention candidate the generator runs `result_error_est`
+//! and records a [`ProfilePoint`]. Two optimizations keep `N_model` small:
+//!
+//! * **Output reuse** — a shared [`OutputCache`] means each `(frame,
+//!   resolution)` pair is processed by the model at most once across all
+//!   candidates; ascending fractions reuse the smaller samples' outputs
+//!   outright because samples are nested prefixes.
+//! * **Early stopping** — within one `(resolution, removal)` cell,
+//!   fractions are profiled in ascending order and the sweep stops when
+//!   the bound improves more slowly than a threshold.
+//!
+//! The generator also accounts for simulated model time vs. measured
+//! estimation time, which reproduces the §5.3.1 breakdown.
+
+use std::time::Instant;
+
+use smokescreen_degrade::{CandidateGrid, InterventionSet, RestrictionIndex};
+use smokescreen_models::OutputCache;
+
+use crate::correction::CorrectionSet;
+use crate::estimate::{result_error_est, Workload};
+use crate::profile::{Profile, ProfilePoint};
+use crate::repair::{best_bound_for_random, corrected_bound};
+use crate::{CoreError, Result};
+
+/// Generator tunables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneratorConfig {
+    /// Sampling-permutation seed.
+    pub seed: u64,
+    /// Early-stopping: stop a fraction sweep when the bound improves by
+    /// less than this between consecutive candidates. `None` disables.
+    pub early_stop_improvement: Option<f64>,
+    /// Minimum candidates per cell before early stopping may trigger.
+    pub early_stop_min_points: usize,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            seed: 0,
+            early_stop_improvement: Some(0.005),
+            early_stop_min_points: 3,
+        }
+    }
+}
+
+/// Cost accounting for one generation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GenerationReport {
+    /// Distinct model invocations (`N_model`).
+    pub model_runs: usize,
+    /// Cache hits (reused outputs).
+    pub cache_hits: usize,
+    /// Simulated model processing time, ms (`N_model · T_model`).
+    pub model_time_ms: f64,
+    /// Measured wall-clock estimation time, ms (bound computation only).
+    pub estimation_time_ms: f64,
+    /// Profiled points emitted.
+    pub points: usize,
+    /// Candidates skipped by early stopping.
+    pub skipped_by_early_stop: usize,
+}
+
+/// Profile generator for one workload.
+pub struct ProfileGenerator<'a> {
+    workload: &'a Workload<'a>,
+    restrictions: &'a RestrictionIndex,
+    config: GeneratorConfig,
+}
+
+impl<'a> ProfileGenerator<'a> {
+    /// Creates a generator.
+    pub fn new(
+        workload: &'a Workload<'a>,
+        restrictions: &'a RestrictionIndex,
+        config: GeneratorConfig,
+    ) -> Self {
+        ProfileGenerator {
+            workload,
+            restrictions,
+            config,
+        }
+    }
+
+    /// Generates the profile over the candidate grid.
+    ///
+    /// When a correction set is supplied, non-random candidates get
+    /// repaired bounds (and are marked `corrected`); random candidates get
+    /// the tighter of direct and corrected bounds. Without one, non-random
+    /// candidates still record their (possibly invalid) direct bounds —
+    /// the baseline behaviour Figure 6 exposes.
+    pub fn generate(
+        &self,
+        grid: &CandidateGrid,
+        correction: Option<&CorrectionSet>,
+    ) -> Result<(Profile, GenerationReport)> {
+        let cache = OutputCache::new(self.workload.detector);
+        let mut points = Vec::new();
+        let mut report = GenerationReport::default();
+        let mut estimation_ns: u128 = 0;
+
+        let combos: &[Vec<smokescreen_video::ObjectClass>] = if grid.class_combos.is_empty() {
+            &[Vec::new()]
+        } else {
+            &grid.class_combos
+        };
+        let resolutions: Vec<Option<smokescreen_video::Resolution>> =
+            if grid.resolutions.is_empty() {
+                vec![None]
+            } else {
+                grid.resolutions.iter().copied().map(Some).collect()
+            };
+
+        for &resolution in &resolutions {
+            for combo in combos {
+                let mut prev_err: Option<f64> = None;
+                let mut stopped = false;
+                let mut seen = 0usize;
+                for &fraction in &grid.fractions {
+                    if stopped {
+                        report.skipped_by_early_stop += 1;
+                        continue;
+                    }
+                    let mut set = InterventionSet::sampling(fraction).with_restricted(combo);
+                    // The native resolution is not a degradation: normalize
+                    // it to None so the candidate classifies as random and
+                    // needs no correction.
+                    set.resolution =
+                        resolution.filter(|&r| r != self.workload.corpus.native_resolution);
+
+                    let t0 = Instant::now();
+                    let point = self.profile_point(&set, correction, &cache);
+                    estimation_ns += t0.elapsed().as_nanos();
+                    let point = match point {
+                        Ok(p) => p,
+                        // A candidate can be individually infeasible (e.g.
+                        // removal leaves nothing at this combo); skip it.
+                        Err(CoreError::EmptyView(_)) | Err(CoreError::InvalidIntervention(_)) => {
+                            continue
+                        }
+                        Err(e) => return Err(e),
+                    };
+                    seen += 1;
+
+                    if let (Some(threshold), Some(prev)) =
+                        (self.config.early_stop_improvement, prev_err)
+                    {
+                        if seen >= self.config.early_stop_min_points
+                            && (prev - point.err_b).abs() < threshold
+                        {
+                            stopped = true;
+                        }
+                    }
+                    prev_err = Some(point.err_b);
+                    points.push(point);
+                }
+            }
+        }
+
+        let inv = cache.invocations();
+        report.model_runs = inv.model_runs;
+        report.cache_hits = inv.cache_hits;
+        report.model_time_ms = inv.model_time_ms;
+        report.estimation_time_ms = estimation_ns as f64 / 1e6;
+        report.points = points.len();
+
+        Ok((
+            Profile {
+                corpus: self.workload.corpus.name.clone(),
+                model: self.workload.detector.name().to_string(),
+                class: self.workload.class,
+                aggregate: self.workload.aggregate,
+                delta: self.workload.delta,
+                points,
+            },
+            report,
+        ))
+    }
+
+    /// Profiles one candidate.
+    pub fn profile_point(
+        &self,
+        set: &InterventionSet,
+        correction: Option<&CorrectionSet>,
+        cache: &OutputCache<'_>,
+    ) -> Result<ProfilePoint> {
+        let est = result_error_est(
+            self.workload,
+            self.restrictions,
+            set,
+            self.config.seed,
+            Some(cache),
+        )?;
+        let (err_b, corrected) = match correction {
+            Some(cs) if !set.is_random_only() => (corrected_bound(&est, cs)?, true),
+            Some(cs) => {
+                let best = best_bound_for_random(&est, cs)?;
+                (best, best < est.err_b())
+            }
+            None => (est.err_b(), false),
+        };
+        Ok(ProfilePoint {
+            set: set.clone(),
+            y_approx: est.y_approx(),
+            err_b,
+            corrected,
+            n: est.n(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correction::{build_correction_set, CorrectionConfig};
+    use crate::estimate::Aggregate;
+    use smokescreen_degrade::CandidateGrid;
+    use smokescreen_models::SimYoloV4;
+    use smokescreen_video::synth::DatasetPreset;
+    use smokescreen_video::{ObjectClass, Resolution};
+
+    fn grid() -> CandidateGrid {
+        CandidateGrid::explicit(
+            vec![0.01, 0.02, 0.05, 0.1, 0.2],
+            vec![Resolution::square(320), Resolution::square(608)],
+            vec![vec![], vec![ObjectClass::Person]],
+        )
+    }
+
+    #[test]
+    fn generates_points_for_grid_cells() {
+        let corpus = DatasetPreset::Detrac.generate(40).slice(0, 3_000);
+        let yolo = SimYoloV4::new(1);
+        let w = Workload {
+            corpus: &corpus,
+            detector: &yolo,
+            class: ObjectClass::Car,
+            aggregate: Aggregate::Avg,
+            delta: 0.05,
+        };
+        let restrictions =
+            RestrictionIndex::from_ground_truth(&corpus, &[ObjectClass::Person]);
+        let gen = ProfileGenerator::new(
+            &w,
+            &restrictions,
+            GeneratorConfig {
+                early_stop_improvement: None,
+                ..Default::default()
+            },
+        );
+        let (profile, report) = gen.generate(&grid(), None).unwrap();
+        assert_eq!(profile.len(), 20); // 5 × 2 × 2
+        assert_eq!(report.points, 20);
+        assert!(report.model_runs > 0);
+        assert!(report.model_time_ms > 0.0);
+    }
+
+    #[test]
+    fn reuse_cache_bounds_model_runs() {
+        // Across all 20 candidates the model may run at most
+        // (distinct frames sampled) × (2 resolutions) times, and the
+        // largest fraction dominates: runs ≤ 2 × n_max_eligible.
+        let corpus = DatasetPreset::Detrac.generate(41).slice(0, 2_000);
+        let yolo = SimYoloV4::new(2);
+        let w = Workload {
+            corpus: &corpus,
+            detector: &yolo,
+            class: ObjectClass::Car,
+            aggregate: Aggregate::Avg,
+            delta: 0.05,
+        };
+        let restrictions =
+            RestrictionIndex::from_ground_truth(&corpus, &[ObjectClass::Person]);
+        let gen = ProfileGenerator::new(
+            &w,
+            &restrictions,
+            GeneratorConfig {
+                early_stop_improvement: None,
+                ..Default::default()
+            },
+        );
+        let (_, report) = gen.generate(&grid(), None).unwrap();
+        let n_max = (0.2 * 2_000.0) as usize;
+        assert!(
+            report.model_runs <= 2 * 2 * n_max,
+            "model_runs={} should be bounded by reuse",
+            report.model_runs
+        );
+        assert!(report.cache_hits > 0, "nested fractions must hit the cache");
+    }
+
+    #[test]
+    fn early_stopping_skips_flat_tail() {
+        let corpus = DatasetPreset::Detrac.generate(42).slice(0, 3_000);
+        let yolo = SimYoloV4::new(3);
+        let w = Workload {
+            corpus: &corpus,
+            detector: &yolo,
+            class: ObjectClass::Car,
+            aggregate: Aggregate::Avg,
+            delta: 0.05,
+        };
+        let restrictions = RestrictionIndex::from_ground_truth(&corpus, &[]);
+        let many_fractions = CandidateGrid::explicit(
+            (1..=60).map(|i| i as f64 / 100.0).collect(),
+            vec![Resolution::square(608)],
+            vec![vec![]],
+        );
+        let gen = ProfileGenerator::new(
+            &w,
+            &restrictions,
+            GeneratorConfig {
+                early_stop_improvement: Some(0.01),
+                early_stop_min_points: 3,
+                seed: 0,
+            },
+        );
+        let (profile, report) = gen.generate(&many_fractions, None).unwrap();
+        assert!(
+            report.skipped_by_early_stop > 0,
+            "a 60-point flat tail should trigger early stop"
+        );
+        assert!(profile.len() < 60);
+    }
+
+    #[test]
+    fn corrected_points_marked() {
+        let corpus = DatasetPreset::Detrac.generate(43).slice(0, 3_000);
+        let yolo = SimYoloV4::new(4);
+        let w = Workload {
+            corpus: &corpus,
+            detector: &yolo,
+            class: ObjectClass::Car,
+            aggregate: Aggregate::Avg,
+            delta: 0.05,
+        };
+        let restrictions =
+            RestrictionIndex::from_ground_truth(&corpus, &[ObjectClass::Person]);
+        let cs = build_correction_set(&w, &restrictions, &CorrectionConfig::default(), 1, None)
+            .unwrap();
+        let gen = ProfileGenerator::new(&w, &restrictions, GeneratorConfig::default());
+        let (profile, _) = gen.generate(&grid(), Some(&cs)).unwrap();
+        // Every non-random point must be corrected.
+        for p in &profile.points {
+            if !p.set.is_random_only() {
+                assert!(p.corrected, "{:?}", p.set.describe());
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Bound repair (§3.2.5, Algorithm 3).
+//!
+//! Dispatches the degraded-video estimate and the correction-set estimate
+//! to the right repair formula: triangle-inequality routing through the
+//! correction anchor for mean aggregates (Equation 12), rank-difference
+//! routing for quantile aggregates (Equation 13).
+
+use smokescreen_stats::{repair_mean_bound, repair_rank_bound};
+
+use crate::correction::CorrectionSet;
+use crate::estimate::Estimate;
+use crate::{CoreError, Result};
+
+/// Repairs the error bound of `degraded` using the correction set.
+///
+/// Returns the corrected `err_b`, valid with the correction set's `1 − δ`
+/// probability regardless of how non-random the degraded view was.
+pub fn corrected_bound(degraded: &Estimate, correction: &CorrectionSet) -> Result<f64> {
+    match (degraded, &correction.estimate) {
+        (Estimate::Mean(d), Estimate::Mean(c)) => Ok(repair_mean_bound(d, c)?),
+        (Estimate::Quantile(d), Estimate::Quantile(c)) => {
+            Ok(repair_rank_bound(d, c, &correction.values)?)
+        }
+        _ => Err(CoreError::AggregateMismatch(
+            "degraded and correction estimates use different metrics",
+        )),
+    }
+}
+
+/// The bound to report when only random interventions are in force: the
+/// tighter of the direct bound and the corrected bound (§5.2.2 — the
+/// correction set helps random interventions too when it carries more
+/// information than the degraded sample).
+pub fn best_bound_for_random(degraded: &Estimate, correction: &CorrectionSet) -> Result<f64> {
+    Ok(degraded.err_b().min(corrected_bound(degraded, correction)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correction::{build_correction_set, CorrectionConfig};
+    use crate::estimate::{result_error_est, Aggregate, Workload};
+    use smokescreen_degrade::{InterventionSet, RestrictionIndex};
+    use smokescreen_models::SimYoloV4;
+    use smokescreen_video::synth::DatasetPreset;
+    use smokescreen_video::{ObjectClass, Resolution};
+
+    fn setup(agg: Aggregate) -> (smokescreen_video::VideoCorpus, SimYoloV4, Aggregate) {
+        (
+            DatasetPreset::Detrac.generate(30).slice(0, 6_000),
+            SimYoloV4::new(7),
+            agg,
+        )
+    }
+
+    #[test]
+    fn repaired_bound_covers_resolution_bias() {
+        let (corpus, yolo, agg) = setup(Aggregate::Avg);
+        let w = Workload {
+            corpus: &corpus,
+            detector: &yolo,
+            class: ObjectClass::Car,
+            aggregate: agg,
+            delta: 0.05,
+        };
+        let restrictions = RestrictionIndex::from_ground_truth(&corpus, &[ObjectClass::Person]);
+        let pop = w.population_outputs();
+
+        // Heavy resolution degradation at a generous fraction: the direct
+        // bound is confidently wrong.
+        let set = InterventionSet::sampling(0.5).with_resolution(Resolution::square(128));
+        let degraded = result_error_est(&w, &restrictions, &set, 3, None).unwrap();
+        let true_err =
+            crate::estimate::true_relative_error(agg, &degraded, &pop);
+        assert!(
+            degraded.err_b() < true_err,
+            "premise: uncorrected bound misleads ({} vs {true_err})",
+            degraded.err_b()
+        );
+
+        let cs = build_correction_set(&w, &restrictions, &CorrectionConfig::default(), 9, None)
+            .unwrap();
+        let repaired = corrected_bound(&degraded, &cs).unwrap();
+        assert!(
+            repaired >= true_err,
+            "repaired={repaired} true={true_err}"
+        );
+    }
+
+    #[test]
+    fn repaired_rank_bound_covers_removal_bias() {
+        let (corpus, yolo, agg) = setup(Aggregate::Max { r: 0.99 });
+        let w = Workload {
+            corpus: &corpus,
+            detector: &yolo,
+            class: ObjectClass::Car,
+            aggregate: agg,
+            delta: 0.05,
+        };
+        let restrictions = RestrictionIndex::from_ground_truth(&corpus, &[ObjectClass::Person]);
+        let pop = w.population_outputs();
+
+        // Remove person frames: busy frames vanish, the sampled quantile
+        // shifts down systematically.
+        let set = InterventionSet::sampling(0.1).with_restricted(&[ObjectClass::Person]);
+        let degraded = result_error_est(&w, &restrictions, &set, 4, None).unwrap();
+        let cs = build_correction_set(&w, &restrictions, &CorrectionConfig::default(), 11, None)
+            .unwrap();
+        let repaired = corrected_bound(&degraded, &cs).unwrap();
+        let true_err = crate::estimate::true_relative_error(agg, &degraded, &pop);
+        assert!(
+            repaired >= true_err,
+            "repaired={repaired} true={true_err}"
+        );
+    }
+
+    #[test]
+    fn mismatched_metrics_rejected() {
+        let (corpus, yolo, _) = setup(Aggregate::Avg);
+        let w_avg = Workload {
+            corpus: &corpus,
+            detector: &yolo,
+            class: ObjectClass::Car,
+            aggregate: Aggregate::Avg,
+            delta: 0.05,
+        };
+        let restrictions = RestrictionIndex::from_ground_truth(&corpus, &[]);
+        let mean_est =
+            result_error_est(&w_avg, &restrictions, &InterventionSet::sampling(0.1), 1, None)
+                .unwrap();
+        let w_max = Workload {
+            aggregate: Aggregate::Max { r: 0.99 },
+            ..w_avg
+        };
+        let cs_max =
+            build_correction_set(&w_max, &restrictions, &CorrectionConfig::default(), 1, None)
+                .unwrap();
+        assert!(matches!(
+            corrected_bound(&mean_est, &cs_max),
+            Err(CoreError::AggregateMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn best_bound_never_looser_than_direct() {
+        let (corpus, yolo, agg) = setup(Aggregate::Avg);
+        let w = Workload {
+            corpus: &corpus,
+            detector: &yolo,
+            class: ObjectClass::Car,
+            aggregate: agg,
+            delta: 0.05,
+        };
+        let restrictions = RestrictionIndex::from_ground_truth(&corpus, &[]);
+        let degraded =
+            result_error_est(&w, &restrictions, &InterventionSet::sampling(0.02), 2, None)
+                .unwrap();
+        let cs = build_correction_set(&w, &restrictions, &CorrectionConfig::default(), 2, None)
+            .unwrap();
+        let best = best_bound_for_random(&degraded, &cs).unwrap();
+        assert!(best <= degraded.err_b() + 1e-12);
+    }
+}

@@ -1,0 +1,151 @@
+//! Profile similarity (§3.3.1 fallback, §5.3.2 experiment).
+//!
+//! When not even a random-intervention correction set is permissible on
+//! the query video, an administrator can profile a *similar but less
+//! sensitive* video and transfer the curves. This module quantifies how
+//! close two profiles are by aligning their points on matching
+//! intervention sets and diffing the bounds.
+
+use smokescreen_video::{ObjectClass, Resolution};
+
+use crate::profile::Profile;
+
+/// A matched pair of profile points and their bound difference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileDiffPoint {
+    /// Sample fraction of the matched candidates.
+    pub fraction: f64,
+    /// Resolution of the matched candidates (None = native).
+    pub resolution: Option<Resolution>,
+    /// Restricted classes of the matched candidates.
+    pub restricted: Vec<ObjectClass>,
+    /// `err_b` in profile A.
+    pub err_a: f64,
+    /// `err_b` in profile B.
+    pub err_b: f64,
+}
+
+impl ProfileDiffPoint {
+    /// Absolute bound difference `|err_A − err_B|`.
+    pub fn abs_difference(&self) -> f64 {
+        (self.err_a - self.err_b).abs()
+    }
+}
+
+/// Summary of a profile comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileDiff {
+    /// All matched points.
+    pub points: Vec<ProfileDiffPoint>,
+}
+
+impl ProfileDiff {
+    /// Mean absolute bound difference over matched points (0 when none).
+    pub fn mean_abs_difference(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|p| p.abs_difference()).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Largest absolute bound difference.
+    pub fn max_abs_difference(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|p| p.abs_difference())
+            .fold(0.0, f64::max)
+    }
+
+    /// Number of matched candidates.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no candidates matched.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// Aligns two profiles on identical `(f, p, c)` candidates and diffs their
+/// bounds. Fractions are matched with a small tolerance so profiles
+/// generated over equal grids align even after floating-point noise.
+pub fn profile_difference(a: &Profile, b: &Profile) -> ProfileDiff {
+    let mut points = Vec::new();
+    for pa in &a.points {
+        if let Some(pb) = b.points.iter().find(|pb| {
+            (pb.set.sample_fraction - pa.set.sample_fraction).abs() < 1e-9
+                && pb.set.resolution == pa.set.resolution
+                && same_classes(&pb.set.restricted, &pa.set.restricted)
+        }) {
+            points.push(ProfileDiffPoint {
+                fraction: pa.set.sample_fraction,
+                resolution: pa.set.resolution,
+                restricted: pa.set.restricted.clone(),
+                err_a: pa.err_b,
+                err_b: pb.err_b,
+            });
+        }
+    }
+    ProfileDiff { points }
+}
+
+fn same_classes(a: &[ObjectClass], b: &[ObjectClass]) -> bool {
+    a.len() == b.len() && a.iter().all(|c| b.contains(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::Aggregate;
+    use crate::profile::ProfilePoint;
+    use smokescreen_degrade::InterventionSet;
+
+    fn profile(errs: &[(f64, f64)]) -> Profile {
+        Profile {
+            corpus: "t".into(),
+            model: "m".into(),
+            class: ObjectClass::Car,
+            aggregate: Aggregate::Avg,
+            delta: 0.05,
+            points: errs
+                .iter()
+                .map(|&(f, e)| ProfilePoint {
+                    set: InterventionSet::sampling(f),
+                    y_approx: 1.0,
+                    err_b: e,
+                    corrected: false,
+                    n: 10,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn identical_profiles_have_zero_difference() {
+        let a = profile(&[(0.1, 0.3), (0.2, 0.2)]);
+        let d = profile_difference(&a, &a.clone());
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.mean_abs_difference(), 0.0);
+        assert_eq!(d.max_abs_difference(), 0.0);
+    }
+
+    #[test]
+    fn differences_are_computed_per_matched_point() {
+        let a = profile(&[(0.1, 0.30), (0.2, 0.20)]);
+        let b = profile(&[(0.1, 0.25), (0.2, 0.30), (0.5, 0.1)]);
+        let d = profile_difference(&a, &b);
+        assert_eq!(d.len(), 2); // 0.5 is unmatched
+        assert!((d.mean_abs_difference() - 0.075).abs() < 1e-12);
+        assert!((d.max_abs_difference() - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_profiles_empty_diff() {
+        let a = profile(&[(0.1, 0.3)]);
+        let b = profile(&[(0.4, 0.3)]);
+        let d = profile_difference(&a, &b);
+        assert!(d.is_empty());
+        assert_eq!(d.mean_abs_difference(), 0.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Public preferences and tradeoff choice (§2.3 "Choosing a tradeoff").
+//!
+//! The system never chooses for the administrator — but given a preference
+//! statement it can mechanically select the profiled point that maximizes
+//! degradation subject to the accuracy requirement, which is what Harry
+//! does by eye in the paper's running example.
+
+use serde::{Deserialize, Serialize};
+
+use smokescreen_video::codec::{transmission_bytes, Quality};
+use smokescreen_video::{ObjectClass, Resolution};
+
+use crate::profile::{Profile, ProfilePoint};
+use crate::{CoreError, Result};
+
+/// What "most degraded" means to this administrator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradationObjective {
+    /// Minimize transmitted bytes (bandwidth/energy goals): resolution and
+    /// sampling both count, weighted by the codec size model.
+    MinimizeBytes,
+    /// Minimize frame resolution first (privacy/legal goals), breaking
+    /// ties by lower sample fraction.
+    MinimizeResolution,
+    /// Minimize sample fraction first (temporal-privacy goals), breaking
+    /// ties by lower resolution.
+    MinimizeFraction,
+}
+
+/// The administrator's public preferences.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Preferences {
+    /// Maximum tolerable analytical error (e.g. 0.10 for "within 10%").
+    pub max_error: f64,
+    /// Classes that *must* be removed (legal compliance).
+    pub required_removals: Vec<ObjectClass>,
+    /// Hard cap on resolution (e.g. GDPR-driven "at most 128×128").
+    pub max_resolution: Option<Resolution>,
+    /// Hard cap on the sample fraction.
+    pub max_fraction: Option<f64>,
+    /// Tie-breaking objective among feasible points.
+    pub objective: DegradationObjective,
+}
+
+impl Preferences {
+    /// Plain accuracy requirement with no other constraints.
+    pub fn accuracy(max_error: f64) -> Self {
+        Preferences {
+            max_error,
+            required_removals: Vec::new(),
+            max_resolution: None,
+            max_fraction: None,
+            objective: DegradationObjective::MinimizeBytes,
+        }
+    }
+
+    /// Whether a profiled point satisfies every hard constraint.
+    pub fn feasible(&self, point: &ProfilePoint) -> bool {
+        if !(point.err_b <= self.max_error) {
+            return false;
+        }
+        if !self
+            .required_removals
+            .iter()
+            .all(|c| point.set.restricted.contains(c))
+        {
+            return false;
+        }
+        if let (Some(cap), Some(res)) = (self.max_resolution, point.set.resolution) {
+            if res.pixels() > cap.pixels() {
+                return false;
+            }
+        }
+        if self.max_resolution.is_some() && point.set.resolution.is_none() {
+            // Native resolution with a resolution cap in force: the cap is
+            // only satisfied if native itself is under it, which callers
+            // encode by profiling explicit resolutions; be conservative.
+            return false;
+        }
+        if let Some(max_f) = self.max_fraction {
+            if point.set.sample_fraction > max_f {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Degradation score — lower is *more* degraded (preferred).
+fn objective_score(
+    point: &ProfilePoint,
+    objective: DegradationObjective,
+    native: Resolution,
+) -> (u64, u64) {
+    let res = point.set.resolution.unwrap_or(native);
+    match objective {
+        DegradationObjective::MinimizeBytes => {
+            let bytes = transmission_bytes(
+                10_000,
+                point.set.sample_fraction,
+                res,
+                point.set.quality.unwrap_or(Quality::LOSSLESS_ISH),
+            );
+            (bytes, res.pixels())
+        }
+        DegradationObjective::MinimizeResolution => (
+            res.pixels(),
+            (point.set.sample_fraction * 1e9) as u64,
+        ),
+        DegradationObjective::MinimizeFraction => (
+            (point.set.sample_fraction * 1e9) as u64,
+            res.pixels(),
+        ),
+    }
+}
+
+/// Chooses the most degraded feasible point of the profile under the
+/// preferences. Errors with [`CoreError::NoFeasibleTradeoff`] when nothing
+/// qualifies.
+pub fn choose_tradeoff<'p>(
+    profile: &'p Profile,
+    preferences: &Preferences,
+    native: Resolution,
+) -> Result<&'p ProfilePoint> {
+    profile
+        .points
+        .iter()
+        .filter(|p| preferences.feasible(p))
+        .min_by_key(|p| objective_score(p, preferences.objective, native))
+        .ok_or(CoreError::NoFeasibleTradeoff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::Aggregate;
+    use smokescreen_degrade::InterventionSet;
+
+    fn point(f: f64, side: Option<u32>, removed: Vec<ObjectClass>, err: f64) -> ProfilePoint {
+        let mut set = InterventionSet::sampling(f).with_restricted(&removed);
+        set.resolution = side.map(Resolution::square);
+        ProfilePoint {
+            set,
+            y_approx: 1.0,
+            err_b: err,
+            corrected: false,
+            n: 10,
+        }
+    }
+
+    fn profile(points: Vec<ProfilePoint>) -> Profile {
+        Profile {
+            corpus: "t".into(),
+            model: "m".into(),
+            class: ObjectClass::Car,
+            aggregate: Aggregate::Avg,
+            delta: 0.05,
+            points,
+        }
+    }
+
+    #[test]
+    fn picks_most_degraded_feasible_point() {
+        let p = profile(vec![
+            point(0.5, Some(608), vec![], 0.02),
+            point(0.1, Some(320), vec![], 0.08),
+            point(0.05, Some(128), vec![], 0.30), // infeasible: too much error
+        ]);
+        let native = Resolution::square(608);
+        let chosen = choose_tradeoff(&p, &Preferences::accuracy(0.10), native).unwrap();
+        assert_eq!(chosen.set.sample_fraction, 0.1);
+        assert_eq!(chosen.set.resolution, Some(Resolution::square(320)));
+    }
+
+    #[test]
+    fn required_removals_enforced() {
+        let p = profile(vec![
+            point(0.1, Some(320), vec![], 0.05),
+            point(0.2, Some(320), vec![ObjectClass::Face], 0.06),
+        ]);
+        let mut prefs = Preferences::accuracy(0.10);
+        prefs.required_removals = vec![ObjectClass::Face];
+        let chosen = choose_tradeoff(&p, &prefs, Resolution::square(608)).unwrap();
+        assert!(chosen.set.restricted.contains(&ObjectClass::Face));
+    }
+
+    #[test]
+    fn resolution_cap_enforced() {
+        let p = profile(vec![
+            point(0.5, Some(608), vec![], 0.01),
+            point(0.5, Some(128), vec![], 0.09),
+            point(0.5, None, vec![], 0.01), // native — conservative reject
+        ]);
+        let mut prefs = Preferences::accuracy(0.10);
+        prefs.max_resolution = Some(Resolution::square(256));
+        let chosen = choose_tradeoff(&p, &prefs, Resolution::square(608)).unwrap();
+        assert_eq!(chosen.set.resolution, Some(Resolution::square(128)));
+    }
+
+    #[test]
+    fn no_feasible_point_errors() {
+        let p = profile(vec![point(0.5, Some(608), vec![], 0.5)]);
+        assert!(matches!(
+            choose_tradeoff(&p, &Preferences::accuracy(0.1), Resolution::square(608)),
+            Err(CoreError::NoFeasibleTradeoff)
+        ));
+    }
+
+    #[test]
+    fn objectives_order_differently() {
+        let a = point(0.01, Some(608), vec![], 0.05); // few frames, big
+        let b = point(0.99, Some(128), vec![], 0.05); // many frames, small
+        let p = profile(vec![a, b]);
+        let native = Resolution::square(608);
+
+        let mut prefs = Preferences::accuracy(0.1);
+        prefs.objective = DegradationObjective::MinimizeFraction;
+        assert_eq!(
+            choose_tradeoff(&p, &prefs, native).unwrap().set.sample_fraction,
+            0.01
+        );
+        prefs.objective = DegradationObjective::MinimizeResolution;
+        assert_eq!(
+            choose_tradeoff(&p, &prefs, native)
+                .unwrap()
+                .set
+                .resolution,
+            Some(Resolution::square(128))
+        );
+    }
+}

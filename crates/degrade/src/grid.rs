@@ -1,0 +1,207 @@
+//! Intervention candidate design (§3.3.2).
+//!
+//! The system first enumerates many candidate `(f, p, c)` sets: sample
+//! fractions at 1% intervals, ten uniformly spaced frame resolutions
+//! (filtered to those the model architecture accepts), and all combinations
+//! of possibly-sensitive classes. Administrators then filter the grid by
+//! their degradation goals.
+
+use smokescreen_models::Detector;
+use smokescreen_video::{ObjectClass, Resolution};
+
+use crate::intervention::InterventionSet;
+
+/// The candidate grid over the three paper knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateGrid {
+    /// Sample-fraction candidates, ascending.
+    pub fractions: Vec<f64>,
+    /// Resolution candidates, ascending by pixel count. `None` entries are
+    /// not used; the native resolution is represented explicitly.
+    pub resolutions: Vec<Resolution>,
+    /// Restricted-class combinations (including the empty combination).
+    pub class_combos: Vec<Vec<ObjectClass>>,
+}
+
+impl CandidateGrid {
+    /// The paper's default: fractions 1%..=100% at 1% intervals, ten
+    /// resolutions uniform between `min_side` and the model's native side
+    /// (keeping only resolutions the model supports), and every subset of
+    /// `sensitive` classes.
+    pub fn default_for(
+        detector: &dyn Detector,
+        min_side: u32,
+        sensitive: &[ObjectClass],
+    ) -> Self {
+        let fractions: Vec<f64> = (1..=100).map(|i| i as f64 / 100.0).collect();
+        let native = detector.native_resolution().width;
+        let resolutions = uniform_resolutions(detector, min_side, native, 10);
+        CandidateGrid {
+            fractions,
+            resolutions,
+            class_combos: subsets(sensitive),
+        }
+    }
+
+    /// Builds a grid from explicit candidate lists.
+    pub fn explicit(
+        fractions: Vec<f64>,
+        resolutions: Vec<Resolution>,
+        class_combos: Vec<Vec<ObjectClass>>,
+    ) -> Self {
+        CandidateGrid {
+            fractions,
+            resolutions,
+            class_combos,
+        }
+    }
+
+    /// Total number of candidate intervention sets.
+    pub fn len(&self) -> usize {
+        self.fractions.len() * self.resolutions.len().max(1) * self.class_combos.len().max(1)
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates every candidate intervention set (fraction-major order, so
+    /// ascending fractions are adjacent — the order the early-stopping
+    /// strategy consumes them in).
+    pub fn iter(&self) -> impl Iterator<Item = InterventionSet> + '_ {
+        self.resolutions
+            .iter()
+            .flat_map(move |&res| {
+                self.class_combos.iter().map(move |combo| (res, combo.clone()))
+            })
+            .flat_map(move |(res, combo)| {
+                self.fractions.iter().map(move |&f| {
+                    InterventionSet::sampling(f)
+                        .with_resolution(res)
+                        .with_restricted(&combo)
+                })
+            })
+    }
+
+    /// Retains only candidates passing the administrator's filter (public
+    /// preferences, e.g. "resolution must be ≤ 256" or "person frames must
+    /// be removed").
+    pub fn filter(&mut self, keep: impl Fn(&InterventionSet) -> bool) {
+        // Filter each axis by probing with otherwise-loose candidates.
+        self.fractions.retain(|&f| keep(&InterventionSet::sampling(f)));
+        self.resolutions
+            .retain(|&r| keep(&InterventionSet::none().with_resolution(r)));
+        self.class_combos
+            .retain(|c| keep(&InterventionSet::none().with_restricted(c)));
+    }
+}
+
+/// Ten (or `count`) square resolutions uniformly spaced between `min_side`
+/// and `native_side`, snapped to the model's supported grid.
+pub fn uniform_resolutions(
+    detector: &dyn Detector,
+    min_side: u32,
+    native_side: u32,
+    count: usize,
+) -> Vec<Resolution> {
+    let count = count.max(2);
+    let mut out = Vec::new();
+    for i in 0..count {
+        let side = min_side as f64
+            + (native_side - min_side) as f64 * i as f64 / (count - 1) as f64;
+        // Snap to the nearest supported side at or below.
+        let mut side = side.round() as u32;
+        while side >= min_side.min(16) {
+            let r = Resolution::square(side);
+            if detector.supports(r) {
+                if out.last() != Some(&r) {
+                    out.push(r);
+                }
+                break;
+            }
+            side -= 1;
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// All subsets of the class list (power set), empty set first.
+fn subsets(classes: &[ObjectClass]) -> Vec<Vec<ObjectClass>> {
+    let mut out = Vec::with_capacity(1 << classes.len());
+    for mask in 0u32..(1 << classes.len()) {
+        let combo: Vec<ObjectClass> = classes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &c)| c)
+            .collect();
+        out.push(combo);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smokescreen_models::{SimMaskRcnn, SimYoloV4};
+
+    #[test]
+    fn default_grid_shape() {
+        let yolo = SimYoloV4::new(1);
+        let grid = CandidateGrid::default_for(
+            &yolo,
+            96,
+            &[ObjectClass::Person, ObjectClass::Face],
+        );
+        assert_eq!(grid.fractions.len(), 100);
+        assert!(grid.resolutions.len() >= 8 && grid.resolutions.len() <= 10);
+        assert_eq!(grid.class_combos.len(), 4); // {}, {p}, {f}, {p,f}
+        assert_eq!(grid.len(), grid.iter().count());
+    }
+
+    #[test]
+    fn resolutions_respect_model_constraints() {
+        let mask = SimMaskRcnn::new(1);
+        let rs = uniform_resolutions(&mask, 128, 640, 10);
+        assert!(rs.iter().all(|r| r.is_multiple_of(64)));
+        assert!(rs.contains(&Resolution::square(640)));
+
+        let yolo = SimYoloV4::new(1);
+        let rs = uniform_resolutions(&yolo, 96, 608, 10);
+        assert!(rs.iter().all(|r| r.is_multiple_of(32)));
+    }
+
+    #[test]
+    fn filtering_drops_axes() {
+        let yolo = SimYoloV4::new(1);
+        let mut grid =
+            CandidateGrid::default_for(&yolo, 96, &[ObjectClass::Person, ObjectClass::Face]);
+        grid.filter(|set| {
+            set.resolution.map_or(true, |r| r.width <= 320)
+                && set.restricted.contains(&ObjectClass::Person)
+        });
+        assert!(grid.resolutions.iter().all(|r| r.width <= 320));
+        assert!(grid
+            .class_combos
+            .iter()
+            .all(|c| c.contains(&ObjectClass::Person)));
+    }
+
+    #[test]
+    fn iter_orders_fractions_ascending_within_cell() {
+        let yolo = SimYoloV4::new(1);
+        let grid = CandidateGrid::explicit(
+            vec![0.01, 0.05, 0.1],
+            vec![Resolution::square(608)],
+            vec![vec![]],
+        );
+        let _ = yolo; // grid iteration needs no detector
+        let sets: Vec<_> = grid.iter().collect();
+        assert_eq!(sets.len(), 3);
+        assert!(sets[0].sample_fraction < sets[1].sample_fraction);
+        assert!(sets[1].sample_fraction < sets[2].sample_fraction);
+    }
+}

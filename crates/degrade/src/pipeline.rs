@@ -1,0 +1,334 @@
+//! Degraded views: applying an intervention set to a corpus.
+
+use std::borrow::Cow;
+
+use smokescreen_models::{Detector, OutputCache};
+use smokescreen_stats::sample::PrefixSampler;
+use smokescreen_video::codec::quantize_contrast;
+use smokescreen_video::{Frame, ObjectClass, Resolution, VideoCorpus};
+
+use crate::intervention::InterventionSet;
+use crate::removal::RestrictionIndex;
+
+/// A non-destructive degraded view of a corpus under an intervention set.
+///
+/// Construction resolves the three paper knobs:
+///
+/// 1. **image removal** — frames containing restricted classes are excluded
+///    from the eligible population (membership comes from the
+///    [`RestrictionIndex`] prior);
+/// 2. **frame sampling** — `n = round(N · f)` eligible frames are drawn
+///    without replacement. The underlying permutation is seeded, and
+///    samples at smaller fractions are prefixes of samples at larger ones,
+///    enabling output reuse across candidates (§3.3.2);
+/// 3. **resolution** — frames are processed at `p` (or native).
+///
+/// Noise/compression extensions are applied by rewriting object contrast
+/// when a frame is materialized.
+#[derive(Debug)]
+pub struct DegradedView<'c> {
+    corpus: &'c VideoCorpus,
+    set: InterventionSet,
+    /// Corpus indices that survive image removal.
+    eligible: Vec<usize>,
+    /// Positions into `eligible`, in sampled order (a full permutation).
+    sampler: PrefixSampler,
+    /// Number of sampled frames under the current fraction.
+    n: usize,
+}
+
+impl<'c> DegradedView<'c> {
+    /// Builds the view. The seed fixes the sampling permutation; distinct
+    /// experiment trials use distinct seeds.
+    pub fn new(
+        corpus: &'c VideoCorpus,
+        set: InterventionSet,
+        restrictions: &RestrictionIndex,
+        seed: u64,
+    ) -> Result<Self, String> {
+        set.validate()?;
+        let eligible = restrictions.surviving_indices(&set.restricted);
+        if eligible.is_empty() {
+            return Err(format!(
+                "image removal of {:?} leaves no frames",
+                set.restricted
+            ));
+        }
+        // n = round(N · f), clamped to the surviving population (the paper
+        // hits the same clamp: DETRAC person-removal leaves < 50% of
+        // frames, so f = 0.5 is infeasible there and §5.2.2 drops to 0.1).
+        let n = ((corpus.len() as f64 * set.sample_fraction).round() as usize)
+            .max(1)
+            .min(eligible.len());
+        let sampler = PrefixSampler::new(eligible.len(), seed);
+        Ok(DegradedView {
+            corpus,
+            set,
+            eligible,
+            sampler,
+            n,
+        })
+    }
+
+    /// The intervention set in force.
+    pub fn intervention(&self) -> &InterventionSet {
+        &self.set
+    }
+
+    /// Sampled frame count `n`.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the view is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Total population size `N` the estimators bound against.
+    pub fn population(&self) -> usize {
+        self.corpus.len()
+    }
+
+    /// Eligible (post-removal) population size.
+    pub fn eligible_len(&self) -> usize {
+        self.eligible.len()
+    }
+
+    /// The effective processing resolution.
+    pub fn resolution(&self) -> Resolution {
+        self.set
+            .resolution
+            .unwrap_or(self.corpus.native_resolution)
+    }
+
+    /// Corpus indices of the sampled frames, in sample order.
+    pub fn sampled_indices(&self) -> Vec<usize> {
+        self.sampler
+            .prefix(self.n)
+            .iter()
+            .map(|&pos| self.eligible[pos])
+            .collect()
+    }
+
+    /// Whether frame materialization rewrites object attributes (blur,
+    /// noise, compression). When false, frames are borrowed verbatim and
+    /// model-output caching by frame id is sound.
+    pub fn rewrites_frames(&self) -> bool {
+        !self.set.blurred.is_empty() || self.set.noise > 0.0 || self.set.quality.is_some()
+    }
+
+    /// Materializes the sampled frame at sample position `i`, applying
+    /// blur/noise/compression rewrites when engaged.
+    pub fn frame(&self, i: usize) -> Option<Cow<'c, Frame>> {
+        let pos = *self.sampler.prefix(self.n).get(i)?;
+        let frame = self.corpus.frame(self.eligible[pos])?;
+        if !self.rewrites_frames() {
+            return Some(Cow::Borrowed(frame));
+        }
+        let mut owned = frame.clone();
+        for obj in &mut owned.objects {
+            let mut c = obj.contrast;
+            if self.set.blurred.contains(&obj.class) {
+                // In-place region blur: the object melts into the
+                // background — undetectable and unrecognizable, while the
+                // rest of the frame is untouched.
+                c = 0.0;
+            }
+            if let Some(q) = self.set.quality {
+                c = quantize_contrast(c, q);
+            }
+            // Additive noise drowns contrast proportionally.
+            c *= 1.0 - 0.5 * self.set.noise as f32;
+            obj.contrast = c.max(0.0);
+        }
+        Some(Cow::Owned(owned))
+    }
+
+    /// Runs the detector over the sampled frames at the view's resolution,
+    /// returning per-frame class counts `x_1 … x_n` (the estimator input).
+    pub fn outputs(&self, detector: &dyn Detector, class: ObjectClass) -> Vec<f64> {
+        let res = self.resolution();
+        (0..self.n)
+            .filter_map(|i| self.frame(i))
+            .map(|f| detector.count(&f, res, class))
+            .collect()
+    }
+
+    /// As [`outputs`](Self::outputs) but through an [`OutputCache`] so
+    /// repeated profile-generation passes reuse model invocations. Only
+    /// sound when noise/compression are off (the cache keys on frame id
+    /// and resolution alone).
+    pub fn outputs_cached(&self, cache: &OutputCache<'_>, class: ObjectClass) -> Vec<f64> {
+        debug_assert!(
+            !self.rewrites_frames(),
+            "cached outputs with contrast rewrites would alias clean frames"
+        );
+        let res = self.resolution();
+        self.sampled_indices()
+            .into_iter()
+            .filter_map(|idx| self.corpus.frame(idx))
+            .map(|f| cache.count(f, res, class))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intervention::InterventionSet;
+    use smokescreen_models::{Oracle, SimYoloV4};
+    use smokescreen_video::synth::DatasetPreset;
+    use std::collections::HashSet;
+
+    fn setup() -> (VideoCorpus, RestrictionIndex) {
+        let corpus = DatasetPreset::NightStreet.generate(1).slice(0, 4_000);
+        let idx = RestrictionIndex::from_ground_truth(
+            &corpus,
+            &[ObjectClass::Person, ObjectClass::Face],
+        );
+        (corpus, idx)
+    }
+
+    #[test]
+    fn sampling_respects_fraction() {
+        let (corpus, idx) = setup();
+        let view =
+            DegradedView::new(&corpus, InterventionSet::sampling(0.1), &idx, 7).unwrap();
+        assert_eq!(view.len(), 400);
+        assert_eq!(view.population(), 4_000);
+        let s: HashSet<_> = view.sampled_indices().into_iter().collect();
+        assert_eq!(s.len(), 400, "samples must be distinct");
+    }
+
+    #[test]
+    fn nested_fractions_share_prefixes() {
+        let (corpus, idx) = setup();
+        let small = DegradedView::new(&corpus, InterventionSet::sampling(0.05), &idx, 7)
+            .unwrap()
+            .sampled_indices();
+        let large = DegradedView::new(&corpus, InterventionSet::sampling(0.2), &idx, 7)
+            .unwrap()
+            .sampled_indices();
+        assert_eq!(&large[..small.len()], &small[..]);
+    }
+
+    #[test]
+    fn removal_excludes_person_frames() {
+        let (corpus, idx) = setup();
+        let set = InterventionSet::sampling(0.5).with_restricted(&[ObjectClass::Person]);
+        let view = DegradedView::new(&corpus, set, &idx, 3).unwrap();
+        for i in view.sampled_indices() {
+            assert!(!corpus.frame(i).unwrap().contains_class(ObjectClass::Person));
+        }
+        assert!(view.eligible_len() < corpus.len());
+    }
+
+    #[test]
+    fn sample_clamped_to_survivors() {
+        let corpus = DatasetPreset::Detrac.generate(2).slice(0, 3_000);
+        let idx = RestrictionIndex::from_ground_truth(&corpus, &[ObjectClass::Person]);
+        // ~65% of DETRAC frames contain a person, so f = 0.9 over-asks.
+        let set = InterventionSet::sampling(0.9).with_restricted(&[ObjectClass::Person]);
+        let view = DegradedView::new(&corpus, set, &idx, 1).unwrap();
+        assert_eq!(view.len(), view.eligible_len());
+    }
+
+    #[test]
+    fn outputs_use_requested_resolution() {
+        let (corpus, idx) = setup();
+        let yolo = SimYoloV4::new(9);
+        let hi = DegradedView::new(&corpus, InterventionSet::sampling(0.3), &idx, 5).unwrap();
+        let lo = DegradedView::new(
+            &corpus,
+            InterventionSet::sampling(0.3).with_resolution(Resolution::square(96)),
+            &idx,
+            5,
+        )
+        .unwrap();
+        let hi_sum: f64 = hi.outputs(&yolo, ObjectClass::Car).iter().sum();
+        let lo_sum: f64 = lo.outputs(&yolo, ObjectClass::Car).iter().sum();
+        assert!(lo_sum < hi_sum, "lo={lo_sum} hi={hi_sum}");
+    }
+
+    #[test]
+    fn noise_rewrites_contrast() {
+        let (corpus, idx) = setup();
+        let noisy = DegradedView::new(
+            &corpus,
+            InterventionSet::sampling(1.0).with_noise(0.8),
+            &idx,
+            5,
+        )
+        .unwrap();
+        let clean = DegradedView::new(&corpus, InterventionSet::sampling(1.0), &idx, 5).unwrap();
+        // Find a sampled frame with objects and compare contrast.
+        for i in 0..noisy.len() {
+            let nf = noisy.frame(i).unwrap();
+            let cf = clean.frame(i).unwrap();
+            if let (Some(no), Some(co)) = (nf.objects.first(), cf.objects.first()) {
+                assert!(no.contrast < co.contrast);
+                return;
+            }
+        }
+        panic!("no frame with objects found");
+    }
+
+    #[test]
+    fn blur_suppresses_only_the_blurred_class() {
+        let (corpus, idx) = setup();
+        let yolo = SimYoloV4::new(21);
+        let clean = DegradedView::new(&corpus, InterventionSet::sampling(1.0), &idx, 6).unwrap();
+        let blurred = DegradedView::new(
+            &corpus,
+            InterventionSet::sampling(1.0).with_blur(&[ObjectClass::Person]),
+            &idx,
+            6,
+        )
+        .unwrap();
+        let clean_persons: f64 = clean.outputs(&yolo, ObjectClass::Person).iter().sum();
+        let blur_persons: f64 = blurred.outputs(&yolo, ObjectClass::Person).iter().sum();
+        let clean_cars: f64 = clean.outputs(&yolo, ObjectClass::Car).iter().sum();
+        let blur_cars: f64 = blurred.outputs(&yolo, ObjectClass::Car).iter().sum();
+        assert!(
+            blur_persons < clean_persons * 0.1,
+            "blurred persons must be undetectable: {blur_persons} vs {clean_persons}"
+        );
+        // Cars are untouched by a person blur (same hash-deterministic
+        // decisions on unmodified objects).
+        assert_eq!(blur_cars, clean_cars);
+    }
+
+    #[test]
+    fn cached_outputs_match_direct() {
+        let (corpus, idx) = setup();
+        let yolo = SimYoloV4::new(4);
+        let cache = OutputCache::new(&yolo);
+        let view = DegradedView::new(&corpus, InterventionSet::sampling(0.1), &idx, 11).unwrap();
+        assert_eq!(
+            view.outputs(&yolo, ObjectClass::Car),
+            view.outputs_cached(&cache, ObjectClass::Car)
+        );
+        // Second pass is pure cache hits.
+        let before = cache.invocations().model_runs;
+        let _ = view.outputs_cached(&cache, ObjectClass::Car);
+        assert_eq!(cache.invocations().model_runs, before);
+    }
+
+    #[test]
+    fn oracle_full_view_equals_ground_truth() {
+        let (corpus, idx) = setup();
+        let view = DegradedView::new(&corpus, InterventionSet::none(), &idx, 2).unwrap();
+        let mut outs = view.outputs(&Oracle, ObjectClass::Car);
+        outs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut gt = corpus.ground_truth_counts(ObjectClass::Car);
+        gt.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(outs, gt);
+    }
+
+    #[test]
+    fn invalid_set_rejected() {
+        let (corpus, idx) = setup();
+        assert!(DegradedView::new(&corpus, InterventionSet::sampling(0.0), &idx, 1).is_err());
+    }
+}

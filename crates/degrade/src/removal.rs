@@ -1,0 +1,159 @@
+//! Restriction index — which frames contain which sensitive classes.
+//!
+//! The paper detects `person` with YOLOv4 (threshold 0.7) and `face` with
+//! MTCNN (threshold 0.8) at full resolution and stores the memberships as
+//! prior information (§5.1). The image-removal intervention then deletes
+//! every frame containing a restricted class.
+
+use std::collections::HashMap;
+
+use smokescreen_models::Detector;
+use smokescreen_video::{ObjectClass, VideoCorpus};
+
+/// Per-frame sensitive-class membership.
+#[derive(Debug, Clone)]
+pub struct RestrictionIndex {
+    /// `membership[class][frame]` — true when the frame contains the class.
+    membership: HashMap<ObjectClass, Vec<bool>>,
+    frames: usize,
+}
+
+impl RestrictionIndex {
+    /// Builds the index from ground-truth annotations (exact membership).
+    pub fn from_ground_truth(corpus: &VideoCorpus, classes: &[ObjectClass]) -> Self {
+        let mut membership = HashMap::new();
+        for &class in classes {
+            let v: Vec<bool> = corpus
+                .frames()
+                .iter()
+                .map(|f| f.contains_class(class))
+                .collect();
+            membership.insert(class, v);
+        }
+        RestrictionIndex {
+            membership,
+            frames: corpus.len(),
+        }
+    }
+
+    /// Builds the index by running detectors at native resolution, as the
+    /// paper's prototype does. Each `(class, detector)` pair scans the
+    /// whole corpus once.
+    pub fn from_detectors(
+        corpus: &VideoCorpus,
+        scanners: &[(ObjectClass, &dyn Detector)],
+    ) -> Self {
+        let mut membership = HashMap::new();
+        for &(class, detector) in scanners {
+            let res = corpus
+                .native_resolution
+                .min(detector.native_resolution());
+            let v: Vec<bool> = corpus
+                .frames()
+                .iter()
+                .map(|f| detector.detect(f, res).contains(class))
+                .collect();
+            membership.insert(class, v);
+        }
+        RestrictionIndex {
+            membership,
+            frames: corpus.len(),
+        }
+    }
+
+    /// Number of frames covered.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Whether a frame contains any of the restricted classes. Classes the
+    /// index was not built for are treated as absent (callers should build
+    /// the index over every class they may restrict).
+    pub fn frame_restricted(&self, frame_idx: usize, restricted: &[ObjectClass]) -> bool {
+        restricted.iter().any(|c| {
+            self.membership
+                .get(c)
+                .and_then(|v| v.get(frame_idx))
+                .copied()
+                .unwrap_or(false)
+        })
+    }
+
+    /// Indices of frames that survive removal of the given classes.
+    pub fn surviving_indices(&self, restricted: &[ObjectClass]) -> Vec<usize> {
+        (0..self.frames)
+            .filter(|&i| !self.frame_restricted(i, restricted))
+            .collect()
+    }
+
+    /// Fraction of frames containing the class (the statistic §5.1
+    /// reports, e.g. 65.86% `person` frames in UA-DETRAC).
+    pub fn prevalence(&self, class: ObjectClass) -> f64 {
+        match self.membership.get(&class) {
+            Some(v) if !v.is_empty() => {
+                v.iter().filter(|&&b| b).count() as f64 / v.len() as f64
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smokescreen_models::{SimMtcnn, SimYoloV4};
+    use smokescreen_video::synth::DatasetPreset;
+
+    #[test]
+    fn ground_truth_index_matches_corpus() {
+        let corpus = DatasetPreset::NightStreet.generate(3);
+        let idx = RestrictionIndex::from_ground_truth(
+            &corpus,
+            &[ObjectClass::Person, ObjectClass::Face],
+        );
+        assert_eq!(idx.frames(), corpus.len());
+        let stats = corpus.stats();
+        assert!((idx.prevalence(ObjectClass::Person) - stats.person_frame_fraction).abs() < 1e-12);
+        assert!((idx.prevalence(ObjectClass::Face) - stats.face_frame_fraction).abs() < 1e-12);
+    }
+
+    #[test]
+    fn surviving_indices_exclude_restricted() {
+        let corpus = DatasetPreset::NightStreet.generate(4);
+        let idx = RestrictionIndex::from_ground_truth(&corpus, &[ObjectClass::Person]);
+        let survivors = idx.surviving_indices(&[ObjectClass::Person]);
+        for &i in survivors.iter().take(500) {
+            assert!(!corpus.frame(i).unwrap().contains_class(ObjectClass::Person));
+        }
+        // No restriction ⇒ everything survives.
+        assert_eq!(idx.surviving_indices(&[]).len(), corpus.len());
+    }
+
+    #[test]
+    fn detector_index_close_to_ground_truth() {
+        let corpus = DatasetPreset::Detrac.generate(5).slice(0, 2_000);
+        let yolo = SimYoloV4::new(1);
+        let mtcnn = SimMtcnn::new(1);
+        let idx = RestrictionIndex::from_detectors(
+            &corpus,
+            &[
+                (ObjectClass::Person, &yolo as &dyn Detector),
+                (ObjectClass::Face, &mtcnn as &dyn Detector),
+            ],
+        );
+        let gt = RestrictionIndex::from_ground_truth(
+            &corpus,
+            &[ObjectClass::Person, ObjectClass::Face],
+        );
+        let (dp, gp) = (idx.prevalence(ObjectClass::Person), gt.prevalence(ObjectClass::Person));
+        assert!((dp - gp).abs() < 0.15, "detector person prevalence {dp} vs gt {gp}");
+    }
+
+    #[test]
+    fn unknown_class_treated_as_absent() {
+        let corpus = DatasetPreset::NightStreet.generate(6).slice(0, 100);
+        let idx = RestrictionIndex::from_ground_truth(&corpus, &[ObjectClass::Person]);
+        // Face was never indexed: restricting on it removes nothing.
+        assert_eq!(idx.surviving_indices(&[ObjectClass::Face]).len(), 100);
+    }
+}

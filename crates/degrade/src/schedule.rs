@@ -1,0 +1,247 @@
+//! Time-windowed intervention schedules.
+//!
+//! Policies vary over time: business hours may demand stricter privacy
+//! than 3 a.m.; §3.3.1 notes that "it may be acceptable to permit a lower
+//! level of degradation for just a limited amount of time" to collect a
+//! correction set. A [`Schedule`] maps time windows to intervention sets
+//! and can split a corpus into per-window degraded views.
+
+use serde::{Deserialize, Serialize};
+use smokescreen_video::VideoCorpus;
+
+use crate::intervention::InterventionSet;
+use crate::pipeline::DegradedView;
+use crate::removal::RestrictionIndex;
+
+/// One scheduled window: `[start_secs, end_secs)` mapped to a set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Window {
+    /// Window start, seconds from the start of the recording (inclusive).
+    pub start_secs: f64,
+    /// Window end, seconds (exclusive).
+    pub end_secs: f64,
+    /// Interventions in force during the window.
+    pub set: InterventionSet,
+    /// Human-readable label (e.g. `"business-hours"`).
+    pub label: String,
+}
+
+/// A piecewise-constant intervention schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// The default interventions outside every window.
+    pub default: InterventionSet,
+    windows: Vec<Window>,
+}
+
+impl Schedule {
+    /// Creates a schedule with the given out-of-window default.
+    pub fn new(default: InterventionSet) -> Self {
+        Schedule {
+            default,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Adds a window. Windows must not overlap and must be well-formed.
+    pub fn add_window(
+        &mut self,
+        label: impl Into<String>,
+        start_secs: f64,
+        end_secs: f64,
+        set: InterventionSet,
+    ) -> Result<(), String> {
+        if !(start_secs < end_secs) {
+            return Err(format!("window [{start_secs}, {end_secs}) is empty or inverted"));
+        }
+        set.validate()?;
+        for w in &self.windows {
+            if start_secs < w.end_secs && w.start_secs < end_secs {
+                return Err(format!(
+                    "window [{start_secs}, {end_secs}) overlaps {:?}",
+                    w.label
+                ));
+            }
+        }
+        self.windows.push(Window {
+            start_secs,
+            end_secs,
+            set,
+            label: label.into(),
+        });
+        self.windows
+            .sort_by(|a, b| a.start_secs.partial_cmp(&b.start_secs).expect("finite times"));
+        Ok(())
+    }
+
+    /// All windows, in time order.
+    pub fn windows(&self) -> &[Window] {
+        &self.windows
+    }
+
+    /// The interventions in force at a timestamp.
+    pub fn set_at(&self, ts_secs: f64) -> &InterventionSet {
+        self.windows
+            .iter()
+            .find(|w| ts_secs >= w.start_secs && ts_secs < w.end_secs)
+            .map(|w| &w.set)
+            .unwrap_or(&self.default)
+    }
+
+    /// Splits a corpus into per-window sub-corpora (plus the out-of-window
+    /// remainder labelled `"default"`), each paired with its interventions.
+    /// Sub-corpora preserve frame order; each can then be wrapped in a
+    /// [`DegradedView`].
+    pub fn partition(&self, corpus: &VideoCorpus) -> Vec<(String, InterventionSet, VideoCorpus)> {
+        let mut parts: Vec<(String, InterventionSet, Vec<smokescreen_video::Frame>)> = self
+            .windows
+            .iter()
+            .map(|w| (w.label.clone(), w.set.clone(), Vec::new()))
+            .collect();
+        let mut rest: Vec<smokescreen_video::Frame> = Vec::new();
+
+        for frame in corpus.frames() {
+            match self
+                .windows
+                .iter()
+                .position(|w| frame.ts_secs >= w.start_secs && frame.ts_secs < w.end_secs)
+            {
+                Some(i) => parts[i].2.push(frame.clone()),
+                None => rest.push(frame.clone()),
+            }
+        }
+
+        let mut out = Vec::new();
+        for (label, set, frames) in parts {
+            if !frames.is_empty() {
+                out.push((
+                    label.clone(),
+                    set,
+                    VideoCorpus::new(
+                        format!("{}@{label}", corpus.name),
+                        corpus.fps,
+                        corpus.native_resolution,
+                        frames,
+                    ),
+                ));
+            }
+        }
+        if !rest.is_empty() {
+            out.push((
+                "default".to_string(),
+                self.default.clone(),
+                VideoCorpus::new(
+                    format!("{}@default", corpus.name),
+                    corpus.fps,
+                    corpus.native_resolution,
+                    rest,
+                ),
+            ));
+        }
+        out
+    }
+
+    /// Builds degraded views for every partition in one call.
+    pub fn views<'c>(
+        &self,
+        partitions: &'c [(String, InterventionSet, VideoCorpus)],
+        restrictions_for: impl Fn(&VideoCorpus) -> RestrictionIndex,
+        seed: u64,
+    ) -> Result<Vec<(String, DegradedView<'c>)>, String> {
+        partitions
+            .iter()
+            .enumerate()
+            .map(|(i, (label, set, corpus))| {
+                let restrictions = restrictions_for(corpus);
+                DegradedView::new(corpus, set.clone(), &restrictions, seed.wrapping_add(i as u64))
+                    .map(|v| (label.clone(), v))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smokescreen_video::synth::DatasetPreset;
+    use smokescreen_video::ObjectClass;
+
+    fn schedule() -> Schedule {
+        let mut s = Schedule::new(InterventionSet::sampling(0.5));
+        s.add_window(
+            "business-hours",
+            100.0,
+            300.0,
+            InterventionSet::sampling(0.1).with_restricted(&[ObjectClass::Person]),
+        )
+        .unwrap();
+        s.add_window("night-calibration", 400.0, 450.0, InterventionSet::none())
+            .unwrap();
+        s
+    }
+
+    #[test]
+    fn set_at_resolves_windows_and_default() {
+        let s = schedule();
+        assert_eq!(s.set_at(50.0), &InterventionSet::sampling(0.5));
+        assert_eq!(s.set_at(100.0).sample_fraction, 0.1);
+        assert_eq!(s.set_at(299.999).sample_fraction, 0.1);
+        assert_eq!(s.set_at(300.0).sample_fraction, 0.5); // end exclusive
+        assert!(s.set_at(420.0).is_identity());
+    }
+
+    #[test]
+    fn overlapping_and_inverted_windows_rejected() {
+        let mut s = schedule();
+        assert!(s
+            .add_window("overlap", 250.0, 350.0, InterventionSet::none())
+            .is_err());
+        assert!(s
+            .add_window("inverted", 500.0, 500.0, InterventionSet::none())
+            .is_err());
+        assert!(s
+            .add_window("bad-set", 600.0, 700.0, InterventionSet::sampling(0.0))
+            .is_err());
+    }
+
+    #[test]
+    fn partition_covers_every_frame_exactly_once() {
+        let corpus = DatasetPreset::NightStreet.generate(3).slice(0, 20_000);
+        let s = schedule();
+        let parts = s.partition(&corpus);
+        let total: usize = parts.iter().map(|(_, _, c)| c.len()).sum();
+        assert_eq!(total, corpus.len());
+        // Window membership is respected.
+        for (label, _, sub) in &parts {
+            for f in sub.frames() {
+                match label.as_str() {
+                    "business-hours" => assert!((100.0..300.0).contains(&f.ts_secs)),
+                    "night-calibration" => assert!((400.0..450.0).contains(&f.ts_secs)),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn views_apply_each_windows_interventions() {
+        let corpus = DatasetPreset::NightStreet.generate(4).slice(0, 15_000);
+        let s = schedule();
+        let parts = s.partition(&corpus);
+        let views = s
+            .views(
+                &parts,
+                |c| RestrictionIndex::from_ground_truth(c, &[ObjectClass::Person]),
+                7,
+            )
+            .unwrap();
+        for (label, view) in &views {
+            if label == "business-hours" {
+                assert!(!view.intervention().restricted.is_empty());
+                // f = 0.1 of the window's population.
+                let expected = (view.population() as f64 * 0.1).round() as usize;
+                assert!(view.len() <= expected.max(1));
+            }
+        }
+    }
+}

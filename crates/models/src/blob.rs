@@ -1,0 +1,192 @@
+//! Pixel-level blob detector.
+//!
+//! Unlike the analytic simulators, this model actually *looks at pixels*:
+//! the frame is rendered by `smokescreen_video::raster`, thresholded
+//! against the background level, and connected components above a minimum
+//! pixel area are reported as detections (classified crudely by aspect
+//! ratio). It exists to show that the analytic resolution-response model is
+//! faithful: at low resolutions small objects genuinely dissolve into
+//! background noise and recall collapses for physical reasons.
+
+use smokescreen_video::raster::{self, GrayImage};
+use smokescreen_video::{BBox, Frame, ObjectClass, Resolution};
+
+use crate::detector::{Detection, Detections, Detector};
+
+/// Connected-component blob detector over rendered frames.
+#[derive(Debug, Clone, Copy)]
+pub struct BlobDetector {
+    /// Pixel-intensity lift above background required to join a blob.
+    pub threshold: u8,
+    /// Minimum blob area in pixels.
+    pub min_area: u32,
+    /// Rendering noise level handed to the raster pipeline.
+    pub noise_level: f64,
+}
+
+impl Default for BlobDetector {
+    fn default() -> Self {
+        BlobDetector {
+            threshold: 40,
+            min_area: 9,
+            noise_level: 0.25,
+        }
+    }
+}
+
+impl BlobDetector {
+    fn components(&self, img: &GrayImage) -> Vec<(u32, u32, u32, u32, u32)> {
+        let (w, h) = (img.width(), img.height());
+        let bg = img.mean();
+        let cut = (bg + f64::from(self.threshold)).min(255.0) as u8;
+        let mut visited = vec![false; (w * h) as usize];
+        let mut blobs = Vec::new();
+
+        for y in 0..h {
+            for x in 0..w {
+                let idx = (y * w + x) as usize;
+                if visited[idx] || img.get(x, y) < cut {
+                    continue;
+                }
+                // BFS flood fill.
+                let mut stack = vec![(x, y)];
+                visited[idx] = true;
+                let (mut min_x, mut max_x, mut min_y, mut max_y, mut area) = (x, x, y, y, 0u32);
+                while let Some((cx, cy)) = stack.pop() {
+                    area += 1;
+                    min_x = min_x.min(cx);
+                    max_x = max_x.max(cx);
+                    min_y = min_y.min(cy);
+                    max_y = max_y.max(cy);
+                    let neighbours = [
+                        (cx.wrapping_sub(1), cy),
+                        (cx + 1, cy),
+                        (cx, cy.wrapping_sub(1)),
+                        (cx, cy + 1),
+                    ];
+                    for (nx, ny) in neighbours {
+                        if nx < w && ny < h {
+                            let nidx = (ny * w + nx) as usize;
+                            if !visited[nidx] && img.get(nx, ny) >= cut {
+                                visited[nidx] = true;
+                                stack.push((nx, ny));
+                            }
+                        }
+                    }
+                }
+                if area >= self.min_area {
+                    blobs.push((min_x, min_y, max_x, max_y, area));
+                }
+            }
+        }
+        blobs
+    }
+}
+
+impl Detector for BlobDetector {
+    fn name(&self) -> &str {
+        "blob"
+    }
+
+    fn native_resolution(&self) -> Resolution {
+        Resolution::square(640)
+    }
+
+    fn supports(&self, res: Resolution) -> bool {
+        res.width >= 16 && res.height >= 16
+    }
+
+    fn detect(&self, frame: &Frame, res: Resolution) -> Detections {
+        let img = raster::render(frame, res, self.noise_level);
+        let (w, h) = (f32::from(img.width() as u16), f32::from(img.height() as u16));
+        let items = self
+            .components(&img)
+            .into_iter()
+            .map(|(x0, y0, x1, y1, area)| {
+                let bw = (x1 - x0 + 1) as f32 / w;
+                let bh = (y1 - y0 + 1) as f32 / h;
+                // Aspect-ratio classification: wide → car, tall → person.
+                let class = if bw > bh * 1.2 {
+                    ObjectClass::Car
+                } else {
+                    ObjectClass::Person
+                };
+                Detection {
+                    class,
+                    score: (0.5 + (area as f32 / (w * h)).sqrt()).min(1.0),
+                    bbox: BBox::new(x0 as f32 / w, y0 as f32 / h, bw, bh),
+                    truth_id: None,
+                }
+            })
+            .collect();
+        Detections { items }
+    }
+
+    fn inference_cost_ms(&self, res: Resolution) -> f64 {
+        // CPU flood fill, linear in pixels.
+        0.5 + 2.0 * res.pixels() as f64 / Resolution::square(640).pixels() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smokescreen_video::{Object, ObjectClass};
+
+    fn frame_with_cars(n: usize, size: f32, contrast: f32) -> Frame {
+        let objects = (0..n)
+            .map(|i| Object {
+                id: i as u64,
+                class: ObjectClass::Car,
+                bbox: BBox::new(0.05 + 0.3 * i as f32, 0.4, size * 1.8, size),
+                contrast,
+                occlusion: 0.0,
+            })
+            .collect();
+        Frame {
+            id: 77,
+            ts_secs: 0.0,
+            sequence: 0,
+            objects,
+        }
+    }
+
+    #[test]
+    fn finds_clear_objects_at_high_resolution() {
+        let f = frame_with_cars(3, 0.12, 0.8);
+        let d = BlobDetector::default().detect(&f, Resolution::square(320));
+        assert_eq!(d.count(ObjectClass::Car), 3, "{:?}", d.items);
+    }
+
+    #[test]
+    fn recall_collapses_at_low_resolution() {
+        let f = frame_with_cars(3, 0.05, 0.5);
+        let det = BlobDetector::default();
+        let hi = det.detect(&f, Resolution::square(512)).items.len();
+        let lo = det.detect(&f, Resolution::square(24)).items.len();
+        assert!(hi >= 3, "hi={hi}");
+        assert!(lo < hi, "lo={lo} hi={hi}");
+    }
+
+    #[test]
+    fn empty_frame_mostly_quiet() {
+        let f = Frame {
+            id: 5,
+            ts_secs: 0.0,
+            sequence: 0,
+            objects: vec![],
+        };
+        let d = BlobDetector::default().detect(&f, Resolution::square(128));
+        assert!(d.items.len() <= 2, "noise blobs: {}", d.items.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let f = frame_with_cars(2, 0.1, 0.7);
+        let det = BlobDetector::default();
+        assert_eq!(
+            det.detect(&f, Resolution::square(160)),
+            det.detect(&f, Resolution::square(160))
+        );
+    }
+}

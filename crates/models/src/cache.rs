@@ -1,0 +1,132 @@
+//! Model-output cache.
+//!
+//! The §3.3.2 reuse strategy depends on never re-running the network for a
+//! `(frame, resolution)` pair it has already processed: outputs for frames
+//! sampled at a low rate are reused when the rate is raised, and across
+//! intervention candidates that share a resolution. The cache also counts
+//! invocations and accumulated simulated inference time, which is how the
+//! §5.3.1 profile-generation-time experiment measures "model time" without
+//! a GPU.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+use smokescreen_video::{Frame, ObjectClass, Resolution};
+
+use crate::detector::{Detections, Detector};
+
+/// Cache key: frame id × resolution (the detector is fixed per cache).
+type Key = (u64, Resolution);
+
+/// A caching wrapper around a detector.
+///
+/// Thread-safe; uses an RwLock'd HashMap (profile generation touches each
+/// key once, so contention is not a concern — correctness and accounting
+/// are).
+pub struct OutputCache<'d> {
+    detector: &'d dyn Detector,
+    entries: RwLock<HashMap<Key, Detections>>,
+    invocations: RwLock<Invocations>,
+}
+
+/// Invocation accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Invocations {
+    /// Times the underlying model actually ran.
+    pub model_runs: usize,
+    /// Times a cached output was served.
+    pub cache_hits: usize,
+    /// Simulated total model time in milliseconds.
+    pub model_time_ms: f64,
+}
+
+impl<'d> OutputCache<'d> {
+    /// Wraps a detector.
+    pub fn new(detector: &'d dyn Detector) -> Self {
+        OutputCache {
+            detector,
+            entries: RwLock::new(HashMap::new()),
+            invocations: RwLock::new(Invocations::default()),
+        }
+    }
+
+    /// The wrapped detector.
+    pub fn detector(&self) -> &dyn Detector {
+        self.detector
+    }
+
+    /// Runs (or replays) the model on a frame at a resolution.
+    pub fn detect(&self, frame: &Frame, res: Resolution) -> Detections {
+        let key = (frame.id, res);
+        if let Some(hit) = self.entries.read().get(&key) {
+            self.invocations.write().cache_hits += 1;
+            return hit.clone();
+        }
+        let out = self.detector.detect(frame, res);
+        {
+            let mut inv = self.invocations.write();
+            inv.model_runs += 1;
+            inv.model_time_ms += self.detector.inference_cost_ms(res);
+        }
+        self.entries.write().insert(key, out.clone());
+        out
+    }
+
+    /// Count of a class, through the cache.
+    pub fn count(&self, frame: &Frame, res: Resolution, class: ObjectClass) -> f64 {
+        self.detect(frame, res).count(class) as f64
+    }
+
+    /// Current accounting snapshot.
+    pub fn invocations(&self) -> Invocations {
+        *self.invocations.read()
+    }
+
+    /// Number of distinct `(frame, resolution)` outputs held.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::yolo::SimYoloV4;
+    use smokescreen_video::synth::DatasetPreset;
+
+    #[test]
+    fn caches_by_frame_and_resolution() {
+        let corpus = DatasetPreset::NightStreet.generate(1);
+        let yolo = SimYoloV4::new(5);
+        let cache = OutputCache::new(&yolo);
+        let f = corpus.frame(10).unwrap();
+        let r1 = Resolution::square(608);
+        let r2 = Resolution::square(320);
+
+        let a = cache.detect(f, r1);
+        let b = cache.detect(f, r1);
+        assert_eq!(a, b);
+        let _ = cache.detect(f, r2);
+
+        let inv = cache.invocations();
+        assert_eq!(inv.model_runs, 2);
+        assert_eq!(inv.cache_hits, 1);
+        assert!(inv.model_time_ms > 0.0);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cached_output_identical_to_direct() {
+        let corpus = DatasetPreset::Detrac.generate(2);
+        let yolo = SimYoloV4::new(6);
+        let cache = OutputCache::new(&yolo);
+        let f = corpus.frame(55).unwrap();
+        let res = Resolution::square(416);
+        assert_eq!(cache.detect(f, res), yolo.detect(f, res));
+    }
+}

@@ -1,0 +1,104 @@
+//! The `Detector` trait and detection output types.
+
+use serde::{Deserialize, Serialize};
+use smokescreen_video::{BBox, Frame, ObjectClass, Resolution};
+
+/// One detected object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    /// Predicted class.
+    pub class: ObjectClass,
+    /// Confidence score in `[0, 1]` (already past the model threshold).
+    pub score: f32,
+    /// Predicted box (normalized coordinates).
+    pub bbox: BBox,
+    /// Ground-truth object id when the detection is a true positive;
+    /// `None` for false positives. Exposed for evaluation only — query
+    /// processing never looks at it.
+    pub truth_id: Option<u64>,
+}
+
+/// All detections a model emitted for one frame.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Detections {
+    /// Individual detections.
+    pub items: Vec<Detection>,
+}
+
+impl Detections {
+    /// Number of detections of the given class — the per-frame model
+    /// output `X_i` of the paper's count queries.
+    pub fn count(&self, class: ObjectClass) -> usize {
+        self.items.iter().filter(|d| d.class == class).count()
+    }
+
+    /// Whether any detection of the class is present.
+    pub fn contains(&self, class: ObjectClass) -> bool {
+        self.items.iter().any(|d| d.class == class)
+    }
+
+    /// Whether any of the given classes is present.
+    pub fn contains_any(&self, classes: &[ObjectClass]) -> bool {
+        classes.iter().any(|&c| self.contains(c))
+    }
+}
+
+/// A frame-level vision model (the query UDF).
+///
+/// Implementations must be deterministic in `(frame, resolution)`: the
+/// paper's reuse strategy (§3.3.2) caches outputs per frame/resolution and
+/// replays them across sample fractions, which is only sound if the model
+/// itself is a function.
+pub trait Detector: Send + Sync {
+    /// Model name (e.g. `"sim-yolov4"`).
+    fn name(&self) -> &str;
+
+    /// The largest (native) input resolution — the paper's "highest
+    /// resolution" of the original video for this model.
+    fn native_resolution(&self) -> Resolution;
+
+    /// Whether the model architecture accepts this input resolution
+    /// (e.g. Mask R-CNN requires multiples of 64, Darknet-YOLO multiples
+    /// of 32).
+    fn supports(&self, res: Resolution) -> bool;
+
+    /// Runs the model on a frame rendered at `res`.
+    fn detect(&self, frame: &Frame, res: Resolution) -> Detections;
+
+    /// Convenience: count of a class at a resolution (the aggregate
+    /// queries' per-frame output).
+    fn count(&self, frame: &Frame, res: Resolution, class: ObjectClass) -> f64 {
+        self.detect(frame, res).count(class) as f64
+    }
+
+    /// Simulated single-frame inference latency in milliseconds (loading +
+    /// transform + inference), used by the §5.3.1 profile-generation time
+    /// model. Scales with input pixels.
+    fn inference_cost_ms(&self, res: Resolution) -> f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(class: ObjectClass) -> Detection {
+        Detection {
+            class,
+            score: 0.9,
+            bbox: BBox::new(0.0, 0.0, 0.1, 0.1),
+            truth_id: None,
+        }
+    }
+
+    #[test]
+    fn detections_counting() {
+        let d = Detections {
+            items: vec![det(ObjectClass::Car), det(ObjectClass::Car), det(ObjectClass::Person)],
+        };
+        assert_eq!(d.count(ObjectClass::Car), 2);
+        assert!(d.contains(ObjectClass::Person));
+        assert!(!d.contains(ObjectClass::Face));
+        assert!(d.contains_any(&[ObjectClass::Face, ObjectClass::Car]));
+        assert!(!Detections::default().contains_any(&[ObjectClass::Car]));
+    }
+}

@@ -1,0 +1,66 @@
+//! The ground-truth oracle.
+//!
+//! Returns the synthetic annotations verbatim at any resolution. The paper
+//! treats model outputs at the highest resolution as ground truth; the
+//! oracle is the limiting case and is used by tests and by experiment
+//! harnesses that need the true `X_1 … X_N`.
+
+use smokescreen_video::{Frame, Resolution};
+
+use crate::detector::{Detection, Detections, Detector};
+
+/// Perfect detector.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Oracle;
+
+impl Detector for Oracle {
+    fn name(&self) -> &str {
+        "oracle"
+    }
+
+    fn native_resolution(&self) -> Resolution {
+        Resolution::square(u32::MAX)
+    }
+
+    fn supports(&self, _res: Resolution) -> bool {
+        true
+    }
+
+    fn detect(&self, frame: &Frame, _res: Resolution) -> Detections {
+        Detections {
+            items: frame
+                .objects
+                .iter()
+                .map(|o| Detection {
+                    class: o.class,
+                    score: 1.0,
+                    bbox: o.bbox,
+                    truth_id: Some(o.id),
+                })
+                .collect(),
+        }
+    }
+
+    fn inference_cost_ms(&self, _res: Resolution) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smokescreen_video::synth::DatasetPreset;
+    use smokescreen_video::ObjectClass;
+
+    #[test]
+    fn oracle_matches_ground_truth_everywhere() {
+        let corpus = DatasetPreset::Detrac.generate(2);
+        let o = Oracle;
+        for f in corpus.frames().iter().take(500) {
+            assert_eq!(
+                o.count(f, Resolution::square(32), ObjectClass::Car) as usize,
+                f.count_class(ObjectClass::Car)
+            );
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Resolution-response curves: the analytic core of the simulators.
+//!
+//! A detector's recall on an object is modelled as a logistic function of
+//! the log of the object's **effective pixel area** at the processed
+//! resolution:
+//!
+//! ```text
+//! area_eff = pixel_area(bbox, res) · (contrast / 0.6)^γ · (1 − occlusion)
+//! p_detect = p_max · sigmoid(slope · (ln area_eff − ln area50))
+//! ```
+//!
+//! This is the standard empirical shape reported for CNN detectors under
+//! downscaling (e.g. Koziarski & Cyganek 2018, cited by the paper):
+//! detection holds up until objects approach a critical pixel size, then
+//! collapses. `area50` is the 50%-recall pixel area; `slope` controls how
+//! sharp the collapse is; the contrast exponent `γ` makes night scenes
+//! degrade earlier than day scenes — which is what makes the two datasets'
+//! tradeoff curves differ (Figure 3).
+
+use serde::{Deserialize, Serialize};
+use smokescreen_video::{Object, Resolution};
+
+/// Logistic detectability curve for one (model, class) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResponseCurve {
+    /// Effective pixel area at which recall crosses `p_max / 2`.
+    pub area50: f64,
+    /// Logistic slope in log-area space.
+    pub slope: f64,
+    /// Asymptotic recall at infinite resolution.
+    pub p_max: f64,
+    /// Contrast sensitivity exponent `γ` (0 = contrast-blind).
+    pub contrast_gamma: f64,
+}
+
+impl ResponseCurve {
+    /// Detection probability for an object at a resolution.
+    pub fn detect_probability(&self, object: &Object, res: Resolution) -> f64 {
+        let area = object.bbox.pixel_area(res);
+        if area <= 0.0 {
+            return 0.0;
+        }
+        let contrast_factor = (f64::from(object.contrast) / 0.6)
+            .max(1e-3)
+            .powf(self.contrast_gamma);
+        let occlusion_factor = (1.0 - f64::from(object.occlusion)).max(0.0);
+        let eff = area * contrast_factor * occlusion_factor;
+        if eff <= 0.0 {
+            return 0.0;
+        }
+        let z = self.slope * (eff.ln() - self.area50.ln());
+        self.p_max * sigmoid(z)
+    }
+}
+
+/// Numerically stable logistic function.
+pub fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smokescreen_video::{BBox, ObjectClass};
+
+    fn object(h: f32, contrast: f32, occlusion: f32) -> Object {
+        Object {
+            id: 1,
+            class: ObjectClass::Car,
+            bbox: BBox::new(0.2, 0.2, h * 1.8, h),
+            contrast,
+            occlusion,
+        }
+    }
+
+    fn curve() -> ResponseCurve {
+        ResponseCurve {
+            area50: 300.0,
+            slope: 1.2,
+            p_max: 0.99,
+            contrast_gamma: 1.5,
+        }
+    }
+
+    #[test]
+    fn probability_monotone_in_resolution() {
+        let o = object(0.1, 0.6, 0.0);
+        let c = curve();
+        let mut prev = 0.0;
+        for side in [64u32, 128, 256, 416, 608] {
+            let p = c.detect_probability(&o, Resolution::square(side));
+            assert!(p >= prev, "side={side}");
+            prev = p;
+        }
+        assert!(prev > 0.9, "large objects at high res should be detected: {prev}");
+    }
+
+    #[test]
+    fn low_contrast_hurts() {
+        let c = curve();
+        let res = Resolution::square(256);
+        let day = c.detect_probability(&object(0.08, 0.7, 0.0), res);
+        let night = c.detect_probability(&object(0.08, 0.3, 0.0), res);
+        assert!(night < day, "night={night} day={day}");
+    }
+
+    #[test]
+    fn occlusion_hurts() {
+        let c = curve();
+        let res = Resolution::square(416);
+        let free = c.detect_probability(&object(0.08, 0.6, 0.0), res);
+        let hidden = c.detect_probability(&object(0.08, 0.6, 0.8), res);
+        assert!(hidden < free);
+    }
+
+    #[test]
+    fn fully_occluded_is_zero() {
+        let c = curve();
+        assert_eq!(
+            c.detect_probability(&object(0.1, 0.6, 1.0), Resolution::square(608)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn sigmoid_properties() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(30.0) > 0.999);
+        assert!(sigmoid(-30.0) < 0.001);
+        assert!((sigmoid(2.0) + sigmoid(-2.0) - 1.0).abs() < 1e-12);
+    }
+}

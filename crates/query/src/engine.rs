@@ -1,0 +1,218 @@
+//! Query execution engine.
+//!
+//! Holds registered corpora (with precomputed restriction priors) and
+//! resolves model names through the zoo. Execution compiles the parsed
+//! query into a core `Workload` + `InterventionSet` and delegates to
+//! `result_error_est`, so every query answer arrives with its `1 − δ`
+//! error bound attached — the contract the paper's system offers.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use smokescreen_core::{result_error_est, Estimate, Workload};
+use smokescreen_degrade::RestrictionIndex;
+use smokescreen_models::zoo;
+use smokescreen_video::{ObjectClass, VideoCorpus};
+
+use crate::ast::Query;
+use crate::parser::parse_query;
+use crate::QueryError;
+
+/// The result of executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutput {
+    /// Approximate answer `Y_approx`.
+    pub y_approx: f64,
+    /// Error upper bound `err_b` at the query's confidence.
+    pub err_b: f64,
+    /// Confidence level `1 − δ`.
+    pub confidence: f64,
+    /// Frames processed.
+    pub n: usize,
+    /// Aggregate name for display.
+    pub aggregate: &'static str,
+    /// Whether the executed interventions were non-random (bound validity
+    /// then requires a correction set — surfaced as a caveat).
+    pub non_random_warning: bool,
+}
+
+impl fmt::Display for QueryOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ≈ {:.4} (±{:.2}% rel. bound at {:.0}% confidence, n={})",
+            self.aggregate,
+            self.y_approx,
+            self.err_b * 100.0,
+            self.confidence * 100.0,
+            self.n
+        )?;
+        if self.non_random_warning {
+            write!(
+                f,
+                " [non-random interventions: bound requires a correction set]"
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A registry of corpora plus execution context.
+pub struct QueryEngine {
+    corpora: HashMap<String, (VideoCorpus, RestrictionIndex)>,
+    model_seed: u64,
+    sampling_seed: u64,
+}
+
+impl QueryEngine {
+    /// Creates an empty engine. `model_seed` parameterizes simulated model
+    /// weights; `sampling_seed` fixes sampling permutations.
+    pub fn new(model_seed: u64, sampling_seed: u64) -> Self {
+        QueryEngine {
+            corpora: HashMap::new(),
+            model_seed,
+            sampling_seed,
+        }
+    }
+
+    /// Registers a corpus under a name, precomputing its restriction prior
+    /// from ground truth.
+    pub fn register(&mut self, name: impl Into<String>, corpus: VideoCorpus) {
+        let restrictions = RestrictionIndex::from_ground_truth(
+            &corpus,
+            &[ObjectClass::Person, ObjectClass::Face],
+        );
+        self.corpora.insert(name.into(), (corpus, restrictions));
+    }
+
+    /// Registered corpus names.
+    pub fn corpora(&self) -> Vec<&str> {
+        self.corpora.keys().map(String::as_str).collect()
+    }
+
+    /// Parses and executes a query string.
+    pub fn run(&self, sql: &str) -> Result<QueryOutput, QueryError> {
+        let query = parse_query(sql)?;
+        self.execute(&query)
+    }
+
+    /// Executes a parsed query.
+    pub fn execute(&self, query: &Query) -> Result<QueryOutput, QueryError> {
+        let (corpus, restrictions) = self
+            .corpora
+            .get(&query.from)
+            .ok_or_else(|| QueryError::UnknownCorpus(query.from.clone()))?;
+        let detector = zoo::by_name(&query.model, self.model_seed)
+            .ok_or_else(|| QueryError::UnknownModel(query.model.clone()))?;
+
+        let workload = Workload {
+            corpus,
+            detector: detector.as_ref(),
+            class: query.select.class,
+            aggregate: query.select.aggregate,
+            delta: query.delta(),
+        };
+        let set = query.intervention_set();
+        let estimate: Estimate =
+            result_error_est(&workload, restrictions, &set, self.sampling_seed, None)
+                .map_err(|e| QueryError::Execution(e.to_string()))?;
+
+        Ok(QueryOutput {
+            y_approx: estimate.y_approx(),
+            err_b: estimate.err_b(),
+            confidence: query.confidence,
+            n: estimate.n(),
+            aggregate: query.select.aggregate.name(),
+            non_random_warning: !set.is_random_only(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smokescreen_video::synth::DatasetPreset;
+
+    fn engine() -> QueryEngine {
+        let mut e = QueryEngine::new(1, 7);
+        e.register("detrac", DatasetPreset::Detrac.generate(60).slice(0, 3_000));
+        e.register(
+            "nightstreet",
+            DatasetPreset::NightStreet.generate(60).slice(0, 3_000),
+        );
+        e
+    }
+
+    #[test]
+    fn runs_an_avg_query_end_to_end() {
+        let e = engine();
+        let out = e.run("SELECT AVG(car) FROM detrac SAMPLE 0.1").unwrap();
+        assert!(out.y_approx > 0.5, "detrac is busy: {}", out.y_approx);
+        assert!(out.err_b.is_finite());
+        assert!(!out.non_random_warning);
+        assert_eq!(out.aggregate, "AVG");
+        assert_eq!(out.n, 300);
+    }
+
+    #[test]
+    fn non_random_queries_carry_a_warning() {
+        let e = engine();
+        let out = e
+            .run("SELECT AVG(car) FROM detrac SAMPLE 0.5 RESOLUTION 320x320")
+            .unwrap();
+        assert!(out.non_random_warning);
+        let display = out.to_string();
+        assert!(display.contains("correction set"), "{display}");
+    }
+
+    #[test]
+    fn unknown_names_error_cleanly() {
+        let e = engine();
+        assert!(matches!(
+            e.run("SELECT AVG(car) FROM nowhere"),
+            Err(QueryError::UnknownCorpus(_))
+        ));
+        assert!(matches!(
+            e.run("SELECT AVG(car) FROM detrac USING resnet50"),
+            Err(QueryError::UnknownModel(_))
+        ));
+    }
+
+    #[test]
+    fn count_and_max_aggregates_execute() {
+        let e = engine();
+        let count = e
+            .run("SELECT COUNT(car >= 2) FROM detrac SAMPLE 0.2")
+            .unwrap();
+        assert!(count.y_approx > 0.0);
+        let max = e
+            .run("SELECT MAX(car) FROM detrac SAMPLE 0.2 QUANTILE 0.99")
+            .unwrap();
+        assert!(max.y_approx >= count.y_approx / 3_000.0);
+        assert_eq!(max.aggregate, "MAX");
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let e = engine();
+        let a = e.run("SELECT AVG(car) FROM detrac SAMPLE 0.1").unwrap();
+        let b = e.run("SELECT AVG(car) FROM detrac SAMPLE 0.1").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn oracle_full_scan_matches_ground_truth() {
+        let e = engine();
+        let out = e.run("SELECT AVG(car) FROM detrac USING oracle").unwrap();
+        let truth = DatasetPreset::Detrac
+            .generate(60)
+            .slice(0, 3_000)
+            .stats()
+            .mean_cars_per_frame;
+        assert!(
+            (out.y_approx - truth).abs() / truth < 0.01,
+            "approx={} truth={truth}",
+            out.y_approx
+        );
+    }
+}

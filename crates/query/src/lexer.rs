@@ -1,0 +1,176 @@
+//! Tokenizer for the query language.
+
+use crate::QueryError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (kept verbatim; keywords are matched
+    /// case-insensitively by the parser).
+    Word(String),
+    /// Numeric literal.
+    Number(f64),
+    /// A resolution literal like `128x128` (width, height).
+    ResolutionLit(u32, u32),
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `,`.
+    Comma,
+    /// `>=`.
+    Ge,
+}
+
+/// Tokenizes a query string.
+pub fn lex(input: &str) -> Result<Vec<Token>, QueryError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    return Err(QueryError::Lex {
+                        at: i,
+                        message: "expected '>='".into(),
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.')
+                {
+                    i += 1;
+                }
+                // Resolution literal: digits 'x' digits.
+                if i < bytes.len()
+                    && (bytes[i] == b'x' || bytes[i] == b'X')
+                    && bytes.get(i + 1).is_some_and(|b| (*b as char).is_ascii_digit())
+                {
+                    let w: u32 = input[start..i].parse().map_err(|e| QueryError::Lex {
+                        at: start,
+                        message: format!("bad width: {e}"),
+                    })?;
+                    i += 1; // consume 'x'
+                    let hstart = i;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                    let h: u32 = input[hstart..i].parse().map_err(|e| QueryError::Lex {
+                        at: hstart,
+                        message: format!("bad height: {e}"),
+                    })?;
+                    tokens.push(Token::ResolutionLit(w, h));
+                } else {
+                    let n: f64 = input[start..i].parse().map_err(|e| QueryError::Lex {
+                        at: start,
+                        message: format!("bad number: {e}"),
+                    })?;
+                    tokens.push(Token::Number(n));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Word(input[start..i].to_string()));
+            }
+            other => {
+                return Err(QueryError::Lex {
+                    at: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_a_full_query() {
+        let t = lex("SELECT AVG(car) FROM detrac SAMPLE 0.1 RESOLUTION 128x128").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Word("SELECT".into()),
+                Token::Word("AVG".into()),
+                Token::LParen,
+                Token::Word("car".into()),
+                Token::RParen,
+                Token::Word("FROM".into()),
+                Token::Word("detrac".into()),
+                Token::Word("SAMPLE".into()),
+                Token::Number(0.1),
+                Token::Word("RESOLUTION".into()),
+                Token::ResolutionLit(128, 128),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_count_predicate() {
+        let t = lex("COUNT(car >= 2)").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Word("COUNT".into()),
+                Token::LParen,
+                Token::Word("car".into()),
+                Token::Ge,
+                Token::Number(2.0),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn hyphenated_model_names() {
+        let t = lex("USING sim-mask-rcnn").unwrap();
+        assert_eq!(
+            t,
+            vec![Token::Word("USING".into()), Token::Word("sim-mask-rcnn".into())]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("SELECT @").is_err());
+        assert!(lex("a > b").is_err()); // lone '>'
+    }
+
+    #[test]
+    fn number_vs_resolution_disambiguation() {
+        assert_eq!(lex("608").unwrap(), vec![Token::Number(608.0)]);
+        assert_eq!(lex("608x608").unwrap(), vec![Token::ResolutionLit(608, 608)]);
+        assert_eq!(lex("0.99").unwrap(), vec![Token::Number(0.99)]);
+    }
+}

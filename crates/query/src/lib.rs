@@ -1,0 +1,64 @@
+//! Video query processor.
+//!
+//! The paper's system receives *analytical queries* whose UDF is a neural
+//! network. This crate gives that component a concrete surface: a small
+//! declarative language over registered corpora, compiled to the core
+//! crate's workloads and executed under destructive interventions.
+//!
+//! ```text
+//! SELECT AVG(car) FROM detrac
+//!     SAMPLE 0.1
+//!     RESOLUTION 128x128
+//!     REMOVE person, face
+//!     CONFIDENCE 0.95
+//!     USING sim-yolov4
+//! ```
+//!
+//! * [`lexer`] / [`parser`] / [`ast`] — the language front-end.
+//! * [`engine`] — corpus registry + execution via `result_error_est`.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod ast;
+pub mod engine;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{AggregateSpec, Query};
+pub use engine::{QueryEngine, QueryOutput};
+pub use parser::parse_query;
+
+/// Errors from parsing or executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Lexical error at a byte offset.
+    Lex {
+        /// Offset into the query string.
+        at: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Parse error.
+    Parse(String),
+    /// The query references an unregistered corpus.
+    UnknownCorpus(String),
+    /// The query names an unknown model.
+    UnknownModel(String),
+    /// Execution failed in the core system.
+    Execution(String),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Lex { at, message } => write!(f, "lex error at byte {at}: {message}"),
+            QueryError::Parse(m) => write!(f, "parse error: {m}"),
+            QueryError::UnknownCorpus(name) => write!(f, "unknown corpus: {name}"),
+            QueryError::UnknownModel(name) => write!(f, "unknown model: {name}"),
+            QueryError::Execution(m) => write!(f, "execution error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}

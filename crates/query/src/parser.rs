@@ -1,0 +1,291 @@
+//! Recursive-descent parser for the query language.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! query      := SELECT agg FROM word clause*
+//! agg        := (AVG|SUM|VAR|MEDIAN|QUANTILE) '(' class ')'
+//!             | COUNT '(' class ('>=' number)? ')'
+//!             | (MAX|MIN) '(' class ')'
+//! clause     := SAMPLE number
+//!             | RESOLUTION reslit
+//!             | REMOVE class (',' class)*
+//!             | BLUR class (',' class)*
+//!             | NOISE number
+//!             | QUALITY number
+//!             | CONFIDENCE number
+//!             | QUANTILE number          -- adjusts MAX/MIN's r
+//!             | USING word
+//! ```
+
+use smokescreen_core::Aggregate;
+use smokescreen_video::{ObjectClass, Resolution};
+
+use crate::ast::{AggregateSpec, Query};
+use crate::lexer::{lex, Token};
+use crate::QueryError;
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), QueryError> {
+        match self.next() {
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(QueryError::Parse(format!("expected {kw}, found {other:?}"))),
+        }
+    }
+
+    fn expect_word(&mut self) -> Result<String, QueryError> {
+        match self.next() {
+            Some(Token::Word(w)) => Ok(w),
+            other => Err(QueryError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    fn expect_number(&mut self) -> Result<f64, QueryError> {
+        match self.next() {
+            Some(Token::Number(n)) => Ok(n),
+            other => Err(QueryError::Parse(format!("expected number, found {other:?}"))),
+        }
+    }
+
+    fn expect_token(&mut self, t: Token) -> Result<(), QueryError> {
+        match self.next() {
+            Some(found) if found == t => Ok(()),
+            other => Err(QueryError::Parse(format!("expected {t:?}, found {other:?}"))),
+        }
+    }
+
+    fn expect_class(&mut self) -> Result<ObjectClass, QueryError> {
+        let w = self.expect_word()?;
+        w.parse::<ObjectClass>().map_err(QueryError::Parse)
+    }
+
+}
+
+/// Parses a query string.
+pub fn parse_query(input: &str) -> Result<Query, QueryError> {
+    let mut p = Parser {
+        tokens: lex(input)?,
+        pos: 0,
+    };
+
+    p.expect_keyword("SELECT")?;
+    let agg_word = p.expect_word()?;
+    p.expect_token(Token::LParen)?;
+    let class = p.expect_class()?;
+
+    let mut aggregate = match agg_word.to_ascii_uppercase().as_str() {
+        "AVG" => Aggregate::Avg,
+        "SUM" => Aggregate::Sum,
+        "VAR" => Aggregate::Var,
+        "MAX" => Aggregate::Max { r: 0.99 },
+        "MIN" => Aggregate::Min { r: 0.01 },
+        "MEDIAN" => Aggregate::Quantile { r: 0.5 },
+        "QUANTILE" | "PERCENTILE" => Aggregate::Quantile { r: 0.5 },
+        "COUNT" => {
+            let at_least = if p.peek() == Some(&Token::Ge) {
+                p.next();
+                p.expect_number()?
+            } else {
+                1.0
+            };
+            Aggregate::Count { at_least }
+        }
+        other => {
+            return Err(QueryError::Parse(format!(
+                "unknown aggregate function {other}"
+            )))
+        }
+    };
+    p.expect_token(Token::RParen)?;
+
+    p.expect_keyword("FROM")?;
+    let from = p.expect_word()?;
+
+    let mut query = Query {
+        select: AggregateSpec { aggregate, class },
+        from,
+        sample: 1.0,
+        resolution: None,
+        remove: Vec::new(),
+        blur: Vec::new(),
+        noise: 0.0,
+        quality: None,
+        confidence: 0.95,
+        model: "sim-yolov4".to_string(),
+    };
+
+    while let Some(tok) = p.peek() {
+        let Token::Word(kw) = tok else {
+            return Err(QueryError::Parse(format!("unexpected token {tok:?}")));
+        };
+        let kw = kw.to_ascii_uppercase();
+        p.next();
+        match kw.as_str() {
+            "SAMPLE" => {
+                query.sample = p.expect_number()?;
+                if !(query.sample > 0.0 && query.sample <= 1.0) {
+                    return Err(QueryError::Parse(format!(
+                        "SAMPLE {} out of (0, 1]",
+                        query.sample
+                    )));
+                }
+            }
+            "RESOLUTION" => match p.next() {
+                Some(Token::ResolutionLit(w, h)) => {
+                    query.resolution = Some(Resolution::new(w, h));
+                }
+                Some(Token::Number(n)) if n > 0.0 && n.fract() == 0.0 => {
+                    query.resolution = Some(Resolution::square(n as u32));
+                }
+                other => {
+                    return Err(QueryError::Parse(format!(
+                        "expected WxH after RESOLUTION, found {other:?}"
+                    )))
+                }
+            },
+            "REMOVE" => {
+                query.remove.push(p.expect_class()?);
+                while p.peek() == Some(&Token::Comma) {
+                    p.next();
+                    query.remove.push(p.expect_class()?);
+                }
+            }
+            "BLUR" => {
+                query.blur.push(p.expect_class()?);
+                while p.peek() == Some(&Token::Comma) {
+                    p.next();
+                    query.blur.push(p.expect_class()?);
+                }
+            }
+            "NOISE" => query.noise = p.expect_number()?,
+            "QUALITY" => query.quality = Some(p.expect_number()?),
+            "CONFIDENCE" => {
+                query.confidence = p.expect_number()?;
+                if !(query.confidence > 0.0 && query.confidence < 1.0) {
+                    return Err(QueryError::Parse(format!(
+                        "CONFIDENCE {} out of (0, 1)",
+                        query.confidence
+                    )));
+                }
+            }
+            "QUANTILE" => {
+                let r = p.expect_number()?;
+                aggregate = match aggregate {
+                    Aggregate::Max { .. } => Aggregate::Max { r },
+                    Aggregate::Min { .. } => Aggregate::Min { r },
+                    Aggregate::Quantile { .. } => Aggregate::Quantile { r },
+                    other => {
+                        return Err(QueryError::Parse(format!(
+                            "QUANTILE only applies to MAX/MIN/QUANTILE/MEDIAN, not {}",
+                            other.name()
+                        )))
+                    }
+                };
+                query.select.aggregate = aggregate;
+            }
+            "USING" => query.model = p.expect_word()?,
+            other => {
+                return Err(QueryError::Parse(format!("unknown clause {other}")));
+            }
+        }
+    }
+
+    Ok(query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_query_defaults() {
+        let q = parse_query("SELECT AVG(car) FROM nightstreet").unwrap();
+        assert_eq!(q.select.aggregate, Aggregate::Avg);
+        assert_eq!(q.select.class, ObjectClass::Car);
+        assert_eq!(q.from, "nightstreet");
+        assert_eq!(q.sample, 1.0);
+        assert_eq!(q.confidence, 0.95);
+        assert_eq!(q.model, "sim-yolov4");
+    }
+
+    #[test]
+    fn full_query() {
+        let q = parse_query(
+            "select count(car >= 3) from detrac sample 0.25 resolution 320x320 \
+             remove person, face noise 0.1 quality 0.9 confidence 0.99 using sim-mask-rcnn",
+        )
+        .unwrap();
+        assert_eq!(q.select.aggregate, Aggregate::Count { at_least: 3.0 });
+        assert_eq!(q.sample, 0.25);
+        assert_eq!(q.resolution, Some(Resolution::square(320)));
+        assert_eq!(q.remove, vec![ObjectClass::Person, ObjectClass::Face]);
+        assert_eq!(q.quality, Some(0.9));
+        assert!((q.delta() - 0.01).abs() < 1e-12);
+        assert_eq!(q.model, "sim-mask-rcnn");
+    }
+
+    #[test]
+    fn median_and_percentile() {
+        let q = parse_query("SELECT MEDIAN(car) FROM v").unwrap();
+        assert_eq!(q.select.aggregate, Aggregate::Quantile { r: 0.5 });
+        let q = parse_query("SELECT QUANTILE(car) FROM v QUANTILE 0.9").unwrap();
+        assert_eq!(q.select.aggregate, Aggregate::Quantile { r: 0.9 });
+    }
+
+    #[test]
+    fn blur_clause() {
+        let q = parse_query("SELECT AVG(car) FROM v BLUR face, person").unwrap();
+        assert_eq!(q.blur, vec![ObjectClass::Face, ObjectClass::Person]);
+        assert!(!q.intervention_set().is_random_only());
+    }
+
+    #[test]
+    fn max_with_quantile() {
+        let q = parse_query("SELECT MAX(car) FROM v QUANTILE 0.995").unwrap();
+        assert_eq!(q.select.aggregate, Aggregate::Max { r: 0.995 });
+        let q = parse_query("SELECT MIN(car) FROM v QUANTILE 0.02").unwrap();
+        assert_eq!(q.select.aggregate, Aggregate::Min { r: 0.02 });
+    }
+
+    #[test]
+    fn square_resolution_shorthand() {
+        let q = parse_query("SELECT AVG(car) FROM v RESOLUTION 128").unwrap();
+        assert_eq!(q.resolution, Some(Resolution::square(128)));
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse_query("AVG(car) FROM v").is_err()); // missing SELECT
+        assert!(parse_query("SELECT MODE(car) FROM v").is_err());
+        assert!(parse_query("SELECT AVG(drone) FROM v").is_err());
+        assert!(parse_query("SELECT AVG(car) FROM v SAMPLE 2.0").is_err());
+        assert!(parse_query("SELECT AVG(car) FROM v CONFIDENCE 1.0").is_err());
+        assert!(parse_query("SELECT AVG(car) FROM v QUANTILE 0.9").is_err()); // not MAX/MIN
+        assert!(parse_query("SELECT AVG(car) FROM v FROBNICATE 3").is_err());
+    }
+
+    #[test]
+    fn count_default_predicate() {
+        let q = parse_query("SELECT COUNT(car) FROM v").unwrap();
+        assert_eq!(q.select.aggregate, Aggregate::Count { at_least: 1.0 });
+    }
+}

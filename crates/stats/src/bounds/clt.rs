@@ -1,0 +1,84 @@
+//! Central-limit-theorem interval with finite-population correction — the
+//! online-aggregation normal bound the paper reproduces as a *brittle*
+//! baseline (Figure 5): it is often the tightest interval on display but
+//! offers no guarantee at small sample sizes, where it under-covers.
+
+use super::{summarize, MeanInterval};
+use crate::{normal, Result};
+
+/// CLT half-width: `z_{1−δ/2} · s/√n · √((N − n)/(N − 1))`, where `s` is
+/// the unbiased sample standard deviation and the last factor is the
+/// finite-population correction for sampling without replacement.
+pub fn interval(samples: &[f64], population: usize, delta: f64) -> Result<MeanInterval> {
+    let stats = summarize(samples, population, delta)?;
+    let n = stats.n();
+    let big_n = population as f64;
+    let fpc = if population > 1 {
+        ((big_n - n as f64) / (big_n - 1.0)).max(0.0).sqrt()
+    } else {
+        0.0
+    };
+    let half_width = normal::two_sided_z(delta) * stats.sample_std_dev() / (n as f64).sqrt() * fpc;
+    Ok(MeanInterval {
+        estimate: stats.mean(),
+        half_width,
+        n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::hoeffding_serfling;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn tighter_than_guaranteed_bounds_at_moderate_n() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let pop: Vec<f64> = (0..5_000).map(|_| rng.gen_range(0.0..6.0)).collect();
+        let idx = crate::sample::sample_indices(pop.len(), 500, 2).unwrap();
+        let sample: Vec<f64> = idx.iter().map(|&i| pop[i]).collect();
+        let c = interval(&sample, pop.len(), 0.05).unwrap();
+        let hs = hoeffding_serfling::interval(&sample, pop.len(), 0.05).unwrap();
+        assert!(c.half_width < hs.half_width);
+    }
+
+    #[test]
+    fn under_covers_with_tiny_skewed_samples() {
+        // Heavy-tailed population + n = 5: the CLT interval misses the mean
+        // far more often than δ = 5% — the brittleness Figure 5 shows.
+        let mut rng = StdRng::seed_from_u64(99);
+        let pop: Vec<f64> = (0..4_000)
+            .map(|_| {
+                if rng.gen_bool(0.03) {
+                    rng.gen_range(40.0..60.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mu: f64 = pop.iter().sum::<f64>() / pop.len() as f64;
+        let mut missed = 0;
+        let trials = 400;
+        for t in 0..trials {
+            let idx = crate::sample::sample_indices(pop.len(), 5, 50_000 + t as u64).unwrap();
+            let sample: Vec<f64> = idx.iter().map(|&i| pop[i]).collect();
+            let iv = interval(&sample, pop.len(), 0.05).unwrap();
+            if (iv.estimate - mu).abs() > iv.half_width {
+                missed += 1;
+            }
+        }
+        assert!(
+            missed as f64 / trials as f64 > 0.10,
+            "missed={missed}/{trials} — expected CLT to violate its nominal level"
+        );
+    }
+
+    #[test]
+    fn fpc_zeroes_width_at_full_sample() {
+        let pop: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let iv = interval(&pop, pop.len(), 0.05).unwrap();
+        assert!(iv.half_width.abs() < 1e-9);
+    }
+}

@@ -1,0 +1,70 @@
+//! Hoeffding's inequality (the online-aggregation baseline).
+
+use super::{summarize, MeanInterval};
+use crate::Result;
+
+/// Two-sided Hoeffding half-width: with probability at least `1 − δ`,
+/// `|x̄ − μ| ≤ R √(ln(2/δ) / (2n))` where `R` is the value range.
+///
+/// The range is taken from the sample, matching how the paper's Algorithm 1
+/// computes `R` (the true range is unknown under degradation).
+pub fn interval(samples: &[f64], population: usize, delta: f64) -> Result<MeanInterval> {
+    let stats = summarize(samples, population, delta)?;
+    let n = stats.n() as f64;
+    let half_width = stats.range() * ((2.0 / delta).ln() / (2.0 * n)).sqrt();
+    Ok(MeanInterval {
+        estimate: stats.mean(),
+        half_width,
+        n: stats.n(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn shrinks_with_sample_size() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pop: Vec<f64> = (0..10_000).map(|_| rng.gen_range(0.0..8.0)).collect();
+        let small = interval(&pop[..100], pop.len(), 0.05).unwrap();
+        let large = interval(&pop[..5_000], pop.len(), 0.05).unwrap();
+        assert!(large.half_width < small.half_width);
+    }
+
+    #[test]
+    fn constant_sample_has_zero_width() {
+        let iv = interval(&[3.0; 50], 1000, 0.05).unwrap();
+        assert_eq!(iv.half_width, 0.0);
+        assert_eq!(iv.estimate, 3.0);
+    }
+
+    #[test]
+    fn coverage_on_uniform_population() {
+        // Empirical coverage of the Hoeffding interval should comfortably
+        // exceed 1 − δ (it is conservative).
+        let mut rng = StdRng::seed_from_u64(11);
+        let pop: Vec<f64> = (0..2_000).map(|_| rng.gen_range(0.0..10.0)).collect();
+        let mu: f64 = pop.iter().sum::<f64>() / pop.len() as f64;
+        let mut covered = 0;
+        let trials = 300;
+        for t in 0..trials {
+            let idx = crate::sample::sample_indices(pop.len(), 80, t as u64).unwrap();
+            let sample: Vec<f64> = idx.iter().map(|&i| pop[i]).collect();
+            let iv = interval(&sample, pop.len(), 0.05).unwrap();
+            if (iv.estimate - mu).abs() <= iv.half_width {
+                covered += 1;
+            }
+        }
+        assert!(covered as f64 / trials as f64 > 0.95, "covered={covered}");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(interval(&[], 10, 0.05).is_err());
+        assert!(interval(&[1.0], 10, 0.0).is_err());
+        assert!(interval(&[1.0; 20], 10, 0.05).is_err());
+    }
+}

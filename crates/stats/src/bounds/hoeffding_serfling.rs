@@ -1,0 +1,111 @@
+//! The Hoeffding–Serfling inequality for sampling **without replacement**
+//! (Bardenet & Maillard 2015), the workhorse of the paper's Algorithm 1.
+
+use super::{summarize, MeanInterval};
+use crate::Result;
+
+/// The shrink factor `ρ_n = min{ 1 − (n−1)/N, (1 − n/N)(1 + 1/n) }`.
+///
+/// `ρ_n → 0` as the sample exhausts the population, which is what makes
+/// this bound strictly tighter than Hoeffding at non-trivial fractions and
+/// exact (zero width) at `n = N`.
+pub fn rho(n: usize, population: usize) -> f64 {
+    debug_assert!(n >= 1 && n <= population);
+    let n_f = n as f64;
+    let big_n = population as f64;
+    let a = 1.0 - (n_f - 1.0) / big_n;
+    let b = (1.0 - n_f / big_n) * (1.0 + 1.0 / n_f);
+    a.min(b).max(0.0)
+}
+
+/// Two-sided Hoeffding–Serfling half-width: with probability at least
+/// `1 − δ`, `|x̄ − μ| ≤ R √(ρ_n ln(2/δ) / (2n))`.
+pub fn interval(samples: &[f64], population: usize, delta: f64) -> Result<MeanInterval> {
+    let stats = summarize(samples, population, delta)?;
+    let n = stats.n();
+    let half_width =
+        stats.range() * (rho(n, population) * (2.0 / delta).ln() / (2.0 * n as f64)).sqrt();
+    Ok(MeanInterval {
+        estimate: stats.mean(),
+        half_width,
+        n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::hoeffding;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn rho_limits() {
+        // Tiny sample out of a huge population: essentially i.i.d., ρ ≈ 1.
+        assert!((rho(1, 1_000_000) - 1.0).abs() < 1e-3);
+        // Full sample: the mean is exact.
+        assert!(rho(1000, 1000) < 1e-12 + 1.0 / 1000.0);
+        // Monotone non-increasing in n.
+        let mut prev = f64::INFINITY;
+        for n in 1..=500 {
+            let r = rho(n, 500);
+            assert!(r <= prev + 1e-12, "n={n}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn never_looser_than_hoeffding() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let pop: Vec<f64> = (0..5_000).map(|_| rng.gen_range(0.0..5.0)).collect();
+        for &n in &[10usize, 100, 1000, 4000] {
+            let idx = crate::sample::sample_indices(pop.len(), n, n as u64).unwrap();
+            let sample: Vec<f64> = idx.iter().map(|&i| pop[i]).collect();
+            let hs = interval(&sample, pop.len(), 0.05).unwrap();
+            let h = hoeffding::interval(&sample, pop.len(), 0.05).unwrap();
+            assert!(
+                hs.half_width <= h.half_width + 1e-12,
+                "n={n}: HS={} H={}",
+                hs.half_width,
+                h.half_width
+            );
+        }
+    }
+
+    #[test]
+    fn width_vanishes_at_full_sample() {
+        let pop: Vec<f64> = (0..200).map(|i| (i % 7) as f64).collect();
+        let iv = interval(&pop, pop.len(), 0.05).unwrap();
+        // ρ_N = min{1/N·?, ...}: (1 − (N−1)/N) = 1/N, so width ~ R √(ln(2/δ)/(2N²))
+        assert!(iv.half_width < 0.1);
+        let mu: f64 = pop.iter().sum::<f64>() / pop.len() as f64;
+        assert!((iv.estimate - mu).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_without_replacement() {
+        let mut rng = StdRng::seed_from_u64(31);
+        // Skewed population (like car counts): mostly small, some spikes.
+        let pop: Vec<f64> = (0..3_000)
+            .map(|_| {
+                if rng.gen_bool(0.05) {
+                    rng.gen_range(5.0..12.0)
+                } else {
+                    rng.gen_range(0.0..3.0)
+                }
+            })
+            .collect();
+        let mu: f64 = pop.iter().sum::<f64>() / pop.len() as f64;
+        let trials = 400;
+        let mut covered = 0;
+        for t in 0..trials {
+            let idx = crate::sample::sample_indices(pop.len(), 60, 1000 + t as u64).unwrap();
+            let sample: Vec<f64> = idx.iter().map(|&i| pop[i]).collect();
+            let iv = interval(&sample, pop.len(), 0.05).unwrap();
+            if (iv.estimate - mu).abs() <= iv.half_width {
+                covered += 1;
+            }
+        }
+        assert!(covered as f64 / trials as f64 >= 0.95, "covered={covered}");
+    }
+}

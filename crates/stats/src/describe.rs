@@ -1,0 +1,244 @@
+//! Numerically stable summary statistics shared by all estimators.
+
+/// Running summary statistics using Welford's online algorithm.
+///
+/// Supports incremental updates so the EBGS baseline can maintain per-step
+/// means/variances in O(1), and tracks min/max so range-based bounds
+/// (Hoeffding, Hoeffding–Serfling) need no second pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningStats {
+    n: usize,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Builds an accumulator from a slice in one pass.
+    pub fn from_slice(values: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &v in values {
+            s.push(v);
+        }
+        s
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, v: f64) {
+        self.n += 1;
+        let delta = v - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (v - self.mean);
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Number of observations so far.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (divides by `n`; 0 when fewer than 2 samples).
+    ///
+    /// The empirical Bernstein bound is stated with the biased `1/n`
+    /// variance, so that is the default here.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Unbiased sample variance (divides by `n - 1`; 0 when fewer than 2).
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Unbiased sample standard deviation.
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Observed range `max - min` (0 when empty or constant).
+    pub fn range(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max - self.min
+        }
+    }
+}
+
+/// A fixed-bin histogram over non-negative integer-valued model outputs.
+///
+/// Used by the Figure 8 reproduction (predicted car-count distributions)
+/// and by scene-generator calibration tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with bins `0..max_value` plus an overflow bin.
+    pub fn new(max_value: usize) -> Self {
+        Histogram {
+            counts: vec![0; max_value],
+            overflow: 0,
+        }
+    }
+
+    /// Records one observation (values are floored to their integer bin).
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() || value < 0.0 {
+            self.overflow += 1;
+            return;
+        }
+        let bin = value.floor() as usize;
+        match self.counts.get_mut(bin) {
+            Some(c) => *c += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Per-bin counts (not including the overflow bin).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Count of observations beyond the last bin (or non-finite/negative).
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.overflow
+    }
+
+    /// Total-variation distance against another histogram with identical
+    /// binning: `½ Σ |p_i − q_i|`. Returns 1.0 when either is empty.
+    pub fn total_variation(&self, other: &Histogram) -> f64 {
+        let (a, b) = (self.total(), other.total());
+        if a == 0 || b == 0 {
+            return 1.0;
+        }
+        let bins = self.counts.len().max(other.counts.len());
+        let mut tv = 0.0;
+        for i in 0..bins {
+            let p = *self.counts.get(i).unwrap_or(&0) as f64 / a as f64;
+            let q = *other.counts.get(i).unwrap_or(&0) as f64 / b as f64;
+            tv += (p - q).abs();
+        }
+        tv += (self.overflow as f64 / a as f64 - other.overflow as f64 / b as f64).abs();
+        tv / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_matches_two_pass() {
+        let data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let s = RunningStats::from_slice(&data);
+        let mean: f64 = data.iter().sum::<f64>() / data.len() as f64;
+        let var: f64 = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / data.len() as f64;
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.variance() - var).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.range(), 8.0);
+        assert_eq!(s.n(), 8);
+    }
+
+    #[test]
+    fn running_stats_empty_and_single() {
+        let s = RunningStats::new();
+        assert_eq!(s.n(), 0);
+        assert_eq!(s.range(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+
+        let s = RunningStats::from_slice(&[7.5]);
+        assert_eq!(s.mean(), 7.5);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.range(), 0.0);
+    }
+
+    #[test]
+    fn sample_variance_uses_bessel() {
+        let s = RunningStats::from_slice(&[1.0, 2.0, 3.0]);
+        assert!((s.variance() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.sample_variance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_basics() {
+        let mut h = Histogram::new(4);
+        for v in [0.0, 1.2, 1.9, 3.0, 10.0, -1.0, f64::NAN] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), &[1, 2, 0, 1]);
+        assert_eq!(h.overflow(), 3);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn tv_distance_identity_and_disjoint() {
+        let mut a = Histogram::new(3);
+        let mut b = Histogram::new(3);
+        for _ in 0..10 {
+            a.record(0.0);
+            b.record(0.0);
+        }
+        assert!(a.total_variation(&b) < 1e-12);
+
+        let mut c = Histogram::new(3);
+        for _ in 0..10 {
+            c.record(2.0);
+        }
+        assert!((a.total_variation(&c) - 1.0).abs() < 1e-12);
+    }
+}

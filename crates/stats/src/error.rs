@@ -1,0 +1,50 @@
+//! Error type for the statistical substrate.
+
+use std::fmt;
+
+/// Errors produced by estimators and bound computations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// An estimator was invoked on an empty sample.
+    EmptySample,
+    /// The confidence parameter `δ` must lie strictly inside `(0, 1)`.
+    InvalidDelta(f64),
+    /// The quantile position `r` must lie strictly inside `(0, 1)`.
+    InvalidQuantile(f64),
+    /// A sample fraction must lie inside `(0, 1]`.
+    InvalidFraction(f64),
+    /// The sample is larger than the population it was allegedly drawn from.
+    SampleExceedsPopulation {
+        /// Observed sample size.
+        n: usize,
+        /// Claimed population size.
+        population: usize,
+    },
+    /// A value that must be finite was NaN or infinite.
+    NonFinite(&'static str),
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptySample => write!(f, "sample is empty"),
+            StatsError::InvalidDelta(d) => {
+                write!(f, "confidence parameter δ={d} must be in (0, 1)")
+            }
+            StatsError::InvalidQuantile(r) => {
+                write!(f, "quantile position r={r} must be in (0, 1)")
+            }
+            StatsError::InvalidFraction(x) => {
+                write!(f, "sample fraction {x} must be in (0, 1]")
+            }
+            StatsError::SampleExceedsPopulation { n, population } => write!(
+                f,
+                "sample size {n} exceeds population size {population} \
+                 (sampling is without replacement)"
+            ),
+            StatsError::NonFinite(what) => write!(f, "{what} must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}

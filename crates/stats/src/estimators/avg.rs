@@ -1,0 +1,142 @@
+//! Algorithm 1 — AVG() answer and error-bound estimation.
+//!
+//! The improvement over the EBGS baseline is twofold (Table 1 row 1):
+//! the confidence interval is constructed **only at the terminal sample
+//! size** `n` (no union bound over every step), and the interval itself is
+//! the Hoeffding–Serfling without-replacement bound rather than the
+//! empirical Bernstein bound, which is better suited to small samples.
+
+use crate::bounds::hoeffding_serfling;
+use crate::{MeanEstimate, Result};
+
+/// Runs Algorithm 1 on the sampled model outputs.
+///
+/// * `samples` — model outputs `x_1 … x_n` on the degraded (sampled)
+///   frames; sampling must have been without replacement.
+/// * `population` — `N`, the number of frames naïve execution would process.
+/// * `delta` — `δ`; the returned `err_b` holds with probability `≥ 1 − δ`.
+///
+/// Returns `Y_approx = sgn(x̄)·2·UB·LB/(UB+LB)` and
+/// `err_b = (UB−LB)/(UB+LB)` per Theorem 3.1.
+pub fn avg_estimate(samples: &[f64], population: usize, delta: f64) -> Result<MeanEstimate> {
+    let interval = hoeffding_serfling::interval(samples, population, delta)?;
+    let mean_abs = interval.estimate.abs();
+    let lb = (mean_abs - interval.half_width).max(0.0);
+    let ub = mean_abs + interval.half_width;
+    Ok(MeanEstimate::from_interval(
+        interval.estimate.signum(),
+        lb,
+        ub,
+        interval.n,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::ebgs;
+    use crate::sample::sample_indices;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Car-count-like population: integer, sparse, right-skewed.
+    fn car_counts(seed: u64, n: usize, mean_level: f64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let lambda = mean_level * rng.gen_range(0.4..1.6);
+                // Cheap Poisson-ish draw.
+                let mut k = 0u32;
+                let mut p = 1.0;
+                let l = (-lambda).exp();
+                loop {
+                    p *= rng.gen::<f64>();
+                    if p <= l {
+                        break;
+                    }
+                    k += 1;
+                    if k > 60 {
+                        break;
+                    }
+                }
+                k as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bound_covers_true_error() {
+        let pop = car_counts(1, 10_000, 4.0);
+        let mu: f64 = pop.iter().sum::<f64>() / pop.len() as f64;
+        let trials = 300;
+        let mut covered = 0;
+        for t in 0..trials {
+            let idx = sample_indices(pop.len(), 200, t as u64).unwrap();
+            let s: Vec<f64> = idx.iter().map(|&i| pop[i]).collect();
+            let est = avg_estimate(&s, pop.len(), 0.05).unwrap();
+            if ((est.y_approx - mu) / mu).abs() <= est.err_b {
+                covered += 1;
+            }
+        }
+        assert!(covered as f64 / trials as f64 >= 0.95, "covered={covered}");
+    }
+
+    #[test]
+    fn tighter_than_ebgs() {
+        // Figure 4's headline comparison: same samples, our bound < EBGS.
+        let pop = car_counts(2, 15_000, 6.0);
+        for &n in &[50usize, 150, 500, 1500] {
+            let idx = sample_indices(pop.len(), n, n as u64 * 31).unwrap();
+            let s: Vec<f64> = idx.iter().map(|&i| pop[i]).collect();
+            let ours = avg_estimate(&s, pop.len(), 0.05).unwrap();
+            let theirs = ebgs::run(&s, pop.len(), 0.05).unwrap().estimate;
+            assert!(
+                ours.err_b <= theirs.err_b + 1e-12,
+                "n={n}: ours={} ebgs={}",
+                ours.err_b,
+                theirs.err_b
+            );
+        }
+    }
+
+    #[test]
+    fn err_b_decreases_with_fraction() {
+        let pop = car_counts(3, 8_000, 5.0);
+        let sampler = crate::sample::PrefixSampler::new(pop.len(), 17);
+        let mut prev = f64::INFINITY;
+        for &n in &[80usize, 400, 2000, 6000] {
+            let s: Vec<f64> = sampler.prefix(n).iter().map(|&i| pop[i]).collect();
+            let est = avg_estimate(&s, pop.len(), 0.05).unwrap();
+            assert!(est.err_b < prev, "n={n}: err_b={} prev={prev}", est.err_b);
+            prev = est.err_b;
+        }
+    }
+
+    #[test]
+    fn uninformative_when_sample_range_dwarfs_mean() {
+        let est = avg_estimate(&[0.0, 0.0, 30.0], 10_000, 0.05).unwrap();
+        assert_eq!(est.err_b, 1.0);
+        assert_eq!(est.y_approx, 0.0);
+    }
+
+    #[test]
+    fn exact_at_full_population() {
+        let pop: Vec<f64> = (0..500).map(|i| (i % 9) as f64).collect();
+        let mu: f64 = pop.iter().sum::<f64>() / pop.len() as f64;
+        let est = avg_estimate(&pop, pop.len(), 0.05).unwrap();
+        assert!((est.y_approx - mu).abs() / mu < 0.05);
+        assert!(est.err_b < 0.05);
+    }
+
+    #[test]
+    fn handles_negative_outputs() {
+        // Outputs need not be counts — e.g. a UDF measuring signed offsets.
+        let pop: Vec<f64> = (0..4_000).map(|i| -3.0 - ((i % 5) as f64) * 0.1).collect();
+        let mu: f64 = pop.iter().sum::<f64>() / pop.len() as f64;
+        let idx = sample_indices(pop.len(), 500, 5).unwrap();
+        let s: Vec<f64> = idx.iter().map(|&i| pop[i]).collect();
+        let est = avg_estimate(&s, pop.len(), 0.05).unwrap();
+        assert!(est.y_approx < 0.0);
+        assert!(((est.y_approx - mu) / mu).abs() <= est.err_b);
+    }
+}

@@ -1,0 +1,77 @@
+//! COUNT() estimation (§3.2.3): the number of frames whose predicate holds
+//! is the SUM of per-frame indicator outputs, so the count is reduced to
+//! the SUM estimator over `{0, 1}` values.
+
+use super::sum::sum_estimate;
+use crate::{MeanEstimate, Result, StatsError};
+
+/// Estimates the number of frames satisfying a predicate.
+///
+/// `indicator_samples` must contain only 0.0/1.0 values — the per-frame
+/// predicate outputs on the sampled frames.
+pub fn count_estimate(
+    indicator_samples: &[f64],
+    population: usize,
+    delta: f64,
+) -> Result<MeanEstimate> {
+    if indicator_samples
+        .iter()
+        .any(|&v| v != 0.0 && v != 1.0)
+    {
+        return Err(StatsError::NonFinite(
+            "COUNT indicator samples (must be 0 or 1)",
+        ));
+    }
+    sum_estimate(indicator_samples, population, delta)
+}
+
+/// Convenience: converts raw model outputs to indicators via a threshold
+/// predicate `output ≥ k` and estimates the count of qualifying frames
+/// (the paper's "number of frames when there are varying levels of cars").
+pub fn count_at_least(
+    outputs: &[f64],
+    threshold: f64,
+    population: usize,
+    delta: f64,
+) -> Result<MeanEstimate> {
+    let indicators: Vec<f64> = outputs
+        .iter()
+        .map(|&v| if v >= threshold { 1.0 } else { 0.0 })
+        .collect();
+    count_estimate(&indicators, population, delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::sample_indices;
+
+    #[test]
+    fn rejects_non_indicator_values() {
+        assert!(count_estimate(&[0.0, 0.5, 1.0], 100, 0.05).is_err());
+    }
+
+    #[test]
+    fn count_converges_fast_on_high_prevalence() {
+        // The paper's COUNT curves flatten at tiny fractions (0.0015 for
+        // night-street) because the indicator variance is small when
+        // prevalence is near 0.5+ and range is 1.
+        let pop: Vec<f64> = (0..20_000)
+            .map(|i| if (i * 37) % 10 < 6 { 1.0 } else { 0.0 })
+            .collect();
+        let truth: f64 = pop.iter().sum();
+        let idx = sample_indices(pop.len(), 600, 77).unwrap();
+        let s: Vec<f64> = idx.iter().map(|&i| pop[i]).collect();
+        let est = count_estimate(&s, pop.len(), 0.05).unwrap();
+        assert!(((est.y_approx - truth) / truth).abs() <= est.err_b);
+        assert!(est.err_b < 0.35, "err_b={}", est.err_b);
+    }
+
+    #[test]
+    fn count_at_least_thresholds() {
+        let outputs = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let est = count_at_least(&outputs, 3.0, 6, 0.05).unwrap();
+        // Full population sampled: answer should be near-exact (3 frames).
+        assert!((est.y_approx - 3.0).abs() < 0.5);
+    }
+}

@@ -1,0 +1,105 @@
+//! Aggregate-query answer and error-bound estimators (Section 3.2).
+//!
+//! Each estimator consumes the per-frame outputs of the vision model on a
+//! degraded sample and returns both an approximate query answer and a
+//! `1 − δ` upper bound `err_b` on the **relative** analytical error against
+//! the answer that naïve execution over all `N` frames would produce.
+
+pub mod avg;
+pub mod count;
+pub mod quantile;
+pub mod repair;
+pub mod sum;
+pub mod variance;
+
+use serde::{Deserialize, Serialize};
+
+/// The answer/bound pair produced by the mean-style estimators
+/// (AVG, SUM, COUNT, VAR).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeanEstimate {
+    /// Approximate query answer `Y_approx`.
+    pub y_approx: f64,
+    /// Upper bound of the relative error `|Y_approx − Y_true| / |Y_true|`
+    /// holding with probability at least `1 − δ`.
+    pub err_b: f64,
+    /// Lower bound on `|Y_true|` implied by the confidence interval.
+    pub lb: f64,
+    /// Upper bound on `|Y_true|` implied by the confidence interval.
+    pub ub: f64,
+    /// Sample size consumed.
+    pub n: usize,
+}
+
+impl MeanEstimate {
+    /// Builds the paper's harmonic-style estimate and symmetric relative
+    /// bound from `(LB, UB)` bounds on `|Y_true|` (Theorem 3.1):
+    /// `Y = sgn · 2·UB·LB/(UB+LB)`, `err_b = (UB−LB)/(UB+LB)`.
+    pub fn from_interval(sign: f64, lb: f64, ub: f64, n: usize) -> Self {
+        debug_assert!(lb >= 0.0 && ub >= lb);
+        if lb <= 0.0 {
+            // Uninformative: Theorem 3.1's LB = 0 case.
+            return MeanEstimate {
+                y_approx: 0.0,
+                err_b: 1.0,
+                lb: 0.0,
+                ub,
+                n,
+            };
+        }
+        MeanEstimate {
+            y_approx: sign.signum() * 2.0 * ub * lb / (ub + lb),
+            err_b: (ub - lb) / (ub + lb),
+            lb,
+            ub,
+            n,
+        }
+    }
+
+    /// Scales the estimate by a positive constant (used to lift AVG to SUM:
+    /// `Y_sum = Y_avg · N`). Relative error is scale-invariant.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        debug_assert!(factor > 0.0);
+        self.y_approx *= factor;
+        self.lb *= factor;
+        self.ub *= factor;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_interval_harmonic_identities() {
+        let e = MeanEstimate::from_interval(1.0, 2.0, 8.0, 100);
+        // 2·8·2/(8+2) = 3.2 ; (8−2)/(8+2) = 0.6
+        assert!((e.y_approx - 3.2).abs() < 1e-12);
+        assert!((e.err_b - 0.6).abs() < 1e-12);
+        // Theorem 3.1: |Y|·(1 + err_b)⁻¹ ≤ LB and |Y|·(1 − err_b)⁻¹ ≥ UB.
+        assert!((e.y_approx.abs() - (1.0 + e.err_b) * e.lb).abs() < 1e-12);
+        assert!((e.y_approx.abs() - (1.0 - e.err_b) * e.ub).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_interval_degenerate_lb_zero() {
+        let e = MeanEstimate::from_interval(1.0, 0.0, 5.0, 10);
+        assert_eq!(e.y_approx, 0.0);
+        assert_eq!(e.err_b, 1.0);
+    }
+
+    #[test]
+    fn negative_sign_propagates() {
+        let e = MeanEstimate::from_interval(-1.0, 1.0, 3.0, 10);
+        assert!(e.y_approx < 0.0);
+    }
+
+    #[test]
+    fn scaling_preserves_relative_error() {
+        let e = MeanEstimate::from_interval(1.0, 2.0, 8.0, 100);
+        let s = e.scaled(1000.0);
+        assert_eq!(s.err_b, e.err_b);
+        assert!((s.y_approx - 3200.0).abs() < 1e-9);
+    }
+}

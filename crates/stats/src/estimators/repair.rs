@@ -1,0 +1,203 @@
+//! Algorithm 3 — profile repair for combinations of random and non-random
+//! interventions (§3.2.5).
+//!
+//! Outputs sampled from video degraded by **non-random** interventions
+//! (reduced resolution, image removal) can be systematically biased, so the
+//! bounds of Algorithms 1–2 are no longer valid. A *correction set* — model
+//! outputs on frames degraded by random interventions only — anchors the
+//! estimate: the triangle inequality routes the error through the
+//! correction-set estimate, whose own bound *is* valid, yielding a repaired
+//! bound with no distributional assumption on the non-randomly degraded
+//! outputs.
+
+use crate::estimators::quantile::QuantileEstimate;
+use crate::{MeanEstimate, Result, StatsError};
+
+/// Repairs the error bound of a mean-style estimate (AVG/SUM/COUNT) using a
+/// correction-set estimate (Equation 12):
+///
+/// `err_b = (1 + err_b(v)) · |Y − Y(v)| / |Y(v)| + err_b(v)`.
+///
+/// * `degraded` — the estimate from the (possibly non-randomly) degraded
+///   video, Algorithm 3 line 1.
+/// * `correction` — the estimate computed **only** from the correction set
+///   (random interventions alone), line 2.
+///
+/// The repaired bound holds with the same `1 − δ` probability as the
+/// correction set's bound.
+pub fn repair_mean_bound(degraded: &MeanEstimate, correction: &MeanEstimate) -> Result<f64> {
+    if correction.y_approx == 0.0 {
+        // The correction set itself is uninformative; the repaired bound
+        // degenerates to "no guarantee better than total error".
+        return Ok(f64::INFINITY);
+    }
+    if !degraded.y_approx.is_finite() || !correction.y_approx.is_finite() {
+        return Err(StatsError::NonFinite("repair inputs"));
+    }
+    let shift = (degraded.y_approx - correction.y_approx).abs() / correction.y_approx.abs();
+    Ok((1.0 + correction.err_b) * shift + correction.err_b)
+}
+
+/// Repairs the rank-error bound of a quantile estimate (MAX/MIN) using a
+/// correction set (Equation 13):
+///
+/// `err_b = |rank_v(Y) − rank_v(Y(v))| / r + err_b(v)`,
+///
+/// where `rank_v(·)` is the normalized rank **within the correction set**
+/// — the sampled proxy for the unknown true rank difference.
+///
+/// * `degraded` — quantile estimate from the degraded video.
+/// * `correction` — quantile estimate from the correction set alone.
+/// * `correction_values` — the correction set's raw model outputs
+///   `v_1 … v_m` (needed to rank both estimates).
+pub fn repair_rank_bound(
+    degraded: &QuantileEstimate,
+    correction: &QuantileEstimate,
+    correction_values: &[f64],
+) -> Result<f64> {
+    if correction_values.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    if degraded.r != correction.r {
+        return Err(StatsError::InvalidQuantile(degraded.r));
+    }
+    let m = correction_values.len() as f64;
+    let rank_of = |value: f64| -> f64 {
+        correction_values.iter().filter(|&&v| v <= value).count() as f64 / m
+    };
+    let rank_diff = (rank_of(degraded.y_approx) - rank_of(correction.y_approx)).abs();
+    Ok(rank_diff / degraded.r + correction.err_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimators::avg::avg_estimate;
+    use crate::estimators::quantile::{quantile_estimate, true_rank_error, Extreme};
+    use crate::sample::sample_indices;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Population plus a biased view of it simulating a non-random
+    /// intervention (systematic undercount: low resolution drops objects).
+    fn biased_world(seed: u64, n: usize) -> (Vec<f64>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let truth: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..8.0_f64).floor()).collect();
+        let biased: Vec<f64> = truth
+            .iter()
+            .map(|&v| {
+                // Each object missed with probability 0.3 — the hallmark of
+                // reduced resolution.
+                let mut kept = 0.0;
+                for _ in 0..v as usize {
+                    if rng.gen_bool(0.7) {
+                        kept += 1.0;
+                    }
+                }
+                kept
+            })
+            .collect();
+        (truth, biased)
+    }
+
+    #[test]
+    fn uncorrected_bound_fails_under_bias_but_repair_holds() {
+        let (truth, biased) = biased_world(11, 10_000);
+        let mu: f64 = truth.iter().sum::<f64>() / truth.len() as f64;
+
+        // Estimate from biased outputs at a healthy fraction: the bound is
+        // tight around the *biased* mean and therefore wrong.
+        let idx = sample_indices(truth.len(), 5_000, 3).unwrap();
+        let biased_sample: Vec<f64> = idx.iter().map(|&i| biased[i]).collect();
+        let degraded = avg_estimate(&biased_sample, truth.len(), 0.05).unwrap();
+        let true_err = ((degraded.y_approx - mu) / mu).abs();
+        assert!(
+            degraded.err_b < true_err,
+            "expected the uncorrected bound to be misleading: bound={} true={}",
+            degraded.err_b,
+            true_err
+        );
+
+        // Correction set: unbiased outputs on a random 5% sample.
+        let cidx = sample_indices(truth.len(), 500, 4).unwrap();
+        let correction_sample: Vec<f64> = cidx.iter().map(|&i| truth[i]).collect();
+        let correction = avg_estimate(&correction_sample, truth.len(), 0.05).unwrap();
+
+        let repaired = repair_mean_bound(&degraded, &correction).unwrap();
+        assert!(
+            repaired >= true_err,
+            "repaired bound must cover the truth: repaired={repaired} true={true_err}"
+        );
+    }
+
+    #[test]
+    fn repair_rank_bound_covers_bias() {
+        let (truth, biased) = biased_world(13, 12_000);
+        let r = 0.99;
+
+        let idx = sample_indices(truth.len(), 6_000, 5).unwrap();
+        let biased_sample: Vec<f64> = idx.iter().map(|&i| biased[i]).collect();
+        let degraded =
+            quantile_estimate(&biased_sample, truth.len(), r, 0.05, Extreme::Max).unwrap();
+
+        let cidx = sample_indices(truth.len(), 800, 6).unwrap();
+        let correction_values: Vec<f64> = cidx.iter().map(|&i| truth[i]).collect();
+        let correction =
+            quantile_estimate(&correction_values, truth.len(), r, 0.05, Extreme::Max).unwrap();
+
+        let repaired = repair_rank_bound(&degraded, &correction, &correction_values).unwrap();
+        let true_err = true_rank_error(&truth, degraded.y_approx, r);
+        assert!(
+            repaired >= true_err,
+            "repaired={repaired} true={true_err}"
+        );
+    }
+
+    #[test]
+    fn repair_mean_bound_degenerates_gracefully() {
+        let zero = MeanEstimate {
+            y_approx: 0.0,
+            err_b: 1.0,
+            lb: 0.0,
+            ub: 1.0,
+            n: 3,
+        };
+        let fine = MeanEstimate {
+            y_approx: 2.0,
+            err_b: 0.1,
+            lb: 1.8,
+            ub: 2.2,
+            n: 100,
+        };
+        assert!(repair_mean_bound(&fine, &zero).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn repair_with_unbiased_estimate_stays_close_to_correction_bound() {
+        // When the "degraded" estimate is actually unbiased, the repaired
+        // bound should be roughly the correction bound plus a small shift.
+        let mut rng = StdRng::seed_from_u64(21);
+        let truth: Vec<f64> = (0..8_000).map(|_| rng.gen_range(0.0..5.0_f64).floor()).collect();
+        let idx = sample_indices(truth.len(), 2_000, 8).unwrap();
+        let s: Vec<f64> = idx.iter().map(|&i| truth[i]).collect();
+        let degraded = avg_estimate(&s, truth.len(), 0.05).unwrap();
+        let cidx = sample_indices(truth.len(), 800, 9).unwrap();
+        let cs: Vec<f64> = cidx.iter().map(|&i| truth[i]).collect();
+        let correction = avg_estimate(&cs, truth.len(), 0.05).unwrap();
+        let repaired = repair_mean_bound(&degraded, &correction).unwrap();
+        assert!(repaired < correction.err_b + 0.5);
+    }
+
+    #[test]
+    fn rank_repair_rejects_mismatched_r() {
+        let a = QuantileEstimate {
+            y_approx: 1.0,
+            err_b: 0.1,
+            r: 0.99,
+            f_hat: 0.1,
+            n: 10,
+        };
+        let b = QuantileEstimate { r: 0.95, ..a };
+        assert!(repair_rank_bound(&a, &b, &[1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,50 @@
+//! SUM() estimation (§3.2.2): `Y_true = N·μ`, so the AVG estimate is scaled
+//! by the known video length `N`; relative error — and therefore `err_b` —
+//! is unchanged.
+
+use super::avg::avg_estimate;
+use crate::{MeanEstimate, Result};
+
+/// Estimates `SUM` over the population from sampled outputs.
+///
+/// Assumes the total number of frames `N` (`population`) is known before
+/// processing, as the paper does.
+pub fn sum_estimate(samples: &[f64], population: usize, delta: f64) -> Result<MeanEstimate> {
+    Ok(avg_estimate(samples, population, delta)?.scaled(population as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::sample_indices;
+
+    #[test]
+    fn sum_is_avg_scaled_by_n() {
+        let pop: Vec<f64> = (0..3_000).map(|i| ((i * 7) % 11) as f64).collect();
+        let idx = sample_indices(pop.len(), 300, 8).unwrap();
+        let s: Vec<f64> = idx.iter().map(|&i| pop[i]).collect();
+        let avg = avg_estimate(&s, pop.len(), 0.05).unwrap();
+        let sum = sum_estimate(&s, pop.len(), 0.05).unwrap();
+        assert!((sum.y_approx - avg.y_approx * pop.len() as f64).abs() < 1e-9);
+        assert_eq!(sum.err_b, avg.err_b);
+    }
+
+    #[test]
+    fn bound_covers_true_sum_error() {
+        let pop: Vec<f64> = (0..5_000)
+            .map(|i| if i % 13 == 0 { 9.0 } else { (i % 4) as f64 })
+            .collect();
+        let total: f64 = pop.iter().sum();
+        let mut covered = 0;
+        let trials = 200;
+        for t in 0..trials {
+            let idx = sample_indices(pop.len(), 250, 900 + t as u64).unwrap();
+            let s: Vec<f64> = idx.iter().map(|&i| pop[i]).collect();
+            let est = sum_estimate(&s, pop.len(), 0.05).unwrap();
+            if ((est.y_approx - total) / total).abs() <= est.err_b {
+                covered += 1;
+            }
+        }
+        assert!(covered as f64 / trials as f64 >= 0.95);
+    }
+}

@@ -1,0 +1,103 @@
+//! VAR() estimation — an extension the paper names as future work (§7).
+//!
+//! The population variance decomposes as `Var = E[X²] − (E[X])²`, so two
+//! mean-style confidence intervals — one on the squared outputs, one on
+//! the raw outputs, each the tighter of Hoeffding–Serfling and empirical
+//! Bernstein — combine by interval arithmetic into an interval on the
+//! variance, from which the paper's harmonic estimate and symmetric
+//! relative bound follow exactly as in Theorem 3.1.
+
+use crate::bounds::{empirical_bernstein, hoeffding_serfling, MeanInterval};
+use crate::{MeanEstimate, Result};
+
+/// The tighter of the Hoeffding–Serfling and empirical Bernstein intervals
+/// (both valid at level `δ`, so the minimum is too).
+///
+/// Variance estimation is a small difference of large quantities
+/// (`E[X²] − (E[X])²`), so it needs the variance-adaptive Bernstein width
+/// on the squares, where the raw range `R²` makes range-only bounds
+/// hopeless at realistic sample sizes.
+fn tight_interval(samples: &[f64], population: usize, delta: f64) -> Result<MeanInterval> {
+    let hs = hoeffding_serfling::interval(samples, population, delta)?;
+    let eb = empirical_bernstein::interval(samples, population, delta)?;
+    Ok(if eb.half_width < hs.half_width { eb } else { hs })
+}
+
+/// Estimates the population variance of the model outputs with a `1 − δ`
+/// relative-error bound.
+///
+/// Splits the confidence budget evenly between the two underlying
+/// intervals (`δ/2` each), so the combined interval holds with probability
+/// at least `1 − δ` by the union bound. Relative bounds on VAR are
+/// intrinsically wide: expect informative output only at sample fractions
+/// well above those that suffice for AVG.
+pub fn var_estimate(samples: &[f64], population: usize, delta: f64) -> Result<MeanEstimate> {
+    let squares: Vec<f64> = samples.iter().map(|&v| v * v).collect();
+    let iv_sq = tight_interval(&squares, population, delta / 2.0)?;
+    let iv_mean = tight_interval(samples, population, delta / 2.0)?;
+
+    // Interval on E[X²].
+    let sq_lo = (iv_sq.estimate - iv_sq.half_width).max(0.0);
+    let sq_hi = iv_sq.estimate + iv_sq.half_width;
+    // Interval on (E[X])² via |mean| interval endpoints.
+    let m_lo = (iv_mean.estimate.abs() - iv_mean.half_width).max(0.0);
+    let m_hi = iv_mean.estimate.abs() + iv_mean.half_width;
+
+    let var_lo = (sq_lo - m_hi * m_hi).max(0.0);
+    let var_hi = (sq_hi - m_lo * m_lo).max(0.0);
+
+    Ok(MeanEstimate::from_interval(
+        1.0,
+        var_lo,
+        var_hi.max(var_lo),
+        samples.len(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::sample_indices;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn covers_true_variance() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let pop: Vec<f64> = (0..10_000).map(|_| rng.gen_range(0.0..7.0_f64).floor()).collect();
+        let mu: f64 = pop.iter().sum::<f64>() / pop.len() as f64;
+        let var: f64 = pop.iter().map(|x| (x - mu).powi(2)).sum::<f64>() / pop.len() as f64;
+
+        let mut covered = 0;
+        let trials = 150;
+        for t in 0..trials {
+            let idx = sample_indices(pop.len(), 1_500, 40 + t as u64).unwrap();
+            let s: Vec<f64> = idx.iter().map(|&i| pop[i]).collect();
+            let est = var_estimate(&s, pop.len(), 0.05).unwrap();
+            if ((est.y_approx - var) / var).abs() <= est.err_b {
+                covered += 1;
+            }
+        }
+        assert!(covered as f64 / trials as f64 >= 0.95, "covered={covered}");
+    }
+
+    #[test]
+    fn degenerate_constant_data() {
+        let est = var_estimate(&[4.0; 100], 1_000, 0.05).unwrap();
+        // Variance of a constant is zero; the interval collapses to
+        // an uninformative-but-safe result.
+        assert!(est.y_approx >= 0.0);
+    }
+
+    #[test]
+    fn err_b_shrinks_with_sample_size() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let pop: Vec<f64> = (0..20_000).map(|_| rng.gen_range(0.0..9.0)).collect();
+        let sampler = crate::sample::PrefixSampler::new(pop.len(), 2);
+        let small: Vec<f64> = sampler.prefix(500).iter().map(|&i| pop[i]).collect();
+        let large: Vec<f64> = sampler.prefix(8_000).iter().map(|&i| pop[i]).collect();
+        let e_small = var_estimate(&small, pop.len(), 0.05).unwrap();
+        let e_large = var_estimate(&large, pop.len(), 0.05).unwrap();
+        assert!(e_large.err_b < e_small.err_b);
+    }
+}

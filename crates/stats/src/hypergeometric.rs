@@ -1,0 +1,184 @@
+//! Hypergeometric distribution primitives.
+//!
+//! Algorithm 2 rests on the observation that when `n` frames are sampled
+//! without replacement from `N`, the number of sampled frames whose output
+//! is `≤` some value follows a hypergeometric distribution, which admits a
+//! normal approximation (Nicholson 1956) when `N`, `n`, and the class sizes
+//! are large. This module provides the exact moments, the normal
+//! approximation, and an exact PMF/CDF used in tests to validate the
+//! approximation quality.
+
+use crate::normal;
+
+/// Mean of `Hypergeometric(N, K, n)`: draws without replacement of `n` items
+/// from a population of `N` containing `K` successes.
+pub fn mean(population: u64, successes: u64, draws: u64) -> f64 {
+    if population == 0 {
+        return 0.0;
+    }
+    draws as f64 * successes as f64 / population as f64
+}
+
+/// Variance of `Hypergeometric(N, K, n)`.
+pub fn variance(population: u64, successes: u64, draws: u64) -> f64 {
+    let big_n = population as f64;
+    if population <= 1 {
+        return 0.0;
+    }
+    let k = successes as f64;
+    let n = draws as f64;
+    n * (k / big_n) * (1.0 - k / big_n) * (big_n - n) / (big_n - 1.0)
+}
+
+/// The finite-population correction factor `√((N − n) / (n (N − 1)))` that
+/// appears in the paper's Equation (7)/(8): the standard error of the sample
+/// *fraction* of successes is `√(F(1−F)) ·` this factor.
+pub fn fraction_std_err_factor(population: usize, draws: usize) -> f64 {
+    let big_n = population as f64;
+    let n = draws as f64;
+    if population <= 1 || draws == 0 {
+        return 0.0;
+    }
+    ((big_n - n) / (n * (big_n - 1.0))).sqrt().max(0.0)
+}
+
+/// Normal-approximation CDF of the hypergeometric: `P(X ≤ x)` with a
+/// continuity correction.
+pub fn normal_approx_cdf(population: u64, successes: u64, draws: u64, x: f64) -> f64 {
+    let mu = mean(population, successes, draws);
+    let var = variance(population, successes, draws);
+    if var <= 0.0 {
+        return if x >= mu { 1.0 } else { 0.0 };
+    }
+    normal::phi((x + 0.5 - mu) / var.sqrt())
+}
+
+/// Exact PMF of `Hypergeometric(N, K, n)` at `k`, computed in log space to
+/// stay finite for the population sizes used in experiments (tens of
+/// thousands of frames).
+pub fn pmf(population: u64, successes: u64, draws: u64, k: u64) -> f64 {
+    if k > draws || k > successes {
+        return 0.0;
+    }
+    let failures = population - successes;
+    if draws - k > failures {
+        return 0.0;
+    }
+    (ln_choose(successes, k) + ln_choose(failures, draws - k) - ln_choose(population, draws)).exp()
+}
+
+/// Exact CDF `P(X ≤ x)` by summation of the PMF.
+pub fn cdf(population: u64, successes: u64, draws: u64, x: u64) -> f64 {
+    let hi = x.min(draws).min(successes);
+    let mut acc = 0.0;
+    for k in 0..=hi {
+        acc += pmf(population, successes, draws, k);
+    }
+    acc.min(1.0)
+}
+
+/// `ln C(n, k)` via `ln Γ`.
+fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Lanczos approximation of `ln Γ(x)` for `x > 0`.
+pub fn ln_gamma(x: f64) -> f64 {
+    // Lanczos g=7, n=9 coefficients.
+    const COEF: [f64; 9] = [
+        0.99999999999980993,
+        676.5203681218851,
+        -1259.1392167224028,
+        771.32342877765313,
+        -176.61502916214059,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.9843695780195716e-6,
+        1.5056327351493116e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + 7.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_factorials() {
+        // Γ(n+1) = n!
+        let mut fact = 1.0f64;
+        for n in 1..15u64 {
+            fact *= n as f64;
+            assert!(
+                (ln_gamma(n as f64 + 1.0) - fact.ln()).abs() < 1e-9,
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let (big_n, k, n) = (50, 18, 12);
+        let total: f64 = (0..=n).map(|x| pmf(big_n, k, n, x)).sum();
+        assert!((total - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn moments_match_pmf() {
+        let (big_n, k, n) = (60, 25, 15);
+        let mut mu = 0.0;
+        let mut m2 = 0.0;
+        for x in 0..=n {
+            let p = pmf(big_n, k, n, x);
+            mu += x as f64 * p;
+            m2 += (x as f64).powi(2) * p;
+        }
+        assert!((mu - mean(big_n, k, n)).abs() < 1e-9);
+        assert!((m2 - mu * mu - variance(big_n, k, n)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn normal_approx_close_to_exact_for_large_parameters() {
+        let (big_n, k, n) = (10_000, 4_000, 500);
+        for x in [150u64, 180, 200, 220, 250] {
+            let exact = cdf(big_n, k, n, x);
+            let approx = normal_approx_cdf(big_n, k, n, x as f64);
+            assert!(
+                (exact - approx).abs() < 0.01,
+                "x={x} exact={exact} approx={approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn fraction_std_err_factor_edges() {
+        assert_eq!(fraction_std_err_factor(1, 1), 0.0);
+        assert_eq!(fraction_std_err_factor(100, 0), 0.0);
+        // Full sample: no sampling error remains.
+        assert!(fraction_std_err_factor(100, 100).abs() < 1e-12);
+        // Factor shrinks with larger draws.
+        assert!(fraction_std_err_factor(1000, 10) > fraction_std_err_factor(1000, 100));
+    }
+
+    #[test]
+    fn degenerate_populations() {
+        assert_eq!(mean(0, 0, 0), 0.0);
+        assert_eq!(variance(1, 1, 1), 0.0);
+        assert_eq!(pmf(10, 5, 3, 4), 0.0); // k > draws
+        assert_eq!(pmf(10, 2, 5, 3), 0.0); // k > successes
+    }
+}

@@ -1,0 +1,65 @@
+//! Statistical substrate for Smokescreen: concentration inequalities and the
+//! paper's query-answer / error-bound estimators.
+//!
+//! This crate is pure math: it never touches frames or detectors. It consumes
+//! slices of per-frame model outputs and produces approximate aggregate
+//! answers together with **upper bounds on the relative analytical error**
+//! that hold with probability at least `1 - δ`.
+//!
+//! Layout mirrors Section 3 of the paper:
+//!
+//! * [`bounds`] — confidence-interval half-widths for the sample mean:
+//!   Hoeffding, Hoeffding–Serfling, empirical Bernstein, the EBGS anytime
+//!   construction (baseline), and the CLT normal bound (brittle baseline).
+//! * [`estimators`] — Algorithm 1 (AVG, plus SUM/COUNT reductions),
+//!   Algorithm 2 (MAX/MIN via extreme quantiles, plus the Stein baseline),
+//!   and Algorithm 3 (profile repair of biased bounds via a correction set).
+//! * [`normal`] / [`hypergeometric`] — distribution primitives implemented
+//!   from scratch (no external stats crate).
+//! * [`sample`] — seeded sampling without replacement, including nested
+//!   prefix samples that power the paper's §3.3.2 reuse strategy.
+//! * [`describe`] — numerically stable summary statistics.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bounds;
+pub mod describe;
+pub mod error;
+pub mod estimators;
+pub mod hypergeometric;
+pub mod normal;
+pub mod sample;
+
+pub use error::StatsError;
+pub use estimators::{
+    avg::avg_estimate,
+    count::count_estimate,
+    quantile::{quantile_estimate, Extreme, QuantileEstimate},
+    repair::{repair_mean_bound, repair_rank_bound},
+    sum::sum_estimate,
+    variance::var_estimate,
+    MeanEstimate,
+};
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, StatsError>;
+
+/// Validates a confidence parameter `δ ∈ (0, 1)`.
+pub(crate) fn check_delta(delta: f64) -> Result<()> {
+    if !(delta > 0.0 && delta < 1.0) {
+        return Err(StatsError::InvalidDelta(delta));
+    }
+    Ok(())
+}
+
+/// Validates that a sample is non-empty and no larger than its population.
+pub(crate) fn check_sample(n: usize, population: usize) -> Result<()> {
+    if n == 0 {
+        return Err(StatsError::EmptySample);
+    }
+    if population < n {
+        return Err(StatsError::SampleExceedsPopulation { n, population });
+    }
+    Ok(())
+}

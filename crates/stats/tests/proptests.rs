@@ -1,0 +1,133 @@
+//! Property-based tests for the statistical substrate.
+
+use proptest::prelude::*;
+
+use smokescreen_stats::bounds::{clt, ebgs, empirical_bernstein, hoeffding, hoeffding_serfling};
+use smokescreen_stats::describe::{Histogram, RunningStats};
+use smokescreen_stats::hypergeometric;
+use smokescreen_stats::normal;
+use smokescreen_stats::sample::sample_indices;
+use smokescreen_stats::{avg_estimate, quantile_estimate, Extreme};
+
+fn samples() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec((0u32..100).prop_map(f64::from), 2..300)
+}
+
+proptest! {
+    #[test]
+    fn intervals_widen_as_delta_shrinks(data in samples()) {
+        let pop = data.len() * 10;
+        for f in [
+            hoeffding::interval, hoeffding_serfling::interval,
+            empirical_bernstein::interval, clt::interval,
+        ] {
+            let strict = f(&data, pop, 0.01).unwrap();
+            let loose = f(&data, pop, 0.20).unwrap();
+            prop_assert!(strict.half_width >= loose.half_width - 1e-12);
+        }
+    }
+
+    #[test]
+    fn interval_estimates_are_the_sample_mean(data in samples()) {
+        let pop = data.len() * 4;
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        for f in [hoeffding::interval, hoeffding_serfling::interval, clt::interval] {
+            let iv = f(&data, pop, 0.05).unwrap();
+            prop_assert!((iv.estimate - mean).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ebgs_estimate_lies_within_its_own_interval(data in samples()) {
+        let pop = data.len() * 3;
+        let out = ebgs::run(&data, pop, 0.05).unwrap();
+        prop_assert!(out.estimate.y_approx.abs() >= out.estimate.lb - 1e-9);
+        prop_assert!(out.estimate.y_approx.abs() <= out.estimate.ub + 1e-9);
+        prop_assert!(out.estimate.err_b >= 0.0 && out.estimate.err_b <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn avg_bound_monotone_in_confidence(data in samples()) {
+        let pop = data.len() * 5;
+        let strict = avg_estimate(&data, pop, 0.01).unwrap();
+        let loose = avg_estimate(&data, pop, 0.30).unwrap();
+        prop_assert!(strict.err_b >= loose.err_b - 1e-12);
+    }
+
+    #[test]
+    fn quantile_bound_positive_and_estimate_sampled(
+        data in samples(),
+        r in 0.05f64..0.95,
+    ) {
+        let pop = data.len() * 2;
+        let q = quantile_estimate(&data, pop, r, 0.05, Extreme::Max).unwrap();
+        prop_assert!(data.contains(&q.y_approx));
+        prop_assert!(q.err_b >= 0.0);
+    }
+
+    #[test]
+    fn hypergeometric_pmf_normalizes(
+        population in 1u64..200,
+        successes_frac in 0.0f64..1.0,
+        draws_frac in 0.0f64..1.0,
+    ) {
+        let successes = (population as f64 * successes_frac) as u64;
+        let draws = ((population as f64 * draws_frac) as u64).max(1).min(population);
+        let total: f64 = (0..=draws)
+            .map(|k| hypergeometric::pmf(population, successes, draws, k))
+            .sum();
+        prop_assert!((total - 1.0).abs() < 1e-8, "total={total}");
+    }
+
+    #[test]
+    fn normal_cdf_monotone(a in -6.0f64..6.0, b in -6.0f64..6.0) {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        prop_assert!(normal::phi(lo) <= normal::phi(hi) + 1e-15);
+    }
+
+    #[test]
+    fn inverse_phi_round_trips(p in 0.0005f64..0.9995) {
+        let x = normal::inverse_phi(p);
+        prop_assert!((normal::phi(x) - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn running_stats_matches_naive(data in samples()) {
+        let s = RunningStats::from_slice(&data);
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / data.len() as f64;
+        prop_assert!((s.mean() - mean).abs() < 1e-6);
+        prop_assert!((s.variance() - var).abs() < 1e-6);
+        prop_assert!(s.min() <= s.max());
+        prop_assert!((s.range() - (s.max() - s.min())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_tv_is_a_pseudometric(data_a in samples(), data_b in samples()) {
+        let mut a = Histogram::new(100);
+        let mut b = Histogram::new(100);
+        for &v in &data_a { a.record(v); }
+        for &v in &data_b { b.record(v); }
+        let ab = a.total_variation(&b);
+        let ba = b.total_variation(&a);
+        prop_assert!((ab - ba).abs() < 1e-12, "symmetry");
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&ab));
+        prop_assert!(a.total_variation(&a) < 1e-12, "identity");
+    }
+
+    #[test]
+    fn samples_are_distinct_and_in_range(
+        population in 1usize..5_000,
+        frac in 0.01f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let n = ((population as f64 * frac) as usize).clamp(1, population);
+        let idx = sample_indices(population, n, seed).unwrap();
+        prop_assert_eq!(idx.len(), n);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), n, "duplicates found");
+        prop_assert!(idx.iter().all(|&i| i < population));
+    }
+}

@@ -1,0 +1,74 @@
+//! Frames: timestamped bags of objects.
+
+use serde::{Deserialize, Serialize};
+
+use crate::object::{Object, ObjectClass};
+
+/// One video frame. The "original video" of the paper is a sequence of
+/// these; destructive interventions never mutate a `Frame`, they produce
+/// degraded *views* (see `smokescreen-degrade`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Index within its corpus (0-based).
+    pub id: u64,
+    /// Capture timestamp in seconds from the start of the recording.
+    pub ts_secs: f64,
+    /// Which synthetic sequence this frame belongs to (UA-DETRAC-style
+    /// corpora contain many sequences; single-camera corpora use 0).
+    pub sequence: u32,
+    /// Ground-truth objects present in the frame.
+    pub objects: Vec<Object>,
+}
+
+impl Frame {
+    /// Number of ground-truth objects of `class` in the frame.
+    pub fn count_class(&self, class: ObjectClass) -> usize {
+        self.objects.iter().filter(|o| o.class == class).count()
+    }
+
+    /// Whether any ground-truth object of `class` is present.
+    pub fn contains_class(&self, class: ObjectClass) -> bool {
+        self.objects.iter().any(|o| o.class == class)
+    }
+
+    /// Whether any of the given classes is present (image-removal test).
+    pub fn contains_any(&self, classes: &[ObjectClass]) -> bool {
+        classes.iter().any(|&c| self.contains_class(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::{BBox, Object};
+
+    fn obj(id: u64, class: ObjectClass) -> Object {
+        Object {
+            id,
+            class,
+            bbox: BBox::new(0.1, 0.1, 0.1, 0.1),
+            contrast: 0.5,
+            occlusion: 0.0,
+        }
+    }
+
+    #[test]
+    fn counting_and_membership() {
+        let f = Frame {
+            id: 0,
+            ts_secs: 0.0,
+            sequence: 0,
+            objects: vec![
+                obj(1, ObjectClass::Car),
+                obj(2, ObjectClass::Car),
+                obj(3, ObjectClass::Person),
+            ],
+        };
+        assert_eq!(f.count_class(ObjectClass::Car), 2);
+        assert_eq!(f.count_class(ObjectClass::Face), 0);
+        assert!(f.contains_class(ObjectClass::Person));
+        assert!(f.contains_any(&[ObjectClass::Face, ObjectClass::Person]));
+        assert!(!f.contains_any(&[ObjectClass::Face]));
+        assert!(!f.contains_any(&[]));
+    }
+}

@@ -1,0 +1,14 @@
+//! Synthetic scene generation.
+//!
+//! [`traffic`] contains the generic traffic-scene engine: a pool of
+//! persistent objects driven by a time-varying arrival process with AR(1)
+//! intensity modulation, which produces the temporal autocorrelation,
+//! burstiness, and person↔car occurrence correlation the paper's
+//! experiments depend on. [`presets`] calibrates the engine to the two
+//! datasets of the paper (night-street and UA-DETRAC).
+
+pub mod presets;
+pub mod traffic;
+
+pub use presets::{detrac, detrac_sequence_pair, night_street, DatasetPreset};
+pub use traffic::{ClassProcess, SceneConfig, SizeModel};

@@ -1,0 +1,227 @@
+//! Calibrated dataset presets mirroring the paper's two corpora.
+//!
+//! Calibration targets come straight from §5.1:
+//!
+//! | statistic | night-street | UA-DETRAC |
+//! |---|---|---|
+//! | frames | 19,463 | 15,210 (12 sequences) |
+//! | fps | 30 | 25 |
+//! | frames containing `person` | 14.18% | 65.86% |
+//! | frames containing `face` | 4.02% | 2.48% |
+//! | traffic character | sparse, night, low contrast | dense, daytime, regime shifts |
+//!
+//! The mean-cars-per-frame targets (≈0.5 night-street, ≈6 UA-DETRAC) are
+//! not printed in the paper; they are chosen to match the qualitative
+//! descriptions (a quiet Jackson Hole street at night vs. busy Beijing /
+//! Tianjin intersections) and the BlazeIt project's published statistics.
+
+use crate::object::Resolution;
+use crate::synth::traffic::{ClassProcess, SceneConfig, SizeModel};
+use crate::VideoCorpus;
+
+/// The two paper datasets, as an enum the bench harness iterates over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetPreset {
+    /// BlazeIt night-street analogue.
+    NightStreet,
+    /// UA-DETRAC analogue.
+    Detrac,
+}
+
+impl DatasetPreset {
+    /// Scene configuration for the preset.
+    pub fn config(self) -> SceneConfig {
+        match self {
+            DatasetPreset::NightStreet => night_street(),
+            DatasetPreset::Detrac => detrac(),
+        }
+    }
+
+    /// Canonical corpus name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetPreset::NightStreet => "night-street",
+            DatasetPreset::Detrac => "ua-detrac",
+        }
+    }
+
+    /// Generates the corpus with the given seed.
+    pub fn generate(self, seed: u64) -> VideoCorpus {
+        self.config().generate(seed)
+    }
+}
+
+/// Night-street: sparse nighttime traffic, low contrast, occasional
+/// pedestrians whose presence correlates with busier moments.
+pub fn night_street() -> SceneConfig {
+    SceneConfig {
+        name: "night-street".into(),
+        frames: 19_463,
+        fps: 30.0,
+        native_resolution: Resolution::square(640),
+        cars: ClassProcess {
+            arrivals_per_frame: 0.021,
+            mean_dwell_frames: 20.0,
+            intensity_coupling: 1.0,
+            size: SizeModel {
+                ln_mean: -2.2,
+                ln_sigma: 0.45,
+                aspect: 1.9,
+                clamp: (0.03, 0.5),
+            },
+        },
+        persons: ClassProcess {
+            arrivals_per_frame: 0.0042,
+            mean_dwell_frames: 30.0,
+            intensity_coupling: 0.8,
+            size: SizeModel {
+                ln_mean: -2.7,
+                ln_sigma: 0.35,
+                aspect: 0.4,
+                clamp: (0.025, 0.3),
+            },
+        },
+        face_visibility: 0.27,
+        ar_phi: 0.97,
+        ar_sigma: 0.15,
+        seasonal_amplitude: 0.35,
+        seasonal_period: 2_500.0,
+        contrast_mean: 0.35,
+        contrast_spread: 0.15,
+        sequence_multipliers: vec![1.0],
+    }
+}
+
+/// UA-DETRAC: dense daytime traffic across 12 sequences with distinct
+/// intensity regimes; pedestrians are common, visible faces rare (traffic
+/// cameras are far from sidewalks).
+pub fn detrac() -> SceneConfig {
+    SceneConfig {
+        name: "ua-detrac".into(),
+        frames: 15_210,
+        fps: 25.0,
+        native_resolution: Resolution::square(608),
+        cars: ClassProcess {
+            arrivals_per_frame: 0.24,
+            mean_dwell_frames: 22.0,
+            intensity_coupling: 1.0,
+            size: SizeModel {
+                ln_mean: -2.0,
+                ln_sigma: 0.4,
+                aspect: 1.7,
+                clamp: (0.04, 0.55),
+            },
+        },
+        persons: ClassProcess {
+            arrivals_per_frame: 0.036,
+            mean_dwell_frames: 40.0,
+            intensity_coupling: 0.7,
+            size: SizeModel {
+                ln_mean: -2.9,
+                ln_sigma: 0.3,
+                aspect: 0.4,
+                clamp: (0.02, 0.25),
+            },
+        },
+        face_visibility: 0.023,
+        ar_phi: 0.96,
+        ar_sigma: 0.12,
+        seasonal_amplitude: 0.25,
+        seasonal_period: 1_100.0,
+        contrast_mean: 0.7,
+        contrast_spread: 0.15,
+        sequence_multipliers: vec![0.5, 0.8, 1.2, 1.5, 0.6, 1.0, 1.4, 0.7, 1.1, 0.9, 1.3, 1.0],
+    }
+}
+
+/// The §5.3.2 similar-video pair: two sequences captured by the *same*
+/// camera at a busy intersection at different times (the paper's MVI_40771
+/// with 1,720 frames and MVI_40775 with 975 frames). Same scene regime,
+/// different realizations.
+pub fn detrac_sequence_pair(seed: u64) -> (VideoCorpus, VideoCorpus) {
+    let mut config = detrac();
+    config.sequence_multipliers = vec![1.3];
+
+    config.name = "detrac-MVI_40771-like".into();
+    config.frames = 1_720;
+    let a = config.generate(seed);
+
+    config.name = "detrac-MVI_40775-like".into();
+    config.frames = 975;
+    let b = config.generate(seed.wrapping_add(1_000));
+
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn night_street_calibration() {
+        let corpus = night_street().generate(42);
+        let s = corpus.stats();
+        assert_eq!(s.frames, 19_463);
+        assert!(
+            s.mean_cars_per_frame > 0.25 && s.mean_cars_per_frame < 1.0,
+            "mean cars {}",
+            s.mean_cars_per_frame
+        );
+        assert!(
+            (s.person_frame_fraction - 0.1418).abs() < 0.06,
+            "person fraction {}",
+            s.person_frame_fraction
+        );
+        assert!(
+            (s.face_frame_fraction - 0.0402).abs() < 0.03,
+            "face fraction {}",
+            s.face_frame_fraction
+        );
+    }
+
+    #[test]
+    fn detrac_calibration() {
+        let corpus = detrac().generate(42);
+        let s = corpus.stats();
+        assert_eq!(s.frames, 15_210);
+        assert!(
+            s.mean_cars_per_frame > 3.0 && s.mean_cars_per_frame < 12.0,
+            "mean cars {}",
+            s.mean_cars_per_frame
+        );
+        assert!(
+            (s.person_frame_fraction - 0.6586).abs() < 0.12,
+            "person fraction {}",
+            s.person_frame_fraction
+        );
+        assert!(
+            (s.face_frame_fraction - 0.0248).abs() < 0.03,
+            "face fraction {}",
+            s.face_frame_fraction
+        );
+    }
+
+    #[test]
+    fn datasets_differ_in_character() {
+        let ns = night_street().generate(1).stats();
+        let dt = detrac().generate(1).stats();
+        assert!(dt.mean_cars_per_frame > 4.0 * ns.mean_cars_per_frame);
+        assert!(dt.person_frame_fraction > ns.person_frame_fraction);
+    }
+
+    #[test]
+    fn sequence_pair_shapes() {
+        let (a, b) = detrac_sequence_pair(7);
+        assert_eq!(a.len(), 1_720);
+        assert_eq!(b.len(), 975);
+        // Same regime: mean car counts within 2x of each other.
+        let (ma, mb) = (a.stats().mean_cars_per_frame, b.stats().mean_cars_per_frame);
+        assert!(ma / mb < 2.0 && mb / ma < 2.0, "ma={ma} mb={mb}");
+    }
+
+    #[test]
+    fn preset_enum_round_trip() {
+        assert_eq!(DatasetPreset::NightStreet.name(), "night-street");
+        assert_eq!(DatasetPreset::Detrac.config().frames, 15_210);
+    }
+}

@@ -1,0 +1,429 @@
+//! The generic traffic-scene engine.
+//!
+//! Frames are produced by simulating a pool of persistent objects:
+//!
+//! * arrivals per frame follow `Poisson(λ_t)` where
+//!   `λ_t = base · seq_mult · exp(a_t)` and `a_t` is an AR(1) process —
+//!   this yields bursty, autocorrelated traffic rather than i.i.d. counts;
+//! * each object lives for a geometrically distributed dwell time, drifting
+//!   across the frame;
+//! * person arrivals share the same intensity process raised to a coupling
+//!   exponent, so frames that contain people systematically contain more
+//!   cars — the correlation that biases image removal (§5.2.2);
+//! * a person whose `face_visible` flag is set contributes a small `Face`
+//!   object occupying the top of the person box.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, LogNormal, Poisson};
+use serde::{Deserialize, Serialize};
+
+use crate::frame::Frame;
+use crate::object::{BBox, Object, ObjectClass, Resolution};
+
+/// Log-normal size model over normalized object height.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SizeModel {
+    /// Mean of `ln(height)`.
+    pub ln_mean: f64,
+    /// Std-dev of `ln(height)`.
+    pub ln_sigma: f64,
+    /// Width = height × aspect (before clamping).
+    pub aspect: f64,
+    /// Hard floor/ceiling on normalized height.
+    pub clamp: (f64, f64),
+}
+
+impl SizeModel {
+    fn sample(&self, rng: &mut StdRng) -> (f32, f32) {
+        let dist = LogNormal::new(self.ln_mean, self.ln_sigma).expect("valid lognormal");
+        let h = dist.sample(rng).clamp(self.clamp.0, self.clamp.1);
+        ((h * self.aspect) as f32, h as f32)
+    }
+}
+
+/// Arrival/dwell process for one object class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassProcess {
+    /// Base arrivals per frame (before intensity modulation).
+    pub arrivals_per_frame: f64,
+    /// Mean dwell time in frames (geometric distribution).
+    pub mean_dwell_frames: f64,
+    /// Exponent coupling this class to the shared intensity process
+    /// (1.0 = fully coupled like cars; 0.0 = independent).
+    pub intensity_coupling: f64,
+    /// Object size model.
+    pub size: SizeModel,
+}
+
+/// Full configuration of a synthetic scene.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SceneConfig {
+    /// Corpus name.
+    pub name: String,
+    /// Total frames to generate (across all sequences).
+    pub frames: usize,
+    /// Frames per second recorded in the corpus metadata.
+    pub fps: f64,
+    /// Native (highest) resolution.
+    pub native_resolution: Resolution,
+    /// Car process.
+    pub cars: ClassProcess,
+    /// Person process.
+    pub persons: ClassProcess,
+    /// Probability that a person has a camera-visible face.
+    pub face_visibility: f64,
+    /// AR(1) coefficient of the log-intensity process (`0 ≤ φ < 1`).
+    pub ar_phi: f64,
+    /// Innovation std-dev of the log-intensity process.
+    pub ar_sigma: f64,
+    /// Sinusoidal seasonal modulation amplitude (fraction of base rate).
+    pub seasonal_amplitude: f64,
+    /// Seasonal period in frames.
+    pub seasonal_period: f64,
+    /// Mean photometric contrast (night ≈ 0.35, day ≈ 0.7).
+    pub contrast_mean: f64,
+    /// Contrast spread (uniform half-width).
+    pub contrast_spread: f64,
+    /// Per-sequence intensity multipliers; sequences get equal shares of
+    /// `frames` (the last absorbs the remainder). Use `vec![1.0]` for a
+    /// single-camera corpus.
+    pub sequence_multipliers: Vec<f64>,
+}
+
+#[derive(Debug, Clone)]
+struct ActiveObject {
+    id: u64,
+    class: ObjectClass,
+    x: f32,
+    y: f32,
+    w: f32,
+    h: f32,
+    dx: f32,
+    dy: f32,
+    contrast: f32,
+    remaining: u32,
+    face_visible: bool,
+}
+
+impl SceneConfig {
+    /// Generates the corpus deterministically from the seed.
+    pub fn generate(&self, seed: u64) -> crate::VideoCorpus {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut frames = Vec::with_capacity(self.frames);
+        let mut next_id: u64 = 1;
+
+        let seqs = self.sequence_multipliers.len().max(1);
+        let per_seq = self.frames / seqs;
+
+        for (seq_idx, &mult) in self
+            .sequence_multipliers
+            .iter()
+            .chain(std::iter::once(&1.0).take(usize::from(self.sequence_multipliers.is_empty())))
+            .enumerate()
+        {
+            let count = if seq_idx == seqs - 1 {
+                self.frames - per_seq * (seqs - 1)
+            } else {
+                per_seq
+            };
+            // Fresh pools per sequence: the camera moved.
+            let mut active: Vec<ActiveObject> = Vec::new();
+            let mut log_intensity = 0.0f64;
+
+            for t in 0..count {
+                // AR(1) log-intensity shared by all classes.
+                log_intensity =
+                    self.ar_phi * log_intensity + self.ar_sigma * standard_normal(&mut rng);
+                let seasonal = 1.0
+                    + self.seasonal_amplitude
+                        * (2.0 * std::f64::consts::PI * t as f64 / self.seasonal_period).sin();
+                let intensity = (log_intensity.exp() * seasonal).max(1e-6);
+
+                self.spawn_class(
+                    &mut rng,
+                    &mut active,
+                    &mut next_id,
+                    ObjectClass::Car,
+                    &self.cars,
+                    mult,
+                    intensity,
+                );
+                self.spawn_class(
+                    &mut rng,
+                    &mut active,
+                    &mut next_id,
+                    ObjectClass::Person,
+                    &self.persons,
+                    mult,
+                    intensity,
+                );
+
+                // Advance and snapshot.
+                let mut objects = Vec::with_capacity(active.len());
+                for a in active.iter_mut() {
+                    a.x += a.dx;
+                    a.y += a.dy;
+                    let bbox = BBox::new(a.x, a.y, a.w, a.h);
+                    let visible = bbox.w > 0.0 && bbox.h > 0.0;
+                    if visible {
+                        objects.push(Object {
+                            id: a.id,
+                            class: a.class,
+                            bbox,
+                            contrast: a.contrast,
+                            occlusion: 0.0,
+                        });
+                        if a.class == ObjectClass::Person && a.face_visible {
+                            // Face occupies the top ~18% of the person box.
+                            let fh = bbox.h * 0.18;
+                            let fw = (bbox.w * 0.6).min(fh);
+                            objects.push(Object {
+                                id: a.id | (1 << 63),
+                                class: ObjectClass::Face,
+                                bbox: BBox::new(
+                                    bbox.x + (bbox.w - fw) / 2.0,
+                                    bbox.y,
+                                    fw,
+                                    fh,
+                                ),
+                                contrast: a.contrast,
+                                occlusion: 0.0,
+                            });
+                        }
+                    }
+                }
+                set_occlusions(&mut objects);
+
+                frames.push(Frame {
+                    id: 0, // rewritten by VideoCorpus::new
+                    ts_secs: frames.len() as f64 / self.fps,
+                    sequence: seq_idx as u32,
+                    objects,
+                });
+
+                // Retire.
+                for a in active.iter_mut() {
+                    a.remaining = a.remaining.saturating_sub(1);
+                }
+                active.retain(|a| a.remaining > 0 && a.x < 1.0 && a.y < 1.0 && a.x > -0.5);
+            }
+        }
+
+        crate::VideoCorpus::new(
+            self.name.clone(),
+            self.fps,
+            self.native_resolution,
+            frames,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn spawn_class(
+        &self,
+        rng: &mut StdRng,
+        active: &mut Vec<ActiveObject>,
+        next_id: &mut u64,
+        class: ObjectClass,
+        proc: &ClassProcess,
+        seq_mult: f64,
+        intensity: f64,
+    ) {
+        let lambda =
+            proc.arrivals_per_frame * seq_mult * intensity.powf(proc.intensity_coupling);
+        let arrivals = if lambda > 0.0 {
+            Poisson::new(lambda).map(|d| d.sample(rng) as u64).unwrap_or(0)
+        } else {
+            0
+        };
+        for _ in 0..arrivals {
+            let (w, h) = proc.size.sample(rng);
+            let dwell = sample_geometric(rng, proc.mean_dwell_frames).max(1);
+            let from_left = rng.gen_bool(0.5);
+            let speed = rng.gen_range(0.2..1.2) / proc.mean_dwell_frames.max(1.0);
+            active.push(ActiveObject {
+                id: *next_id,
+                class,
+                x: if from_left { -w * 0.5 } else { rng.gen_range(0.0..0.9) },
+                y: rng.gen_range(0.15..0.8),
+                w,
+                h,
+                dx: if from_left { speed as f32 } else { (speed * 0.3) as f32 },
+                dy: rng.gen_range(-0.002..0.002),
+                contrast: (self.contrast_mean
+                    + rng.gen_range(-self.contrast_spread..=self.contrast_spread))
+                .clamp(0.05, 1.0) as f32,
+                remaining: dwell,
+                face_visible: class == ObjectClass::Person
+                    && rng.gen_bool(self.face_visibility.clamp(0.0, 1.0)),
+            });
+            *next_id += 1;
+        }
+    }
+}
+
+/// Marks pairwise occlusion: for each object, the max IoU against any other
+/// object drawn later (closer to the camera in our painter's order).
+fn set_occlusions(objects: &mut [Object]) {
+    let boxes: Vec<BBox> = objects.iter().map(|o| o.bbox).collect();
+    for (i, obj) in objects.iter_mut().enumerate() {
+        let mut occ = 0.0f32;
+        for (j, b) in boxes.iter().enumerate() {
+            if j > i {
+                occ = occ.max(obj.bbox.iou(b));
+            }
+        }
+        obj.occlusion = occ.min(0.95);
+    }
+}
+
+fn sample_geometric(rng: &mut StdRng, mean: f64) -> u32 {
+    if mean <= 1.0 {
+        return 1;
+    }
+    let p = 1.0 / mean;
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    ((u.ln() / (1.0 - p).ln()).ceil() as u32).clamp(1, 100_000)
+}
+
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    rand_distr::StandardNormal.sample(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> SceneConfig {
+        SceneConfig {
+            name: "tiny".into(),
+            frames: 2_000,
+            fps: 30.0,
+            native_resolution: Resolution::square(608),
+            cars: ClassProcess {
+                arrivals_per_frame: 0.08,
+                mean_dwell_frames: 20.0,
+                intensity_coupling: 1.0,
+                size: SizeModel {
+                    ln_mean: -2.3,
+                    ln_sigma: 0.4,
+                    aspect: 1.8,
+                    clamp: (0.02, 0.5),
+                },
+            },
+            persons: ClassProcess {
+                arrivals_per_frame: 0.01,
+                mean_dwell_frames: 30.0,
+                intensity_coupling: 0.8,
+                size: SizeModel {
+                    ln_mean: -2.8,
+                    ln_sigma: 0.3,
+                    aspect: 0.4,
+                    clamp: (0.02, 0.3),
+                },
+            },
+            face_visibility: 0.3,
+            ar_phi: 0.95,
+            ar_sigma: 0.18,
+            seasonal_amplitude: 0.3,
+            seasonal_period: 700.0,
+            contrast_mean: 0.5,
+            contrast_spread: 0.2,
+            sequence_multipliers: vec![1.0],
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = tiny_config();
+        let a = c.generate(7);
+        let b = c.generate(7);
+        assert_eq!(a.frames(), b.frames());
+        let c2 = c.generate(8);
+        assert_ne!(a.frames(), c2.frames());
+    }
+
+    #[test]
+    fn generates_requested_frame_count() {
+        let corpus = tiny_config().generate(1);
+        assert_eq!(corpus.len(), 2_000);
+    }
+
+    #[test]
+    fn mean_occupancy_tracks_littles_law() {
+        // E[cars per frame] ≈ arrivals/frame × mean dwell, modulo the
+        // lognormal intensity modulation (E[exp(a)] > 1) and edge exits.
+        let corpus = tiny_config().generate(3);
+        let mean = corpus.stats().mean_cars_per_frame;
+        let expected = 0.08 * 20.0;
+        assert!(
+            mean > expected * 0.5 && mean < expected * 2.5,
+            "mean={mean} expected≈{expected}"
+        );
+    }
+
+    #[test]
+    fn counts_are_autocorrelated() {
+        let corpus = tiny_config().generate(5);
+        let counts = corpus.ground_truth_counts(ObjectClass::Car);
+        let n = counts.len();
+        let mean: f64 = counts.iter().sum::<f64>() / n as f64;
+        let var: f64 = counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / n as f64;
+        let lag1: f64 = counts
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        let rho = lag1 / var;
+        assert!(rho > 0.5, "lag-1 autocorrelation {rho} too low for persistent objects");
+    }
+
+    #[test]
+    fn faces_only_appear_with_persons() {
+        let corpus = tiny_config().generate(9);
+        for f in corpus.frames() {
+            if f.contains_class(ObjectClass::Face) {
+                assert!(f.contains_class(ObjectClass::Person), "frame {}", f.id);
+            }
+        }
+    }
+
+    #[test]
+    fn person_frames_have_more_cars_on_average() {
+        // The coupling exponent must induce positive person↔car correlation.
+        let corpus = tiny_config().generate(11);
+        let (mut with, mut with_n, mut without, mut without_n) = (0.0, 0u32, 0.0, 0u32);
+        for f in corpus.frames() {
+            let cars = f.count_class(ObjectClass::Car) as f64;
+            if f.contains_class(ObjectClass::Person) {
+                with += cars;
+                with_n += 1;
+            } else {
+                without += cars;
+                without_n += 1;
+            }
+        }
+        assert!(with_n > 10 && without_n > 10, "degenerate split");
+        assert!(
+            with / with_n as f64 > without / without_n as f64,
+            "person frames should be busier: {} vs {}",
+            with / with_n as f64,
+            without / without_n as f64
+        );
+    }
+
+    #[test]
+    fn sequences_partition_frames() {
+        let mut c = tiny_config();
+        c.sequence_multipliers = vec![0.5, 1.0, 2.0];
+        c.frames = 1_000;
+        let corpus = c.generate(2);
+        assert_eq!(corpus.len(), 1_000);
+        assert_eq!(corpus.sequence(0).len(), 333);
+        assert_eq!(corpus.sequence(2).len(), 334);
+        // Higher multiplier ⇒ busier sequence.
+        let m0 = corpus.sequence(0).stats().mean_cars_per_frame;
+        let m2 = corpus.sequence(2).stats().mean_cars_per_frame;
+        assert!(m2 > m0, "seq2={m2} seq0={m0}");
+    }
+}

@@ -1,0 +1,64 @@
+//! Pixel-level validation of the analytic detector model: render frames
+//! to real grayscale buffers, downsample them, and recover objects with a
+//! connected-component blob detector. Recall collapses at low resolution
+//! for *physical* reasons (objects dissolve into background noise) — the
+//! same shape the analytic simulators produce, which is what justifies
+//! using them for the large experiments.
+//!
+//! ```sh
+//! cargo run --release --example pixel_pipeline
+//! ```
+
+use smokescreen::models::blob::BlobDetector;
+use smokescreen::models::{Detector, SimYoloV4};
+use smokescreen::video::synth::DatasetPreset;
+use smokescreen::video::{ObjectClass, Resolution};
+
+fn main() {
+    // A small slice: the blob detector touches every pixel, so this is
+    // the expensive path.
+    let corpus = DatasetPreset::Detrac.generate(5).slice(0, 120);
+    let truth: f64 = corpus
+        .frames()
+        .iter()
+        .map(|f| f.count_class(ObjectClass::Car) as f64)
+        .sum();
+
+    let blob = BlobDetector::default();
+    let yolo = SimYoloV4::new(2);
+
+    println!("ground truth: {truth} cars across {} frames\n", corpus.len());
+    println!(
+        "{:>10}  {:>14}  {:>14}  {:>12}",
+        "resolution", "blob(pixels)", "sim-yolo", "blob recall"
+    );
+    for side in [608u32, 416, 320, 224, 160, 96, 48] {
+        let res = Resolution::square(side);
+        let blob_count: f64 = corpus
+            .frames()
+            .iter()
+            .map(|f| blob.count(f, res, ObjectClass::Car))
+            .sum();
+        let yolo_count: f64 = if yolo.supports(res) {
+            corpus
+                .frames()
+                .iter()
+                .map(|f| yolo.count(f, res, ObjectClass::Car))
+                .sum()
+        } else {
+            f64::NAN
+        };
+        println!(
+            "{:>10}  {:>14.0}  {:>14.0}  {:>11.1}%",
+            res.to_string(),
+            blob_count,
+            yolo_count,
+            blob_count / truth * 100.0
+        );
+    }
+
+    println!(
+        "\nBoth columns fall with resolution: the analytic simulator's \
+         logistic response matches the pixel path's behaviour."
+    );
+}

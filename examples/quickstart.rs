@@ -1,0 +1,72 @@
+//! Quickstart: generate a corpus, profile a query, choose a tradeoff, and
+//! run the query under the chosen degradation.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use smokescreen::core::{Aggregate, CorrectionConfig, Preferences, Smokescreen};
+use smokescreen::degrade::CandidateGrid;
+use smokescreen::models::SimYoloV4;
+use smokescreen::video::synth::DatasetPreset;
+use smokescreen::video::ObjectClass;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The "original video": a calibrated UA-DETRAC-like synthetic
+    //    corpus (15,210 frames of dense traffic). In a real deployment
+    //    this is whatever the cameras capture.
+    let corpus = DatasetPreset::Detrac.generate(42);
+    println!("corpus: {} frames — {:?}", corpus.len(), corpus.stats());
+
+    // 2. The query: AVG number of cars per frame, detected by the YOLOv4
+    //    simulator, with 95% confidence bounds.
+    let yolo = SimYoloV4::new(7);
+    let system = Smokescreen::new(&corpus, &yolo, ObjectClass::Car, Aggregate::Avg, 0.05);
+
+    // 3. Intervention candidates: the default grid (1% fraction steps ×
+    //    ten resolutions × person/face removal combinations) would be
+    //    profiled in production; a smaller explicit grid keeps this
+    //    example fast.
+    let grid = CandidateGrid::explicit(
+        vec![0.01, 0.02, 0.05, 0.10, 0.25, 0.50],
+        smokescreen::degrade::grid::uniform_resolutions(&yolo, 128, 608, 5),
+        vec![vec![], vec![ObjectClass::Person]],
+    );
+
+    // 4. Correction set (§3.3.1): sized automatically at the elbow of its
+    //    own error bound.
+    let correction = system.build_correction_set(&CorrectionConfig::default(), 1)?;
+    println!(
+        "correction set: {} frames ({:.1}% of corpus), err_b(v) = {:.4}",
+        correction.len(),
+        correction.fraction * 100.0,
+        correction.estimate.err_b()
+    );
+
+    // 5. Profile generation.
+    let (profile, report) = system.generate_profile(&grid, Some(&correction))?;
+    println!(
+        "profiled {} candidates ({} model runs, {:.1}s simulated model time, {:.1}ms estimation)",
+        profile.len(),
+        report.model_runs,
+        report.model_time_ms / 1e3,
+        report.estimation_time_ms
+    );
+
+    // 6. The administrator's tradeoff: at most 10% analytical error,
+    //    maximize degradation (minimize transmitted bytes).
+    let prefs = Preferences::accuracy(0.10);
+    let chosen = system.choose(&profile, &prefs)?;
+    println!("chosen intervention: {}", chosen.describe());
+
+    // 7. Run the query under the chosen degradation.
+    let estimate = system.estimate(&chosen, 99)?;
+    println!(
+        "AVG(cars) ≈ {:.3} with err_b = {:.3} (truth would be {:.3})",
+        estimate.y_approx(),
+        estimate.err_b(),
+        system.workload().true_answer()
+    );
+
+    Ok(())
+}

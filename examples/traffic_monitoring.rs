@@ -1,0 +1,107 @@
+//! Harry's scenario (paper Examples 1–3): a city computes the average
+//! number of cars per frame on a surveillance road, needs the answer
+//! within 10% of truth, and wants to minimize bandwidth/energy and
+//! privacy exposure from the cameras.
+//!
+//! ```sh
+//! cargo run --release --example traffic_monitoring
+//! ```
+
+use smokescreen::camera::{Camera, Fleet, Link};
+use smokescreen::core::{Aggregate, CorrectionConfig, Preferences, Smokescreen};
+use smokescreen::degrade::{CandidateGrid, InterventionSet};
+use smokescreen::models::SimMaskRcnn;
+use smokescreen::video::synth::DatasetPreset;
+use smokescreen::video::ObjectClass;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = DatasetPreset::NightStreet.generate(7);
+    let mask_rcnn = SimMaskRcnn::new(3);
+
+    println!("== Harry's weekend car-counting query ==");
+    println!(
+        "night-street corpus: {} frames, mean cars/frame (ground truth) = {:.3}",
+        corpus.len(),
+        corpus.stats().mean_cars_per_frame
+    );
+
+    // Profile the query so Harry can see the tradeoff curve instead of
+    // guessing a resolution (Example 1's failure mode).
+    let system = Smokescreen::new(&corpus, &mask_rcnn, ObjectClass::Car, Aggregate::Avg, 0.05);
+    let grid = CandidateGrid::explicit(
+        vec![0.02, 0.05, 0.1, 0.2, 0.5, 0.8],
+        smokescreen::degrade::grid::uniform_resolutions(&mask_rcnn, 128, 640, 5),
+        vec![vec![]],
+    );
+    let correction = system.build_correction_set(&CorrectionConfig::default(), 11)?;
+    let (profile, _) = system.generate_profile(&grid, Some(&correction))?;
+
+    // Example 2: Harry reads the curve and finds the most degraded
+    // setting that keeps the bound within the city's error budget. The
+    // maintenance department asks for 10%, but night-street counts are
+    // sparse (≈0.4 cars/frame), so if no guaranteed setting reaches 10%
+    // Harry relaxes to 20% and records the compromise — exactly the
+    // negotiation the profile exists to support.
+    let chosen = match system.choose(&profile, &Preferences::accuracy(0.10)) {
+        Ok(set) => {
+            println!("\n10% error budget is attainable");
+            set
+        }
+        Err(_) => {
+            println!("\nno guaranteed setting meets 10% on this sparse video; relaxing to 20%");
+            system.choose(&profile, &Preferences::accuracy(0.20))?
+        }
+    };
+    println!("profile has {} candidates; chosen: {}", profile.len(), chosen.describe());
+
+    let estimate = system.estimate(&chosen, 5)?;
+    let truth = system.workload().true_answer();
+    println!(
+        "estimated AVG(cars) = {:.3} ± {:.1}% (bound), truth {:.3}, actual error {:.1}%",
+        estimate.y_approx(),
+        estimate.err_b() * 100.0,
+        truth,
+        ((estimate.y_approx() - truth) / truth).abs() * 100.0
+    );
+
+    // What the degradation buys at the camera: compare full-fidelity
+    // transmission against the chosen intervention across a small fleet.
+    let fleet = Fleet {
+        cameras: vec![
+            Camera::new("main-street", corpus.slice(0, 6_000), Link::SENSOR_NET),
+            Camera::new("bridge", corpus.slice(6_000, 12_000), Link::SENSOR_NET),
+            Camera::new("parking", corpus.slice(12_000, corpus.len()), Link::SENSOR_NET),
+        ],
+    };
+    let before = fleet.transmit_all(&InterventionSet::none(), 1)?;
+    let after = fleet.transmit_all(&chosen, 1)?;
+
+    println!("\n== fleet impact of the chosen degradation ==");
+    println!(
+        "bytes:    {:>12} → {:>12}  ({:.1}% of original)",
+        before.total_bytes(),
+        after.total_bytes(),
+        after.total_bytes() as f64 / before.total_bytes() as f64 * 100.0
+    );
+    println!(
+        "energy:   {:>10.1} J → {:>10.1} J",
+        before.total_energy_j(),
+        after.total_energy_j()
+    );
+    println!(
+        "privacy:  exposure {:>8.1} → {:>8.1}",
+        before.total_exposure(),
+        after.total_exposure()
+    );
+    for report in &after.cameras {
+        println!(
+            "  {:>12}: {} frames, {:.2} MB, uplink busy {:.0}s",
+            report.camera,
+            report.frames_shipped,
+            report.bytes as f64 / 1e6,
+            report.transmit_seconds
+        );
+    }
+
+    Ok(())
+}

@@ -1,0 +1,199 @@
+//! `smokescreen-cli` — interactive shell for the video degradation-
+//! accuracy profiling system.
+//!
+//! ```text
+//! $ cargo run --release --bin smokescreen-cli
+//! smokescreen> load detrac traffic 42
+//! smokescreen> stats traffic
+//! smokescreen> SELECT AVG(car) FROM traffic SAMPLE 0.1
+//! smokescreen> profile traffic avg 0.15
+//! smokescreen> quit
+//! ```
+//!
+//! A single query can also be passed as arguments for one-shot use:
+//! `smokescreen-cli "SELECT AVG(car) FROM detrac SAMPLE 0.1"` (the two
+//! paper presets are pre-registered under `detrac` and `nightstreet`).
+
+use std::io::{BufRead, Write};
+
+use smokescreen::core::{Aggregate, CorrectionConfig, Preferences, Smokescreen};
+use smokescreen::degrade::CandidateGrid;
+use smokescreen::models::SimYoloV4;
+use smokescreen::query::QueryEngine;
+use smokescreen::video::synth::DatasetPreset;
+use smokescreen::video::{ObjectClass, VideoCorpus};
+
+struct Shell {
+    engine: QueryEngine,
+    corpora: Vec<(String, VideoCorpus)>,
+}
+
+impl Shell {
+    fn new() -> Self {
+        let mut shell = Shell {
+            engine: QueryEngine::new(1, 7),
+            corpora: Vec::new(),
+        };
+        shell.load("detrac", DatasetPreset::Detrac, 42);
+        shell.load("nightstreet", DatasetPreset::NightStreet, 42);
+        shell
+    }
+
+    fn load(&mut self, name: &str, preset: DatasetPreset, seed: u64) {
+        let corpus = preset.generate(seed);
+        self.engine.register(name, corpus.clone());
+        self.corpora.retain(|(n, _)| n != name);
+        self.corpora.push((name.to_string(), corpus));
+    }
+
+    fn corpus(&self, name: &str) -> Option<&VideoCorpus> {
+        self.corpora.iter().find(|(n, _)| n == name).map(|(_, c)| c)
+    }
+
+    /// Executes one line; returns false to exit.
+    fn dispatch(&mut self, line: &str) -> bool {
+        let line = line.trim();
+        if line.is_empty() {
+            return true;
+        }
+        let words: Vec<&str> = line.split_whitespace().collect();
+        match words[0].to_ascii_lowercase().as_str() {
+            "quit" | "exit" => return false,
+            "help" => self.help(),
+            "corpora" => {
+                for (name, corpus) in &self.corpora {
+                    println!("  {name}: {} frames @ {}", corpus.len(), corpus.native_resolution);
+                }
+            }
+            "load" => match (words.get(1), words.get(2)) {
+                (Some(&preset), name) => {
+                    let preset_enum = match preset {
+                        "detrac" => Some(DatasetPreset::Detrac),
+                        "nightstreet" | "night-street" => Some(DatasetPreset::NightStreet),
+                        _ => None,
+                    };
+                    let seed = words.get(3).and_then(|s| s.parse().ok()).unwrap_or(42);
+                    match preset_enum {
+                        Some(p) => {
+                            let name = name.copied().unwrap_or(preset).to_string();
+                            self.load(&name, p, seed);
+                            println!("loaded {name} (seed {seed})");
+                        }
+                        None => println!("unknown preset {preset:?}; try detrac|nightstreet"),
+                    }
+                }
+                _ => println!("usage: load <detrac|nightstreet> [name] [seed]"),
+            },
+            "stats" => match words.get(1).and_then(|n| self.corpus(n)) {
+                Some(corpus) => println!("  {:?}", corpus.stats()),
+                None => println!("usage: stats <corpus> (see `corpora`)"),
+            },
+            "profile" => self.profile(&words),
+            "select" => match self.engine.run(line) {
+                Ok(out) => println!("  {out}"),
+                Err(e) => println!("  error: {e}"),
+            },
+            other => println!("unknown command {other:?}; try `help`"),
+        }
+        true
+    }
+
+    fn profile(&self, words: &[&str]) {
+        let Some(corpus) = words.get(1).and_then(|n| self.corpus(n)) else {
+            println!("usage: profile <corpus> <avg|sum|count|max> [max_error]");
+            return;
+        };
+        let aggregate = match words.get(2).map(|s| s.to_ascii_lowercase()).as_deref() {
+            Some("avg") | None => Aggregate::Avg,
+            Some("sum") => Aggregate::Sum,
+            Some("count") => Aggregate::Count { at_least: 1.0 },
+            Some("max") => Aggregate::Max { r: 0.99 },
+            Some(other) => {
+                println!("unknown aggregate {other:?}");
+                return;
+            }
+        };
+        let max_error: f64 = words.get(3).and_then(|s| s.parse().ok()).unwrap_or(0.15);
+
+        let yolo = SimYoloV4::new(1);
+        let system = Smokescreen::new(corpus, &yolo, ObjectClass::Car, aggregate, 0.05);
+        let grid = CandidateGrid::explicit(
+            vec![0.02, 0.05, 0.1, 0.25, 0.5, 0.8],
+            smokescreen::degrade::grid::uniform_resolutions(&yolo, 128, 608, 4),
+            vec![vec![], vec![ObjectClass::Person]],
+        );
+        println!("building correction set + profile ({} candidates)…", grid.len());
+        let correction = match system.build_correction_set(&CorrectionConfig::default(), 1) {
+            Ok(cs) => cs,
+            Err(e) => {
+                println!("correction set failed: {e}");
+                return;
+            }
+        };
+        match system.generate_profile(&grid, Some(&correction)) {
+            Ok((profile, report)) => {
+                println!(
+                    "profiled {} points; {} model runs, {:.1}ms estimation",
+                    profile.len(),
+                    report.model_runs,
+                    report.estimation_time_ms
+                );
+                for (f, err) in profile.curve_over_fraction(None, &[]) {
+                    println!("  f={f:.2} p=native → err_b={err:.3}");
+                }
+                match system.choose(&profile, &Preferences::accuracy(max_error)) {
+                    Ok(set) => {
+                        println!("recommended (err_b ≤ {max_error}): {}", set.describe())
+                    }
+                    Err(_) => println!("no candidate meets max_error={max_error}"),
+                }
+            }
+            Err(e) => println!("profile generation failed: {e}"),
+        }
+    }
+
+    fn help(&self) {
+        println!(
+            "commands:\n  \
+             SELECT …                  run a query (see README for grammar)\n  \
+             corpora                   list registered corpora\n  \
+             load <preset> [name] [s]  register a preset corpus\n  \
+             stats <corpus>            corpus calibration statistics\n  \
+             profile <corpus> <agg> [max_error]\n                            \
+             generate a profile and recommend a tradeoff\n  \
+             help | quit"
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut shell = Shell::new();
+
+    if !args.is_empty() {
+        // One-shot mode.
+        let line = args.join(" ");
+        shell.dispatch(&line);
+        return;
+    }
+
+    println!("Smokescreen — controlled intentional degradation (type `help`)");
+    let stdin = std::io::stdin();
+    loop {
+        print!("smokescreen> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {
+                if !shell.dispatch(&line) {
+                    break;
+                }
+            }
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+    }
+}

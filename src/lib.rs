@@ -1,0 +1,13 @@
+//! Smokescreen — controlled intentional degradation for analytical video
+//! systems.
+//!
+//! Facade crate re-exporting the full workspace. See the README for a
+//! quickstart and `DESIGN.md` for the system inventory.
+
+pub use smokescreen_camera as camera;
+pub use smokescreen_core as core;
+pub use smokescreen_degrade as degrade;
+pub use smokescreen_models as models;
+pub use smokescreen_query as query;
+pub use smokescreen_stats as stats;
+pub use smokescreen_video as video;

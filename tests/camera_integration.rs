@@ -1,0 +1,94 @@
+//! Integration: the policy arithmetic administrators actually act on —
+//! what each intervention knob buys in bytes, joules, and exposure, and
+//! that the accounting is internally consistent.
+
+use smokescreen::camera::{Camera, Fleet, Link, PrivacyAuditor};
+use smokescreen::degrade::{DegradedView, InterventionSet, RestrictionIndex};
+use smokescreen::video::codec::Quality;
+use smokescreen::video::synth::DatasetPreset;
+use smokescreen::video::{ObjectClass, Resolution};
+
+fn fleet() -> Fleet {
+    Fleet {
+        cameras: vec![Camera::new(
+            "cam",
+            DatasetPreset::NightStreet.generate(90).slice(0, 5_000),
+            Link::SENSOR_NET,
+        )],
+    }
+}
+
+#[test]
+fn each_knob_buys_its_own_policy_good() {
+    let f = fleet();
+    let base = f.transmit_all(&InterventionSet::none(), 1).unwrap();
+
+    // Sampling: bytes fall proportionally.
+    let sampled = f.transmit_all(&InterventionSet::sampling(0.25), 1).unwrap();
+    let ratio = sampled.total_bytes() as f64 / base.total_bytes() as f64;
+    assert!((ratio - 0.25).abs() < 0.01, "ratio={ratio}");
+
+    // Resolution: bytes fall quadratically in the side length.
+    let shrunk = f
+        .transmit_all(&InterventionSet::none().with_resolution(Resolution::square(160)), 1)
+        .unwrap();
+    let expected = (160.0f64 * 160.0) / (640.0 * 640.0);
+    let ratio = shrunk.total_bytes() as f64 / base.total_bytes() as f64;
+    assert!((ratio - expected).abs() / expected < 0.05, "ratio={ratio}");
+
+    // Compression: fewer bytes at identical geometry.
+    let compressed = f
+        .transmit_all(&InterventionSet::none().with_quality(Quality::new(0.3)), 1)
+        .unwrap();
+    assert!(compressed.total_bytes() < base.total_bytes());
+
+    // Blur: same bytes (frames unchanged in size), less exposure.
+    let blurred = f
+        .transmit_all(
+            &InterventionSet::none().with_blur(&[ObjectClass::Person, ObjectClass::Face]),
+            1,
+        )
+        .unwrap();
+    assert_eq!(blurred.total_bytes(), base.total_bytes());
+    assert!(blurred.total_exposure() < base.total_exposure() * 0.05);
+
+    // Removal: both bytes and exposure fall.
+    let removed = f
+        .transmit_all(
+            &InterventionSet::none().with_restricted(&[ObjectClass::Person, ObjectClass::Face]),
+            1,
+        )
+        .unwrap();
+    assert!(removed.total_bytes() < base.total_bytes());
+    assert_eq!(removed.total_exposure(), 0.0);
+}
+
+#[test]
+fn link_time_is_bytes_over_bandwidth() {
+    let f = fleet();
+    let report = f.transmit_all(&InterventionSet::sampling(0.1), 2).unwrap();
+    let cam = &report.cameras[0];
+    let expected = cam.bytes as f64 * 8.0 / Link::SENSOR_NET.bandwidth_bps as f64;
+    assert!((cam.transmit_seconds - expected).abs() < 1e-9);
+}
+
+#[test]
+fn auditor_view_totals_match_per_frame_sums() {
+    let corpus = DatasetPreset::Detrac.generate(91).slice(0, 800);
+    let idx =
+        RestrictionIndex::from_ground_truth(&corpus, &[ObjectClass::Person, ObjectClass::Face]);
+    let view = DegradedView::new(&corpus, InterventionSet::none(), &idx, 4).unwrap();
+    let auditor = PrivacyAuditor::default();
+    let total = auditor.score_view(&view);
+
+    let mut shipped = 0usize;
+    let mut faces = 0.0;
+    let res = view.resolution();
+    for i in 0..view.len() {
+        let r = auditor.score_frame(&view.frame(i).unwrap(), res);
+        shipped += r.sensitive_objects_shipped;
+        faces += r.recognizable_faces;
+    }
+    assert_eq!(total.sensitive_objects_shipped, shipped);
+    assert!((total.recognizable_faces - faces).abs() < 1e-9);
+}

@@ -1,0 +1,81 @@
+//! Reproducibility guarantees: everything keyed by a seed must replay
+//! identically, and model outputs must not depend on processing order —
+//! the property that makes the §3.3.2 reuse cache sound.
+
+use smokescreen::core::{Aggregate, GeneratorConfig, Smokescreen};
+use smokescreen::degrade::{CandidateGrid, DegradedView, InterventionSet, RestrictionIndex};
+use smokescreen::models::{Detector, SimMaskRcnn, SimYoloV4};
+use smokescreen::query::QueryEngine;
+use smokescreen::video::synth::DatasetPreset;
+use smokescreen::video::{ObjectClass, Resolution};
+
+#[test]
+fn corpora_replay_identically_per_seed() {
+    let a = DatasetPreset::NightStreet.generate(9);
+    let b = DatasetPreset::NightStreet.generate(9);
+    assert_eq!(a.frames(), b.frames());
+    let c = DatasetPreset::NightStreet.generate(10);
+    assert_ne!(a.frames(), c.frames());
+}
+
+#[test]
+fn detector_outputs_do_not_depend_on_visit_order() {
+    let corpus = DatasetPreset::Detrac.generate(4).slice(0, 300);
+    let yolo = SimYoloV4::new(4);
+    let res = Resolution::square(320);
+
+    // Forward pass.
+    let forward: Vec<_> = corpus
+        .frames()
+        .iter()
+        .map(|f| yolo.detect(f, res))
+        .collect();
+    // Reverse pass must produce identical per-frame outputs.
+    let mut reverse: Vec<_> = corpus
+        .frames()
+        .iter()
+        .rev()
+        .map(|f| yolo.detect(f, res))
+        .collect();
+    reverse.reverse();
+    assert_eq!(forward, reverse);
+}
+
+#[test]
+fn degraded_views_replay_per_seed() {
+    let corpus = DatasetPreset::NightStreet.generate(5).slice(0, 1_000);
+    let idx = RestrictionIndex::from_ground_truth(&corpus, &[ObjectClass::Person]);
+    let set = InterventionSet::sampling(0.2).with_restricted(&[ObjectClass::Person]);
+    let a = DegradedView::new(&corpus, set.clone(), &idx, 3).unwrap();
+    let b = DegradedView::new(&corpus, set.clone(), &idx, 3).unwrap();
+    assert_eq!(a.sampled_indices(), b.sampled_indices());
+    let c = DegradedView::new(&corpus, set, &idx, 4).unwrap();
+    assert_ne!(a.sampled_indices(), c.sampled_indices());
+}
+
+#[test]
+fn profiles_replay_per_config() {
+    let corpus = DatasetPreset::Detrac.generate(6).slice(0, 1_500);
+    let mask = SimMaskRcnn::new(6);
+    let system = Smokescreen::new(&corpus, &mask, ObjectClass::Car, Aggregate::Avg, 0.05)
+        .with_config(GeneratorConfig {
+            seed: 11,
+            ..GeneratorConfig::default()
+        });
+    let grid = CandidateGrid::explicit(
+        vec![0.05, 0.15],
+        vec![Resolution::square(256), Resolution::square(640)],
+        vec![vec![]],
+    );
+    let (p1, _) = system.generate_profile(&grid, None).unwrap();
+    let (p2, _) = system.generate_profile(&grid, None).unwrap();
+    assert_eq!(p1, p2);
+}
+
+#[test]
+fn query_engine_is_referentially_transparent() {
+    let mut engine = QueryEngine::new(2, 13);
+    engine.register("v", DatasetPreset::NightStreet.generate(7).slice(0, 2_000));
+    let q = "SELECT COUNT(car >= 1) FROM v SAMPLE 0.1";
+    assert_eq!(engine.run(q).unwrap(), engine.run(q).unwrap());
+}

@@ -1,0 +1,91 @@
+//! End-to-end workflow test spanning every crate: corpus synthesis →
+//! detector → interventions → profile generation with correction →
+//! administration → tradeoff choice → degraded query execution → camera
+//! fleet accounting.
+
+use smokescreen::camera::{Camera, Fleet, Link};
+use smokescreen::core::{
+    true_relative_error, Aggregate, CorrectionConfig, Preferences, Smokescreen,
+};
+use smokescreen::degrade::CandidateGrid;
+use smokescreen::models::SimYoloV4;
+use smokescreen::video::synth::DatasetPreset;
+use smokescreen::video::{ObjectClass, Resolution};
+
+#[test]
+fn the_paper_workflow_runs_end_to_end() {
+    let corpus = DatasetPreset::Detrac.generate(1).slice(0, 4_000);
+    let yolo = SimYoloV4::new(1);
+    let system = Smokescreen::new(&corpus, &yolo, ObjectClass::Car, Aggregate::Avg, 0.05);
+
+    // Profile generation with a repaired grid.
+    let grid = CandidateGrid::explicit(
+        vec![0.02, 0.05, 0.1, 0.3],
+        vec![Resolution::square(256), Resolution::square(608)],
+        vec![vec![], vec![ObjectClass::Face]],
+    );
+    let correction = system
+        .build_correction_set(&CorrectionConfig::default(), 5)
+        .expect("correction set builds");
+    let (profile, report) = system
+        .generate_profile(&grid, Some(&correction))
+        .expect("profile generates");
+    assert_eq!(profile.len(), 16);
+    assert!(report.model_runs > 0);
+    assert!(report.cache_hits > 0, "nested fractions must reuse outputs");
+
+    // Administration: initial view plus a refined slice.
+    let mut session = system.admin_session(profile.clone());
+    let view = session.initial_view();
+    assert!(!view.over_fraction.is_empty());
+    assert!(!view.over_resolution.is_empty());
+
+    // Tradeoff choice under a realistic preference.
+    let mut prefs = Preferences::accuracy(0.5);
+    prefs.required_removals = vec![ObjectClass::Face];
+    let chosen = system.choose(&profile, &prefs).expect("feasible tradeoff");
+    assert!(chosen.restricted.contains(&ObjectClass::Face));
+
+    // The degraded query actually meets the profiled promise against the
+    // oracle truth (correction-repaired bounds hold under bias).
+    let estimate = system.estimate(&chosen, 77).expect("query runs");
+    let population = system.workload().population_outputs();
+    let true_err = true_relative_error(Aggregate::Avg, &estimate, &population);
+    let point = profile
+        .points
+        .iter()
+        .find(|p| p.set == chosen)
+        .expect("chosen candidate was profiled");
+    assert!(
+        true_err <= point.err_b + 0.05,
+        "profiled bound {} should cover the realized error {true_err}",
+        point.err_b
+    );
+
+    // Policy accounting: the chosen degradation reduces fleet costs.
+    let fleet = Fleet {
+        cameras: vec![Camera::new("cam-0", corpus.clone(), Link::SENSOR_NET)],
+    };
+    let before = fleet
+        .transmit_all(&smokescreen::degrade::InterventionSet::none(), 3)
+        .unwrap();
+    let after = fleet.transmit_all(&chosen, 3).unwrap();
+    assert!(after.total_bytes() < before.total_bytes());
+    assert!(after.total_exposure() <= before.total_exposure());
+}
+
+#[test]
+fn profiles_serialize_and_survive_round_trips() {
+    let corpus = DatasetPreset::NightStreet.generate(2).slice(0, 2_000);
+    let yolo = SimYoloV4::new(2);
+    let system = Smokescreen::new(&corpus, &yolo, ObjectClass::Car, Aggregate::Avg, 0.05);
+    let grid = CandidateGrid::explicit(
+        vec![0.05, 0.2],
+        vec![Resolution::square(320)],
+        vec![vec![]],
+    );
+    let (profile, _) = system.generate_profile(&grid, None).unwrap();
+    let json = profile.to_json().unwrap();
+    let back = smokescreen::core::Profile::from_json(&json).unwrap();
+    assert_eq!(profile, back);
+}

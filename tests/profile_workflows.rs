@@ -1,0 +1,94 @@
+//! Integration: profile artifacts and the similar-video transfer workflow.
+
+use smokescreen::core::similarity::profile_difference;
+use smokescreen::core::{Aggregate, GeneratorConfig, Preferences, Smokescreen};
+use smokescreen::degrade::CandidateGrid;
+use smokescreen::models::SimYoloV4;
+use smokescreen::video::synth::detrac_sequence_pair;
+use smokescreen::video::{ObjectClass, Resolution};
+
+fn grid() -> CandidateGrid {
+    CandidateGrid::explicit(
+        vec![0.05, 0.1, 0.2, 0.4],
+        vec![Resolution::square(320), Resolution::square(608)],
+        vec![vec![]],
+    )
+}
+
+#[test]
+fn similar_video_profile_transfers_to_the_sensitive_one() {
+    // The §3.3.1 fallback: when video A is too sensitive to touch at all,
+    // profile the visually similar video B and transfer the curve.
+    let (video_a, video_b) = detrac_sequence_pair(5);
+    let yolo = SimYoloV4::new(1);
+
+    let config = GeneratorConfig {
+        early_stop_improvement: None,
+        ..GeneratorConfig::default()
+    };
+    let system_a = Smokescreen::new(&video_a, &yolo, ObjectClass::Car, Aggregate::Avg, 0.05)
+        .with_config(config);
+    let system_b = Smokescreen::new(&video_b, &yolo, ObjectClass::Car, Aggregate::Avg, 0.05)
+        .with_config(config);
+
+    let (profile_a, _) = system_a.generate_profile(&grid(), None).unwrap();
+    let (profile_b, _) = system_b.generate_profile(&grid(), None).unwrap();
+
+    let diff = profile_difference(&profile_a, &profile_b);
+    assert_eq!(diff.len(), grid().len(), "every candidate must align");
+    assert!(
+        diff.mean_abs_difference() < 0.15,
+        "similar videos must yield similar profiles: mean diff {}",
+        diff.mean_abs_difference()
+    );
+
+    // Transferring B's recommendation to A keeps A within a reasonable
+    // factor of its own profiled bound.
+    let prefs = Preferences::accuracy(0.5);
+    let chosen_b = system_b.choose(&profile_b, &prefs).unwrap();
+    let a_point = profile_a
+        .points
+        .iter()
+        .find(|p| p.set == chosen_b)
+        .expect("same grid");
+    assert!(
+        a_point.err_b <= prefs.max_error + diff.max_abs_difference(),
+        "transferred choice must stay near-feasible on A: {} vs {}",
+        a_point.err_b,
+        prefs.max_error
+    );
+}
+
+#[test]
+fn profiles_support_the_full_slice_api() {
+    let (video_a, _) = detrac_sequence_pair(6);
+    let yolo = SimYoloV4::new(2);
+    let system = Smokescreen::new(&video_a, &yolo, ObjectClass::Car, Aggregate::Avg, 0.05)
+        .with_config(GeneratorConfig {
+            early_stop_improvement: None,
+            ..GeneratorConfig::default()
+        });
+    let (profile, _) = system.generate_profile(&grid(), None).unwrap();
+
+    // Fraction curves exist per resolution; bounds decrease with f.
+    for res in [Some(Resolution::square(320)), None] {
+        let curve = profile.curve_over_fraction(res, &[]);
+        assert_eq!(curve.len(), 4, "res {res:?}");
+        assert!(
+            curve.first().unwrap().1 >= curve.last().unwrap().1,
+            "bounds should tighten with fraction: {curve:?}"
+        );
+    }
+    // Resolution curve at a fixed fraction has both entries (608 is the
+    // native resolution and is normalized to None by the generator, so
+    // only 320 appears as an explicit resolution).
+    let res_curve = profile.curve_over_resolution(0.2, &[]);
+    assert_eq!(res_curve.len(), 1);
+    assert_eq!(res_curve[0].0, 320);
+
+    // Interpolation between grid fractions is within the endpoints.
+    let lo = profile.interpolate_fraction(0.05, None, &[]).unwrap();
+    let hi = profile.interpolate_fraction(0.4, None, &[]).unwrap();
+    let mid = profile.interpolate_fraction(0.3, None, &[]).unwrap();
+    assert!(mid <= lo.max(hi) && mid >= lo.min(hi));
+}

@@ -1,0 +1,133 @@
+//! Property-based tests over the public API: invariants that must hold
+//! for *arbitrary* inputs, not just the curated fixtures.
+
+use proptest::prelude::*;
+
+use smokescreen::core::{estimate_from_outputs, Aggregate, Estimate};
+use smokescreen::stats::bounds::{hoeffding, hoeffding_serfling};
+use smokescreen::stats::sample::{fraction_to_size, PrefixSampler};
+use smokescreen::stats::{avg_estimate, quantile_estimate, Extreme};
+use smokescreen::video::{BBox, ObjectClass, Resolution};
+
+fn outputs_strategy() -> impl Strategy<Value = Vec<f64>> {
+    // Non-negative, bounded, integer-ish values like detector counts.
+    proptest::collection::vec((0u32..40).prop_map(f64::from), 2..400)
+}
+
+proptest! {
+    #[test]
+    fn avg_estimate_invariants(sample in outputs_strategy(), extra in 0usize..10_000) {
+        let population = sample.len() + extra;
+        let est = avg_estimate(&sample, population, 0.05).unwrap();
+        // The bound is a valid relative error: non-negative, ≤ 1 by
+        // construction of (UB−LB)/(UB+LB) with LB ≥ 0.
+        prop_assert!(est.err_b >= 0.0 && est.err_b <= 1.0 + 1e-12);
+        // The estimate lies inside the implied magnitude interval.
+        prop_assert!(est.y_approx.abs() <= est.ub + 1e-9);
+        prop_assert!(est.y_approx.abs() >= est.lb - 1e-9);
+        // Theorem 3.1 identities.
+        if est.lb > 0.0 {
+            prop_assert!((est.y_approx.abs() - (1.0 + est.err_b) * est.lb).abs() < 1e-6);
+        } else {
+            prop_assert_eq!(est.err_b, 1.0);
+            prop_assert_eq!(est.y_approx, 0.0);
+        }
+    }
+
+    #[test]
+    fn hoeffding_serfling_never_looser_than_hoeffding(
+        sample in outputs_strategy(),
+        extra in 0usize..5_000,
+    ) {
+        let population = sample.len() + extra;
+        let hs = hoeffding_serfling::interval(&sample, population, 0.05).unwrap();
+        let h = hoeffding::interval(&sample, population, 0.05).unwrap();
+        prop_assert!(hs.half_width <= h.half_width + 1e-12);
+    }
+
+    #[test]
+    fn quantile_estimate_is_an_order_statistic(
+        sample in outputs_strategy(),
+        r in 0.01f64..0.99,
+    ) {
+        let population = sample.len() * 3;
+        let q = quantile_estimate(&sample, population, r, 0.05, Extreme::Max).unwrap();
+        prop_assert!(sample.contains(&q.y_approx));
+        prop_assert!(q.err_b >= 0.0);
+        prop_assert!(q.f_hat > 0.0 && q.f_hat <= 1.0);
+        // Rank of the estimate within the sample is consistent with r.
+        let below = sample.iter().filter(|&&v| v <= q.y_approx).count() as f64
+            / sample.len() as f64;
+        prop_assert!(below >= r - 1e-9);
+    }
+
+    #[test]
+    fn prefix_sampler_prefixes_nest(population in 2usize..2_000, seed in any::<u64>()) {
+        let sampler = PrefixSampler::new(population, seed);
+        let small = sampler.prefix(population / 2).to_vec();
+        let large = sampler.prefix(population).to_vec();
+        prop_assert_eq!(&large[..small.len()], &small[..]);
+        // The full prefix is a permutation.
+        let mut sorted = large.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..population).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fraction_to_size_bounds(population in 1usize..1_000_000, f in 1e-6f64..1.0) {
+        let n = fraction_to_size(population, f).unwrap();
+        prop_assert!(n >= 1 && n <= population);
+    }
+
+    #[test]
+    fn sum_and_avg_estimates_share_relative_bounds(sample in outputs_strategy()) {
+        let population = sample.len() * 7;
+        let avg = estimate_from_outputs(Aggregate::Avg, &sample, population, 0.05).unwrap();
+        let sum = estimate_from_outputs(Aggregate::Sum, &sample, population, 0.05).unwrap();
+        prop_assert!((avg.err_b() - sum.err_b()).abs() < 1e-12);
+        match (avg, sum) {
+            (Estimate::Mean(a), Estimate::Mean(s)) => {
+                prop_assert!((s.y_approx - a.y_approx * population as f64).abs() < 1e-6);
+            }
+            _ => prop_assert!(false, "mean aggregates must return mean estimates"),
+        }
+    }
+
+    #[test]
+    fn count_aggregate_bounded_by_population(sample in outputs_strategy()) {
+        let population = sample.len() * 2;
+        let est = estimate_from_outputs(
+            Aggregate::Count { at_least: 1.0 },
+            &sample,
+            population,
+            0.05,
+        )
+        .unwrap();
+        prop_assert!(est.y_approx() >= 0.0);
+        prop_assert!(est.y_approx() <= population as f64 + 1e-9);
+    }
+
+    #[test]
+    fn bbox_stays_in_unit_square(
+        x in -1.0f32..2.0, y in -1.0f32..2.0, w in -1.0f32..2.0, h in -1.0f32..2.0,
+    ) {
+        let b = BBox::new(x, y, w, h);
+        prop_assert!(b.x >= 0.0 && b.y >= 0.0);
+        prop_assert!(b.x + b.w <= 1.0 + f32::EPSILON);
+        prop_assert!(b.y + b.h <= 1.0 + f32::EPSILON);
+        prop_assert!(b.area() >= 0.0);
+    }
+
+    #[test]
+    fn resolution_parse_round_trips(w in 1u32..5_000, h in 1u32..5_000) {
+        let r = Resolution::new(w, h);
+        let parsed: Resolution = r.to_string().parse().unwrap();
+        prop_assert_eq!(r, parsed);
+    }
+
+    #[test]
+    fn class_names_round_trip(idx in 0usize..6) {
+        let class = ObjectClass::ALL[idx];
+        prop_assert_eq!(class.name().parse::<ObjectClass>().unwrap(), class);
+    }
+}

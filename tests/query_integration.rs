@@ -1,0 +1,112 @@
+//! Integration tests of the query surface against the full stack.
+
+use smokescreen::query::{parse_query, QueryEngine, QueryError};
+use smokescreen::video::synth::DatasetPreset;
+
+fn engine() -> QueryEngine {
+    let mut e = QueryEngine::new(3, 17);
+    e.register("nightstreet", DatasetPreset::NightStreet.generate(11).slice(0, 4_000));
+    e.register("detrac", DatasetPreset::Detrac.generate(11).slice(0, 4_000));
+    e
+}
+
+#[test]
+fn oracle_answers_match_ground_truth_stats() {
+    let e = engine();
+    let truth = DatasetPreset::Detrac
+        .generate(11)
+        .slice(0, 4_000)
+        .stats()
+        .mean_cars_per_frame;
+    let out = e.run("SELECT AVG(car) FROM detrac USING oracle").unwrap();
+    assert!(
+        (out.y_approx - truth).abs() / truth < 0.01,
+        "oracle full scan should be near-exact: {} vs {truth}",
+        out.y_approx
+    );
+    assert!(out.err_b < 0.02);
+}
+
+#[test]
+fn answers_carry_valid_bounds_against_oracle_truth() {
+    let e = engine();
+    let truth = e.run("SELECT AVG(car) FROM detrac USING oracle").unwrap();
+    let sampled = e
+        .run("SELECT AVG(car) FROM detrac SAMPLE 0.2 USING oracle")
+        .unwrap();
+    let realized = (sampled.y_approx - truth.y_approx).abs() / truth.y_approx;
+    assert!(
+        realized <= sampled.err_b + 0.02,
+        "realized {realized} vs bound {}",
+        sampled.err_b
+    );
+}
+
+#[test]
+fn every_aggregate_executes_on_both_corpora() {
+    let e = engine();
+    for corpus in ["nightstreet", "detrac"] {
+        for agg in [
+            "AVG(car)",
+            "SUM(car)",
+            "COUNT(car >= 1)",
+            "MAX(car)",
+            "MIN(car)",
+            "VAR(car)",
+        ] {
+            let sql = format!("SELECT {agg} FROM {corpus} SAMPLE 0.1");
+            let out = e.run(&sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+            assert!(out.y_approx.is_finite(), "{sql}");
+            assert!(out.err_b >= 0.0, "{sql}");
+        }
+    }
+}
+
+#[test]
+fn degradation_clauses_flow_through_to_execution() {
+    let e = engine();
+    // Smaller resolution ⇒ fewer cars found (systematic undercount).
+    let hi = e
+        .run("SELECT SUM(car) FROM detrac SAMPLE 0.5 RESOLUTION 608x608")
+        .unwrap();
+    let lo = e
+        .run("SELECT SUM(car) FROM detrac SAMPLE 0.5 RESOLUTION 96x96")
+        .unwrap();
+    assert!(lo.y_approx < hi.y_approx, "lo={} hi={}", lo.y_approx, hi.y_approx);
+    assert!(lo.non_random_warning && hi.non_random_warning);
+}
+
+#[test]
+fn parser_and_engine_errors_are_well_typed() {
+    let e = engine();
+    assert!(matches!(
+        e.run("SELECT AVG(car) FROM missing"),
+        Err(QueryError::UnknownCorpus(_))
+    ));
+    assert!(matches!(
+        e.run("SELECT AVG(car) FROM detrac USING gpt"),
+        Err(QueryError::UnknownModel(_))
+    ));
+    assert!(matches!(parse_query("garbage"), Err(QueryError::Parse(_))));
+    assert!(matches!(
+        parse_query("SELECT AVG(car) FROM v @"),
+        Err(QueryError::Lex { .. })
+    ));
+}
+
+#[test]
+fn confidence_clause_tightens_or_loosens_bounds() {
+    let e = engine();
+    let loose = e
+        .run("SELECT AVG(car) FROM detrac SAMPLE 0.05 CONFIDENCE 0.8")
+        .unwrap();
+    let tight = e
+        .run("SELECT AVG(car) FROM detrac SAMPLE 0.05 CONFIDENCE 0.99")
+        .unwrap();
+    assert!(
+        loose.err_b < tight.err_b,
+        "higher confidence must widen the bound: {} vs {}",
+        loose.err_b,
+        tight.err_b
+    );
+}

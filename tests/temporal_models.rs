@@ -1,0 +1,94 @@
+//! The §7 caveat, end-to-end: reduced frame sampling is NOT a random
+//! intervention for sequence models (their outputs change with the
+//! effective inter-frame stride), so the direct bound is invalid — but
+//! profile repair with a neighbour-retaining correction set still covers.
+
+use smokescreen::core::{estimate_from_outputs, repair::corrected_bound, Aggregate};
+use smokescreen::core::correction::CorrectionSet;
+use smokescreen::models::temporal::{MotionEnergyModel, SequenceModel};
+use smokescreen::stats::sample::sample_indices;
+use smokescreen::video::synth::DatasetPreset;
+
+fn mean(v: &[f64]) -> f64 {
+    v.iter().sum::<f64>() / v.len().max(1) as f64
+}
+
+/// Outputs of the sequence model on a sampled sub-video: each sampled
+/// frame's predecessor is the *previous sampled frame*, so the stride is
+/// the gap the sampling created — this is what the model would actually
+/// see on degraded video.
+fn sampled_outputs(
+    corpus: &smokescreen::video::VideoCorpus,
+    model: &MotionEnergyModel,
+    fraction: f64,
+    seed: u64,
+) -> Vec<f64> {
+    let n = ((corpus.len() as f64 * fraction) as usize).max(2);
+    let mut idx = sample_indices(corpus.len(), n, seed).unwrap();
+    idx.sort_unstable();
+    idx.windows(2)
+        .map(|w| model.output(corpus, w[1], w[1] - w[0]))
+        .collect()
+}
+
+#[test]
+fn sampling_biases_sequence_models_and_repair_rescues_the_bound() {
+    let corpus = DatasetPreset::Detrac.generate(41).slice(0, 5_000);
+    let model = MotionEnergyModel;
+
+    // Ground truth: stride-1 motion energy over the full video.
+    let truth_outputs = model.outputs_at_stride(&corpus, 1);
+    let truth = mean(&truth_outputs);
+
+    // Degraded: 10% sampling stretches the effective stride ~10×,
+    // inflating motion energy systematically.
+    let outputs = sampled_outputs(&corpus, &model, 0.1, 7);
+    let degraded = estimate_from_outputs(Aggregate::Avg, &outputs, corpus.len(), 0.05).unwrap();
+    let true_err = (degraded.y_approx() - truth).abs() / truth;
+    assert!(
+        true_err > 0.5,
+        "sampling should badly bias a sequence model: err={true_err}"
+    );
+    assert!(
+        degraded.err_b() < true_err,
+        "the naive bound must fail here ({} vs {true_err}) — this is the §7 caveat",
+        degraded.err_b()
+    );
+
+    // Correction set: a brief window where the camera ships frames at the
+    // undegraded rate, so the model retains stride-1 neighbours (§3.3.1:
+    // "it may be acceptable to permit a lower level of degradation for
+    // just a limited amount of time").
+    let m = corpus.len() / 20;
+    let values: Vec<f64> = sample_indices(corpus.len(), m, 11)
+        .unwrap()
+        .into_iter()
+        .map(|i| model.output(&corpus, i, 1))
+        .collect();
+    let correction = CorrectionSet {
+        estimate: estimate_from_outputs(Aggregate::Avg, &values, corpus.len(), 0.05).unwrap(),
+        fraction: m as f64 / corpus.len() as f64,
+        values,
+        growth_curve: Vec::new(),
+    };
+
+    let repaired = corrected_bound(&degraded, &correction).unwrap();
+    assert!(
+        repaired >= true_err,
+        "repair must cover the sequence-model bias: repaired={repaired} true={true_err}"
+    );
+}
+
+#[test]
+fn stride_distribution_shift_is_monotone() {
+    // Sanity: the bias direction is predictable — more aggressive
+    // sampling (larger stride) means more motion energy per output.
+    let corpus = DatasetPreset::Detrac.generate(42).slice(0, 4_000);
+    let model = MotionEnergyModel;
+    let m10 = mean(&sampled_outputs(&corpus, &model, 0.5, 3));
+    let m02 = mean(&sampled_outputs(&corpus, &model, 0.05, 3));
+    assert!(
+        m02 > m10,
+        "5% sampling must inflate motion more than 50%: {m02} vs {m10}"
+    );
+}
