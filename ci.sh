@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Hermetic CI entry point.
+#
+# The workspace carries ZERO crates.io dependencies — every runtime
+# service (PRNG + distributions, JSON, locks, property testing, bench
+# timing) lives in-tree in crates/rt. CI therefore builds fully offline:
+# no registry, no network, no lockfile drift. If either command below
+# fails with a "no matching package" error, someone reintroduced an
+# external dependency; see README.md "Hermetic builds".
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace

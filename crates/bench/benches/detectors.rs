@@ -1,16 +1,18 @@
 //! Detector-simulator throughput: confirms the simulated UDFs are cheap
 //! enough that hundred-trial experiments are estimation-bound, and
 //! compares the analytic path against the pixel-level blob path.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+//!
+//! Timed with the in-tree `smokescreen_rt::bench` timer under the libtest
+//! harness; `cargo test -- --nocapture` prints the numbers.
 
 use smokescreen_models::blob::BlobDetector;
 use smokescreen_models::{Detector, Oracle, SimMaskRcnn, SimMtcnn, SimYoloV4};
+use smokescreen_rt::bench::bench;
 use smokescreen_video::synth::DatasetPreset;
 use smokescreen_video::{ObjectClass, Resolution};
 
-fn bench_analytic_detectors(c: &mut Criterion) {
+#[test]
+fn bench_analytic_detectors() {
     let corpus = DatasetPreset::Detrac.generate(3).slice(0, 200);
     let frames = corpus.frames();
     let res = Resolution::square(320);
@@ -19,62 +21,45 @@ fn bench_analytic_detectors(c: &mut Criterion) {
     let mask = SimMaskRcnn::new(1);
     let mtcnn = SimMtcnn::new(1);
 
-    let mut group = c.benchmark_group("analytic_detectors_200_frames");
-    group.bench_function("sim_yolov4", |b| {
-        b.iter(|| {
-            frames
-                .iter()
-                .map(|f| yolo.count(black_box(f), res, ObjectClass::Car))
-                .sum::<f64>()
-        })
+    bench("detectors/sim_yolov4/200_frames", 20, || {
+        frames
+            .iter()
+            .map(|f| yolo.count(f, res, ObjectClass::Car))
+            .sum::<f64>()
     });
-    group.bench_function("sim_mask_rcnn", |b| {
-        b.iter(|| {
-            frames
-                .iter()
-                .map(|f| mask.count(black_box(f), res, ObjectClass::Car))
-                .sum::<f64>()
-        })
+    bench("detectors/sim_mask_rcnn/200_frames", 20, || {
+        frames
+            .iter()
+            .map(|f| mask.count(f, res, ObjectClass::Car))
+            .sum::<f64>()
     });
-    group.bench_function("sim_mtcnn", |b| {
-        b.iter(|| {
-            frames
-                .iter()
-                .map(|f| mtcnn.count(black_box(f), res, ObjectClass::Face))
-                .sum::<f64>()
-        })
+    bench("detectors/sim_mtcnn/200_frames", 20, || {
+        frames
+            .iter()
+            .map(|f| mtcnn.count(f, res, ObjectClass::Face))
+            .sum::<f64>()
     });
-    group.bench_function("oracle", |b| {
-        b.iter(|| {
-            frames
-                .iter()
-                .map(|f| Oracle.count(black_box(f), res, ObjectClass::Car))
-                .sum::<f64>()
-        })
+    bench("detectors/oracle/200_frames", 20, || {
+        frames
+            .iter()
+            .map(|f| Oracle.count(f, res, ObjectClass::Car))
+            .sum::<f64>()
     });
-    group.finish();
 }
 
-fn bench_blob_pixels(c: &mut Criterion) {
+#[test]
+fn bench_blob_pixels() {
     let corpus = DatasetPreset::Detrac.generate(4).slice(0, 4);
     let frames = corpus.frames();
     let blob = BlobDetector::default();
 
-    let mut group = c.benchmark_group("blob_detector_4_frames");
-    group.sample_size(10);
     for side in [64u32, 160, 320] {
-        group.bench_with_input(BenchmarkId::from_parameter(side), &side, |b, &side| {
-            let res = Resolution::square(side);
-            b.iter(|| {
-                frames
-                    .iter()
-                    .map(|f| blob.count(black_box(f), res, ObjectClass::Car))
-                    .sum::<f64>()
-            })
+        let res = Resolution::square(side);
+        bench(&format!("blob/4_frames/{side}px"), 3, || {
+            frames
+                .iter()
+                .map(|f| blob.count(f, res, ObjectClass::Car))
+                .sum::<f64>()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_analytic_detectors, bench_blob_pixels);
-criterion_main!(benches);

@@ -4,12 +4,14 @@
 //! Algorithm 3 repair, and the baselines — as a function of sample size.
 //! The paper's point is that these are negligible next to model
 //! inference; the numbers here make that concrete.
+//!
+//! Runs under the ordinary libtest harness via the in-tree
+//! `smokescreen_rt::bench` timer, so `cargo test -q` compiles and
+//! exercises every benchmark; `cargo test -- --nocapture` (or
+//! `cargo bench`) prints the timings.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use smokescreen_rt::bench::bench;
+use smokescreen_rt::rng::StdRng;
 use smokescreen_stats::bounds::{clt, ebgs, hoeffding, hoeffding_serfling};
 use smokescreen_stats::estimators::quantile::stein_estimate;
 use smokescreen_stats::{avg_estimate, quantile_estimate, repair_mean_bound, Extreme};
@@ -19,57 +21,50 @@ fn sample(n: usize) -> Vec<f64> {
     (0..n).map(|_| rng.gen_range(0.0..9.0_f64).floor()).collect()
 }
 
-fn bench_mean_estimators(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mean_estimators");
-    for &n in &[100usize, 1_000, 10_000] {
+const SIZES: [usize; 3] = [100, 1_000, 10_000];
+
+#[test]
+fn bench_mean_estimators() {
+    for &n in &SIZES {
         let data = sample(n);
         let pop = n * 20;
-        group.bench_with_input(BenchmarkId::new("smokescreen_avg", n), &data, |b, d| {
-            b.iter(|| avg_estimate(black_box(d), pop, 0.05).unwrap())
+        bench(&format!("mean/smokescreen_avg/{n}"), 30, || {
+            avg_estimate(&data, pop, 0.05).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("ebgs", n), &data, |b, d| {
-            b.iter(|| ebgs::run(black_box(d), pop, 0.05).unwrap())
+        bench(&format!("mean/ebgs/{n}"), 30, || {
+            ebgs::run(&data, pop, 0.05).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("hoeffding", n), &data, |b, d| {
-            b.iter(|| hoeffding::interval(black_box(d), pop, 0.05).unwrap())
+        bench(&format!("mean/hoeffding/{n}"), 30, || {
+            hoeffding::interval(&data, pop, 0.05).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("hoeffding_serfling", n), &data, |b, d| {
-            b.iter(|| hoeffding_serfling::interval(black_box(d), pop, 0.05).unwrap())
+        bench(&format!("mean/hoeffding_serfling/{n}"), 30, || {
+            hoeffding_serfling::interval(&data, pop, 0.05).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("clt", n), &data, |b, d| {
-            b.iter(|| clt::interval(black_box(d), pop, 0.05).unwrap())
+        bench(&format!("mean/clt/{n}"), 30, || {
+            clt::interval(&data, pop, 0.05).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_quantile_estimators(c: &mut Criterion) {
-    let mut group = c.benchmark_group("quantile_estimators");
-    for &n in &[100usize, 1_000, 10_000] {
+#[test]
+fn bench_quantile_estimators() {
+    for &n in &SIZES {
         let data = sample(n);
         let pop = n * 20;
-        group.bench_with_input(BenchmarkId::new("smokescreen_max", n), &data, |b, d| {
-            b.iter(|| quantile_estimate(black_box(d), pop, 0.99, 0.05, Extreme::Max).unwrap())
+        bench(&format!("quantile/smokescreen_max/{n}"), 30, || {
+            quantile_estimate(&data, pop, 0.99, 0.05, Extreme::Max).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("stein", n), &data, |b, d| {
-            b.iter(|| stein_estimate(black_box(d), pop, 0.99, 0.05).unwrap())
+        bench(&format!("quantile/stein/{n}"), 30, || {
+            stein_estimate(&data, pop, 0.99, 0.05).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_repair(c: &mut Criterion) {
+#[test]
+fn bench_repair() {
     let degraded = avg_estimate(&sample(2_000), 40_000, 0.05).unwrap();
     let correction = avg_estimate(&sample(800), 40_000, 0.05).unwrap();
-    c.bench_function("repair_mean_bound", |b| {
-        b.iter(|| repair_mean_bound(black_box(&degraded), black_box(&correction)).unwrap())
+    bench("repair_mean_bound", 100, || {
+        repair_mean_bound(&degraded, &correction).unwrap()
     });
 }
-
-criterion_group!(
-    benches,
-    bench_mean_estimators,
-    bench_quantile_estimators,
-    bench_repair
-);
-criterion_main!(benches);

@@ -1,13 +1,14 @@
 //! Profile-generation benchmarks, including the §3.3.2 ablations that
 //! DESIGN.md calls out: output reuse (nested prefix sampling + cache) and
 //! early stopping.
-
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+//!
+//! Timed with the in-tree `smokescreen_rt::bench` timer under the libtest
+//! harness; `cargo test -- --nocapture` prints the numbers.
 
 use smokescreen_core::{Aggregate, GeneratorConfig, ProfileGenerator, Workload};
 use smokescreen_degrade::{CandidateGrid, RestrictionIndex};
 use smokescreen_models::SimYoloV4;
+use smokescreen_rt::bench::bench;
 use smokescreen_video::synth::DatasetPreset;
 use smokescreen_video::{ObjectClass, Resolution, VideoCorpus};
 
@@ -40,7 +41,8 @@ fn grid() -> CandidateGrid {
     )
 }
 
-fn bench_generation(c: &mut Criterion) {
+#[test]
+fn bench_generation() {
     let f = fixture();
     let workload = Workload {
         corpus: &f.corpus,
@@ -51,68 +53,54 @@ fn bench_generation(c: &mut Criterion) {
     };
     let grid = grid();
 
-    let mut group = c.benchmark_group("profile_generation");
-    group.sample_size(10);
-
-    group.bench_function("full_grid_no_early_stop", |b| {
-        let gen = ProfileGenerator::new(
-            &workload,
-            &f.restrictions,
-            GeneratorConfig {
-                seed: 0,
-                early_stop_improvement: None,
-                early_stop_min_points: 3,
-            },
-        );
-        b.iter(|| black_box(gen.generate(&grid, None).unwrap()))
+    let no_stop = ProfileGenerator::new(
+        &workload,
+        &f.restrictions,
+        GeneratorConfig {
+            seed: 0,
+            early_stop_improvement: None,
+            early_stop_min_points: 3,
+        },
+    );
+    bench("profile_generation/full_grid_no_early_stop", 3, || {
+        no_stop.generate(&grid, None).unwrap()
     });
 
-    group.bench_function("with_early_stop", |b| {
-        let gen = ProfileGenerator::new(&workload, &f.restrictions, GeneratorConfig::default());
-        b.iter(|| black_box(gen.generate(&grid, None).unwrap()))
+    let default_gen = ProfileGenerator::new(&workload, &f.restrictions, GeneratorConfig::default());
+    bench("profile_generation/with_early_stop", 3, || {
+        default_gen.generate(&grid, None).unwrap()
     });
-
-    group.finish();
 }
 
-fn bench_reuse_ablation(c: &mut Criterion) {
+#[test]
+fn bench_reuse_ablation() {
     // Quantify what the output cache buys: profile the same grid where
     // every candidate re-runs the detector (cold) vs. shared cache (the
     // generator's default).
     let f = fixture();
-    let mut group = c.benchmark_group("reuse_ablation");
-    group.sample_size(10);
 
-    group.bench_function("detector_cold_runs", |b| {
+    bench("reuse_ablation/detector_cold_runs", 3, || {
         // Simulate no-reuse: run the detector on every sampled frame for
         // every fraction candidate independently.
-        b.iter(|| {
-            let mut acc = 0.0f64;
-            for i in 1..=10usize {
-                let n = f.corpus.len() * i / 100;
-                for frame in f.corpus.frames().iter().take(n) {
-                    acc += f
-                        .yolo
-                        .count_direct(frame, Resolution::square(320));
-                }
-            }
-            black_box(acc)
-        })
-    });
-
-    group.bench_function("detector_prefix_reuse", |b| {
-        // With nested prefixes, only the largest fraction's frames run.
-        b.iter(|| {
-            let n = f.corpus.len() / 10;
-            let mut acc = 0.0f64;
+        let mut acc = 0.0f64;
+        for i in 1..=10usize {
+            let n = f.corpus.len() * i / 100;
             for frame in f.corpus.frames().iter().take(n) {
                 acc += f.yolo.count_direct(frame, Resolution::square(320));
             }
-            black_box(acc)
-        })
+        }
+        acc
     });
 
-    group.finish();
+    bench("reuse_ablation/detector_prefix_reuse", 3, || {
+        // With nested prefixes, only the largest fraction's frames run.
+        let n = f.corpus.len() / 10;
+        let mut acc = 0.0f64;
+        for frame in f.corpus.frames().iter().take(n) {
+            acc += f.yolo.count_direct(frame, Resolution::square(320));
+        }
+        acc
+    });
 }
 
 /// Helper trait call without importing Detector's name into bench scope.
@@ -126,6 +114,3 @@ impl CountDirect for SimYoloV4 {
         self.count(frame, res, ObjectClass::Car)
     }
 }
-
-criterion_group!(benches, bench_generation, bench_reuse_ablation);
-criterion_main!(benches);

@@ -144,8 +144,7 @@ pub fn smokescreen_estimate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use smokescreen_rt::rng::StdRng;
     use smokescreen_stats::sample::sample_indices;
 
     fn population(n: usize) -> Vec<f64> {

@@ -1,12 +1,11 @@
 //! Bandwidth and energy cost models.
 
-use serde::{Deserialize, Serialize};
 use smokescreen_degrade::InterventionSet;
 use smokescreen_video::codec::{frame_bytes, Quality};
 use smokescreen_video::Resolution;
 
 /// A wireless uplink from a camera.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Link {
     /// Sustained uplink bandwidth in bits per second.
     pub bandwidth_bps: u64,
@@ -28,7 +27,7 @@ impl Link {
 }
 
 /// Per-camera energy model (capture + encode + radio).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// Millijoules to capture one frame (sensor + ISP).
     pub capture_mj_per_frame: f64,
@@ -50,7 +49,7 @@ impl Default for EnergyModel {
 }
 
 /// The cost of shipping one camera's degraded video.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransmissionCost {
     /// Frames actually transmitted (after sampling and removal).
     pub frames: usize,

@@ -1,6 +1,5 @@
 //! Cameras, fleets, and transmission reports.
 
-use serde::{Deserialize, Serialize};
 use smokescreen_degrade::{DegradedView, InterventionSet, RestrictionIndex};
 use smokescreen_video::{ObjectClass, VideoCorpus};
 
@@ -61,7 +60,7 @@ impl Camera {
 }
 
 /// Per-camera transmission report.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CameraReport {
     /// Camera name.
     pub camera: String,
@@ -84,7 +83,7 @@ pub struct Fleet {
 }
 
 /// Fleet-wide totals.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FleetReport {
     /// Per-camera breakdown.
     pub cameras: Vec<CameraReport>,

@@ -8,7 +8,6 @@
 //! recognizability of an object is the detection probability of a strong
 //! recognizer at the shipped resolution.
 
-use serde::{Deserialize, Serialize};
 use smokescreen_degrade::DegradedView;
 use smokescreen_models::response::ResponseCurve;
 use smokescreen_video::{Frame, ObjectClass, Resolution};
@@ -43,7 +42,7 @@ impl Default for PrivacyAuditor {
 }
 
 /// The exposure report for one transmission plan.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PrivacyReport {
     /// Sensitive objects shipped, regardless of recognizability.
     pub sensitive_objects_shipped: usize,

@@ -6,9 +6,8 @@
 //! the oracle population when asked (experiments only — the whole point of
 //! the system is that production flows never touch the original video).
 
-use serde::{Deserialize, Serialize};
-
 use smokescreen_degrade::{DegradedView, InterventionSet, RestrictionIndex};
+use smokescreen_rt::json::{FromJson, Json, JsonError, ToJson};
 use smokescreen_models::{Detector, OutputCache};
 use smokescreen_stats::estimators::quantile::QuantileEstimate;
 use smokescreen_stats::{
@@ -20,7 +19,7 @@ use smokescreen_video::{ObjectClass, VideoCorpus};
 use crate::{CoreError, Result};
 
 /// The aggregate function `F_A` of the query.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Aggregate {
     /// Frame-level average of the model output.
     Avg,
@@ -122,6 +121,57 @@ impl Aggregate {
     }
 }
 
+impl ToJson for Aggregate {
+    fn to_json(&self) -> Json {
+        match *self {
+            Aggregate::Avg => Json::Str("avg".into()),
+            Aggregate::Sum => Json::Str("sum".into()),
+            Aggregate::Var => Json::Str("var".into()),
+            Aggregate::Count { at_least } => {
+                Json::obj([("count", Json::obj([("at_least", at_least.to_json())]))])
+            }
+            Aggregate::Max { r } => Json::obj([("max", Json::obj([("r", r.to_json())]))]),
+            Aggregate::Min { r } => Json::obj([("min", Json::obj([("r", r.to_json())]))]),
+            Aggregate::Quantile { r } => {
+                Json::obj([("quantile", Json::obj([("r", r.to_json())]))])
+            }
+        }
+    }
+}
+
+impl FromJson for Aggregate {
+    fn from_json(value: &Json) -> smokescreen_rt::json::Result<Self> {
+        if let Ok(tag) = value.as_str() {
+            return match tag {
+                "avg" => Ok(Aggregate::Avg),
+                "sum" => Ok(Aggregate::Sum),
+                "var" => Ok(Aggregate::Var),
+                other => Err(JsonError::new(format!("unknown aggregate {other:?}"))),
+            };
+        }
+        if let Some(body) = value.get_opt("count") {
+            return Ok(Aggregate::Count {
+                at_least: f64::from_json(body.get("at_least")?)?,
+            });
+        }
+        for (tag, build) in [
+            ("max", Aggregate::Max { r: 0.0 }),
+            ("min", Aggregate::Min { r: 0.0 }),
+            ("quantile", Aggregate::Quantile { r: 0.0 }),
+        ] {
+            if let Some(body) = value.get_opt(tag) {
+                let r = f64::from_json(body.get("r")?)?;
+                return Ok(match build {
+                    Aggregate::Max { .. } => Aggregate::Max { r },
+                    Aggregate::Min { .. } => Aggregate::Min { r },
+                    _ => Aggregate::Quantile { r },
+                });
+            }
+        }
+        Err(JsonError::new("unrecognized aggregate encoding"))
+    }
+}
+
 /// A video analytical query: the paper's `(D, F_model, F_A)` triple plus
 /// the queried class and confidence level.
 pub struct Workload<'a> {
@@ -160,7 +210,7 @@ impl<'a> Workload<'a> {
 }
 
 /// An estimate: approximate answer plus `1 − δ` relative-error bound.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Estimate {
     /// Mean-style estimate (AVG/SUM/COUNT/VAR) — value-relative metric.
     Mean(MeanEstimate),

@@ -5,16 +5,15 @@
 //! hypercube over `(f, p, c)`; administrators view 2-D slices obtained by
 //! fixing the other dimension, starting from the loosest values.
 
-use serde::{Deserialize, Serialize};
-
 use smokescreen_degrade::InterventionSet;
+use smokescreen_rt::json::{FromJson, Json, ToJson};
 use smokescreen_video::{ObjectClass, Resolution};
 
 use crate::estimate::Aggregate;
 use crate::{CoreError, Result};
 
 /// One profiled candidate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProfilePoint {
     /// The intervention set the bound was computed under.
     pub set: InterventionSet,
@@ -29,7 +28,7 @@ pub struct ProfilePoint {
 }
 
 /// A degradation-accuracy profile.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Profile {
     /// Corpus name the profile belongs to.
     pub corpus: String,
@@ -195,14 +194,66 @@ impl Profile {
     }
 
     /// Serializes the profile to JSON (the artifact an administrator
-    /// stores/ships).
+    /// stores/ships). Encoding is deterministic: equal profiles produce
+    /// byte-identical documents.
     pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string_pretty(self).map_err(|e| CoreError::Serialization(e.to_string()))
+        Ok(ToJson::to_json(self).encode_pretty())
     }
 
     /// Deserializes a profile from JSON.
     pub fn from_json(s: &str) -> Result<Profile> {
-        serde_json::from_str(s).map_err(|e| CoreError::Serialization(e.to_string()))
+        let value = Json::parse(s).map_err(|e| CoreError::Serialization(e.to_string()))?;
+        FromJson::from_json(&value).map_err(|e| CoreError::Serialization(e.to_string()))
+    }
+}
+
+impl ToJson for ProfilePoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("set", self.set.to_json()),
+            ("y_approx", self.y_approx.to_json()),
+            ("err_b", self.err_b.to_json()),
+            ("corrected", self.corrected.to_json()),
+            ("n", self.n.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ProfilePoint {
+    fn from_json(value: &Json) -> smokescreen_rt::json::Result<Self> {
+        Ok(ProfilePoint {
+            set: InterventionSet::from_json(value.get("set")?)?,
+            y_approx: f64::from_json(value.get("y_approx")?)?,
+            err_b: f64::from_json(value.get("err_b")?)?,
+            corrected: bool::from_json(value.get("corrected")?)?,
+            n: usize::from_json(value.get("n")?)?,
+        })
+    }
+}
+
+impl ToJson for Profile {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("corpus", self.corpus.to_json()),
+            ("model", self.model.to_json()),
+            ("class", self.class.to_json()),
+            ("aggregate", self.aggregate.to_json()),
+            ("delta", self.delta.to_json()),
+            ("points", self.points.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Profile {
+    fn from_json(value: &Json) -> smokescreen_rt::json::Result<Self> {
+        Ok(Profile {
+            corpus: String::from_json(value.get("corpus")?)?,
+            model: String::from_json(value.get("model")?)?,
+            class: ObjectClass::from_json(value.get("class")?)?,
+            aggregate: Aggregate::from_json(value.get("aggregate")?)?,
+            delta: f64::from_json(value.get("delta")?)?,
+            points: Vec::from_json(value.get("points")?)?,
+        })
     }
 }
 

@@ -5,8 +5,6 @@
 //! degradation subject to the accuracy requirement, which is what Harry
 //! does by eye in the paper's running example.
 
-use serde::{Deserialize, Serialize};
-
 use smokescreen_video::codec::{transmission_bytes, Quality};
 use smokescreen_video::{ObjectClass, Resolution};
 
@@ -14,7 +12,7 @@ use crate::profile::{Profile, ProfilePoint};
 use crate::{CoreError, Result};
 
 /// What "most degraded" means to this administrator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DegradationObjective {
     /// Minimize transmitted bytes (bandwidth/energy goals): resolution and
     /// sampling both count, weighted by the codec size model.
@@ -28,7 +26,7 @@ pub enum DegradationObjective {
 }
 
 /// The administrator's public preferences.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Preferences {
     /// Maximum tolerable analytical error (e.g. 0.10 for "within 10%").
     pub max_error: f64,

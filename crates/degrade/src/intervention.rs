@@ -1,11 +1,11 @@
 //! Intervention sets: the paper's `(f, p, c)` knobs plus extensions.
 
-use serde::{Deserialize, Serialize};
+use smokescreen_rt::json::{FromJson, Json, ToJson};
 use smokescreen_video::codec::Quality;
 use smokescreen_video::{ObjectClass, Resolution};
 
 /// Random vs. non-random intervention classification (Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InterventionKind {
     /// The model-output distribution on processed frames is unchanged;
     /// Algorithms 1–2 apply directly.
@@ -16,7 +16,7 @@ pub enum InterventionKind {
 }
 
 /// A full set of destructive interventions applied together.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InterventionSet {
     /// `f` — fraction of frames randomly sampled, in `(0, 1]`.
     pub sample_fraction: f64,
@@ -169,6 +169,32 @@ impl InterventionSet {
             parts.push(format!("q={:.2}", q.value()));
         }
         parts.join(" ")
+    }
+}
+
+impl ToJson for InterventionSet {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("sample_fraction", self.sample_fraction.to_json()),
+            ("resolution", self.resolution.to_json()),
+            ("restricted", self.restricted.to_json()),
+            ("blurred", self.blurred.to_json()),
+            ("noise", self.noise.to_json()),
+            ("quality", self.quality.to_json()),
+        ])
+    }
+}
+
+impl FromJson for InterventionSet {
+    fn from_json(value: &Json) -> smokescreen_rt::json::Result<Self> {
+        Ok(InterventionSet {
+            sample_fraction: f64::from_json(value.get("sample_fraction")?)?,
+            resolution: Option::from_json(value.get("resolution")?)?,
+            restricted: Vec::from_json(value.get("restricted")?)?,
+            blurred: Vec::from_json(value.get("blurred")?)?,
+            noise: f64::from_json(value.get("noise")?)?,
+            quality: Option::from_json(value.get("quality")?)?,
+        })
     }
 }
 

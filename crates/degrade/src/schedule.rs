@@ -6,7 +6,6 @@
 //! correction set. A [`Schedule`] maps time windows to intervention sets
 //! and can split a corpus into per-window degraded views.
 
-use serde::{Deserialize, Serialize};
 use smokescreen_video::VideoCorpus;
 
 use crate::intervention::InterventionSet;
@@ -14,7 +13,7 @@ use crate::pipeline::DegradedView;
 use crate::removal::RestrictionIndex;
 
 /// One scheduled window: `[start_secs, end_secs)` mapped to a set.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Window {
     /// Window start, seconds from the start of the recording (inclusive).
     pub start_secs: f64,
@@ -27,7 +26,7 @@ pub struct Window {
 }
 
 /// A piecewise-constant intervention schedule.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Schedule {
     /// The default interventions outside every window.
     pub default: InterventionSet,

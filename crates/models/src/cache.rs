@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use parking_lot::RwLock;
+use smokescreen_rt::sync::RwLock;
 use smokescreen_video::{Frame, ObjectClass, Resolution};
 
 use crate::detector::{Detections, Detector};

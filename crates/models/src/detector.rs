@@ -1,10 +1,9 @@
 //! The `Detector` trait and detection output types.
 
-use serde::{Deserialize, Serialize};
 use smokescreen_video::{BBox, Frame, ObjectClass, Resolution};
 
 /// One detected object.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Detection {
     /// Predicted class.
     pub class: ObjectClass,
@@ -19,7 +18,7 @@ pub struct Detection {
 }
 
 /// All detections a model emitted for one frame.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Detections {
     /// Individual detections.
     pub items: Vec<Detection>,

@@ -17,11 +17,10 @@
 //! degrade earlier than day scenes — which is what makes the two datasets'
 //! tradeoff curves differ (Figure 3).
 
-use serde::{Deserialize, Serialize};
 use smokescreen_video::{Object, Resolution};
 
 /// Logistic detectability curve for one (model, class) pair.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ResponseCurve {
     /// Effective pixel area at which recall crosses `p_max / 2`.
     pub area50: f64,

@@ -1,13 +1,12 @@
 //! Query AST.
 
-use serde::{Deserialize, Serialize};
 use smokescreen_core::Aggregate;
 use smokescreen_degrade::InterventionSet;
 use smokescreen_video::codec::Quality;
 use smokescreen_video::{ObjectClass, Resolution};
 
 /// The aggregate clause of a query.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AggregateSpec {
     /// Which aggregate function.
     pub aggregate: Aggregate,
@@ -16,7 +15,7 @@ pub struct AggregateSpec {
 }
 
 /// A parsed query.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Query {
     /// Aggregate + class.
     pub select: AggregateSpec,

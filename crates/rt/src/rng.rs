@@ -1,0 +1,501 @@
+//! Seeded pseudo-random number generation and distribution samplers.
+//!
+//! This replaces the `rand`/`rand_distr` dependency with an in-tree,
+//! fully deterministic implementation so the workspace builds offline and
+//! every sampled quantity is byte-reproducible across platforms:
+//!
+//! * [`StdRng`] — xoshiro256\*\* seeded through SplitMix64. The generator
+//!   passes BigCrush in its published form and is more than adequate for
+//!   the simulation workloads here (it is *not* cryptographic).
+//! * [`StandardNormal`] (Box–Muller), [`LogNormal`], and [`Poisson`]
+//!   (Knuth multiplication below λ = 10, Hörmann's PTRS transformed
+//!   rejection above) matching the `rand_distr` sampler API shape.
+//!
+//! Unlike `rand`, the method set is inherent on [`StdRng`] — call sites
+//! need no `Rng`/`SeedableRng` trait imports.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A seeded xoshiro256\*\* generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl StdRng {
+    /// Expands a 64-bit seed into the full 256-bit state via SplitMix64
+    /// (the initialization the xoshiro authors recommend).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // All-zero state is a fixed point; SplitMix64 cannot produce four
+        // consecutive zeros, but guard anyway.
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        StdRng { s }
+    }
+
+    /// Next raw 64-bit output (xoshiro256\*\* step).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 32-bit output (upper half of the 64-bit stream).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Uniform value from a half-open or inclusive range, e.g.
+    /// `rng.gen_range(0..n)`, `rng.gen_range(0.0..1.0)`,
+    /// `rng.gen_range(-amp..=amp)`.
+    #[inline]
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// A value of the "standard" distribution for `T` — `[0, 1)` for
+    /// floats, full range for integers (`rng.gen::<f64>()`).
+    #[inline]
+    pub fn gen<T: Standard>(&mut self) -> T {
+        T::standard(self)
+    }
+
+    /// Uniform `u64` in `[0, span)` via Lemire's multiply-shift reduction.
+    #[inline]
+    fn bounded_u64(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64
+    }
+}
+
+/// Types that can be drawn from a range by [`StdRng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a uniform value from the range.
+    fn sample_from(self, rng: &mut StdRng) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = if span > u64::MAX as u128 {
+                    rng.next_u64()
+                } else {
+                    rng.bounded_u64(span as u64)
+                };
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = if span > u64::MAX as u128 {
+                    rng.next_u64()
+                } else {
+                    rng.bounded_u64(span as u64)
+                };
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                assert!(
+                    self.start < self.end && self.start.is_finite() && self.end.is_finite(),
+                    "gen_range: invalid float range"
+                );
+                let v = self.start + (rng.gen_f64() as $t) * (self.end - self.start);
+                // Rounding can push the product up to `end`; fold the
+                // boundary back into the half-open interval.
+                if v < self.end { v } else { self.start }
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(
+                    lo <= hi && lo.is_finite() && hi.is_finite(),
+                    "gen_range: invalid float range"
+                );
+                (lo + (rng.gen_f64() as $t) * (hi - lo)).clamp(lo, hi)
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, f64);
+
+/// The "standard" distribution drawn by [`StdRng::gen`].
+pub trait Standard {
+    /// Draws one value.
+    fn standard(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn standard(rng: &mut StdRng) -> f64 {
+        rng.gen_f64()
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn standard(rng: &mut StdRng) -> f32 {
+        rng.gen_f64() as f32
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn standard(rng: &mut StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn standard(rng: &mut StdRng) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn standard(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistError(&'static str);
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for DistError {}
+
+/// A distribution that can be sampled with an [`StdRng`].
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> T;
+}
+
+/// The standard normal `N(0, 1)`, sampled by Box–Muller.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        // u1 ∈ (0, 1] so the log is finite; u2 ∈ [0, 1).
+        let u1 = 1.0 - rng.gen_f64();
+        let u2 = rng.gen_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+/// Log-normal: `exp(μ + σ · N(0, 1))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates the distribution; `σ` must be finite and non-negative.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, DistError> {
+        if !mu.is_finite() || !sigma.is_finite() || sigma < 0.0 {
+            return Err(DistError("LogNormal requires finite mu and sigma >= 0"));
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        (self.mu + self.sigma * StandardNormal.sample(rng)).exp()
+    }
+}
+
+/// Poisson with rate `λ > 0`; samples are returned as `f64` counts
+/// (matching the `rand_distr` API the call sites were written against).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates the distribution; `λ` must be finite and positive.
+    pub fn new(lambda: f64) -> Result<Self, DistError> {
+        if !(lambda > 0.0) || !lambda.is_finite() {
+            return Err(DistError("Poisson requires finite lambda > 0"));
+        }
+        Ok(Poisson { lambda })
+    }
+
+    /// Knuth's multiplication method — O(λ), exact, fine for small rates.
+    fn sample_knuth(&self, rng: &mut StdRng) -> f64 {
+        let limit = (-self.lambda).exp();
+        let mut product = 1.0;
+        let mut k: u64 = 0;
+        loop {
+            product *= rng.gen_f64();
+            if product <= limit {
+                return k as f64;
+            }
+            k += 1;
+        }
+    }
+
+    /// Hörmann's PTRS transformed-rejection sampler, valid for λ ≥ 10.
+    fn sample_ptrs(&self, rng: &mut StdRng) -> f64 {
+        let lambda = self.lambda;
+        let log_lambda = lambda.ln();
+        let b = 0.931 + 2.53 * lambda.sqrt();
+        let a = -0.059 + 0.024_83 * b;
+        let inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+        let v_r = 0.9277 - 3.6224 / (b - 2.0);
+        loop {
+            let u = rng.gen_f64() - 0.5;
+            let v = rng.gen_f64();
+            let us = 0.5 - u.abs();
+            let k = ((2.0 * a / us + b) * u + lambda + 0.43).floor();
+            if us >= 0.07 && v <= v_r {
+                return k;
+            }
+            if k < 0.0 || (us < 0.013 && v > us) {
+                continue;
+            }
+            if v.ln() + inv_alpha.ln() - (a / (us * us) + b).ln()
+                <= k * log_lambda - lambda - ln_gamma(k + 1.0)
+            {
+                return k;
+            }
+        }
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        if self.lambda < 10.0 {
+            self.sample_knuth(rng)
+        } else {
+            self.sample_ptrs(rng)
+        }
+    }
+}
+
+/// `ln Γ(x)` for `x > 0` via the Lanczos approximation (g = 7, n = 9),
+/// accurate to ~1e-13 over the range the Poisson sampler needs.
+pub fn ln_gamma(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection: Γ(x)Γ(1−x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_reproducible_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_f64_is_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn int_ranges_cover_and_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v: usize = rng.gen_range(3..13);
+            assert!((3..13).contains(&v));
+            seen[v - 3] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every bucket should be hit");
+        for _ in 0..1_000 {
+            let v: i16 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&v));
+        }
+        // Inclusive endpoints are reachable.
+        let mut hit_hi = false;
+        for _ in 0..200 {
+            if rng.gen_range(0u32..=1) == 1 {
+                hit_hi = true;
+            }
+        }
+        assert!(hit_hi);
+    }
+
+    #[test]
+    fn float_range_half_open() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(2.0..4.0);
+            assert!((2.0..4.0).contains(&v));
+            let w = rng.gen_range(-0.5..=0.5);
+            assert!((-0.5..=0.5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate={rate}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| StandardNormal.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.03, "var={var}");
+    }
+
+    #[test]
+    fn lognormal_moments() {
+        // E[X] = exp(μ + σ²/2) for X ~ LogNormal(μ, σ).
+        let d = LogNormal::new(-2.3, 0.4).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 100_000;
+        let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        let expected = (-2.3f64 + 0.4f64 * 0.4 / 2.0).exp();
+        assert!(
+            (mean / expected - 1.0).abs() < 0.02,
+            "mean={mean} expected={expected}"
+        );
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn poisson_moments_small_and_large_lambda() {
+        // Mean and variance both equal λ; exercise both sampler branches.
+        for &lambda in &[0.3, 2.5, 9.9, 10.1, 47.0, 300.0] {
+            let d = Poisson::new(lambda).unwrap();
+            let mut rng = StdRng::seed_from_u64(7);
+            let n = 60_000;
+            let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+            let mean = xs.iter().sum::<f64>() / n as f64;
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+            let tol = 0.05 * lambda.max(1.0);
+            assert!((mean - lambda).abs() < tol, "λ={lambda} mean={mean}");
+            assert!((var - lambda).abs() < 3.0 * tol, "λ={lambda} var={var}");
+            assert!(xs.iter().all(|&x| x >= 0.0 && x.fract() == 0.0));
+        }
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(-1.0).is_err());
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        let mut fact = 1.0f64;
+        for k in 1u32..=20 {
+            fact *= f64::from(k);
+            let err = (ln_gamma(f64::from(k) + 1.0) - fact.ln()).abs();
+            assert!(err < 1e-10, "k={k} err={err}");
+        }
+        // Γ(0.5) = √π.
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+}

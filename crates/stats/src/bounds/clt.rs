@@ -30,8 +30,7 @@ pub fn interval(samples: &[f64], population: usize, delta: f64) -> Result<MeanIn
 mod tests {
     use super::*;
     use crate::bounds::hoeffding_serfling;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use smokescreen_rt::rng::StdRng;
 
     #[test]
     fn tighter_than_guaranteed_bounds_at_moderate_n() {

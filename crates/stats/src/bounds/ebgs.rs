@@ -124,8 +124,7 @@ fn run_impl(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use smokescreen_rt::rng::StdRng;
 
     fn population(seed: u64, n: usize) -> Vec<f64> {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -30,8 +30,7 @@ pub fn interval(samples: &[f64], population: usize, delta: f64) -> Result<MeanIn
 mod tests {
     use super::*;
     use crate::bounds::hoeffding;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use smokescreen_rt::rng::StdRng;
 
     #[test]
     fn beats_hoeffding_on_low_variance_data() {

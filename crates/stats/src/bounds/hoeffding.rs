@@ -22,8 +22,7 @@ pub fn interval(samples: &[f64], population: usize, delta: f64) -> Result<MeanIn
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use smokescreen_rt::rng::StdRng;
 
     #[test]
     fn shrinks_with_sample_size() {

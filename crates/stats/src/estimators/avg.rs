@@ -36,15 +36,14 @@ mod tests {
     use super::*;
     use crate::bounds::ebgs;
     use crate::sample::sample_indices;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use smokescreen_rt::rng::StdRng;
 
     /// Car-count-like population: integer, sparse, right-skewed.
     fn car_counts(seed: u64, n: usize, mean_level: f64) -> Vec<f64> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n)
             .map(|_| {
-                let lambda = mean_level * rng.gen_range(0.4..1.6);
+                let lambda = mean_level * rng.gen_range(0.4..1.6_f64);
                 // Cheap Poisson-ish draw.
                 let mut k = 0u32;
                 let mut p = 1.0;

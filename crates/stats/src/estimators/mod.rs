@@ -12,11 +12,9 @@ pub mod repair;
 pub mod sum;
 pub mod variance;
 
-use serde::{Deserialize, Serialize};
-
 /// The answer/bound pair produced by the mean-style estimators
 /// (AVG, SUM, COUNT, VAR).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MeanEstimate {
     /// Approximate query answer `Y_approx`.
     pub y_approx: f64,

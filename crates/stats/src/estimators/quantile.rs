@@ -17,13 +17,11 @@
 //! Hoeffding-style rank bound assuming sampling **with** replacement, which
 //! the paper shows is looser at small sample fractions.
 
-use serde::{Deserialize, Serialize};
-
 use crate::hypergeometric::fraction_std_err_factor;
 use crate::{normal, Result, StatsError};
 
 /// Which extreme Algorithm 2 is approximating.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Extreme {
     /// MAX — `r` close to 1 (Equation 7).
     Max,
@@ -32,7 +30,7 @@ pub enum Extreme {
 }
 
 /// The answer/bound pair for quantile (MAX/MIN) queries.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QuantileEstimate {
     /// Approximate `r`-quantile value.
     pub y_approx: f64,
@@ -167,8 +165,7 @@ pub fn true_rank_error(population_outputs: &[f64], y_approx: f64, r: f64) -> f64
 mod tests {
     use super::*;
     use crate::sample::sample_indices;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use smokescreen_rt::rng::StdRng;
 
     fn skewed_counts(seed: u64, n: usize) -> Vec<f64> {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -75,8 +75,7 @@ mod tests {
     use crate::estimators::avg::avg_estimate;
     use crate::estimators::quantile::{quantile_estimate, true_rank_error, Extreme};
     use crate::sample::sample_indices;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use smokescreen_rt::rng::StdRng;
 
     /// Population plus a biased view of it simulating a non-random
     /// intervention (systematic undercount: low resolution drops objects).

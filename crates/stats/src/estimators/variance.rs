@@ -58,8 +58,7 @@ pub fn var_estimate(samples: &[f64], population: usize, delta: f64) -> Result<Me
 mod tests {
     use super::*;
     use crate::sample::sample_indices;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use smokescreen_rt::rng::StdRng;
 
     #[test]
     fn covers_true_variance() {

@@ -11,8 +11,7 @@
 //!   sample at fraction `f` are reused verbatim when the fraction is raised
 //!   to `f' > f`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use smokescreen_rt::rng::StdRng;
 
 use crate::{Result, StatsError};
 

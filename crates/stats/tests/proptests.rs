@@ -1,6 +1,6 @@
 //! Property-based tests for the statistical substrate.
 
-use proptest::prelude::*;
+use smokescreen_rt::proptest::prelude::*;
 
 use smokescreen_stats::bounds::{clt, ebgs, empirical_bernstein, hoeffding, hoeffding_serfling};
 use smokescreen_stats::describe::{Histogram, RunningStats};

@@ -6,12 +6,11 @@
 //! We use a standard intra-coded video model: bytes ≈ pixels × bits-per-
 //! pixel(quality) / 8, with bpp falling as quantization coarsens.
 
-use serde::{Deserialize, Serialize};
-
 use crate::object::Resolution;
+use smokescreen_rt::json::{FromJson, Json, ToJson};
 
 /// Encoder quality setting, mapped onto an H.264-like quantization scale.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Quality(f64);
 
 impl Quality {
@@ -32,6 +31,18 @@ impl Quality {
     /// at the coarsest quantization.
     pub fn bits_per_pixel(&self) -> f64 {
         0.05 + 0.85 * self.0.powf(1.5)
+    }
+}
+
+impl ToJson for Quality {
+    fn to_json(&self) -> Json {
+        Json::Num(self.0)
+    }
+}
+
+impl FromJson for Quality {
+    fn from_json(value: &Json) -> smokescreen_rt::json::Result<Self> {
+        Ok(Quality::new(value.as_f64()?))
     }
 }
 

@@ -1,7 +1,5 @@
 //! Video corpora: the "original video" `D` of the paper.
 
-use serde::{Deserialize, Serialize};
-
 use crate::frame::Frame;
 use crate::object::{ObjectClass, Resolution};
 
@@ -12,7 +10,7 @@ use crate::object::{ObjectClass, Resolution};
 /// the paper's setting where decoded frames sit on disk and are loaded one
 /// at a time — here loading is free, and the cost model lives in the
 /// camera/bench crates.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct VideoCorpus {
     /// Human-readable corpus name (e.g. `"night-street"`).
     pub name: String,
@@ -130,7 +128,7 @@ impl VideoCorpus {
 }
 
 /// Calibration summary of a corpus.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CorpusStats {
     /// Frame count `N`.
     pub frames: usize,

@@ -1,13 +1,11 @@
 //! Frames: timestamped bags of objects.
 
-use serde::{Deserialize, Serialize};
-
 use crate::object::{Object, ObjectClass};
 
 /// One video frame. The "original video" of the paper is a sequence of
 /// these; destructive interventions never mutate a `Frame`, they produce
 /// degraded *views* (see `smokescreen-degrade`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Frame {
     /// Index within its corpus (0-based).
     pub id: u64,

@@ -1,6 +1,6 @@
 //! Objects, bounding boxes, classes, and frame resolutions.
 
-use serde::{Deserialize, Serialize};
+use smokescreen_rt::json::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
 use std::str::FromStr;
 
@@ -8,7 +8,7 @@ use std::str::FromStr;
 ///
 /// `Person` and `Face` are the paper's restricted classes; the others are
 /// typical traffic-analytics targets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ObjectClass {
     /// Passenger car (the queried class in every paper experiment).
     Car,
@@ -77,7 +77,7 @@ impl FromStr for ObjectClass {
 
 /// An axis-aligned bounding box in **normalized** coordinates
 /// (`0.0 ..= 1.0` relative to the frame), so it is resolution-independent.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BBox {
     /// Left edge.
     pub x: f32,
@@ -132,7 +132,7 @@ impl BBox {
 
 /// A single object in a frame. Objects carry everything the detector
 /// simulators need to decide detectability: geometry, contrast, occlusion.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Object {
     /// Stable identity across frames (a track id).
     pub id: u64,
@@ -148,7 +148,7 @@ pub struct Object {
 }
 
 /// A frame resolution in pixels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Resolution {
     /// Width in pixels.
     pub width: u32,
@@ -188,6 +188,36 @@ impl Resolution {
             return 0.0;
         }
         (self.pixels() as f64 / native.pixels() as f64).sqrt()
+    }
+}
+
+impl ToJson for ObjectClass {
+    fn to_json(&self) -> Json {
+        Json::Str(self.name().to_string())
+    }
+}
+
+impl FromJson for ObjectClass {
+    fn from_json(value: &Json) -> smokescreen_rt::json::Result<Self> {
+        value.as_str()?.parse().map_err(JsonError::new)
+    }
+}
+
+impl ToJson for Resolution {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("width", self.width.to_json()),
+            ("height", self.height.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Resolution {
+    fn from_json(value: &Json) -> smokescreen_rt::json::Result<Self> {
+        Ok(Resolution {
+            width: u32::from_json(value.get("width")?)?,
+            height: u32::from_json(value.get("height")?)?,
+        })
     }
 }
 

@@ -10,8 +10,7 @@
 //! reason the paper describes (too few pixels left to distinguish them
 //! from noise).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use smokescreen_rt::rng::StdRng;
 
 use crate::frame::Frame;
 use crate::object::Resolution;

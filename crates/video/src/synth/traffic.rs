@@ -13,16 +13,12 @@
 //! * a person whose `face_visible` flag is set contributes a small `Face`
 //!   object occupying the top of the person box.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rand_distr::{Distribution, LogNormal, Poisson};
-use serde::{Deserialize, Serialize};
-
+use smokescreen_rt::rng::{Distribution, LogNormal, Poisson, StandardNormal, StdRng};
 use crate::frame::Frame;
 use crate::object::{BBox, Object, ObjectClass, Resolution};
 
 /// Log-normal size model over normalized object height.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SizeModel {
     /// Mean of `ln(height)`.
     pub ln_mean: f64,
@@ -43,7 +39,7 @@ impl SizeModel {
 }
 
 /// Arrival/dwell process for one object class.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClassProcess {
     /// Base arrivals per frame (before intensity modulation).
     pub arrivals_per_frame: f64,
@@ -57,7 +53,7 @@ pub struct ClassProcess {
 }
 
 /// Full configuration of a synthetic scene.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SceneConfig {
     /// Corpus name.
     pub name: String,
@@ -287,7 +283,7 @@ fn sample_geometric(rng: &mut StdRng, mean: f64) -> u32 {
 }
 
 fn standard_normal(rng: &mut StdRng) -> f64 {
-    rand_distr::StandardNormal.sample(rng)
+    StandardNormal.sample(rng)
 }
 
 #[cfg(test)]

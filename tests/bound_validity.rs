@@ -9,7 +9,11 @@ use smokescreen::core::{
 };
 use smokescreen::core::correction::build_correction_set;
 use smokescreen::degrade::{InterventionSet, RestrictionIndex};
-use smokescreen::models::SimYoloV4;
+use smokescreen::models::{Detector, SimYoloV4};
+use smokescreen::stats::bounds::hoeffding_serfling;
+use smokescreen::stats::estimators::quantile::true_rank_error;
+use smokescreen::stats::sample::sample_indices;
+use smokescreen::stats::{quantile_estimate, Extreme};
 use smokescreen::video::synth::DatasetPreset;
 use smokescreen::video::{ObjectClass, Resolution};
 
@@ -96,6 +100,63 @@ fn repaired_bounds_cover_under_image_removal() {
             "{} repaired coverage {c} below nominal",
             aggregate.name()
         );
+    }
+}
+
+/// Per-frame car counts for one seeded night-street scene.
+fn night_street_outputs(seed: u64) -> Vec<f64> {
+    let corpus = DatasetPreset::NightStreet.generate(seed).slice(0, 1_500);
+    let yolo = SimYoloV4::new(seed);
+    let res = Resolution::square(416);
+    corpus
+        .frames()
+        .iter()
+        .map(|f| yolo.count(f, res, ObjectClass::Car))
+        .collect()
+}
+
+// The two tests below run the raw stats-layer bounds at a stringent
+// confidence (δ = 1e-6) so that over 50 independent scenes the chance of
+// even one legitimate exceedance is ≈ 5·10⁻⁵: any observed violation
+// indicates a broken inequality, not bad luck.
+const SCENES: u64 = 50;
+const STRICT_DELTA: f64 = 1e-6;
+
+#[test]
+fn hoeffding_serfling_never_violated_across_night_street_scenes() {
+    for seed in 0..SCENES {
+        let population = night_street_outputs(seed);
+        let truth = population.iter().sum::<f64>() / population.len() as f64;
+        for &n in &[40usize, 150, 600] {
+            let idx = sample_indices(population.len(), n, seed ^ 0x5eed).unwrap();
+            let sample: Vec<f64> = idx.iter().map(|&i| population[i]).collect();
+            let iv = hoeffding_serfling::interval(&sample, population.len(), STRICT_DELTA).unwrap();
+            assert!(
+                (iv.estimate - truth).abs() <= iv.half_width,
+                "scene {seed} n={n}: |{} - {truth}| > {}",
+                iv.estimate,
+                iv.half_width
+            );
+        }
+    }
+}
+
+#[test]
+fn hypergeometric_rank_bound_never_violated_across_night_street_scenes() {
+    for seed in 0..SCENES {
+        let population = night_street_outputs(seed);
+        for &(r, extreme) in &[(0.99, Extreme::Max), (0.05, Extreme::Min)] {
+            let idx = sample_indices(population.len(), 400, seed ^ 0xda7a).unwrap();
+            let sample: Vec<f64> = idx.iter().map(|&i| population[i]).collect();
+            let q =
+                quantile_estimate(&sample, population.len(), r, STRICT_DELTA, extreme).unwrap();
+            let realized = true_rank_error(&population, q.y_approx, r);
+            assert!(
+                realized <= q.err_b + 1e-12,
+                "scene {seed} r={r}: rank error {realized} exceeds bound {}",
+                q.err_b
+            );
+        }
     }
 }
 

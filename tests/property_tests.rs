@@ -1,7 +1,7 @@
 //! Property-based tests over the public API: invariants that must hold
 //! for *arbitrary* inputs, not just the curated fixtures.
 
-use proptest::prelude::*;
+use smokescreen_rt::proptest::prelude::*;
 
 use smokescreen::core::{estimate_from_outputs, Aggregate, Estimate};
 use smokescreen::stats::bounds::{hoeffding, hoeffding_serfling};
