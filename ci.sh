@@ -7,8 +7,25 @@
 # no registry, no network, no lockfile drift. If either command below
 # fails with a "no matching package" error, someone reintroduced an
 # external dependency; see README.md "Hermetic builds".
+#
+# The suite runs twice — pinned to 1 worker and to 8 workers — because
+# parallel profile generation (rt::pool) promises bit-for-bit identical
+# output at any thread count. A final cross-check regenerates the fig4
+# CSVs at both worker counts and fails on any byte difference.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release --offline --workspace
-cargo test -q --offline --workspace
+
+echo "=== test suite @ SMOKESCREEN_THREADS=1 ==="
+SMOKESCREEN_THREADS=1 cargo test -q --offline --workspace
+echo "=== test suite @ SMOKESCREEN_THREADS=8 ==="
+SMOKESCREEN_THREADS=8 cargo test -q --offline --workspace
+
+echo "=== determinism cross-check: fig4 CSVs @ 1 vs 8 workers ==="
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+./target/release/repro fig4 --quick --threads 1 --out "$tmpdir/t1" >/dev/null
+./target/release/repro fig4 --quick --threads 8 --out "$tmpdir/t8" >/dev/null
+diff -r "$tmpdir/t1" "$tmpdir/t8"
+echo "fig4 output identical across worker counts"

@@ -1,0 +1,131 @@
+//! Wall-clock speedup of parallel profile generation.
+//!
+//! The §5.3.1 breakdown shows model time dominating estimation time by
+//! orders of magnitude, and real model invocations are latency-bound
+//! (GPU/accelerator round trips), not host-CPU-bound. The simulated
+//! detectors here answer in nanoseconds, so to measure what `rt::pool`
+//! buys on the paper's actual bottleneck this bench wraps a detector in a
+//! fixed per-inference latency and times `ProfileGenerator::generate` at
+//! 1 vs. 4 workers. Sleeping inferences overlap across workers even on a
+//! single-core host, so the measured ratio reflects the deployment-shaped
+//! speedup rather than the host's core count.
+//!
+//! Results land in `bench_results/parallel_speedup.csv`; the test also
+//! asserts the PR's acceptance floor (≥ 2× at 4 workers) and that the
+//! parallel profile is byte-identical to the sequential one.
+
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use smokescreen_bench::table::{fmt, Table};
+use smokescreen_core::{Aggregate, GeneratorConfig, ProfileGenerator, Workload};
+use smokescreen_degrade::{CandidateGrid, RestrictionIndex};
+use smokescreen_models::{Detections, Detector, SimYoloV4};
+use smokescreen_video::synth::DatasetPreset;
+use smokescreen_video::{Frame, ObjectClass, Resolution};
+
+/// A detector with a simulated fixed per-inference latency.
+struct LatencyDetector {
+    inner: SimYoloV4,
+    latency: Duration,
+}
+
+impl Detector for LatencyDetector {
+    fn name(&self) -> &str {
+        "sim-yolov4-latency"
+    }
+
+    fn native_resolution(&self) -> Resolution {
+        self.inner.native_resolution()
+    }
+
+    fn supports(&self, res: Resolution) -> bool {
+        self.inner.supports(res)
+    }
+
+    fn detect(&self, frame: &Frame, res: Resolution) -> Detections {
+        std::thread::sleep(self.latency);
+        self.inner.detect(frame, res)
+    }
+
+    fn inference_cost_ms(&self, res: Resolution) -> f64 {
+        self.inner.inference_cost_ms(res)
+    }
+}
+
+#[test]
+fn bench_parallel_generation_speedup() {
+    let corpus = DatasetPreset::Detrac.generate(1).slice(0, 1_000);
+    let detector = LatencyDetector {
+        inner: SimYoloV4::new(1),
+        latency: Duration::from_micros(300),
+    };
+    let restrictions =
+        RestrictionIndex::from_ground_truth(&corpus, &[ObjectClass::Person, ObjectClass::Face]);
+    let workload = Workload {
+        corpus: &corpus,
+        detector: &detector,
+        class: ObjectClass::Car,
+        aggregate: Aggregate::Avg,
+        delta: 0.05,
+    };
+    // Six resolutions × two combos = 12 cells; at 4 workers the heavy
+    // (cold-cache) resolution cells pack into ~2 waves vs. 6 sequential.
+    let grid = CandidateGrid::explicit(
+        vec![0.02, 0.05, 0.1],
+        (1..=6).map(|i| Resolution::square(i * 96)).collect(),
+        vec![vec![], vec![ObjectClass::Person]],
+    );
+
+    let mut timed = Vec::new();
+    let mut profiles = Vec::new();
+    for threads in [1usize, 4] {
+        let gen = ProfileGenerator::new(
+            &workload,
+            &restrictions,
+            GeneratorConfig {
+                early_stop_improvement: None,
+                threads,
+                ..GeneratorConfig::default()
+            },
+        );
+        let start = Instant::now();
+        let (profile, report) = gen.generate(&grid, None).unwrap();
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "parallel_speedup/threads={threads}: {wall_ms:.1} ms wall, \
+             {} model runs, {} cache hits",
+            report.model_runs, report.cache_hits
+        );
+        timed.push((threads, wall_ms));
+        profiles.push(profile);
+    }
+
+    assert_eq!(
+        profiles[0], profiles[1],
+        "parallel profile must be byte-identical to sequential"
+    );
+
+    let speedup = timed[0].1 / timed[1].1;
+    let mut table = Table::new(
+        "Parallel profile generation: wall-clock vs. workers (300µs simulated inference latency, UA-DETRAC 1000 frames, 36-candidate grid)",
+        &["threads", "wall_ms", "speedup_vs_seq"],
+    );
+    for &(threads, wall_ms) in &timed {
+        table.push_row(vec![
+            threads.to_string(),
+            fmt(wall_ms),
+            fmt(timed[0].1 / wall_ms),
+        ]);
+    }
+    // cwd is crates/bench under `cargo test`; resolve the workspace root.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench_results");
+    let path = table.write_csv(&dir, "parallel_speedup").unwrap();
+    println!("{}", table.render());
+    println!("wrote {}", path.display());
+
+    assert!(
+        speedup >= 2.0,
+        "4 workers must be ≥2× over sequential on latency-bound inference, got {speedup:.2}×"
+    );
+}

@@ -59,7 +59,7 @@ fn bench_generation() {
         GeneratorConfig {
             seed: 0,
             early_stop_improvement: None,
-            early_stop_min_points: 3,
+            ..GeneratorConfig::default()
         },
     );
     bench("profile_generation/full_grid_no_early_stop", 3, || {

@@ -1,20 +1,25 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <experiment>... [--trials N] [--quick] [--out DIR]
+//! repro <experiment>... [--trials N] [--quick] [--out DIR] [--threads N]
 //! repro all
 //! repro list
 //! ```
 //!
 //! Each experiment prints aligned tables to stdout and writes CSVs under
-//! the output directory (default `bench_results/`).
+//! the output directory (default `bench_results/`). Experiments fan out
+//! across `rt::pool` workers (and fan their own trials out below that);
+//! `--threads` pins the worker count, which changes only wall-clock —
+//! every table and CSV is byte-identical for any thread count.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use smokescreen_bench::figures::{all_experiments, by_id};
-use smokescreen_bench::table::results_dir;
+use smokescreen_bench::table::{results_dir, Table};
 use smokescreen_bench::RunConfig;
+use smokescreen_rt::pool::{Pool, THREADS_ENV};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -66,6 +71,20 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--threads" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    // The pool reads the env var at construction; setting
+                    // it here (before any pool exists) configures every
+                    // fan-out layer at once. Single-threaded at this
+                    // point, so the set is race-free.
+                    Some(n) if n > 0 => std::env::set_var(THREADS_ENV, n.to_string()),
+                    _ => {
+                        eprintln!("--threads expects a positive integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             other => ids.push(other.to_string()),
         }
         i += 1;
@@ -94,16 +113,25 @@ fn main() -> ExitCode {
         found
     };
 
-    for experiment in experiments {
-        eprintln!(
-            "=== {} — {} (trials={}, quick={}) ===",
-            experiment.id(),
-            experiment.describe(),
-            cfg.trials,
-            cfg.quick
-        );
-        let start = std::time::Instant::now();
+    // Fan the experiment list out across the pool, then render and write
+    // strictly in request order so stdout and bench_results/ are identical
+    // to a sequential run.
+    let pool = Pool::new();
+    eprintln!(
+        "=== running {} experiment(s) on {} worker thread(s) (trials={}, quick={}) ===",
+        experiments.len(),
+        pool.threads(),
+        cfg.trials,
+        cfg.quick
+    );
+    let outcomes: Vec<(Vec<Table>, f64)> = pool.parallel_map(&experiments, |_, experiment| {
+        let start = Instant::now();
         let tables = experiment.run(&cfg);
+        (tables, start.elapsed().as_secs_f64())
+    });
+
+    for (experiment, (tables, secs)) in experiments.iter().zip(&outcomes) {
+        eprintln!("=== {} — {} ===", experiment.id(), experiment.describe());
         for (i, table) in tables.iter().enumerate() {
             println!("{}", table.render());
             let stem = format!("{}_{i}", experiment.id());
@@ -112,11 +140,7 @@ fn main() -> ExitCode {
                 Err(e) => eprintln!("csv write failed for {stem}: {e}"),
             }
         }
-        eprintln!(
-            "=== {} done in {:.1}s ===\n",
-            experiment.id(),
-            start.elapsed().as_secs_f64()
-        );
+        eprintln!("=== {} done in {secs:.1}s ===\n", experiment.id());
     }
     ExitCode::SUCCESS
 }

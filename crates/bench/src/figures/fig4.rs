@@ -8,6 +8,7 @@
 //! still but unreliable (Figure 5). For MAX, Smokescreen beats Stein at
 //! small fractions.
 
+use smokescreen_rt::pool::Pool;
 use smokescreen_video::synth::DatasetPreset;
 
 use crate::figures::baselines::{
@@ -35,6 +36,12 @@ impl Experiment for Fig4 {
     }
 
     fn run(&self, cfg: &RunConfig) -> Vec<Table> {
+        // Trials are independent given their `(seed, trial-index)` stream,
+        // so each sweep point fans its 100 trials out on the pool; results
+        // come back in trial order, keeping the averages bit-identical to
+        // the sequential loop for any thread count.
+        let pool = Pool::new();
+        let trials: Vec<u64> = (0..cfg.trials as u64).collect();
         let mut tables = Vec::new();
         for dataset in [DatasetPreset::NightStreet, DatasetPreset::Detrac] {
             let bench = Bench::new(dataset, ModelKind::paper_default(dataset), cfg);
@@ -64,15 +71,14 @@ impl Experiment for Fig4 {
                 for fraction in fraction_sweep(dataset, agg_name, cfg.quick) {
                     let n = ((bench.n() as f64 * fraction).round() as usize).max(2);
                     if agg_name == "MAX" {
-                        let mut ours = Vec::new();
-                        let mut stein = Vec::new();
-                        for t in 0..cfg.trials {
-                            let sample =
-                                bench.sample_outputs(bench.native(), n, cfg.seed + t as u64);
-                            let q = run_quantile_methods(aggregate, &sample, &population, 0.05);
-                            ours.push(q.smokescreen);
-                            stein.push(q.stein);
-                        }
+                        let outcomes = pool.parallel_map(&trials, |_, &t| {
+                            let sample = bench.sample_outputs(bench.native(), n, cfg.seed + t);
+                            run_quantile_methods(aggregate, &sample, &population, 0.05)
+                        });
+                        let ours: Vec<MethodOutcome> =
+                            outcomes.iter().map(|q| q.smokescreen).collect();
+                        let stein: Vec<MethodOutcome> =
+                            outcomes.iter().map(|q| q.stein).collect();
                         let (o, s) = (average(&ours, BOUND_CLIP), average(&stein, BOUND_CLIP));
                         table.push_row(vec![
                             format!("{fraction:.5}"),
@@ -81,11 +87,12 @@ impl Experiment for Fig4 {
                             fmt(s.bound),
                         ]);
                     } else {
+                        let outcomes = pool.parallel_map(&trials, |_, &t| {
+                            let sample = bench.sample_outputs(bench.native(), n, cfg.seed + t);
+                            run_mean_methods(aggregate, &sample, &population, 0.05)
+                        });
                         let mut acc: [Vec<MethodOutcome>; 5] = Default::default();
-                        for t in 0..cfg.trials {
-                            let sample =
-                                bench.sample_outputs(bench.native(), n, cfg.seed + t as u64);
-                            let m = run_mean_methods(aggregate, &sample, &population, 0.05);
+                        for m in &outcomes {
                             acc[0].push(m.smokescreen);
                             acc[1].push(m.ebgs);
                             acc[2].push(m.hoeffding_serfling);

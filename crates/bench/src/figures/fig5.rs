@@ -6,6 +6,7 @@
 //! is why Smokescreen refuses to use it despite its tightness.
 
 use smokescreen_core::Aggregate;
+use smokescreen_rt::pool::Pool;
 use smokescreen_video::synth::DatasetPreset;
 
 use crate::figures::baselines::run_mean_methods;
@@ -40,18 +41,21 @@ impl Experiment for Fig5 {
             ("COUNT", Aggregate::Count { at_least: 1.0 }),
         ];
         // Use the AVG sweep; all three mean aggregates share its range.
+        // Trials fan out per `(seed, trial-index)` stream; the violation
+        // count is a sum over trial order, so it is thread-count
+        // independent.
+        let pool = Pool::new();
+        let trials: Vec<u64> = (0..cfg.trials as u64).collect();
         for fraction in fraction_sweep(DatasetPreset::Detrac, "AVG", cfg.quick) {
             let n = ((bench.n() as f64 * fraction).round() as usize).max(2);
             let mut cells = vec![format!("{fraction:.5}")];
             for (_, aggregate) in aggs {
-                let mut violations = 0usize;
-                for t in 0..cfg.trials {
-                    let sample = bench.sample_outputs(bench.native(), n, cfg.seed + t as u64);
+                let violated = pool.parallel_map(&trials, |_, &t| {
+                    let sample = bench.sample_outputs(bench.native(), n, cfg.seed + t);
                     let m = run_mean_methods(aggregate, &sample, &population, 0.05);
-                    if m.clt.bound < m.clt.true_error {
-                        violations += 1;
-                    }
-                }
+                    m.clt.bound < m.clt.true_error
+                });
+                let violations = violated.iter().filter(|&&v| v).count();
                 cells.push(fmt(violations as f64 / cfg.trials as f64));
             }
             table.push_row(cells);

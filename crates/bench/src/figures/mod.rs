@@ -17,7 +17,10 @@ use crate::table::Table;
 use crate::RunConfig;
 
 /// An experiment that regenerates one paper artifact.
-pub trait Experiment {
+///
+/// `Send + Sync` so `repro all` can fan experiments out across
+/// `rt::pool` workers (every implementor is a stateless unit struct).
+pub trait Experiment: Send + Sync {
     /// Experiment id (e.g. `"fig4"`).
     fn id(&self) -> &'static str;
     /// One-line description.

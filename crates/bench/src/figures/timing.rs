@@ -46,7 +46,7 @@ impl Experiment for Timing {
             GeneratorConfig {
                 seed: cfg.seed,
                 early_stop_improvement: None, // measure the full grid
-                early_stop_min_points: 3,
+                ..GeneratorConfig::default()
             },
         );
         let (profile, report) = generator.generate(&grid, None).expect("generation succeeds");

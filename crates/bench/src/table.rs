@@ -67,16 +67,25 @@ impl Table {
         out
     }
 
+    /// The table's CSV serialization (header line + one line per row).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
     /// Writes the table as CSV under the results directory; returns the
     /// path.
     pub fn write_csv(&self, dir: &Path, file_stem: &str) -> std::io::Result<PathBuf> {
         fs::create_dir_all(dir)?;
         let path = dir.join(format!("{file_stem}.csv"));
         let mut f = fs::File::create(&path)?;
-        writeln!(f, "{}", self.headers.join(","))?;
-        for row in &self.rows {
-            writeln!(f, "{}", row.join(","))?;
-        }
+        f.write_all(self.to_csv().as_bytes())?;
         Ok(path)
     }
 }

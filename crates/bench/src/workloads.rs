@@ -7,13 +7,13 @@
 //! once per resolution and lets trials re-sample from them — exactly the
 //! separation the paper's reuse strategy (§3.3.2) exploits.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use smokescreen_core::{Aggregate, Workload};
 use smokescreen_degrade::RestrictionIndex;
 use smokescreen_models::{Detector, SimMaskRcnn, SimYoloV4};
+use smokescreen_rt::sync::RwLock;
 use smokescreen_stats::sample::sample_indices;
 use smokescreen_video::synth::DatasetPreset;
 use smokescreen_video::{ObjectClass, Resolution, VideoCorpus};
@@ -58,7 +58,9 @@ pub struct Bench {
     pub detector: Box<dyn Detector>,
     /// Ground-truth restriction prior.
     pub restrictions: RestrictionIndex,
-    outputs: RefCell<HashMap<Resolution, Arc<Vec<f64>>>>,
+    /// Memoized per-resolution output arrays; lock-guarded so trial
+    /// fan-out on `rt::pool` can share one fixture across workers.
+    outputs: RwLock<HashMap<Resolution, Arc<Vec<f64>>>>,
 }
 
 impl Bench {
@@ -78,7 +80,7 @@ impl Bench {
             corpus,
             detector,
             restrictions,
-            outputs: RefCell::new(HashMap::new()),
+            outputs: RwLock::new(HashMap::new()),
         }
     }
 
@@ -92,18 +94,20 @@ impl Bench {
     /// Per-frame detector outputs (car counts) at a resolution, computed
     /// once and memoized.
     pub fn outputs_at(&self, res: Resolution) -> Arc<Vec<f64>> {
-        if let Some(hit) = self.outputs.borrow().get(&res) {
+        if let Some(hit) = self.outputs.read().get(&res) {
             return Arc::clone(hit);
         }
+        // Compute outside the write lock; detectors are deterministic per
+        // (frame, resolution), so a racing duplicate is identical and the
+        // entry API keeps a single canonical array.
         let outs: Vec<f64> = self
             .corpus
             .frames()
             .iter()
             .map(|f| self.detector.count(f, res, ObjectClass::Car))
             .collect();
-        let arc = Arc::new(outs);
-        self.outputs.borrow_mut().insert(res, Arc::clone(&arc));
-        arc
+        let mut guard = self.outputs.write();
+        Arc::clone(guard.entry(res).or_insert_with(|| Arc::new(outs)))
     }
 
     /// Ground-truth population: outputs at the native resolution.

@@ -13,11 +13,27 @@
 //!
 //! The generator also accounts for simulated model time vs. measured
 //! estimation time, which reproduces the §5.3.1 breakdown.
+//!
+//! # Parallelism and determinism
+//!
+//! Independent `(resolution, removal)` cells are profiled concurrently on
+//! an [`rt::pool`](smokescreen_rt::pool) scoped thread pool; the in-cell
+//! ascending-fraction sweep stays sequential because early stopping reads
+//! the previous candidate's bound. The contract is **bit-for-bit
+//! determinism**: every candidate derives its sampling permutation from
+//! the configured seed (never from execution order), cell results are
+//! merged back in grid order, and the shard-locked [`OutputCache`] keeps
+//! `model_runs`/`cache_hits` schedule-independent — so the emitted
+//! [`Profile`] is byte-identical for any thread count, including 1.
+//! `estimation_time_ms` sums per-candidate durations (not wall-clock), so
+//! it stays meaningful under concurrency; as a measured quantity it is the
+//! one report field that naturally varies run-to-run.
 
 use std::time::Instant;
 
 use smokescreen_degrade::{CandidateGrid, InterventionSet, RestrictionIndex};
 use smokescreen_models::OutputCache;
+use smokescreen_rt::pool::Pool;
 
 use crate::correction::CorrectionSet;
 use crate::estimate::{result_error_est, Workload};
@@ -35,6 +51,10 @@ pub struct GeneratorConfig {
     pub early_stop_improvement: Option<f64>,
     /// Minimum candidates per cell before early stopping may trigger.
     pub early_stop_min_points: usize,
+    /// Worker threads for cell-level parallelism. `0` = automatic
+    /// (`SMOKESCREEN_THREADS`, else available parallelism). The generated
+    /// profile is byte-identical for every value.
+    pub threads: usize,
 }
 
 impl Default for GeneratorConfig {
@@ -43,6 +63,7 @@ impl Default for GeneratorConfig {
             seed: 0,
             early_stop_improvement: Some(0.005),
             early_stop_min_points: 3,
+            threads: 0,
         }
     }
 }
@@ -62,6 +83,15 @@ pub struct GenerationReport {
     pub points: usize,
     /// Candidates skipped by early stopping.
     pub skipped_by_early_stop: usize,
+}
+
+/// Per-cell sweep result, merged into the profile in grid order.
+#[derive(Debug, Default)]
+struct CellOutput {
+    points: Vec<ProfilePoint>,
+    skipped_by_early_stop: usize,
+    /// Sum of per-candidate estimation durations (not wall-clock).
+    estimation_ns: u128,
 }
 
 /// Profile generator for one workload.
@@ -98,9 +128,6 @@ impl<'a> ProfileGenerator<'a> {
         correction: Option<&CorrectionSet>,
     ) -> Result<(Profile, GenerationReport)> {
         let cache = OutputCache::new(self.workload.detector);
-        let mut points = Vec::new();
-        let mut report = GenerationReport::default();
-        let mut estimation_ns: u128 = 0;
 
         let combos: &[Vec<smokescreen_video::ObjectClass>] = if grid.class_combos.is_empty() {
             &[Vec::new()]
@@ -114,50 +141,27 @@ impl<'a> ProfileGenerator<'a> {
                 grid.resolutions.iter().copied().map(Some).collect()
             };
 
-        for &resolution in &resolutions {
-            for combo in combos {
-                let mut prev_err: Option<f64> = None;
-                let mut stopped = false;
-                let mut seen = 0usize;
-                for &fraction in &grid.fractions {
-                    if stopped {
-                        report.skipped_by_early_stop += 1;
-                        continue;
-                    }
-                    let mut set = InterventionSet::sampling(fraction).with_restricted(combo);
-                    // The native resolution is not a degradation: normalize
-                    // it to None so the candidate classifies as random and
-                    // needs no correction.
-                    set.resolution =
-                        resolution.filter(|&r| r != self.workload.corpus.native_resolution);
+        // Grid-order cell list (resolution-major, combo-minor); this order
+        // defines the candidate order of the merged profile.
+        let cells: Vec<(Option<smokescreen_video::Resolution>, &Vec<smokescreen_video::ObjectClass>)> =
+            resolutions
+                .iter()
+                .flat_map(|&res| combos.iter().map(move |combo| (res, combo)))
+                .collect();
 
-                    let t0 = Instant::now();
-                    let point = self.profile_point(&set, correction, &cache);
-                    estimation_ns += t0.elapsed().as_nanos();
-                    let point = match point {
-                        Ok(p) => p,
-                        // A candidate can be individually infeasible (e.g.
-                        // removal leaves nothing at this combo); skip it.
-                        Err(CoreError::EmptyView(_)) | Err(CoreError::InvalidIntervention(_)) => {
-                            continue
-                        }
-                        Err(e) => return Err(e),
-                    };
-                    seen += 1;
+        let pool = Pool::with_threads(self.config.threads);
+        let cell_outputs = pool.parallel_map(&cells, |_, &(resolution, combo)| {
+            self.profile_cell(grid, resolution, combo, correction, &cache)
+        });
 
-                    if let (Some(threshold), Some(prev)) =
-                        (self.config.early_stop_improvement, prev_err)
-                    {
-                        if seen >= self.config.early_stop_min_points
-                            && (prev - point.err_b).abs() < threshold
-                        {
-                            stopped = true;
-                        }
-                    }
-                    prev_err = Some(point.err_b);
-                    points.push(point);
-                }
-            }
+        let mut points = Vec::new();
+        let mut report = GenerationReport::default();
+        let mut estimation_ns: u128 = 0;
+        for cell in cell_outputs {
+            let cell = cell?;
+            report.skipped_by_early_stop += cell.skipped_by_early_stop;
+            estimation_ns += cell.estimation_ns;
+            points.extend(cell.points);
         }
 
         let inv = cache.invocations();
@@ -178,6 +182,59 @@ impl<'a> ProfileGenerator<'a> {
             },
             report,
         ))
+    }
+
+    /// Profiles one `(resolution, removal)` cell: the ascending-fraction
+    /// sweep with early stopping, exactly as the sequential generator runs
+    /// it. One pool task per cell; results merge back in grid order.
+    fn profile_cell(
+        &self,
+        grid: &CandidateGrid,
+        resolution: Option<smokescreen_video::Resolution>,
+        combo: &[smokescreen_video::ObjectClass],
+        correction: Option<&CorrectionSet>,
+        cache: &OutputCache<'_>,
+    ) -> Result<CellOutput> {
+        let mut out = CellOutput::default();
+        let mut prev_err: Option<f64> = None;
+        let mut stopped = false;
+        let mut seen = 0usize;
+        for &fraction in &grid.fractions {
+            if stopped {
+                out.skipped_by_early_stop += 1;
+                continue;
+            }
+            let mut set = InterventionSet::sampling(fraction).with_restricted(combo);
+            // The native resolution is not a degradation: normalize
+            // it to None so the candidate classifies as random and
+            // needs no correction.
+            set.resolution = resolution.filter(|&r| r != self.workload.corpus.native_resolution);
+
+            let t0 = Instant::now();
+            let point = self.profile_point(&set, correction, cache);
+            out.estimation_ns += t0.elapsed().as_nanos();
+            let point = match point {
+                Ok(p) => p,
+                // A candidate can be individually infeasible (e.g.
+                // removal leaves nothing at this combo); skip it.
+                Err(CoreError::EmptyView(_)) | Err(CoreError::InvalidIntervention(_)) => continue,
+                Err(e) => return Err(e),
+            };
+            seen += 1;
+
+            if let (Some(threshold), Some(prev)) =
+                (self.config.early_stop_improvement, prev_err)
+            {
+                if seen >= self.config.early_stop_min_points
+                    && (prev - point.err_b).abs() < threshold
+                {
+                    stopped = true;
+                }
+            }
+            prev_err = Some(point.err_b);
+            out.points.push(point);
+        }
+        Ok(out)
     }
 
     /// Profiles one candidate.
@@ -315,7 +372,7 @@ mod tests {
             GeneratorConfig {
                 early_stop_improvement: Some(0.01),
                 early_stop_min_points: 3,
-                seed: 0,
+                ..GeneratorConfig::default()
             },
         );
         let (profile, report) = gen.generate(&many_fractions, None).unwrap();
@@ -324,6 +381,84 @@ mod tests {
             "a 60-point flat tail should trigger early stop"
         );
         assert!(profile.len() < 60);
+    }
+
+    #[test]
+    fn model_time_equals_runs_times_unit_cost_exactly() {
+        // With a single off-native resolution every model invocation costs
+        // the same T_model, so the report must satisfy
+        // model_time_ms == model_runs · T_model with float equality — the
+        // §5.3.1 accounting identity, preserved under concurrency by the
+        // cache's per-resolution run ledger.
+        let corpus = DatasetPreset::Detrac.generate(44).slice(0, 2_000);
+        let yolo = SimYoloV4::new(5);
+        let w = Workload {
+            corpus: &corpus,
+            detector: &yolo,
+            class: ObjectClass::Car,
+            aggregate: Aggregate::Avg,
+            delta: 0.05,
+        };
+        let restrictions = RestrictionIndex::from_ground_truth(&corpus, &[ObjectClass::Person]);
+        let res = Resolution::square(320);
+        let one_res_grid = CandidateGrid::explicit(
+            vec![0.02, 0.05, 0.1],
+            vec![res],
+            vec![vec![], vec![ObjectClass::Person]],
+        );
+        for threads in [1usize, 4] {
+            let gen = ProfileGenerator::new(
+                &w,
+                &restrictions,
+                GeneratorConfig {
+                    early_stop_improvement: None,
+                    threads,
+                    ..GeneratorConfig::default()
+                },
+            );
+            let (_, report) = gen.generate(&one_res_grid, None).unwrap();
+            let t_model = smokescreen_models::Detector::inference_cost_ms(&yolo, res);
+            assert!(report.model_runs > 0);
+            assert_eq!(
+                report.model_time_ms,
+                report.model_runs as f64 * t_model,
+                "threads={threads}: model time must be exactly N_model · T_model"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_cells_match_sequential_bit_for_bit() {
+        let corpus = DatasetPreset::Detrac.generate(45).slice(0, 2_000);
+        let yolo = SimYoloV4::new(6);
+        let w = Workload {
+            corpus: &corpus,
+            detector: &yolo,
+            class: ObjectClass::Car,
+            aggregate: Aggregate::Avg,
+            delta: 0.05,
+        };
+        let restrictions = RestrictionIndex::from_ground_truth(&corpus, &[ObjectClass::Person]);
+        let run = |threads: usize| {
+            ProfileGenerator::new(
+                &w,
+                &restrictions,
+                GeneratorConfig {
+                    seed: 3,
+                    threads,
+                    ..GeneratorConfig::default()
+                },
+            )
+            .generate(&grid(), None)
+            .unwrap()
+        };
+        let (p1, r1) = run(1);
+        let (p8, r8) = run(8);
+        assert_eq!(p1, p8, "profiles must be identical across thread counts");
+        assert_eq!(r1.model_runs, r8.model_runs);
+        assert_eq!(r1.cache_hits, r8.cache_hits);
+        assert_eq!(r1.points, r8.points);
+        assert_eq!(r1.skipped_by_early_stop, r8.skipped_by_early_stop);
     }
 
     #[test]

@@ -67,6 +67,14 @@ impl<'a> Smokescreen<'a> {
         self
     }
 
+    /// Sets the profile-generation worker count (`0` = automatic via
+    /// `SMOKESCREEN_THREADS` or available parallelism). Any value yields a
+    /// byte-identical profile; only wall-clock changes.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
     /// The workload view of this system.
     pub fn workload(&self) -> Workload<'_> {
         Workload {

@@ -7,10 +7,26 @@
 //! invocations and accumulated simulated inference time, which is how the
 //! §5.3.1 profile-generation-time experiment measures "model time" without
 //! a GPU.
+//!
+//! Profile generation now runs candidate cells on `rt::pool` workers, so
+//! the cache is shard-locked: keys hash to one of [`SHARD_COUNT`]
+//! independent `RwLock`ed maps, letting workers at different resolutions
+//! proceed without contending on a single lock. Accounting is defined to
+//! be **schedule-independent**:
+//!
+//! * `model_runs` counts *distinct* `(frame, resolution)` keys materialized
+//!   — if two workers race on the same cold key, the losing insert is
+//!   reclassified as a cache hit, so the totals never depend on thread
+//!   interleaving;
+//! * `model_time_ms` is derived as `Σ_res runs(res) · cost(res)` over a
+//!   sorted per-resolution run ledger rather than a float accumulator, so
+//!   it is bit-identical across thread counts and equals
+//!   `model_runs · T_model` exactly when one resolution is in play.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-use smokescreen_rt::sync::RwLock;
+use smokescreen_rt::sync::{Mutex, RwLock};
 use smokescreen_video::{Frame, ObjectClass, Resolution};
 
 use crate::detector::{Detections, Detector};
@@ -18,15 +34,30 @@ use crate::detector::{Detections, Detector};
 /// Cache key: frame id × resolution (the detector is fixed per cache).
 type Key = (u64, Resolution);
 
+/// Number of independent lock shards.
+pub const SHARD_COUNT: usize = 16;
+
+/// Maps a key to its shard via a SplitMix64-style mix of the frame id and
+/// resolution, so consecutive frame ids spread across shards.
+fn shard_index(key: &Key) -> usize {
+    let mut x = key.0 ^ (u64::from(key.1.width) << 32) ^ u64::from(key.1.height);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (x ^ (x >> 31)) as usize % SHARD_COUNT
+}
+
 /// A caching wrapper around a detector.
 ///
-/// Thread-safe; uses an RwLock'd HashMap (profile generation touches each
-/// key once, so contention is not a concern — correctness and accounting
-/// are).
+/// Thread-safe and shard-locked; see the module docs for the concurrency
+/// and accounting contract.
 pub struct OutputCache<'d> {
     detector: &'d dyn Detector,
-    entries: RwLock<HashMap<Key, Detections>>,
-    invocations: RwLock<Invocations>,
+    shards: Vec<RwLock<HashMap<Key, Detections>>>,
+    model_runs: AtomicUsize,
+    cache_hits: AtomicUsize,
+    /// Distinct-key model runs per resolution, ordered so the derived
+    /// model-time sum is deterministic.
+    runs_by_resolution: Mutex<BTreeMap<Resolution, usize>>,
 }
 
 /// Invocation accounting.
@@ -45,8 +76,10 @@ impl<'d> OutputCache<'d> {
     pub fn new(detector: &'d dyn Detector) -> Self {
         OutputCache {
             detector,
-            entries: RwLock::new(HashMap::new()),
-            invocations: RwLock::new(Invocations::default()),
+            shards: (0..SHARD_COUNT).map(|_| RwLock::new(HashMap::new())).collect(),
+            model_runs: AtomicUsize::new(0),
+            cache_hits: AtomicUsize::new(0),
+            runs_by_resolution: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -58,18 +91,31 @@ impl<'d> OutputCache<'d> {
     /// Runs (or replays) the model on a frame at a resolution.
     pub fn detect(&self, frame: &Frame, res: Resolution) -> Detections {
         let key = (frame.id, res);
-        if let Some(hit) = self.entries.read().get(&key) {
-            self.invocations.write().cache_hits += 1;
+        let shard = &self.shards[shard_index(&key)];
+        if let Some(hit) = shard.read().get(&key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return hit.clone();
         }
+        // Run the model outside the write lock so a slow inference never
+        // blocks the shard. Detectors are deterministic per key, so a
+        // racing duplicate computes the identical output.
         let out = self.detector.detect(frame, res);
-        {
-            let mut inv = self.invocations.write();
-            inv.model_runs += 1;
-            inv.model_time_ms += self.detector.inference_cost_ms(res);
+        let mut entries = shard.write();
+        match entries.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                // Lost a cold-key race: the winner's insert owns the model
+                // run; this call is accounted as a hit so totals stay
+                // independent of scheduling.
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                e.get().clone()
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                self.model_runs.fetch_add(1, Ordering::Relaxed);
+                *self.runs_by_resolution.lock().entry(res).or_insert(0) += 1;
+                v.insert(out.clone());
+                out
+            }
         }
-        self.entries.write().insert(key, out.clone());
-        out
     }
 
     /// Count of a class, through the cache.
@@ -77,19 +123,31 @@ impl<'d> OutputCache<'d> {
         self.detect(frame, res).count(class) as f64
     }
 
-    /// Current accounting snapshot.
+    /// Current accounting snapshot. `model_time_ms` is recomputed from the
+    /// per-resolution ledger, so `model_time_ms = Σ runs(res) · cost(res)`
+    /// holds exactly at every snapshot.
     pub fn invocations(&self) -> Invocations {
-        *self.invocations.read()
+        let model_time_ms = self
+            .runs_by_resolution
+            .lock()
+            .iter()
+            .map(|(&res, &runs)| runs as f64 * self.detector.inference_cost_ms(res))
+            .sum();
+        Invocations {
+            model_runs: self.model_runs.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            model_time_ms,
+        }
     }
 
     /// Number of distinct `(frame, resolution)` outputs held.
     pub fn len(&self) -> usize {
-        self.entries.read().len()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.read().is_empty()
+        self.shards.iter().all(|s| s.read().is_empty())
     }
 }
 
@@ -128,5 +186,56 @@ mod tests {
         let f = corpus.frame(55).unwrap();
         let res = Resolution::square(416);
         assert_eq!(cache.detect(f, res), yolo.detect(f, res));
+    }
+
+    #[test]
+    fn model_time_is_exactly_runs_times_cost() {
+        let corpus = DatasetPreset::Detrac.generate(3);
+        let yolo = SimYoloV4::new(7);
+        let cache = OutputCache::new(&yolo);
+        let res = Resolution::square(320);
+        for i in 0..40 {
+            let _ = cache.detect(corpus.frame(i % 25).unwrap(), res);
+        }
+        let inv = cache.invocations();
+        assert_eq!(inv.model_runs, 25);
+        assert_eq!(inv.cache_hits, 15);
+        assert_eq!(
+            inv.model_time_ms,
+            inv.model_runs as f64 * smokescreen_models_cost(&yolo, res),
+            "single-resolution model time must be exactly runs × cost"
+        );
+    }
+
+    #[test]
+    fn concurrent_access_keeps_accounting_schedule_independent() {
+        let corpus = DatasetPreset::NightStreet.generate(4).slice(0, 200);
+        let yolo = SimYoloV4::new(8);
+        let cache = OutputCache::new(&yolo);
+        let res = Resolution::square(512);
+        // 8 threads all touch every frame: distinct keys = 200, total
+        // calls = 1600, regardless of interleaving.
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for f in corpus.frames() {
+                        let _ = cache.detect(f, res);
+                    }
+                });
+            }
+        });
+        let inv = cache.invocations();
+        assert_eq!(inv.model_runs, 200, "distinct keys only");
+        assert_eq!(inv.model_runs + inv.cache_hits, 1600, "every call counted once");
+        assert_eq!(cache.len(), 200);
+        assert_eq!(
+            inv.model_time_ms,
+            200.0 * smokescreen_models_cost(&yolo, res)
+        );
+    }
+
+    /// Cost helper without importing the trait into every assert.
+    fn smokescreen_models_cost(d: &SimYoloV4, res: Resolution) -> f64 {
+        Detector::inference_cost_ms(d, res)
     }
 }

@@ -11,6 +11,7 @@
 //! | [`rng`]       | `rand`, `rand_distr`    | xoshiro256\*\* + SplitMix64; Poisson (PTRS), LogNormal, Box–Muller normal |
 //! | [`json`]      | `serde`, `serde_json`   | value model + hand-written `ToJson`/`FromJson` impls |
 //! | [`sync`]      | `parking_lot`           | direct-guard `Mutex`/`RwLock` over `std::sync` |
+//! | [`pool`]      | `rayon` (subset)        | scoped, deterministic `parallel_map`/`scope` thread pool |
 //! | [`proptest`]  | `proptest`              | seeded case generation, replay via printed seed, no shrinking |
 //! | [`bench`]     | `criterion`             | warm-up + min/mean timer under the libtest harness |
 //!
@@ -25,6 +26,7 @@
 
 pub mod bench;
 pub mod json;
+pub mod pool;
 pub mod proptest;
 pub mod rng;
 pub mod sync;

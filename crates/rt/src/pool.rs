@@ -1,0 +1,346 @@
+//! A zero-dependency scoped thread pool with deterministic results.
+//!
+//! Profile generation and the experiment harness are embarrassingly
+//! parallel — independent `(resolution, removal)` cells, independent
+//! trials, independent experiments — but the science demands that the
+//! *output* of a parallel run be byte-identical to the sequential one.
+//! This pool is built around that contract:
+//!
+//! * **Order-independent tasks, order-preserving results.** Each task is
+//!   identified by its index in the input; [`Pool::parallel_map`] returns
+//!   results in input order no matter which worker ran what when. Callers
+//!   must derive any randomness from `(seed, index)`, never from execution
+//!   order — every call site in this workspace does.
+//! * **Work-stealing-lite scheduling.** Workers pull fixed-size index
+//!   chunks from a shared atomic counter, so a slow task delays only its
+//!   own chunk instead of a statically partitioned stripe.
+//! * **Panic propagation, no hangs.** A panicking task flips an abort flag
+//!   (other workers stop pulling new chunks) and the panic payload is
+//!   re-thrown from the calling thread once the scope joins.
+//! * **Configurable width.** Worker count comes from the explicit request,
+//!   else `SMOKESCREEN_THREADS`, else `std::thread::available_parallelism`.
+//!   Width 1 runs inline on the caller with zero spawns, which is also the
+//!   reference path the determinism suite compares against.
+//!
+//! Threads are scoped (`std::thread::scope`): tasks may borrow from the
+//! caller's stack, and the pool never outlives the call.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use crate::sync::Mutex;
+
+/// Environment variable overriding the automatic worker count.
+pub const THREADS_ENV: &str = "SMOKESCREEN_THREADS";
+
+/// A fixed-width scoped thread pool.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::new()
+    }
+}
+
+/// Resolves the automatic worker count: `SMOKESCREEN_THREADS` when set to
+/// a positive integer, else the machine's available parallelism, else 1.
+pub fn auto_threads() -> usize {
+    if let Some(n) = std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+impl Pool {
+    /// A pool with the automatic width (see [`auto_threads`]).
+    pub fn new() -> Self {
+        Pool::with_threads(0)
+    }
+
+    /// A pool with an explicit width; `0` means automatic.
+    pub fn with_threads(request: usize) -> Self {
+        let threads = if request == 0 { auto_threads() } else { request };
+        Pool { threads }
+    }
+
+    /// The worker count this pool runs with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items` on the pool's workers, returning results in
+    /// input order. `f` receives `(index, &item)` so per-task randomness
+    /// can be derived from the index rather than execution order.
+    ///
+    /// If any invocation panics, remaining tasks are abandoned and the
+    /// panic propagates to the caller.
+    pub fn parallel_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.run_indexed(items.len(), |i| f(i, &items[i]))
+    }
+
+    /// Collects closures spawned onto a [`TaskScope`] and runs them on the
+    /// pool, returning their results in spawn order.
+    pub fn scope<'env, T, F>(&self, build: F) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce(&mut TaskScope<'env, T>),
+    {
+        let mut scope = TaskScope { tasks: Vec::new() };
+        build(&mut scope);
+        // FnOnce tasks are consumed exactly once: the index counter hands
+        // each slot to a single worker, which takes the closure out.
+        let slots: Vec<Mutex<Option<Task<'env, T>>>> = scope
+            .tasks
+            .into_iter()
+            .map(|t| Mutex::new(Some(t)))
+            .collect();
+        self.run_indexed(slots.len(), |i| {
+            let task = slots[i].lock().take().expect("scope task runs once");
+            task()
+        })
+    }
+
+    /// The shared engine: runs `task(0..len)` across the workers and
+    /// merges results back into index order.
+    fn run_indexed<R, F>(&self, len: usize, task: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if len == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads.min(len);
+        if workers <= 1 {
+            return (0..len).map(task).collect();
+        }
+
+        // Chunks trade scheduling overhead against balance; 4 chunks per
+        // worker keeps the tail short without hammering the counter.
+        let chunk = (len / (workers * 4)).max(1);
+        let next = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        let gathered: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(len));
+        // First panic payload; re-thrown on the caller so the original
+        // message survives (std::thread::scope would replace it with
+        // "a scoped thread panicked").
+        let panicked: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    'pull: loop {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= len {
+                            break;
+                        }
+                        for i in start..(start + chunk).min(len) {
+                            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                task(i)
+                            })) {
+                                Ok(r) => local.push((i, r)),
+                                Err(payload) => {
+                                    abort.store(true, Ordering::Relaxed);
+                                    let mut slot = panicked.lock();
+                                    if slot.is_none() {
+                                        *slot = Some(payload);
+                                    }
+                                    break 'pull;
+                                }
+                            }
+                        }
+                    }
+                    gathered.lock().append(&mut local);
+                });
+            }
+        });
+        if let Some(payload) = panicked.into_inner() {
+            std::panic::resume_unwind(payload);
+        }
+        let mut merged = gathered.into_inner();
+        debug_assert_eq!(merged.len(), len);
+        merged.sort_unstable_by_key(|&(i, _)| i);
+        merged.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+type Task<'env, T> = Box<dyn FnOnce() -> T + Send + 'env>;
+
+/// Collector for [`Pool::scope`] tasks.
+pub struct TaskScope<'env, T> {
+    tasks: Vec<Task<'env, T>>,
+}
+
+impl<'env, T> TaskScope<'env, T> {
+    /// Queues a task; it runs when the surrounding [`Pool::scope`] call
+    /// executes, and its result lands at this spawn position.
+    pub fn spawn<F>(&mut self, task: F)
+    where
+        F: FnOnce() -> T + Send + 'env,
+    {
+        self.tasks.push(Box::new(task));
+    }
+
+    /// Number of tasks queued so far.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether no task has been queued yet.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proptest::prelude::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        for threads in [1usize, 2, 8] {
+            let pool = Pool::with_threads(threads);
+            let empty: Vec<u32> = Vec::new();
+            assert_eq!(pool.parallel_map(&empty, |_, &x| x * 2), Vec::<u32>::new());
+            assert_eq!(pool.parallel_map(&[7u32], |i, &x| x + i as u32), vec![7]);
+        }
+    }
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let pool = Pool::with_threads(8);
+        let items: Vec<usize> = (0..500).collect();
+        let out = pool.parallel_map(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * 3
+        });
+        assert_eq!(out, (0..500).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scope_preserves_spawn_order() {
+        let pool = Pool::with_threads(4);
+        let out: Vec<String> = pool.scope(|s| {
+            for i in 0..40 {
+                s.spawn(move || format!("task-{i}"));
+            }
+        });
+        assert_eq!(out.len(), 40);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v, &format!("task-{i}"));
+        }
+    }
+
+    #[test]
+    fn scope_tasks_borrow_from_caller() {
+        let data: Vec<u64> = (0..100).collect();
+        let total = AtomicU64::new(0);
+        let pool = Pool::with_threads(3);
+        let parts: Vec<u64> = pool.scope(|s| {
+            for chunk in data.chunks(7) {
+                let total = &total;
+                s.spawn(move || {
+                    let sum: u64 = chunk.iter().sum();
+                    total.fetch_add(sum, Ordering::Relaxed);
+                    sum
+                });
+            }
+        });
+        assert_eq!(parts.iter().sum::<u64>(), 4950);
+        assert_eq!(total.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn width_resolution_prefers_explicit_request() {
+        assert_eq!(Pool::with_threads(5).threads(), 5);
+        assert!(Pool::new().threads() >= 1);
+        assert!(auto_threads() >= 1);
+    }
+
+    // The determinism and abort contracts, property-tested: parallel maps
+    // must equal their sequential reference for arbitrary inputs and
+    // widths, and a panicking task must propagate without hanging.
+    proptest! {
+        #[test]
+        fn parallel_map_equals_sequential_map(
+            xs in collection::vec(0u64..1_000_000, 0..300),
+            threads in 1usize..9,
+        ) {
+            let pool = Pool::with_threads(threads);
+            let par = pool.parallel_map(&xs, |i, &x| x.wrapping_mul(31).wrapping_add(i as u64));
+            let seq: Vec<u64> = xs
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| x.wrapping_mul(31).wrapping_add(i as u64))
+                .collect();
+            prop_assert_eq!(par, seq);
+        }
+
+        #[test]
+        fn panicking_task_aborts_and_propagates(
+            len in 1usize..80,
+            threads in 1usize..9,
+            offset in 0usize..80,
+        ) {
+            let pool = Pool::with_threads(threads);
+            let items: Vec<usize> = (0..len).collect();
+            let bad = offset % len;
+            let hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {})); // silence the expected panic
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                pool.parallel_map(&items, |_, &x| {
+                    if x == bad {
+                        panic!("task {x} failed");
+                    }
+                    x
+                })
+            }));
+            std::panic::set_hook(hook);
+            prop_assert!(outcome.is_err(), "panic at index {} must propagate", bad);
+        }
+    }
+
+    #[test]
+    fn panic_payload_reaches_caller_intact() {
+        let pool = Pool::with_threads(4);
+        let items: Vec<u32> = (0..64).collect();
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            pool.parallel_map(&items, |_, &x| {
+                if x == 33 {
+                    panic!("boom-33");
+                }
+                x
+            })
+        }));
+        std::panic::set_hook(hook);
+        let payload = outcome.expect_err("must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("boom-33"), "payload was {msg:?}");
+    }
+}

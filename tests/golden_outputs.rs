@@ -1,0 +1,114 @@
+//! Golden-output regression tests for the repro harness.
+//!
+//! Runs `fig4` and `fig6` at the pinned quick configuration (seed 42) and
+//! compares every CSV field against snapshots under `tests/golden/`. Any
+//! drift in the estimators, the profile generator, or the parallel fan-out
+//! shows up here as a field-level diff. To bless an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_outputs
+//! ```
+//!
+//! and commit the regenerated files.
+
+use std::fs;
+use std::path::PathBuf;
+
+use smokescreen_bench::figures::by_id;
+use smokescreen_bench::table::Table;
+use smokescreen_bench::RunConfig;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn pinned_config() -> RunConfig {
+    RunConfig {
+        seed: 42,
+        ..RunConfig::quick()
+    }
+}
+
+/// Field-by-field comparison so a failure names the exact row/column that
+/// drifted instead of dumping two whole CSVs.
+fn assert_csv_matches(golden: &str, fresh: &str, name: &str) {
+    let golden_lines: Vec<&str> = golden.lines().collect();
+    let fresh_lines: Vec<&str> = fresh.lines().collect();
+    assert_eq!(
+        golden_lines.len(),
+        fresh_lines.len(),
+        "{name}: row count changed ({} golden vs {} fresh)",
+        golden_lines.len(),
+        fresh_lines.len()
+    );
+    let headers: Vec<&str> = golden_lines.first().map(|h| h.split(',').collect()).unwrap_or_default();
+    for (row, (g, f)) in golden_lines.iter().zip(&fresh_lines).enumerate() {
+        let g_fields: Vec<&str> = g.split(',').collect();
+        let f_fields: Vec<&str> = f.split(',').collect();
+        assert_eq!(
+            g_fields.len(),
+            f_fields.len(),
+            "{name} row {row}: column count changed"
+        );
+        for (col, (gv, fv)) in g_fields.iter().zip(&f_fields).enumerate() {
+            assert_eq!(
+                gv, fv,
+                "{name} row {row}, column {:?}: golden {gv:?} != fresh {fv:?}",
+                headers.get(col).copied().unwrap_or("?")
+            );
+        }
+    }
+}
+
+fn check_experiment(id: &str) {
+    let experiment = by_id(id).expect("experiment registered");
+    let tables: Vec<Table> = experiment.run(&pinned_config());
+    assert!(!tables.is_empty(), "{id}: experiment produced no tables");
+
+    let dir = golden_dir();
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    if update {
+        fs::create_dir_all(&dir).unwrap();
+    }
+    for (i, table) in tables.iter().enumerate() {
+        let name = format!("{id}_{i}.csv");
+        let path = dir.join(&name);
+        let fresh = table.to_csv();
+        if update {
+            fs::write(&path, &fresh).unwrap();
+            continue;
+        }
+        let golden = fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{name}: missing golden snapshot ({e}); \
+                 run `UPDATE_GOLDEN=1 cargo test --test golden_outputs` to create it"
+            )
+        });
+        assert_csv_matches(&golden, &fresh, &name);
+    }
+
+    // The snapshot set must not contain stale panels from a previous shape
+    // of the experiment.
+    let stale: Vec<String> = fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| {
+            n.strip_prefix(&format!("{id}_"))
+                .and_then(|rest| rest.strip_suffix(".csv"))
+                .and_then(|idx| idx.parse::<usize>().ok())
+                .is_some_and(|idx| idx >= tables.len())
+        })
+        .collect();
+    assert!(stale.is_empty(), "{id}: stale golden files {stale:?}");
+}
+
+#[test]
+fn fig4_matches_golden_snapshots() {
+    check_experiment("fig4");
+}
+
+#[test]
+fn fig6_matches_golden_snapshots() {
+    check_experiment("fig6");
+}
