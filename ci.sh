@@ -22,6 +22,12 @@ SMOKESCREEN_THREADS=1 cargo test -q --offline --workspace
 echo "=== test suite @ SMOKESCREEN_THREADS=8 ==="
 SMOKESCREEN_THREADS=8 cargo test -q --offline --workspace
 
+echo "=== estimator kernels: batch vs incremental sweep ==="
+# Smoke-runs the incremental-kernel bench: asserts the ≥3× estimation
+# speedup on quantile-heavy sweeps and that the kernel path is
+# bit-identical to the batch reference.
+cargo test -q --offline -p smokescreen-bench --bench estimator_kernels
+
 echo "=== determinism cross-check: fig4 CSVs @ 1 vs 8 workers ==="
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
@@ -29,3 +35,13 @@ trap 'rm -rf "$tmpdir"' EXIT
 ./target/release/repro fig4 --quick --threads 8 --out "$tmpdir/t8" >/dev/null
 diff -r "$tmpdir/t1" "$tmpdir/t8"
 echo "fig4 output identical across worker counts"
+
+echo "=== golden re-diff: fig4 CSVs vs committed snapshots ==="
+# The incremental estimator kernels promise byte-identical profiles;
+# regenerate fig4 at the pinned golden configuration (seed 42, quick) and
+# diff against the committed goldens directly.
+./target/release/repro fig4 --quick --seed 42 --threads 8 --out "$tmpdir/golden" >/dev/null
+for f in tests/golden/fig4_*.csv; do
+  diff "$f" "$tmpdir/golden/$(basename "$f")"
+done
+echo "fig4 output identical to committed goldens"

@@ -1,0 +1,129 @@
+//! Batch vs. incremental estimator kernels across the §3.3.2 sweep.
+//!
+//! Profile generation answers every fraction candidate within a
+//! `(resolution, removal)` cell over nested prefix samples. The batch
+//! reference path (`ProfileGenerator::profile_point`) rebuilds the view,
+//! re-fetches the full prefix and re-runs the estimator from scratch per
+//! candidate — `O(n)` for mean-style aggregates and `O(n log n)` re-sorts
+//! for order-style ones. The incremental path inside `generate` carries an
+//! `AggregateKernel` across the sweep, ingesting only the `Δn` new outputs
+//! per step.
+//!
+//! This bench times both paths over a paper-scale corpus (UA-DETRAC,
+//! 15,210 frames) on a 100-step fraction ladder and asserts the ≥3×
+//! estimation-time reduction on the quantile-heavy aggregates (MAX and
+//! MEDIAN), where re-sorting dominates the batch cost. It also asserts the
+//! two paths produce bit-identical profile points. Results land in
+//! `bench_results/estimator_kernels.csv`.
+
+use std::path::Path;
+use std::time::Instant;
+
+use smokescreen_bench::table::{fmt, Table};
+use smokescreen_core::{Aggregate, GeneratorConfig, ProfileGenerator, ProfilePoint, Workload};
+use smokescreen_degrade::{CandidateGrid, InterventionSet, RestrictionIndex};
+use smokescreen_models::{OutputCache, SimYoloV4};
+use smokescreen_video::synth::DatasetPreset;
+use smokescreen_video::ObjectClass;
+
+#[test]
+fn bench_estimator_kernels_batch_vs_incremental() {
+    // Full UA-DETRAC preset: 15,210 frames, the paper's corpus size.
+    let corpus = DatasetPreset::Detrac.generate(1);
+    let yolo = SimYoloV4::new(1);
+    let restrictions = RestrictionIndex::from_ground_truth(&corpus, &[]);
+    // One native-resolution cell with the maximum number of prefix steps:
+    // a 100-step ascending fraction ladder.
+    let fractions: Vec<f64> = (1..=100).map(|i| f64::from(i) / 100.0).collect();
+    let grid = CandidateGrid::explicit(fractions.clone(), vec![], vec![]);
+
+    let cases = [
+        ("MAX(r=0.99)", Aggregate::Max { r: 0.99 }, true),
+        ("MEDIAN(r=0.5)", Aggregate::Quantile { r: 0.5 }, true),
+        ("AVG", Aggregate::Avg, false),
+    ];
+
+    let mut table = Table::new(
+        "Estimator kernels: batch vs. incremental fraction sweep (UA-DETRAC 15,210 frames, 100 fractions, native resolution)",
+        &[
+            "aggregate",
+            "candidates",
+            "n_max",
+            "batch_estimation_ms",
+            "incremental_estimation_ms",
+            "speedup",
+        ],
+    );
+
+    for (label, aggregate, quantile_heavy) in cases {
+        let workload = Workload {
+            corpus: &corpus,
+            detector: &yolo,
+            class: ObjectClass::Car,
+            aggregate,
+            delta: 0.05,
+        };
+        let gen = ProfileGenerator::new(
+            &workload,
+            &restrictions,
+            GeneratorConfig {
+                early_stop_improvement: None, // sweep the full ladder
+                ..GeneratorConfig::default()
+            },
+        );
+
+        // Batch reference: per-candidate `profile_point`, timed exactly as
+        // the pre-kernel generator timed its sweep. Starts from a cold
+        // cache, as `generate` does — both paths pay the same one-miss-
+        // per-(frame, resolution) model cost.
+        let batch_cache = OutputCache::new(&yolo);
+        let mut batch_points: Vec<ProfilePoint> = Vec::new();
+        let mut batch_ns: u128 = 0;
+        for &f in &fractions {
+            let set = InterventionSet::sampling(f);
+            let t0 = Instant::now();
+            let point = gen.profile_point(&set, None, &batch_cache).unwrap();
+            batch_ns += t0.elapsed().as_nanos();
+            batch_points.push(point);
+        }
+        let batch_ms = batch_ns as f64 / 1e6;
+
+        // Incremental: the kernel-backed sweep inside `generate`.
+        let (profile, report) = gen.generate(&grid, None).unwrap();
+        let incremental_ms = report.estimation_time_ms;
+
+        assert_eq!(
+            profile.points, batch_points,
+            "{label}: incremental sweep must be bit-identical to the batch reference"
+        );
+
+        let n_max = batch_points.last().unwrap().n;
+        let speedup = batch_ms / incremental_ms.max(1e-9);
+        println!(
+            "estimator_kernels/{label}: batch {batch_ms:.1} ms vs incremental \
+             {incremental_ms:.1} ms ({speedup:.1}×, ingest {:.1} ms + bound {:.1} ms)",
+            report.estimation_ingest_ms, report.estimation_bound_ms
+        );
+        table.push_row(vec![
+            label.into(),
+            fractions.len().to_string(),
+            n_max.to_string(),
+            fmt(batch_ms),
+            fmt(incremental_ms),
+            fmt(speedup),
+        ]);
+
+        if quantile_heavy {
+            assert!(
+                speedup >= 3.0,
+                "{label}: incremental sweep must cut estimation time ≥3×, got {speedup:.2}×"
+            );
+        }
+    }
+
+    // cwd is crates/bench under `cargo test`; resolve the workspace root.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench_results");
+    let path = table.write_csv(&dir, "estimator_kernels").unwrap();
+    println!("{}", table.render());
+    println!("wrote {}", path.display());
+}

@@ -66,6 +66,18 @@ impl Experiment for Timing {
             "measured_estimation_time_ms".into(),
             fmt(report.estimation_time_ms),
         ]);
+        // Incremental-kernel breakdown: per-cell sweep totals for pulling
+        // Δn sample outputs into the kernels vs. computing bounds from
+        // kernel state.
+        table.push_row(vec![
+            "estimation_ingest_ms".into(),
+            fmt(report.estimation_ingest_ms),
+        ]);
+        table.push_row(vec![
+            "estimation_bound_ms".into(),
+            fmt(report.estimation_bound_ms),
+        ]);
+        table.push_row(vec!["cells_swept".into(), report.cells.to_string()]);
         table.push_row(vec![
             "estimation_ms_per_candidate".into(),
             fmt(report.estimation_time_ms / profile.len().max(1) as f64),
@@ -108,6 +120,14 @@ mod tests {
             model_s * 1e3 > 10.0 * est_ms,
             "model time must dominate: model={model_s}s est={est_ms}ms"
         );
+        // The incremental breakdown partitions the estimation total.
+        let ingest = get("estimation_ingest_ms");
+        let bound = get("estimation_bound_ms");
+        assert!(
+            (ingest + bound - est_ms).abs() < 0.05,
+            "ingest {ingest} + bound {bound} must sum to {est_ms}"
+        );
+        assert_eq!(get("cells_swept"), 10.0, "ten resolutions, one combo");
     }
 
     #[test]

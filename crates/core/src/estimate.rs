@@ -6,13 +6,15 @@
 //! the oracle population when asked (experiments only — the whole point of
 //! the system is that production flows never touch the original video).
 
+use std::borrow::Cow;
+
 use smokescreen_degrade::{DegradedView, InterventionSet, RestrictionIndex};
 use smokescreen_rt::json::{FromJson, Json, JsonError, ToJson};
 use smokescreen_models::{Detector, OutputCache};
 use smokescreen_stats::estimators::quantile::QuantileEstimate;
 use smokescreen_stats::{
     avg_estimate, count_estimate, quantile_estimate, sum_estimate, var_estimate, Extreme,
-    MeanEstimate,
+    MeanEstimate, MeanKernel, OrderKernel, VarKernel,
 };
 use smokescreen_video::{ObjectClass, VideoCorpus};
 
@@ -84,14 +86,33 @@ impl Aggregate {
     }
 
     /// Maps raw per-frame model outputs to the values the estimator
-    /// consumes (identity except for COUNT's indicator transform).
-    pub fn transform(&self, outputs: &[f64]) -> Vec<f64> {
+    /// consumes. Identity aggregates borrow the input; only COUNT's
+    /// indicator transform allocates.
+    pub fn transform<'a>(&self, outputs: &'a [f64]) -> Cow<'a, [f64]> {
         match self {
-            Aggregate::Count { at_least } => outputs
-                .iter()
-                .map(|&v| if v >= *at_least { 1.0 } else { 0.0 })
-                .collect(),
-            _ => outputs.to_vec(),
+            Aggregate::Count { at_least } => Cow::Owned(
+                outputs
+                    .iter()
+                    .map(|&v| if v >= *at_least { 1.0 } else { 0.0 })
+                    .collect(),
+            ),
+            _ => Cow::Borrowed(outputs),
+        }
+    }
+
+    /// The per-sample value the estimator consumes for one raw model
+    /// output — the scalar form of [`transform`](Self::transform), applied
+    /// by [`AggregateKernel::push`] at insert time.
+    pub fn transform_one(&self, raw: f64) -> f64 {
+        match self {
+            Aggregate::Count { at_least } => {
+                if raw >= *at_least {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            _ => raw,
         }
     }
 
@@ -308,6 +329,105 @@ pub fn estimate_from_outputs(
     Ok(est)
 }
 
+/// Streaming counterpart of [`estimate_from_outputs`]: holds the
+/// aggregate-specific kernel from `smokescreen-stats` and ingests raw
+/// model outputs one at a time (COUNT's indicator transform folds into
+/// [`push`](Self::push)). After ingesting the same outputs in the same
+/// order, [`estimate`](Self::estimate) returns exactly the `Estimate` the
+/// batch path produces — bit-for-bit — but each fraction step of the
+/// §3.3.2 sweep costs `O(Δn)` (mean-style) or `O(Δn log n)` (order-style)
+/// instead of a full recompute.
+pub struct AggregateKernel {
+    aggregate: Aggregate,
+    state: KernelState,
+}
+
+enum KernelState {
+    Mean(MeanKernel),
+    Var(VarKernel),
+    Order(OrderKernel),
+}
+
+impl AggregateKernel {
+    /// Fresh kernel for one aggregate.
+    pub fn new(aggregate: Aggregate) -> Self {
+        Self::with_capacity(aggregate, 0)
+    }
+
+    /// Fresh kernel with pre-sized order-statistic scratch (mean-style
+    /// kernels hold O(1) state and ignore the hint).
+    pub fn with_capacity(aggregate: Aggregate, capacity: usize) -> Self {
+        let state = match aggregate {
+            Aggregate::Avg | Aggregate::Sum | Aggregate::Count { .. } => {
+                KernelState::Mean(MeanKernel::new())
+            }
+            Aggregate::Var => KernelState::Var(VarKernel::new()),
+            Aggregate::Max { .. } | Aggregate::Min { .. } | Aggregate::Quantile { .. } => {
+                KernelState::Order(OrderKernel::with_capacity(capacity))
+            }
+        };
+        AggregateKernel { aggregate, state }
+    }
+
+    /// The aggregate this kernel serves.
+    pub fn aggregate(&self) -> Aggregate {
+        self.aggregate
+    }
+
+    /// Number of samples ingested so far.
+    pub fn n(&self) -> usize {
+        match &self.state {
+            KernelState::Mean(k) => k.n(),
+            KernelState::Var(k) => k.n(),
+            KernelState::Order(k) => k.n(),
+        }
+    }
+
+    /// Ingests one raw model output, applying the aggregate's sample
+    /// transform at insert time.
+    pub fn push(&mut self, raw: f64) {
+        let v = self.aggregate.transform_one(raw);
+        match &mut self.state {
+            KernelState::Mean(k) => k.push(v),
+            KernelState::Var(k) => k.push(v),
+            KernelState::Order(k) => k.push(v),
+        }
+    }
+
+    /// Ingests a slice of raw outputs in order.
+    pub fn extend(&mut self, raw: &[f64]) {
+        for &v in raw {
+            self.push(v);
+        }
+    }
+
+    /// Answer/bound estimate over everything ingested so far. Equals
+    /// [`estimate_from_outputs`] on the same outputs in the same order.
+    pub fn estimate(&self, population: usize, delta: f64) -> Result<Estimate> {
+        let est = match (&self.state, self.aggregate) {
+            (KernelState::Mean(k), Aggregate::Avg) => Estimate::Mean(k.avg(population, delta)?),
+            (KernelState::Mean(k), Aggregate::Sum) => Estimate::Mean(k.sum(population, delta)?),
+            (KernelState::Mean(k), Aggregate::Count { .. }) => {
+                Estimate::Mean(k.count(population, delta)?)
+            }
+            (KernelState::Var(k), Aggregate::Var) => {
+                Estimate::Mean(k.estimate(population, delta)?)
+            }
+            (KernelState::Order(k), Aggregate::Max { r }) => {
+                Estimate::Quantile(k.quantile(population, r, delta, Extreme::Max)?)
+            }
+            (KernelState::Order(k), Aggregate::Min { r }) => {
+                Estimate::Quantile(k.quantile(population, r, delta, Extreme::Min)?)
+            }
+            (KernelState::Order(k), Aggregate::Quantile { r }) => {
+                Estimate::Quantile(k.quantile(population, r, delta, Extreme::Max)?)
+            }
+            _ => unreachable!("kernel state is constructed from its aggregate"),
+        };
+        Ok(est)
+    }
+}
+
 /// True relative error of an estimate against the oracle population
 /// (value-relative for mean aggregates, rank-relative for MAX/MIN).
 /// Experiments only.
@@ -458,6 +578,62 @@ mod tests {
     fn count_transform_is_indicator() {
         let t = Aggregate::Count { at_least: 1.0 }.transform(&[0.0, 0.5, 1.0, 3.0]);
         assert_eq!(t, vec![0.0, 0.0, 1.0, 1.0]);
+        assert!(matches!(t, Cow::Owned(_)));
+    }
+
+    #[test]
+    fn identity_transform_borrows() {
+        let raw = [0.0, 0.5, 1.0, 3.0];
+        for agg in [
+            Aggregate::Avg,
+            Aggregate::Sum,
+            Aggregate::Max { r: 0.99 },
+            Aggregate::Min { r: 0.01 },
+            Aggregate::Quantile { r: 0.5 },
+            Aggregate::Var,
+        ] {
+            let t = agg.transform(&raw);
+            assert!(matches!(t, Cow::Borrowed(_)), "{} must not allocate", agg.name());
+            assert_eq!(t.as_ptr(), raw.as_ptr());
+        }
+    }
+
+    #[test]
+    fn aggregate_kernel_matches_batch_for_every_aggregate() {
+        let corpus = DatasetPreset::Detrac.generate(17).slice(0, 2_000);
+        let oracle = Oracle;
+        let restrictions = RestrictionIndex::from_ground_truth(&corpus, &[]);
+        let view = DegradedView::new(&corpus, InterventionSet::sampling(0.3), &restrictions, 8)
+            .expect("valid view");
+        let raw = view.outputs(&oracle, ObjectClass::Car);
+        let population = corpus.len();
+        for agg in [
+            Aggregate::Avg,
+            Aggregate::Sum,
+            Aggregate::Count { at_least: 1.0 },
+            Aggregate::Max { r: 0.99 },
+            Aggregate::Min { r: 0.01 },
+            Aggregate::Quantile { r: 0.5 },
+            Aggregate::Var,
+        ] {
+            let mut kernel = AggregateKernel::new(agg);
+            // Push in two uneven chunks to exercise the incremental path,
+            // checking the intermediate prefix too.
+            let split = raw.len() / 3;
+            kernel.extend(&raw[..split]);
+            assert_eq!(
+                kernel.estimate(population, 0.05).unwrap(),
+                estimate_from_outputs(agg, &raw[..split], population, 0.05).unwrap(),
+                "{} prefix", agg.name()
+            );
+            kernel.extend(&raw[split..]);
+            assert_eq!(kernel.n(), raw.len());
+            assert_eq!(
+                kernel.estimate(population, 0.05).unwrap(),
+                estimate_from_outputs(agg, &raw, population, 0.05).unwrap(),
+                "{} full", agg.name()
+            );
+        }
     }
 
     #[test]

@@ -1,15 +1,22 @@
 //! Profile generation (§3.1, §3.3.2).
 //!
-//! For every intervention candidate the generator runs `result_error_est`
-//! and records a [`ProfilePoint`]. Two optimizations keep `N_model` small:
+//! For every intervention candidate the generator records a
+//! [`ProfilePoint`]. Three optimizations keep `N_model` and estimation
+//! cost small:
 //!
 //! * **Output reuse** — a shared [`OutputCache`] means each `(frame,
 //!   resolution)` pair is processed by the model at most once across all
 //!   candidates; ascending fractions reuse the smaller samples' outputs
 //!   outright because samples are nested prefixes.
-//! * **Early stopping** — within one `(resolution, removal)` cell,
-//!   fractions are profiled in ascending order and the sweep stops when
-//!   the bound improves more slowly than a threshold.
+//! * **Incremental estimation** — within one `(resolution, removal)`
+//!   cell, a single [`AggregateKernel`] carries running estimator state
+//!   across the ascending-fraction sweep, ingesting only the `Δn` newly
+//!   sampled outputs per candidate and answering in `O(1)` (mean-style)
+//!   or `O(log n)` (order-style) — bit-identical to the batch
+//!   [`result_error_est`] path, which remains the one-shot reference.
+//! * **Early stopping** — within a cell, fractions are profiled in
+//!   ascending order and the sweep stops when the bound improves more
+//!   slowly than a threshold.
 //!
 //! The generator also accounts for simulated model time vs. measured
 //! estimation time, which reproduces the §5.3.1 breakdown.
@@ -31,12 +38,12 @@
 
 use std::time::Instant;
 
-use smokescreen_degrade::{CandidateGrid, InterventionSet, RestrictionIndex};
+use smokescreen_degrade::{CandidateGrid, DegradedView, InterventionSet, RestrictionIndex};
 use smokescreen_models::OutputCache;
 use smokescreen_rt::pool::Pool;
 
 use crate::correction::CorrectionSet;
-use crate::estimate::{result_error_est, Workload};
+use crate::estimate::{result_error_est, AggregateKernel, Workload};
 use crate::profile::{Profile, ProfilePoint};
 use crate::repair::{best_bound_for_random, corrected_bound};
 use crate::{CoreError, Result};
@@ -77,8 +84,16 @@ pub struct GenerationReport {
     pub cache_hits: usize,
     /// Simulated model processing time, ms (`N_model · T_model`).
     pub model_time_ms: f64,
-    /// Measured wall-clock estimation time, ms (bound computation only).
+    /// Measured wall-clock estimation time, ms (ingest + bound).
     pub estimation_time_ms: f64,
+    /// Portion of estimation time spent ingesting sample outputs into the
+    /// per-cell kernels (`Δn` cache fetches + kernel pushes).
+    pub estimation_ingest_ms: f64,
+    /// Portion of estimation time spent computing bounds and corrections
+    /// from kernel state.
+    pub estimation_bound_ms: f64,
+    /// `(resolution, removal)` cells swept.
+    pub cells: usize,
     /// Profiled points emitted.
     pub points: usize,
     /// Candidates skipped by early stopping.
@@ -90,8 +105,11 @@ pub struct GenerationReport {
 struct CellOutput {
     points: Vec<ProfilePoint>,
     skipped_by_early_stop: usize,
-    /// Sum of per-candidate estimation durations (not wall-clock).
-    estimation_ns: u128,
+    /// Time fetching sample outputs and pushing them into the kernel
+    /// (sum of per-candidate durations, not wall-clock).
+    ingest_ns: u128,
+    /// Time computing bounds and corrections from kernel state.
+    bound_ns: u128,
 }
 
 /// Profile generator for one workload.
@@ -156,11 +174,14 @@ impl<'a> ProfileGenerator<'a> {
 
         let mut points = Vec::new();
         let mut report = GenerationReport::default();
-        let mut estimation_ns: u128 = 0;
+        report.cells = cells.len();
+        let mut ingest_ns: u128 = 0;
+        let mut bound_ns: u128 = 0;
         for cell in cell_outputs {
             let cell = cell?;
             report.skipped_by_early_stop += cell.skipped_by_early_stop;
-            estimation_ns += cell.estimation_ns;
+            ingest_ns += cell.ingest_ns;
+            bound_ns += cell.bound_ns;
             points.extend(cell.points);
         }
 
@@ -168,7 +189,9 @@ impl<'a> ProfileGenerator<'a> {
         report.model_runs = inv.model_runs;
         report.cache_hits = inv.cache_hits;
         report.model_time_ms = inv.model_time_ms;
-        report.estimation_time_ms = estimation_ns as f64 / 1e6;
+        report.estimation_ingest_ms = ingest_ns as f64 / 1e6;
+        report.estimation_bound_ms = bound_ns as f64 / 1e6;
+        report.estimation_time_ms = (ingest_ns + bound_ns) as f64 / 1e6;
         report.points = points.len();
 
         Ok((
@@ -185,8 +208,15 @@ impl<'a> ProfileGenerator<'a> {
     }
 
     /// Profiles one `(resolution, removal)` cell: the ascending-fraction
-    /// sweep with early stopping, exactly as the sequential generator runs
-    /// it. One pool task per cell; results merge back in grid order.
+    /// sweep with early stopping. One pool task per cell; results merge
+    /// back in grid order.
+    ///
+    /// The sweep is incremental: because the cell's samples are nested
+    /// prefixes of one seeded permutation, a single [`AggregateKernel`]
+    /// ingests only the `Δn` outputs each fraction step adds and serves
+    /// every candidate's answer/bound from running state — bit-identical
+    /// to re-running [`profile_point`](Self::profile_point) per candidate,
+    /// which remains the reference path for one-shot callers.
     fn profile_cell(
         &self,
         grid: &CandidateGrid,
@@ -196,6 +226,52 @@ impl<'a> ProfileGenerator<'a> {
         cache: &OutputCache<'_>,
     ) -> Result<CellOutput> {
         let mut out = CellOutput::default();
+        // The native resolution is not a degradation: normalize it to None
+        // so candidates classify as random and need no correction.
+        let effective_res =
+            resolution.filter(|&r| r != self.workload.corpus.native_resolution);
+        if let Some(res) = effective_res {
+            if !self.workload.detector.supports(res) {
+                return Err(CoreError::UnsupportedResolution {
+                    model: self.workload.detector.name().to_string(),
+                    resolution: res.to_string(),
+                });
+            }
+        }
+        let cell_set = |fraction: f64| {
+            let mut set = InterventionSet::sampling(fraction).with_restricted(combo);
+            set.resolution = effective_res;
+            set
+        };
+
+        // One view at the largest feasible fraction covers the whole sweep:
+        // the eligible population and sampling permutation are
+        // fraction-independent, so every candidate's sample is a prefix of
+        // this view's sample order. Infeasible cells (removal leaves
+        // nothing) skip every candidate, exactly as the per-candidate path
+        // does.
+        let max_fraction = grid
+            .fractions
+            .iter()
+            .copied()
+            .filter(|f| *f > 0.0 && *f <= 1.0)
+            .fold(f64::NAN, f64::max);
+        if !max_fraction.is_finite() {
+            return Ok(out);
+        }
+        let view = match DegradedView::new(
+            self.workload.corpus,
+            cell_set(max_fraction),
+            self.restrictions,
+            self.config.seed,
+        ) {
+            Ok(v) => v,
+            Err(_) => return Ok(out),
+        };
+        debug_assert!(!view.rewrites_frames(), "grid candidates never rewrite frames");
+
+        let population = self.workload.corpus.len();
+        let mut kernel = AggregateKernel::with_capacity(self.workload.aggregate, view.len());
         let mut prev_err: Option<f64> = None;
         let mut stopped = false;
         let mut seen = 0usize;
@@ -204,21 +280,45 @@ impl<'a> ProfileGenerator<'a> {
                 out.skipped_by_early_stop += 1;
                 continue;
             }
-            let mut set = InterventionSet::sampling(fraction).with_restricted(combo);
-            // The native resolution is not a degradation: normalize
-            // it to None so the candidate classifies as random and
-            // needs no correction.
-            set.resolution = resolution.filter(|&r| r != self.workload.corpus.native_resolution);
+            let n_f = match view.sample_size_for_fraction(fraction) {
+                Ok(n) => n,
+                // An individually infeasible candidate (invalid fraction)
+                // is skipped, as the per-candidate path skips
+                // `InvalidIntervention`.
+                Err(_) => continue,
+            };
 
             let t0 = Instant::now();
-            let point = self.profile_point(&set, correction, cache);
-            out.estimation_ns += t0.elapsed().as_nanos();
-            let point = match point {
-                Ok(p) => p,
-                // A candidate can be individually infeasible (e.g.
-                // removal leaves nothing at this combo); skip it.
-                Err(CoreError::EmptyView(_)) | Err(CoreError::InvalidIntervention(_)) => continue,
-                Err(e) => return Err(e),
+            if n_f < kernel.n() {
+                // Non-ascending grid: restart the prefix. Correct for any
+                // fraction order, merely slower than the ascending case.
+                kernel = AggregateKernel::with_capacity(self.workload.aggregate, view.len());
+            }
+            if n_f > kernel.n() {
+                let fresh =
+                    view.outputs_cached_range(cache, self.workload.class, kernel.n()..n_f);
+                kernel.extend(&fresh);
+            }
+            out.ingest_ns += t0.elapsed().as_nanos();
+
+            let t1 = Instant::now();
+            let set = cell_set(fraction);
+            let est = kernel.estimate(population, self.workload.delta)?;
+            let (err_b, corrected) = match correction {
+                Some(cs) if !set.is_random_only() => (corrected_bound(&est, cs)?, true),
+                Some(cs) => {
+                    let best = best_bound_for_random(&est, cs)?;
+                    (best, best < est.err_b())
+                }
+                None => (est.err_b(), false),
+            };
+            out.bound_ns += t1.elapsed().as_nanos();
+            let point = ProfilePoint {
+                set,
+                y_approx: est.y_approx(),
+                err_b,
+                corrected,
+                n: est.n(),
             };
             seen += 1;
 

@@ -43,7 +43,8 @@ pub mod tradeoff;
 pub use correction::{build_correction_set, CorrectionConfig, CorrectionSet};
 pub use error::CoreError;
 pub use estimate::{
-    estimate_from_outputs, result_error_est, true_relative_error, Aggregate, Estimate, Workload,
+    estimate_from_outputs, result_error_est, true_relative_error, Aggregate, AggregateKernel,
+    Estimate, Workload,
 };
 pub use generation::{GenerationReport, GeneratorConfig, ProfileGenerator};
 pub use profile::{Profile, ProfilePoint};

@@ -111,6 +111,22 @@ impl<'c> DegradedView<'c> {
             .collect()
     }
 
+    /// The sample size a *different* fraction would select over this view's
+    /// eligible population — the same `round(N·f).max(1)` clamp applied at
+    /// construction. Because samples are nested prefixes of one seeded
+    /// permutation, the first `sample_size_for_fraction(f)` entries of this
+    /// view's sample order are exactly the sample a view built at fraction
+    /// `f` would process; the §3.3.2 sweep uses this to reuse prefix state
+    /// across ascending fractions.
+    pub fn sample_size_for_fraction(&self, fraction: f64) -> Result<usize, String> {
+        if !(fraction > 0.0 && fraction <= 1.0) {
+            return Err(format!("sample fraction {fraction} must be in (0, 1]"));
+        }
+        Ok(((self.corpus.len() as f64 * fraction).round() as usize)
+            .max(1)
+            .min(self.eligible.len()))
+    }
+
     /// Whether frame materialization rewrites object attributes (blur,
     /// noise, compression). When false, frames are borrowed verbatim and
     /// model-output caching by frame id is sound.
@@ -160,14 +176,32 @@ impl<'c> DegradedView<'c> {
     /// sound when noise/compression are off (the cache keys on frame id
     /// and resolution alone).
     pub fn outputs_cached(&self, cache: &OutputCache<'_>, class: ObjectClass) -> Vec<f64> {
+        self.outputs_cached_range(cache, class, 0..self.n)
+    }
+
+    /// Cached outputs for the half-open sample-position range
+    /// `range.start..range.end` only (positions beyond this view's sample
+    /// size yield nothing). This is the incremental-sweep entry point: a
+    /// kernel that has already ingested positions `0..a` asks for `a..b`
+    /// when the fraction rises, paying `O(Δn)` instead of `O(n)` — and the
+    /// values are exactly the suffix [`outputs_cached`](Self::outputs_cached)
+    /// would produce, in the same order.
+    pub fn outputs_cached_range(
+        &self,
+        cache: &OutputCache<'_>,
+        class: ObjectClass,
+        range: std::ops::Range<usize>,
+    ) -> Vec<f64> {
         debug_assert!(
             !self.rewrites_frames(),
             "cached outputs with contrast rewrites would alias clean frames"
         );
         let res = self.resolution();
-        self.sampled_indices()
-            .into_iter()
-            .filter_map(|idx| self.corpus.frame(idx))
+        let end = range.end.min(self.n);
+        let start = range.start.min(end);
+        self.sampler.prefix(self.n)[start..end]
+            .iter()
+            .filter_map(|&pos| self.corpus.frame(self.eligible[pos]))
             .map(|f| cache.count(f, res, class))
             .collect()
     }
@@ -313,6 +347,41 @@ mod tests {
         let before = cache.invocations().model_runs;
         let _ = view.outputs_cached(&cache, ObjectClass::Car);
         assert_eq!(cache.invocations().model_runs, before);
+    }
+
+    #[test]
+    fn ranged_outputs_concatenate_to_full_scan() {
+        let (corpus, idx) = setup();
+        let yolo = SimYoloV4::new(4);
+        let cache = OutputCache::new(&yolo);
+        let view = DegradedView::new(&corpus, InterventionSet::sampling(0.2), &idx, 11).unwrap();
+        let full = view.outputs_cached(&cache, ObjectClass::Car);
+        assert_eq!(view.outputs_cached_range(&cache, ObjectClass::Car, 0..view.len()), full);
+        // Arbitrary chunking reassembles the same sequence in order.
+        let mut chunked = Vec::new();
+        for start in (0..view.len()).step_by(97) {
+            let end = (start + 97).min(view.len());
+            chunked.extend(view.outputs_cached_range(&cache, ObjectClass::Car, start..end));
+        }
+        assert_eq!(chunked, full);
+        // Out-of-bounds ranges clamp instead of panicking.
+        assert!(view
+            .outputs_cached_range(&cache, ObjectClass::Car, view.len()..view.len() + 50)
+            .is_empty());
+    }
+
+    #[test]
+    fn sample_size_for_fraction_matches_constructed_views() {
+        let (corpus, idx) = setup();
+        let base =
+            DegradedView::new(&corpus, InterventionSet::sampling(1.0), &idx, 7).unwrap();
+        for f in [0.001, 0.05, 0.1, 0.25, 0.5, 0.9, 1.0] {
+            let view =
+                DegradedView::new(&corpus, InterventionSet::sampling(f), &idx, 7).unwrap();
+            assert_eq!(base.sample_size_for_fraction(f).unwrap(), view.len(), "f={f}");
+        }
+        assert!(base.sample_size_for_fraction(0.0).is_err());
+        assert!(base.sample_size_for_fraction(1.5).is_err());
     }
 
     #[test]

@@ -15,6 +15,17 @@ use crate::Result;
 /// sample range.
 pub fn interval(samples: &[f64], population: usize, delta: f64) -> Result<MeanInterval> {
     let stats = summarize(samples, population, delta)?;
+    interval_from_stats(&stats, population, delta)
+}
+
+/// As [`interval`], but from an already-accumulated summary (the entry
+/// point the streaming kernels use; bit-identical to the slice path).
+pub fn interval_from_stats(
+    stats: &crate::describe::RunningStats,
+    population: usize,
+    delta: f64,
+) -> Result<MeanInterval> {
+    super::validate_stats(stats, population, delta)?;
     let n = stats.n() as f64;
     let log_term = (3.0 / delta).ln();
     let half_width =

@@ -22,6 +22,19 @@ pub fn rho(n: usize, population: usize) -> f64 {
 /// `1 − δ`, `|x̄ − μ| ≤ R √(ρ_n ln(2/δ) / (2n))`.
 pub fn interval(samples: &[f64], population: usize, delta: f64) -> Result<MeanInterval> {
     let stats = summarize(samples, population, delta)?;
+    interval_from_stats(&stats, population, delta)
+}
+
+/// As [`interval`], but from an already-accumulated summary. The streaming
+/// kernels use this to serve per-prefix bounds in `O(1)` without re-scanning
+/// the sample; both entry points run the identical formula on identical
+/// state, so results are bit-for-bit equal.
+pub fn interval_from_stats(
+    stats: &crate::describe::RunningStats,
+    population: usize,
+    delta: f64,
+) -> Result<MeanInterval> {
+    super::validate_stats(stats, population, delta)?;
     let n = stats.n();
     let half_width =
         stats.range() * (rho(n, population) * (2.0 / delta).ln() / (2.0 * n as f64)).sqrt();

@@ -62,13 +62,28 @@ impl MeanInterval {
 
 /// Shared input validation and summary for bound computations.
 pub(crate) fn summarize(samples: &[f64], population: usize, delta: f64) -> crate::Result<RunningStats> {
-    crate::check_delta(delta)?;
-    crate::check_sample(samples.len(), population)?;
     let stats = RunningStats::from_slice(samples);
+    validate_stats(&stats, population, delta)?;
+    Ok(stats)
+}
+
+/// Validation applied to an already-accumulated summary — the entry point
+/// shared by the batch (slice) bound functions and the incremental
+/// [`kernels`](crate::estimators::kernel) that carry a [`RunningStats`]
+/// across a fraction sweep. Sequential accumulation makes the summary
+/// bit-identical to `RunningStats::from_slice` over the same prefix, so
+/// both paths feed the same state through the same formulas.
+pub(crate) fn validate_stats(
+    stats: &RunningStats,
+    population: usize,
+    delta: f64,
+) -> crate::Result<()> {
+    crate::check_delta(delta)?;
+    crate::check_sample(stats.n(), population)?;
     if !stats.mean().is_finite() {
         return Err(crate::StatsError::NonFinite("sample values"));
     }
-    Ok(stats)
+    Ok(())
 }
 
 #[cfg(test)]

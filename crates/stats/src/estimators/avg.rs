@@ -20,6 +20,25 @@ use crate::{MeanEstimate, Result};
 /// `err_b = (UB−LB)/(UB+LB)` per Theorem 3.1.
 pub fn avg_estimate(samples: &[f64], population: usize, delta: f64) -> Result<MeanEstimate> {
     let interval = hoeffding_serfling::interval(samples, population, delta)?;
+    estimate_from_interval(interval)
+}
+
+/// As [`avg_estimate`], but from an already-accumulated running summary —
+/// the `O(1)` entry point [`MeanKernel`](super::kernel::MeanKernel) serves
+/// each fraction of a sweep from. Sequential accumulation makes the summary
+/// bit-identical to the batch scan, and both paths share the interval and
+/// Theorem 3.1 code, so the results are bit-for-bit equal.
+pub fn avg_estimate_from_stats(
+    stats: &crate::describe::RunningStats,
+    population: usize,
+    delta: f64,
+) -> Result<MeanEstimate> {
+    let interval = hoeffding_serfling::interval_from_stats(stats, population, delta)?;
+    estimate_from_interval(interval)
+}
+
+/// Theorem 3.1 applied to a mean confidence interval.
+fn estimate_from_interval(interval: crate::bounds::MeanInterval) -> Result<MeanEstimate> {
     let mean_abs = interval.estimate.abs();
     let lb = (mean_abs - interval.half_width).max(0.0);
     let ub = mean_abs + interval.half_width;

@@ -1,0 +1,324 @@
+//! Streaming estimator kernels — prefix-state reuse for the §3.3.2 sweep.
+//!
+//! The ascending-fraction sweep of profile generation evaluates every
+//! estimator on a ladder of *nested prefixes* of one sampling permutation:
+//! the sample at fraction `f` is a prefix of the sample at `f′ > f` (that
+//! is exactly what makes output reuse sound). The batch estimators ignore
+//! this structure — `avg_estimate` re-sums the whole prefix and
+//! `quantile_estimate` re-sorts it at every fraction, so a `k`-candidate
+//! sweep over a terminal sample of size `n` costs `O(k·n log n)`.
+//!
+//! The kernels here carry the estimator state *across* the sweep instead:
+//!
+//! * [`MeanKernel`] — a sequential [`RunningStats`] accumulation (count,
+//!   Welford mean/M2, min/max). Serves AVG/SUM/COUNT bounds per fraction
+//!   in `O(1)` after `O(Δn)` ingestion.
+//! * [`VarKernel`] — two running summaries (raw outputs and their
+//!   squares), matching `var_estimate`'s interval-arithmetic construction.
+//! * [`OrderKernel`] — a sorted buffer of the prefix maintained by binary
+//!   insertion, so each quantile candidate costs amortized `O(Δn log n)`
+//!   (plus the memmove) instead of a full re-sort, with `F̂_k̂` found by
+//!   `partition_point` range search.
+//!
+//! **Determinism contract.** Every kernel feeds the *same state* through
+//! the *same formula code* as the batch estimator it mirrors:
+//! `RunningStats` accumulation is sequential in sample order, so after `n`
+//! pushes the summary is bit-identical to `RunningStats::from_slice` over
+//! the same prefix (float addition is performed in the identical order),
+//! and the `*_from_stats` / `*_from_sorted` entry points are the very
+//! functions the batch estimators delegate to. The batch estimators remain
+//! the reference implementations and the API for one-shot callers.
+
+use crate::describe::RunningStats;
+use crate::estimators::avg::avg_estimate_from_stats;
+use crate::estimators::quantile::{
+    quantile_from_sorted, stein_from_sorted, Extreme, QuantileEstimate,
+};
+use crate::estimators::variance::var_estimate_from_stats;
+use crate::estimators::MeanEstimate;
+use crate::{Result, StatsError};
+
+/// Streaming kernel for the mean-style estimators (AVG, and the SUM/COUNT
+/// reductions that scale it).
+///
+/// Push outputs in sample order; each estimate call is `O(1)` and
+/// bit-identical to running the batch estimator on the pushed prefix.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MeanKernel {
+    stats: RunningStats,
+}
+
+impl MeanKernel {
+    /// Creates an empty kernel.
+    pub fn new() -> Self {
+        MeanKernel {
+            stats: RunningStats::new(),
+        }
+    }
+
+    /// Ingests one output (must arrive in sample order for bit-identity
+    /// with the batch path).
+    pub fn push(&mut self, v: f64) {
+        self.stats.push(v);
+    }
+
+    /// Outputs ingested so far.
+    pub fn n(&self) -> usize {
+        self.stats.n()
+    }
+
+    /// The running summary (exposed for composition and tests).
+    pub fn stats(&self) -> &RunningStats {
+        &self.stats
+    }
+
+    /// Algorithm 1 on the current prefix — equals
+    /// [`avg_estimate`](crate::avg_estimate) on the same values.
+    pub fn avg(&self, population: usize, delta: f64) -> Result<MeanEstimate> {
+        avg_estimate_from_stats(&self.stats, population, delta)
+    }
+
+    /// SUM on the current prefix — the AVG estimate scaled by `N`, exactly
+    /// as [`sum_estimate`](crate::sum_estimate) computes it.
+    pub fn sum(&self, population: usize, delta: f64) -> Result<MeanEstimate> {
+        Ok(self.avg(population, delta)?.scaled(population as f64))
+    }
+
+    /// COUNT on the current prefix. The kernel owner applies the indicator
+    /// transform at push time (so no per-candidate indicator vector is
+    /// materialized); this validates the invariant the batch
+    /// [`count_estimate`](crate::count_estimate) enforces and then reduces
+    /// to SUM just as §3.2.3 prescribes.
+    pub fn count(&self, population: usize, delta: f64) -> Result<MeanEstimate> {
+        if !self.indicator_only() {
+            return Err(StatsError::NonFinite(
+                "COUNT indicator samples (must be 0 or 1)",
+            ));
+        }
+        self.sum(population, delta)
+    }
+
+    /// Whether every pushed value was a 0/1 indicator. Min/max tracking
+    /// makes this an `O(1)` check (an empty kernel vacuously qualifies).
+    fn indicator_only(&self) -> bool {
+        if self.stats.n() == 0 {
+            return true;
+        }
+        let ok = |v: f64| v == 0.0 || v == 1.0;
+        ok(self.stats.min()) && ok(self.stats.max())
+    }
+}
+
+/// Streaming kernel for VAR: running summaries of the outputs and their
+/// squares, combined by the same interval arithmetic as
+/// [`var_estimate`](crate::var_estimate).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct VarKernel {
+    raw: RunningStats,
+    squares: RunningStats,
+}
+
+impl VarKernel {
+    /// Creates an empty kernel.
+    pub fn new() -> Self {
+        VarKernel {
+            raw: RunningStats::new(),
+            squares: RunningStats::new(),
+        }
+    }
+
+    /// Ingests one output (sample order required, as for [`MeanKernel`]).
+    pub fn push(&mut self, v: f64) {
+        self.raw.push(v);
+        self.squares.push(v * v);
+    }
+
+    /// Outputs ingested so far.
+    pub fn n(&self) -> usize {
+        self.raw.n()
+    }
+
+    /// VAR estimate on the current prefix — equals
+    /// [`var_estimate`](crate::var_estimate) on the same values.
+    pub fn estimate(&self, population: usize, delta: f64) -> Result<MeanEstimate> {
+        var_estimate_from_stats(&self.raw, &self.squares, population, delta)
+    }
+}
+
+/// Streaming kernel for the quantile (MAX/MIN/QUANTILE) estimators: a
+/// sorted multiset of the prefix maintained by binary insertion into a
+/// reused buffer.
+///
+/// Each push costs `O(log n)` comparisons plus one `memmove`; each
+/// estimate costs `O(log n)` (order-statistic index plus `partition_point`
+/// frequency search) instead of the batch path's `O(n log n)` re-sort.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OrderKernel {
+    sorted: Vec<f64>,
+    non_finite: usize,
+}
+
+impl OrderKernel {
+    /// Creates an empty kernel.
+    pub fn new() -> Self {
+        OrderKernel::default()
+    }
+
+    /// Creates an empty kernel with room for `capacity` outputs, so a
+    /// sweep to a known terminal sample size never reallocates.
+    pub fn with_capacity(capacity: usize) -> Self {
+        OrderKernel {
+            sorted: Vec::with_capacity(capacity),
+            non_finite: 0,
+        }
+    }
+
+    /// Ingests one output. Non-finite values are tallied (not inserted) so
+    /// estimates fail with the same error the batch path reports.
+    pub fn push(&mut self, v: f64) {
+        if !v.is_finite() {
+            self.non_finite += 1;
+            return;
+        }
+        let at = self.sorted.partition_point(|&x| x < v);
+        self.sorted.insert(at, v);
+    }
+
+    /// Outputs ingested so far (including any non-finite ones).
+    pub fn n(&self) -> usize {
+        self.sorted.len() + self.non_finite
+    }
+
+    /// The sorted prefix (exposed for repair paths and tests).
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Algorithm 2 on the current prefix — equals
+    /// [`quantile_estimate`](crate::quantile_estimate) on the same values.
+    pub fn quantile(
+        &self,
+        population: usize,
+        r: f64,
+        delta: f64,
+        extreme: Extreme,
+    ) -> Result<QuantileEstimate> {
+        if self.non_finite > 0 {
+            return Err(StatsError::NonFinite("quantile samples"));
+        }
+        quantile_from_sorted(&self.sorted, population, r, delta, extreme)
+    }
+
+    /// The Stein baseline on the current prefix — equals
+    /// [`stein_estimate`](crate::estimators::quantile::stein_estimate).
+    pub fn stein(&self, population: usize, r: f64, delta: f64) -> Result<QuantileEstimate> {
+        if self.non_finite > 0 {
+            return Err(StatsError::NonFinite("quantile samples"));
+        }
+        stein_from_sorted(&self.sorted, population, r, delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{avg_estimate, count_estimate, quantile_estimate, sum_estimate, var_estimate};
+    use smokescreen_rt::rng::StdRng;
+
+    fn outputs(seed: u64, n: usize) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(0.0..9.0_f64).floor()).collect()
+    }
+
+    #[test]
+    fn mean_kernel_matches_batch_at_every_prefix() {
+        let data = outputs(1, 400);
+        let pop = 8_000;
+        let mut kernel = MeanKernel::new();
+        for (i, &v) in data.iter().enumerate() {
+            kernel.push(v);
+            let prefix = &data[..=i];
+            assert_eq!(kernel.avg(pop, 0.05).unwrap(), avg_estimate(prefix, pop, 0.05).unwrap());
+            assert_eq!(kernel.sum(pop, 0.05).unwrap(), sum_estimate(prefix, pop, 0.05).unwrap());
+        }
+    }
+
+    #[test]
+    fn count_kernel_matches_batch_and_validates() {
+        let data = outputs(2, 300);
+        let indicators: Vec<f64> = data.iter().map(|&v| f64::from(v >= 4.0)).collect();
+        let mut kernel = MeanKernel::new();
+        for (i, &v) in indicators.iter().enumerate() {
+            kernel.push(v);
+            assert_eq!(
+                kernel.count(9_000, 0.05).unwrap(),
+                count_estimate(&indicators[..=i], 9_000, 0.05).unwrap()
+            );
+        }
+        let mut bad = MeanKernel::new();
+        bad.push(0.5);
+        assert!(bad.count(10, 0.05).is_err());
+    }
+
+    #[test]
+    fn var_kernel_matches_batch_at_every_prefix() {
+        let data = outputs(3, 250);
+        let mut kernel = VarKernel::new();
+        for (i, &v) in data.iter().enumerate() {
+            kernel.push(v);
+            assert_eq!(
+                kernel.estimate(5_000, 0.05).unwrap(),
+                var_estimate(&data[..=i], 5_000, 0.05).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn order_kernel_matches_batch_at_every_prefix() {
+        let data = outputs(4, 300);
+        let mut kernel = OrderKernel::with_capacity(data.len());
+        for (i, &v) in data.iter().enumerate() {
+            kernel.push(v);
+            for &(r, extreme) in &[(0.99, Extreme::Max), (0.5, Extreme::Max), (0.01, Extreme::Min)]
+            {
+                assert_eq!(
+                    kernel.quantile(6_000, r, 0.05, extreme).unwrap(),
+                    quantile_estimate(&data[..=i], 6_000, r, 0.05, extreme).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn order_kernel_maintains_sorted_invariant() {
+        let data = outputs(5, 200);
+        let mut kernel = OrderKernel::new();
+        for &v in &data {
+            kernel.push(v);
+        }
+        let mut expected = data.clone();
+        expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(kernel.sorted(), &expected[..]);
+        assert_eq!(kernel.n(), data.len());
+    }
+
+    #[test]
+    fn order_kernel_rejects_non_finite_like_batch() {
+        let mut kernel = OrderKernel::new();
+        kernel.push(1.0);
+        kernel.push(f64::NAN);
+        assert_eq!(kernel.n(), 2);
+        assert!(matches!(
+            kernel.quantile(100, 0.5, 0.05, Extreme::Max),
+            Err(StatsError::NonFinite(_))
+        ));
+        assert!(kernel.stein(100, 0.5, 0.05).is_err());
+    }
+
+    #[test]
+    fn empty_kernels_error_like_batch() {
+        assert!(MeanKernel::new().avg(10, 0.05).is_err());
+        assert!(VarKernel::new().estimate(10, 0.05).is_err());
+        assert!(OrderKernel::new().quantile(10, 0.5, 0.05, Extreme::Max).is_err());
+    }
+}

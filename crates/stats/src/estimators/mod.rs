@@ -7,6 +7,7 @@
 
 pub mod avg;
 pub mod count;
+pub mod kernel;
 pub mod quantile;
 pub mod repair;
 pub mod sum;

@@ -65,14 +65,35 @@ pub fn quantile_estimate(
         return Err(StatsError::NonFinite("quantile samples"));
     }
 
-    let n = samples.len();
     let mut sorted = samples.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    quantile_from_sorted(&sorted, population, r, delta, extreme)
+}
 
+/// Algorithm 2 over an **already sorted** sample of finite values — the
+/// entry point [`OrderKernel`](super::kernel::OrderKernel) serves each
+/// fraction of a sweep from (it maintains the sorted prefix incrementally,
+/// so no per-candidate re-sort happens). The batch [`quantile_estimate`]
+/// sorts a copy and delegates here, so both paths are bit-for-bit equal.
+pub fn quantile_from_sorted(
+    sorted: &[f64],
+    population: usize,
+    r: f64,
+    delta: f64,
+    extreme: Extreme,
+) -> Result<QuantileEstimate> {
+    crate::check_delta(delta)?;
+    crate::check_sample(sorted.len(), population)?;
+    if !(r > 0.0 && r < 1.0) {
+        return Err(StatsError::InvalidQuantile(r));
+    }
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+
+    let n = sorted.len();
     // Y_approx = min{ s_i : Σ_{j≤i} F̂_j ≥ r } — the ⌈rn⌉-th order statistic.
     let idx = ((r * n as f64).ceil() as usize).clamp(1, n) - 1;
     let y_approx = sorted[idx];
-    let f_hat = sorted.iter().filter(|&&v| v == y_approx).count() as f64 / n as f64;
+    let f_hat = sampled_frequency(sorted, y_approx);
 
     let fpc = fraction_std_err_factor(population, n);
     let z = normal::two_sided_z(delta);
@@ -97,6 +118,17 @@ pub fn quantile_estimate(
     })
 }
 
+/// Sampled frequency `F̂_k̂` of `value` in a sorted sample: the equal-range
+/// is found by `partition_point` lower/upper bounds in `O(log n)` instead
+/// of a linear float-equality scan. Tied values are bit-equal copies of the
+/// same order statistic, so the count — and therefore `f_hat` — matches
+/// the scan exactly.
+fn sampled_frequency(sorted: &[f64], value: f64) -> f64 {
+    let lo = sorted.partition_point(|&v| v < value);
+    let hi = sorted.partition_point(|&v| v <= value);
+    (hi - lo) as f64 / sorted.len() as f64
+}
+
 /// The Stein-lemma baseline (Manku, Rajagopalan & Lindsay 1999).
 ///
 /// With-replacement Hoeffding rank bound: the sampled cumulative frequency
@@ -115,12 +147,28 @@ pub fn stein_estimate(
     if !(r > 0.0 && r < 1.0) {
         return Err(StatsError::InvalidQuantile(r));
     }
-    let n = samples.len();
     let mut sorted = samples.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    stein_from_sorted(&sorted, population, r, delta)
+}
+
+/// The Stein baseline over an already sorted sample (the kernel-facing
+/// entry point, mirroring [`quantile_from_sorted`]).
+pub fn stein_from_sorted(
+    sorted: &[f64],
+    population: usize,
+    r: f64,
+    delta: f64,
+) -> Result<QuantileEstimate> {
+    crate::check_delta(delta)?;
+    crate::check_sample(sorted.len(), population)?;
+    if !(r > 0.0 && r < 1.0) {
+        return Err(StatsError::InvalidQuantile(r));
+    }
+    let n = sorted.len();
     let idx = ((r * n as f64).ceil() as usize).clamp(1, n) - 1;
     let y_approx = sorted[idx];
-    let f_hat = sorted.iter().filter(|&&v| v == y_approx).count() as f64 / n as f64;
+    let f_hat = sampled_frequency(sorted, y_approx);
     let eps = ((2.0 / delta).ln() / (2.0 * n as f64)).sqrt();
     Ok(QuantileEstimate {
         y_approx,
@@ -244,6 +292,50 @@ mod tests {
                 stein.err_b
             );
             assert_eq!(ours.y_approx, stein.y_approx);
+        }
+    }
+
+    #[test]
+    fn f_hat_partition_point_matches_linear_scan_under_heavy_ties() {
+        // Integer-valued detector outputs tie heavily; the partition_point
+        // range search must count exactly what the old O(n) float-equality
+        // scan counted, for every quantile position and both extremes.
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..20 {
+            let samples: Vec<f64> = (0..500)
+                .map(|_| rng.gen_range(0.0..4.0_f64).floor()) // only 4 distinct values
+                .collect();
+            let mut sorted = samples.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for &r in &[0.01, 0.25, 0.5, 0.75, 0.99] {
+                for &extreme in &[Extreme::Max, Extreme::Min] {
+                    let est = quantile_estimate(&samples, 10_000, r, 0.05, extreme).unwrap();
+                    let scan = sorted.iter().filter(|&&v| v == est.y_approx).count() as f64
+                        / sorted.len() as f64;
+                    assert_eq!(
+                        est.f_hat, scan,
+                        "trial={trial} r={r} extreme={extreme:?}: f_hat must be bit-identical"
+                    );
+                    assert!(est.f_hat > 0.1, "heavy ties make every value frequent");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_sorted_matches_batch_entry_points() {
+        let samples = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0, 5.0, 3.0];
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &r in &[0.1, 0.5, 0.9] {
+            assert_eq!(
+                quantile_estimate(&samples, 100, r, 0.05, Extreme::Max).unwrap(),
+                quantile_from_sorted(&sorted, 100, r, 0.05, Extreme::Max).unwrap()
+            );
+            assert_eq!(
+                stein_estimate(&samples, 100, r, 0.05).unwrap(),
+                stein_from_sorted(&sorted, 100, r, 0.05).unwrap()
+            );
         }
     }
 

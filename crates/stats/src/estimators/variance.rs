@@ -17,9 +17,13 @@ use crate::{MeanEstimate, Result};
 /// (`E[X²] − (E[X])²`), so it needs the variance-adaptive Bernstein width
 /// on the squares, where the raw range `R²` makes range-only bounds
 /// hopeless at realistic sample sizes.
-fn tight_interval(samples: &[f64], population: usize, delta: f64) -> Result<MeanInterval> {
-    let hs = hoeffding_serfling::interval(samples, population, delta)?;
-    let eb = empirical_bernstein::interval(samples, population, delta)?;
+fn tight_interval_from_stats(
+    stats: &crate::describe::RunningStats,
+    population: usize,
+    delta: f64,
+) -> Result<MeanInterval> {
+    let hs = hoeffding_serfling::interval_from_stats(stats, population, delta)?;
+    let eb = empirical_bernstein::interval_from_stats(stats, population, delta)?;
     Ok(if eb.half_width < hs.half_width { eb } else { hs })
 }
 
@@ -32,9 +36,28 @@ fn tight_interval(samples: &[f64], population: usize, delta: f64) -> Result<Mean
 /// intrinsically wide: expect informative output only at sample fractions
 /// well above those that suffice for AVG.
 pub fn var_estimate(samples: &[f64], population: usize, delta: f64) -> Result<MeanEstimate> {
-    let squares: Vec<f64> = samples.iter().map(|&v| v * v).collect();
-    let iv_sq = tight_interval(&squares, population, delta / 2.0)?;
-    let iv_mean = tight_interval(samples, population, delta / 2.0)?;
+    let mut raw = crate::describe::RunningStats::new();
+    let mut squares = crate::describe::RunningStats::new();
+    for &v in samples {
+        raw.push(v);
+        squares.push(v * v);
+    }
+    var_estimate_from_stats(&raw, &squares, population, delta)
+}
+
+/// As [`var_estimate`], but from already-accumulated summaries of the raw
+/// outputs and their squares — the entry point
+/// [`VarKernel`](super::kernel::VarKernel) serves per-fraction bounds from.
+/// Both summaries are Welford accumulations in sample order, so the batch
+/// and incremental paths share identical state and identical formulas.
+pub fn var_estimate_from_stats(
+    raw: &crate::describe::RunningStats,
+    squares: &crate::describe::RunningStats,
+    population: usize,
+    delta: f64,
+) -> Result<MeanEstimate> {
+    let iv_sq = tight_interval_from_stats(squares, population, delta / 2.0)?;
+    let iv_mean = tight_interval_from_stats(raw, population, delta / 2.0)?;
 
     // Interval on E[X²].
     let sq_lo = (iv_sq.estimate - iv_sq.half_width).max(0.0);
@@ -50,7 +73,7 @@ pub fn var_estimate(samples: &[f64], population: usize, delta: f64) -> Result<Me
         1.0,
         var_lo,
         var_hi.max(var_lo),
-        samples.len(),
+        raw.n(),
     ))
 }
 

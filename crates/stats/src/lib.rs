@@ -13,7 +13,10 @@
 //!   construction (baseline), and the CLT normal bound (brittle baseline).
 //! * [`estimators`] — Algorithm 1 (AVG, plus SUM/COUNT reductions),
 //!   Algorithm 2 (MAX/MIN via extreme quantiles, plus the Stein baseline),
-//!   and Algorithm 3 (profile repair of biased bounds via a correction set).
+//!   Algorithm 3 (profile repair of biased bounds via a correction set),
+//!   and the streaming [`kernel`](estimators::kernel) layer that serves the
+//!   §3.3.2 ascending-fraction sweep incrementally, bit-identical to the
+//!   batch estimators.
 //! * [`normal`] / [`hypergeometric`] — distribution primitives implemented
 //!   from scratch (no external stats crate).
 //! * [`sample`] — seeded sampling without replacement, including nested
@@ -35,6 +38,7 @@ pub use error::StatsError;
 pub use estimators::{
     avg::avg_estimate,
     count::count_estimate,
+    kernel::{MeanKernel, OrderKernel, VarKernel},
     quantile::{quantile_estimate, Extreme, QuantileEstimate},
     repair::{repair_mean_bound, repair_rank_bound},
     sum::sum_estimate,

@@ -6,8 +6,12 @@ use smokescreen_stats::bounds::{clt, ebgs, empirical_bernstein, hoeffding, hoeff
 use smokescreen_stats::describe::{Histogram, RunningStats};
 use smokescreen_stats::hypergeometric;
 use smokescreen_stats::normal;
+use smokescreen_stats::estimators::quantile::stein_estimate;
 use smokescreen_stats::sample::sample_indices;
-use smokescreen_stats::{avg_estimate, quantile_estimate, Extreme};
+use smokescreen_stats::{
+    avg_estimate, count_estimate, quantile_estimate, sum_estimate, var_estimate, Extreme,
+    MeanKernel, OrderKernel, VarKernel,
+};
 
 fn samples() -> impl Strategy<Value = Vec<f64>> {
     proptest::collection::vec((0u32..100).prop_map(f64::from), 2..300)
@@ -129,5 +133,88 @@ proptest! {
         sorted.dedup();
         prop_assert_eq!(sorted.len(), n, "duplicates found");
         prop_assert!(idx.iter().all(|&i| i < population));
+    }
+
+    // --- Streaming kernels: per-prefix bit-identity with the batch path ---
+
+    #[test]
+    fn mean_kernel_bit_identical_to_batch_on_random_prefixes(
+        data in samples(),
+        extra in 0usize..8_000,
+        delta_pct in 1u32..50,
+    ) {
+        let population = data.len() + extra;
+        let delta = f64::from(delta_pct) / 100.0;
+        let mut kernel = MeanKernel::new();
+        for (i, &v) in data.iter().enumerate() {
+            kernel.push(v);
+            let prefix = &data[..=i];
+            prop_assert_eq!(
+                kernel.avg(population, delta).unwrap(),
+                avg_estimate(prefix, population, delta).unwrap()
+            );
+            prop_assert_eq!(
+                kernel.sum(population, delta).unwrap(),
+                sum_estimate(prefix, population, delta).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn var_kernel_bit_identical_to_batch_on_random_prefixes(
+        data in samples(),
+        extra in 0usize..8_000,
+    ) {
+        let population = data.len() + extra;
+        let mut kernel = VarKernel::new();
+        for (i, &v) in data.iter().enumerate() {
+            kernel.push(v);
+            prop_assert_eq!(
+                kernel.estimate(population, 0.05).unwrap(),
+                var_estimate(&data[..=i], population, 0.05).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn order_kernel_bit_identical_to_batch_on_random_prefixes(
+        data in samples(),
+        extra in 0usize..8_000,
+        r in 0.01f64..0.99,
+    ) {
+        let population = data.len() + extra;
+        let mut kernel = OrderKernel::with_capacity(data.len());
+        for (i, &v) in data.iter().enumerate() {
+            kernel.push(v);
+            let prefix = &data[..=i];
+            for &extreme in &[Extreme::Max, Extreme::Min] {
+                prop_assert_eq!(
+                    kernel.quantile(population, r, 0.05, extreme).unwrap(),
+                    quantile_estimate(prefix, population, r, 0.05, extreme).unwrap()
+                );
+            }
+            prop_assert_eq!(
+                kernel.stein(population, r, 0.05).unwrap(),
+                stein_estimate(prefix, population, r, 0.05).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn count_kernel_bit_identical_to_batch_on_random_prefixes(
+        data in samples(),
+        threshold in 0u32..100,
+    ) {
+        let population = data.len() * 3;
+        let indicators: Vec<f64> =
+            data.iter().map(|&v| f64::from(v >= f64::from(threshold))).collect();
+        let mut kernel = MeanKernel::new();
+        for (i, &v) in indicators.iter().enumerate() {
+            kernel.push(v);
+            prop_assert_eq!(
+                kernel.count(population, 0.05).unwrap(),
+                count_estimate(&indicators[..=i], population, 0.05).unwrap()
+            );
+        }
     }
 }

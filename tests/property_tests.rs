@@ -3,7 +3,7 @@
 
 use smokescreen_rt::proptest::prelude::*;
 
-use smokescreen::core::{estimate_from_outputs, Aggregate, Estimate};
+use smokescreen::core::{estimate_from_outputs, Aggregate, AggregateKernel, Estimate};
 use smokescreen::stats::bounds::{hoeffding, hoeffding_serfling};
 use smokescreen::stats::sample::{fraction_to_size, PrefixSampler};
 use smokescreen::stats::{avg_estimate, quantile_estimate, Extreme};
@@ -90,6 +90,52 @@ proptest! {
                 prop_assert!((s.y_approx - a.y_approx * population as f64).abs() < 1e-6);
             }
             _ => prop_assert!(false, "mean aggregates must return mean estimates"),
+        }
+    }
+
+    #[test]
+    fn aggregate_kernels_bit_identical_across_fraction_ladders(
+        population_values in outputs_strategy(),
+        seed in any::<u64>(),
+        fractions in proptest::collection::vec(0.001f64..1.0, 1..10),
+    ) {
+        // The §3.3.2 sweep contract: for an arbitrary population, an
+        // arbitrary sampling permutation, and an arbitrary ascending
+        // fraction ladder, a kernel that ingests only each step's Δn new
+        // outputs produces the same (answer, err_b) — bit for bit — as
+        // the batch estimator re-run on the whole prefix, for all seven
+        // aggregates.
+        let n_pop = population_values.len();
+        let sampler = PrefixSampler::new(n_pop, seed);
+        let sample_order: Vec<f64> = sampler
+            .prefix(n_pop)
+            .iter()
+            .map(|&i| population_values[i])
+            .collect();
+        let mut ladder: Vec<usize> = fractions
+            .iter()
+            .map(|&f| fraction_to_size(n_pop, f).unwrap())
+            .collect();
+        ladder.sort_unstable();
+        for aggregate in [
+            Aggregate::Avg,
+            Aggregate::Sum,
+            Aggregate::Count { at_least: 1.0 },
+            Aggregate::Max { r: 0.99 },
+            Aggregate::Min { r: 0.01 },
+            Aggregate::Quantile { r: 0.5 },
+            Aggregate::Var,
+        ] {
+            let mut kernel = AggregateKernel::new(aggregate);
+            for &n_f in &ladder {
+                kernel.extend(&sample_order[kernel.n()..n_f]);
+                prop_assert_eq!(
+                    kernel.estimate(n_pop, 0.05).unwrap(),
+                    estimate_from_outputs(aggregate, &sample_order[..n_f], n_pop, 0.05)
+                        .unwrap(),
+                    "{} at prefix {}", aggregate.name(), n_f
+                );
+            }
         }
     }
 
