@@ -12,6 +12,14 @@
 # parallel profile generation (rt::pool) promises bit-for-bit identical
 # output at any thread count. A final cross-check regenerates the fig4
 # CSVs at both worker counts and fails on any byte difference.
+#
+# The chaos suite then re-runs the generation stack under deterministic
+# fault injection (seeded FaultPlan via SMOKESCREEN_FAULT_SEED /
+# SMOKESCREEN_FAULT_RATE) at rates 0 and 0.05 × 1 and 8 workers: rate 0
+# proves the fault machinery is byte-invisible, rate 0.05 proves chaos
+# runs replay bit-for-bit across schedules. The golden re-diff at the
+# bottom runs with faults explicitly disabled, pinning the fault-free
+# fig4 CSVs to the committed snapshots.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -21,6 +29,20 @@ echo "=== test suite @ SMOKESCREEN_THREADS=1 ==="
 SMOKESCREEN_THREADS=1 cargo test -q --offline --workspace
 echo "=== test suite @ SMOKESCREEN_THREADS=8 ==="
 SMOKESCREEN_THREADS=8 cargo test -q --offline --workspace
+
+echo "=== chaos suite: fault rates {0, 0.05} x threads {1, 8} ==="
+# Deterministic fault injection: rate 0 must be byte-invisible; rate 0.05
+# must injure model calls yet replay byte-identically at any worker
+# count. The bound-validity chaos tests (5% and 20% rates) already ran in
+# the workspace suites above.
+for rate in 0 0.05; do
+  for threads in 1 8; do
+    echo "--- chaos @ rate=$rate threads=$threads ---"
+    SMOKESCREEN_FAULT_SEED=42 SMOKESCREEN_FAULT_RATE=$rate \
+      SMOKESCREEN_THREADS=$threads \
+      cargo test -q --offline --test chaos
+  done
+done
 
 echo "=== estimator kernels: batch vs incremental sweep ==="
 # Smoke-runs the incremental-kernel bench: asserts the ≥3× estimation
@@ -36,11 +58,14 @@ trap 'rm -rf "$tmpdir"' EXIT
 diff -r "$tmpdir/t1" "$tmpdir/t8"
 echo "fig4 output identical across worker counts"
 
-echo "=== golden re-diff: fig4 CSVs vs committed snapshots ==="
+echo "=== golden re-diff: fig4 CSVs vs committed snapshots (faults disabled) ==="
 # The incremental estimator kernels promise byte-identical profiles;
-# regenerate fig4 at the pinned golden configuration (seed 42, quick) and
-# diff against the committed goldens directly.
-./target/release/repro fig4 --quick --seed 42 --threads 8 --out "$tmpdir/golden" >/dev/null
+# regenerate fig4 at the pinned golden configuration (seed 42, quick,
+# faults explicitly disabled) and diff against the committed goldens
+# directly — the chaos machinery must leave the fault-free path
+# untouched.
+SMOKESCREEN_FAULT_RATE=0 \
+  ./target/release/repro fig4 --quick --seed 42 --threads 8 --out "$tmpdir/golden" >/dev/null
 for f in tests/golden/fig4_*.csv; do
   diff "$f" "$tmpdir/golden/$(basename "$f")"
 done

@@ -11,6 +11,7 @@
 
 use smokescreen_core::{Aggregate, GeneratorConfig, ProfileGenerator};
 use smokescreen_degrade::CandidateGrid;
+use smokescreen_rt::fault::FaultPlan;
 use smokescreen_video::synth::DatasetPreset;
 
 use crate::figures::Experiment;
@@ -46,6 +47,11 @@ impl Experiment for Timing {
             GeneratorConfig {
                 seed: cfg.seed,
                 early_stop_improvement: None, // measure the full grid
+                // Chaos replay knobs: SMOKESCREEN_FAULT_SEED /
+                // SMOKESCREEN_FAULT_RATE arm deterministic fault
+                // injection; unset (the default, and the golden
+                // configuration) runs fault-free.
+                faults: FaultPlan::from_env(),
                 ..GeneratorConfig::default()
             },
         );
@@ -85,6 +91,14 @@ impl Experiment for Timing {
         table.push_row(vec![
             "model_vs_estimation_ratio".into(),
             fmt(report.model_time_ms / report.estimation_time_ms.max(1e-9)),
+        ]);
+        // Chaos accounting: all zero in the fault-free golden
+        // configuration; under SMOKESCREEN_FAULT_RATE they record the
+        // retry work and any quarantined cells.
+        table.push_row(vec!["retries".into(), report.retries.to_string()]);
+        table.push_row(vec![
+            "degraded_cells".into(),
+            report.degraded_cells.len().to_string(),
         ]);
         vec![table]
     }
@@ -128,6 +142,9 @@ mod tests {
             "ingest {ingest} + bound {bound} must sum to {est_ms}"
         );
         assert_eq!(get("cells_swept"), 10.0, "ten resolutions, one combo");
+        // Fault-free run: no retry work, no quarantined cells.
+        assert_eq!(get("retries"), 0.0);
+        assert_eq!(get("degraded_cells"), 0.0);
     }
 
     #[test]

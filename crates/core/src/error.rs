@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use smokescreen_models::ModelError;
 use smokescreen_stats::StatsError;
 
 /// Errors surfaced by profiling, estimation, and tradeoff selection.
@@ -9,6 +10,17 @@ use smokescreen_stats::StatsError;
 pub enum CoreError {
     /// An underlying statistical estimator failed.
     Stats(StatsError),
+    /// A model invocation failed permanently (timeout, retry budget
+    /// exhausted, unknown model).
+    Model(ModelError),
+    /// Every sampled frame's model call failed — no surviving outputs to
+    /// estimate from. The layer above must quarantine, not widen.
+    AllOutputsLost {
+        /// Sampled frames whose calls failed.
+        lost: usize,
+        /// What was being estimated (cell / candidate description).
+        context: String,
+    },
     /// The intervention set is malformed (bad fraction, empty resolution…).
     InvalidIntervention(String),
     /// The detector does not support a requested resolution.
@@ -33,6 +45,11 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::Stats(e) => write!(f, "estimator error: {e}"),
+            CoreError::Model(e) => write!(f, "model invocation failed: {e}"),
+            CoreError::AllOutputsLost { lost, context } => write!(
+                f,
+                "all {lost} sampled model call(s) failed for {context}; no surviving outputs"
+            ),
             CoreError::InvalidIntervention(msg) => write!(f, "invalid intervention: {msg}"),
             CoreError::UnsupportedResolution { model, resolution } => {
                 write!(f, "model {model} does not accept resolution {resolution}")
@@ -53,6 +70,7 @@ impl std::error::Error for CoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CoreError::Stats(e) => Some(e),
+            CoreError::Model(e) => Some(e),
             _ => None,
         }
     }
@@ -61,5 +79,11 @@ impl std::error::Error for CoreError {
 impl From<StatsError> for CoreError {
     fn from(e: StatsError) -> Self {
         CoreError::Stats(e)
+    }
+}
+
+impl From<ModelError> for CoreError {
+    fn from(e: ModelError) -> Self {
+        CoreError::Model(e)
     }
 }

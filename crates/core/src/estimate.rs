@@ -289,7 +289,20 @@ pub fn result_error_est(
     let view = DegradedView::new(workload.corpus, set.clone(), restrictions, seed)
         .map_err(CoreError::InvalidIntervention)?;
     let raw = match cache {
-        Some(c) if !view.rewrites_frames() => view.outputs_cached(c, workload.class),
+        Some(c) if !view.rewrites_frames() => {
+            // Fallible fetch: on a fault-free cache this is byte-identical
+            // to the infallible path; under a fault plan, permanently
+            // failed calls drop out and the estimate widens over the
+            // surviving (still uniform) sample.
+            let fetched = view.try_outputs_cached(c, workload.class);
+            if fetched.values.is_empty() && fetched.lost > 0 {
+                return Err(CoreError::AllOutputsLost {
+                    lost: fetched.lost,
+                    context: set.describe(),
+                });
+            }
+            fetched.values
+        }
         _ => view.outputs(workload.detector, workload.class),
     };
     if raw.is_empty() {
@@ -633,6 +646,111 @@ mod tests {
                 estimate_from_outputs(agg, &raw, population, 0.05).unwrap(),
                 "{} full", agg.name()
             );
+        }
+    }
+
+    #[test]
+    fn kernel_with_injected_gaps_matches_batch_on_survivors() {
+        // Degradation satellite: a kernel fed the prefix ladder with
+        // fault-injected gaps must agree bit-for-bit with the batch
+        // estimator run on the surviving sample — for both the mean-style
+        // and order-style kernels.
+        use smokescreen_models::{OutputCache, RetryPolicy};
+        use smokescreen_rt::fault::FaultPlan;
+
+        let corpus = DatasetPreset::Detrac.generate(18).slice(0, 2_000);
+        let yolo = SimYoloV4::new(7);
+        let restrictions = RestrictionIndex::from_ground_truth(&corpus, &[]);
+        let view = DegradedView::new(&corpus, InterventionSet::sampling(0.4), &restrictions, 8)
+            .expect("valid view");
+        let plan = FaultPlan::new(19, 0.25);
+        let population = corpus.len();
+        for agg in [
+            Aggregate::Avg,
+            Aggregate::Sum,
+            Aggregate::Count { at_least: 1.0 },
+            Aggregate::Max { r: 0.99 },
+            Aggregate::Quantile { r: 0.5 },
+            Aggregate::Var,
+        ] {
+            let cache = OutputCache::with_faults(&yolo, plan, RetryPolicy::default());
+            let mut kernel = AggregateKernel::new(agg);
+            let mut survivors = Vec::new();
+            let mut lost = 0usize;
+            // Ascending prefix ladder in uneven rungs, as the §3.3.2 sweep
+            // fetches them; each rung checks the running estimate against
+            // the batch path over everything that survived so far.
+            let rungs = [0usize, 37, 160, 161, 400, view.len()];
+            for w in rungs.windows(2) {
+                let part = view.try_outputs_cached_range(&cache, ObjectClass::Car, w[0]..w[1]);
+                kernel.extend(&part.values);
+                survivors.extend(part.values);
+                lost += part.lost;
+                if survivors.is_empty() {
+                    continue;
+                }
+                assert_eq!(
+                    kernel.estimate(population, 0.05).unwrap(),
+                    estimate_from_outputs(agg, &survivors, population, 0.05).unwrap(),
+                    "{} at prefix {}..{}", agg.name(), w[0], w[1]
+                );
+            }
+            assert!(lost > 0, "a 25% plan must lose frames");
+            assert_eq!(kernel.n(), survivors.len());
+            assert_eq!(kernel.n() + lost, view.len());
+        }
+    }
+
+    #[test]
+    fn empty_kernel_returns_typed_error_not_nan() {
+        // n = 0 (nothing ingested, or everything lost) must be a typed
+        // error from every kernel, never a NaN bound.
+        for agg in [
+            Aggregate::Avg,
+            Aggregate::Sum,
+            Aggregate::Count { at_least: 1.0 },
+            Aggregate::Max { r: 0.99 },
+            Aggregate::Min { r: 0.01 },
+            Aggregate::Quantile { r: 0.5 },
+            Aggregate::Var,
+        ] {
+            let kernel = AggregateKernel::new(agg);
+            assert_eq!(kernel.n(), 0);
+            let err = kernel.estimate(1_000, 0.05).expect_err(agg.name());
+            assert!(matches!(err, CoreError::Stats(_)), "{}: {err}", agg.name());
+            assert_eq!(
+                estimate_from_outputs(agg, &[], 1_000, 0.05)
+                    .map(|e| (e.y_approx(), e.err_b()))
+                    .expect_err(agg.name()),
+                err,
+                "batch and kernel must agree on the empty-sample error"
+            );
+        }
+    }
+
+    #[test]
+    fn all_frames_lost_is_a_typed_error() {
+        use smokescreen_models::{OutputCache, RetryPolicy};
+        use smokescreen_rt::fault::FaultPlan;
+
+        let corpus = DatasetPreset::Detrac.generate(19).slice(0, 1_000);
+        let yolo = SimYoloV4::new(9);
+        let w = workload(&corpus, &yolo, Aggregate::Avg);
+        let restrictions = RestrictionIndex::from_ground_truth(&corpus, &[]);
+        // Every call times out: the whole sample is lost.
+        let plan = FaultPlan::with_rates(2, 1.0, 0.0, 0.0, 0.0);
+        let cache = OutputCache::with_faults(&yolo, plan, RetryPolicy::default());
+        let err = result_error_est(
+            &w,
+            &restrictions,
+            &InterventionSet::sampling(0.1),
+            4,
+            Some(&cache),
+        )
+        .unwrap_err();
+        match err {
+            CoreError::AllOutputsLost { lost, .. } => assert_eq!(lost, 100),
+            other => panic!("expected AllOutputsLost, got {other:?}"),
         }
     }
 

@@ -35,11 +35,30 @@
 //! `estimation_time_ms` sums per-candidate durations (not wall-clock), so
 //! it stays meaningful under concurrency; as a measured quantity it is the
 //! one report field that naturally varies run-to-run.
+//!
+//! # Fault injection and graceful degradation
+//!
+//! A [`GeneratorConfig`] carrying a [`FaultPlan`] routes every model call
+//! through the fault-aware [`OutputCache`]: transient failures retry under
+//! deterministic backoff, permanent failures (timeouts, exhausted
+//! budgets) drop the frame. A cell that loses frames **widens** instead
+//! of lying: the kernel ingests only surviving outputs, so every emitted
+//! bound is computed over the smaller survivor sample against the full
+//! population `N` — sound by construction, because fault decisions depend
+//! only on `(frame id, resolution)`, never on frame content, leaving the
+//! survivors a uniform without-replacement sample (the lost frames simply
+//! join the "not sampled" mass; DESIGN.md proves this). A per-cell
+//! circuit breaker quarantines cells whose loss fraction exceeds
+//! [`GeneratorConfig::max_cell_loss`] (or that lose *every* frame): their
+//! points are withheld and the cell is reported in
+//! [`GenerationReport::degraded_cells`] — degraded work is never silently
+//! dropped.
 
 use std::time::Instant;
 
 use smokescreen_degrade::{CandidateGrid, DegradedView, InterventionSet, RestrictionIndex};
-use smokescreen_models::OutputCache;
+use smokescreen_models::{OutputCache, RetryPolicy};
+use smokescreen_rt::fault::FaultPlan;
 use smokescreen_rt::pool::Pool;
 
 use crate::correction::CorrectionSet;
@@ -62,6 +81,14 @@ pub struct GeneratorConfig {
     /// (`SMOKESCREEN_THREADS`, else available parallelism). The generated
     /// profile is byte-identical for every value.
     pub threads: usize,
+    /// Seeded fault plan for chaos runs. `None` (the default) disables
+    /// injection entirely — the production configuration.
+    pub faults: Option<FaultPlan>,
+    /// Retry budget and backoff for faulted model calls.
+    pub retry: RetryPolicy,
+    /// Circuit breaker: quarantine a cell when more than this fraction of
+    /// its sampled frames are lost to permanent failures.
+    pub max_cell_loss: f64,
 }
 
 impl Default for GeneratorConfig {
@@ -71,12 +98,15 @@ impl Default for GeneratorConfig {
             early_stop_improvement: Some(0.005),
             early_stop_min_points: 3,
             threads: 0,
+            faults: None,
+            retry: RetryPolicy::default(),
+            max_cell_loss: 0.5,
         }
     }
 }
 
 /// Cost accounting for one generation run.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct GenerationReport {
     /// Distinct model invocations (`N_model`).
     pub model_runs: usize,
@@ -98,6 +128,20 @@ pub struct GenerationReport {
     pub points: usize,
     /// Candidates skipped by early stopping.
     pub skipped_by_early_stop: usize,
+    /// Retries spent clearing transient model faults (0 without a plan).
+    pub retries: usize,
+    /// Model calls that encountered an injected fault of any kind.
+    pub faults_injected: usize,
+    /// Simulated fault latency charged (retry backoff + slow responses),
+    /// ms.
+    pub fault_time_ms: f64,
+    /// Sampled frames lost to permanent failures across surviving cells'
+    /// swept prefixes.
+    pub frames_lost: usize,
+    /// Labels of cells quarantined by the circuit breaker, in grid order.
+    /// Their candidates are withheld from the profile, never silently
+    /// emitted with unsound bounds.
+    pub degraded_cells: Vec<String>,
 }
 
 /// Per-cell sweep result, merged into the profile in grid order.
@@ -105,6 +149,11 @@ pub struct GenerationReport {
 struct CellOutput {
     points: Vec<ProfilePoint>,
     skipped_by_early_stop: usize,
+    /// Frames lost to permanent failures in the cell's swept prefix.
+    frames_lost: usize,
+    /// Breaker label when the cell was quarantined (its points are
+    /// withheld).
+    quarantined: Option<String>,
     /// Time fetching sample outputs and pushing them into the kernel
     /// (sum of per-candidate durations, not wall-clock).
     ingest_ns: u128,
@@ -145,7 +194,12 @@ impl<'a> ProfileGenerator<'a> {
         grid: &CandidateGrid,
         correction: Option<&CorrectionSet>,
     ) -> Result<(Profile, GenerationReport)> {
-        let cache = OutputCache::new(self.workload.detector);
+        let cache = match self.config.faults {
+            Some(plan) => {
+                OutputCache::with_faults(self.workload.detector, plan, self.config.retry)
+            }
+            None => OutputCache::new(self.workload.detector),
+        };
 
         let combos: &[Vec<smokescreen_video::ObjectClass>] = if grid.class_combos.is_empty() {
             &[Vec::new()]
@@ -180,6 +234,10 @@ impl<'a> ProfileGenerator<'a> {
         for cell in cell_outputs {
             let cell = cell?;
             report.skipped_by_early_stop += cell.skipped_by_early_stop;
+            report.frames_lost += cell.frames_lost;
+            if let Some(label) = cell.quarantined {
+                report.degraded_cells.push(label);
+            }
             ingest_ns += cell.ingest_ns;
             bound_ns += cell.bound_ns;
             points.extend(cell.points);
@@ -189,6 +247,9 @@ impl<'a> ProfileGenerator<'a> {
         report.model_runs = inv.model_runs;
         report.cache_hits = inv.cache_hits;
         report.model_time_ms = inv.model_time_ms;
+        report.retries = inv.retries;
+        report.faults_injected = inv.faults_injected;
+        report.fault_time_ms = inv.fault_time_ms;
         report.estimation_ingest_ms = ingest_ns as f64 / 1e6;
         report.estimation_bound_ms = bound_ns as f64 / 1e6;
         report.estimation_time_ms = (ingest_ns + bound_ns) as f64 / 1e6;
@@ -275,6 +336,13 @@ impl<'a> ProfileGenerator<'a> {
         let mut prev_err: Option<f64> = None;
         let mut stopped = false;
         let mut seen = 0usize;
+        // Sample positions consumed so far (survivors + lost). Under fault
+        // injection this runs ahead of `kernel.n()`, which counts only
+        // survivors — the prefix arithmetic must use positions, not
+        // kernel size, or gaps would shift every later fetch.
+        let mut prefix_pos = 0usize;
+        // Frames lost to permanent failures within the current prefix.
+        let mut lost = 0usize;
         for &fraction in &grid.fractions {
             if stopped {
                 out.skipped_by_early_stop += 1;
@@ -289,17 +357,41 @@ impl<'a> ProfileGenerator<'a> {
             };
 
             let t0 = Instant::now();
-            if n_f < kernel.n() {
+            if n_f < prefix_pos {
                 // Non-ascending grid: restart the prefix. Correct for any
                 // fraction order, merely slower than the ascending case.
                 kernel = AggregateKernel::with_capacity(self.workload.aggregate, view.len());
+                prefix_pos = 0;
+                lost = 0;
             }
-            if n_f > kernel.n() {
+            if n_f > prefix_pos {
                 let fresh =
-                    view.outputs_cached_range(cache, self.workload.class, kernel.n()..n_f);
-                kernel.extend(&fresh);
+                    view.try_outputs_cached_range(cache, self.workload.class, prefix_pos..n_f);
+                kernel.extend(&fresh.values);
+                lost += fresh.lost;
+                prefix_pos = n_f;
             }
             out.ingest_ns += t0.elapsed().as_nanos();
+            out.frames_lost = lost;
+
+            // Circuit breaker: with no survivors there is nothing sound to
+            // emit, and past the loss tolerance the cell is degraded enough
+            // that the administrator must be told rather than handed a
+            // (still sound, but badly widened) profile. Either way the
+            // whole cell is quarantined — reported, never silently dropped.
+            if lost > 0
+                && (kernel.n() == 0
+                    || lost as f64 > self.config.max_cell_loss * prefix_pos as f64)
+            {
+                out.points.clear();
+                out.skipped_by_early_stop = 0;
+                out.quarantined = Some(format!(
+                    "res={} removal={:?} (lost {lost}/{prefix_pos} sampled frames)",
+                    effective_res.map_or_else(|| "native".to_string(), |r| r.to_string()),
+                    combo,
+                ));
+                return Ok(out);
+            }
 
             let t1 = Instant::now();
             let set = cell_set(fraction);
@@ -559,6 +651,142 @@ mod tests {
         assert_eq!(r1.cache_hits, r8.cache_hits);
         assert_eq!(r1.points, r8.points);
         assert_eq!(r1.skipped_by_early_stop, r8.skipped_by_early_stop);
+    }
+
+    #[test]
+    fn fault_plan_widens_bounds_over_survivors() {
+        // Graceful degradation: under a moderate fault plan the generator
+        // loses frames, keeps the survivors, and emits *wider* (never
+        // tighter-than-clean at equal candidates) bounds — with the losses
+        // fully accounted in the report.
+        let corpus = DatasetPreset::Detrac.generate(46).slice(0, 2_000);
+        let yolo = SimYoloV4::new(7);
+        let w = Workload {
+            corpus: &corpus,
+            detector: &yolo,
+            class: ObjectClass::Car,
+            aggregate: Aggregate::Avg,
+            delta: 0.05,
+        };
+        let restrictions = RestrictionIndex::from_ground_truth(&corpus, &[ObjectClass::Person]);
+        let base = GeneratorConfig {
+            early_stop_improvement: None,
+            ..GeneratorConfig::default()
+        };
+        let (clean, clean_report) =
+            ProfileGenerator::new(&w, &restrictions, base).generate(&grid(), None).unwrap();
+        let chaotic_cfg = GeneratorConfig {
+            faults: Some(smokescreen_rt::fault::FaultPlan::with_rates(
+                5, 0.04, 0.08, 0.04, 0.03,
+            )),
+            ..base
+        };
+        let (chaotic, report) = ProfileGenerator::new(&w, &restrictions, chaotic_cfg)
+            .generate(&grid(), None)
+            .unwrap();
+        assert!(report.frames_lost > 0, "a 16% plan must lose frames");
+        assert!(report.faults_injected > 0);
+        assert!(report.retries > 0);
+        assert!(report.fault_time_ms > 0.0);
+        assert_eq!(clean_report.frames_lost, 0);
+        assert_eq!(clean_report.degraded_cells.len(), 0);
+        // Points pair up by candidate (no cell quarantined at this rate in
+        // this fixture); each chaotic point estimates from no more
+        // survivors than its clean twin, and equal survivors ⇒ equal point.
+        assert!(report.degraded_cells.is_empty(), "{:?}", report.degraded_cells);
+        assert_eq!(chaotic.len(), clean.len());
+        let mut strictly_widened = 0;
+        for (c, f) in clean.points.iter().zip(&chaotic.points) {
+            assert_eq!(c.set, f.set);
+            assert!(f.n <= c.n, "survivors can only shrink: {} > {}", f.n, c.n);
+            if f.n == c.n {
+                assert_eq!(c, f, "no loss ⇒ identical point");
+            } else {
+                // The *relative* bound also moves with the surviving
+                // values, so per-point monotonicity is not guaranteed —
+                // validity under loss is what the bound-validity chaos
+                // suite checks. Here: the bound must stay usable.
+                assert!(f.err_b.is_finite() && f.err_b > 0.0);
+                strictly_widened += 1;
+            }
+        }
+        assert!(strictly_widened > 0, "some candidate must actually lose frames");
+    }
+
+    #[test]
+    fn breaker_quarantines_heavily_lossy_cells() {
+        let corpus = DatasetPreset::Detrac.generate(47).slice(0, 1_500);
+        let yolo = SimYoloV4::new(8);
+        let w = Workload {
+            corpus: &corpus,
+            detector: &yolo,
+            class: ObjectClass::Car,
+            aggregate: Aggregate::Avg,
+            delta: 0.05,
+        };
+        let restrictions = RestrictionIndex::from_ground_truth(&corpus, &[ObjectClass::Person]);
+        // 70% of calls time out: every cell blows through the default 50%
+        // loss tolerance, so all four cells quarantine and the profile is
+        // empty — reported, not silently dropped.
+        let cfg = GeneratorConfig {
+            early_stop_improvement: None,
+            faults: Some(smokescreen_rt::fault::FaultPlan::with_rates(1, 0.7, 0.0, 0.0, 0.0)),
+            ..GeneratorConfig::default()
+        };
+        let (profile, report) =
+            ProfileGenerator::new(&w, &restrictions, cfg).generate(&grid(), None).unwrap();
+        assert_eq!(report.degraded_cells.len(), 4, "{:?}", report.degraded_cells);
+        assert_eq!(profile.len(), 0);
+        assert_eq!(report.points, 0);
+        for label in &report.degraded_cells {
+            assert!(label.contains("lost"), "label must carry loss counts: {label}");
+        }
+        // Grid order: resolution-major, combo-minor (608 is Detrac's
+        // native resolution, so those cells normalize to "native").
+        assert!(report.degraded_cells[0].contains("320"));
+        assert!(report.degraded_cells[3].contains("native"));
+    }
+
+    #[test]
+    fn faulted_generation_is_deterministic_across_threads() {
+        let corpus = DatasetPreset::Detrac.generate(48).slice(0, 2_000);
+        let yolo = SimYoloV4::new(9);
+        let w = Workload {
+            corpus: &corpus,
+            detector: &yolo,
+            class: ObjectClass::Car,
+            aggregate: Aggregate::Avg,
+            delta: 0.05,
+        };
+        let restrictions = RestrictionIndex::from_ground_truth(&corpus, &[ObjectClass::Person]);
+        let run = |threads: usize| {
+            ProfileGenerator::new(
+                &w,
+                &restrictions,
+                GeneratorConfig {
+                    seed: 3,
+                    threads,
+                    faults: Some(smokescreen_rt::fault::FaultPlan::new(11, 0.2)),
+                    ..GeneratorConfig::default()
+                },
+            )
+            .generate(&grid(), None)
+            .unwrap()
+        };
+        let (p1, r1) = run(1);
+        for threads in [2usize, 8] {
+            let (p, r) = run(threads);
+            assert_eq!(p1, p, "faulted profiles must be identical at {threads} threads");
+            assert_eq!(r1.model_runs, r.model_runs);
+            assert_eq!(r1.cache_hits, r.cache_hits);
+            assert_eq!(r1.model_time_ms, r.model_time_ms);
+            assert_eq!(r1.retries, r.retries);
+            assert_eq!(r1.faults_injected, r.faults_injected);
+            assert_eq!(r1.fault_time_ms, r.fault_time_ms);
+            assert_eq!(r1.frames_lost, r.frames_lost);
+            assert_eq!(r1.degraded_cells, r.degraded_cells);
+        }
+        assert!(r1.frames_lost > 0, "the plan must actually bite");
     }
 
     #[test]

@@ -75,6 +75,19 @@ impl<'a> Smokescreen<'a> {
         self
     }
 
+    /// Arms a seeded fault plan for chaos runs: model calls fault per the
+    /// plan, transient failures retry with deterministic backoff, and
+    /// lossy cells widen or quarantine per
+    /// [`GeneratorConfig::max_cell_loss`]. `None` restores the fault-free
+    /// production configuration.
+    pub fn with_fault_plan(
+        mut self,
+        plan: Option<smokescreen_rt::fault::FaultPlan>,
+    ) -> Self {
+        self.config.faults = plan;
+        self
+    }
+
     /// The workload view of this system.
     pub fn workload(&self) -> Workload<'_> {
         Workload {

@@ -10,6 +10,24 @@ use smokescreen_video::{Frame, ObjectClass, Resolution, VideoCorpus};
 use crate::intervention::InterventionSet;
 use crate::removal::RestrictionIndex;
 
+/// Outputs fetched over a sample range under fault injection.
+///
+/// Frames whose model calls failed permanently (timeout / retry budget
+/// exhausted) are *dropped, and counted*: `values` holds only the
+/// surviving outputs, in sample order, and `lost` says how many calls
+/// failed. Because fault decisions are functions of `(frame, resolution)`
+/// alone — independent of frame *content* — the survivors remain a
+/// uniform without-replacement sample of the population, so feeding them
+/// to the estimators keeps every bound sound (missing frames simply join
+/// the "not sampled" mass; see DESIGN.md).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RangeOutputs {
+    /// Surviving per-frame outputs, in sample order.
+    pub values: Vec<f64>,
+    /// Sampled frames in the range whose model calls failed permanently.
+    pub lost: usize,
+}
+
 /// A non-destructive degraded view of a corpus under an intervention set.
 ///
 /// Construction resolves the three paper knobs:
@@ -205,6 +223,44 @@ impl<'c> DegradedView<'c> {
             .map(|f| cache.count(f, res, class))
             .collect()
     }
+
+    /// Fault-tolerant twin of [`outputs_cached`](Self::outputs_cached):
+    /// frames whose model calls fail permanently are dropped and counted
+    /// instead of panicking the run.
+    pub fn try_outputs_cached(&self, cache: &OutputCache<'_>, class: ObjectClass) -> RangeOutputs {
+        self.try_outputs_cached_range(cache, class, 0..self.n)
+    }
+
+    /// Fault-tolerant twin of
+    /// [`outputs_cached_range`](Self::outputs_cached_range). On a cache
+    /// without a fault plan this returns exactly the infallible values
+    /// with `lost == 0`; under a plan, permanently failed calls are
+    /// dropped into `lost` while survivors keep their sample order.
+    pub fn try_outputs_cached_range(
+        &self,
+        cache: &OutputCache<'_>,
+        class: ObjectClass,
+        range: std::ops::Range<usize>,
+    ) -> RangeOutputs {
+        debug_assert!(
+            !self.rewrites_frames(),
+            "cached outputs with contrast rewrites would alias clean frames"
+        );
+        let res = self.resolution();
+        let end = range.end.min(self.n);
+        let start = range.start.min(end);
+        let mut out = RangeOutputs::default();
+        for &pos in &self.sampler.prefix(self.n)[start..end] {
+            let Some(frame) = self.corpus.frame(self.eligible[pos]) else {
+                continue;
+            };
+            match cache.try_count(frame, res, class) {
+                Ok(v) => out.values.push(v),
+                Err(_) => out.lost += 1,
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -368,6 +424,50 @@ mod tests {
         assert!(view
             .outputs_cached_range(&cache, ObjectClass::Car, view.len()..view.len() + 50)
             .is_empty());
+    }
+
+    #[test]
+    fn try_outputs_drop_and_count_failed_calls() {
+        use smokescreen_models::RetryPolicy;
+        use smokescreen_rt::fault::FaultPlan;
+
+        let (corpus, idx) = setup();
+        let yolo = SimYoloV4::new(4);
+        let view = DegradedView::new(&corpus, InterventionSet::sampling(0.2), &idx, 11).unwrap();
+
+        // Plan-less fallible path is byte-identical to the infallible one.
+        let clean_cache = OutputCache::new(&yolo);
+        let clean = view.try_outputs_cached(&clean_cache, ObjectClass::Car);
+        assert_eq!(clean.lost, 0);
+        assert_eq!(clean.values, view.outputs_cached(&clean_cache, ObjectClass::Car));
+
+        // Under a timeout-heavy plan, failures are dropped and counted and
+        // the survivors are the clean subsequence (payloads never corrupt).
+        let plan = FaultPlan::with_rates(17, 0.3, 0.0, 0.0, 0.0);
+        let cache = OutputCache::with_faults(&yolo, plan, RetryPolicy::default());
+        let chaotic = view.try_outputs_cached(&cache, ObjectClass::Car);
+        assert!(chaotic.lost > 0, "a 30% timeout plan must lose frames");
+        assert_eq!(chaotic.lost + chaotic.values.len(), view.len());
+        let mut remaining: &[f64] = &clean.values;
+        for v in &chaotic.values {
+            let at = remaining
+                .iter()
+                .position(|c| c == v)
+                .expect("survivor values must come from the clean sequence in order");
+            remaining = &remaining[at + 1..];
+        }
+
+        // Replays are exact, and chunked fetches agree with the full scan.
+        let replay = OutputCache::with_faults(&yolo, plan, RetryPolicy::default());
+        assert_eq!(view.try_outputs_cached(&replay, ObjectClass::Car), chaotic);
+        let mut chunked = RangeOutputs::default();
+        for start in (0..view.len()).step_by(61) {
+            let end = (start + 61).min(view.len());
+            let part = view.try_outputs_cached_range(&replay, ObjectClass::Car, start..end);
+            chunked.values.extend(part.values);
+            chunked.lost += part.lost;
+        }
+        assert_eq!(chunked, chaotic);
     }
 
     #[test]

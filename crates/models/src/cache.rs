@@ -22,14 +22,32 @@
 //!   sorted per-resolution run ledger rather than a float accumulator, so
 //!   it is bit-identical across thread counts and equals
 //!   `model_runs · T_model` exactly when one resolution is in play.
+//!
+//! # Fault injection
+//!
+//! A cache built with [`OutputCache::with_faults`] routes every cold
+//! model call through [`detect_with_retry`]: transient failures are
+//! retried under the deterministic backoff of a [`RetryPolicy`], timeouts
+//! and exhausted retries surface as typed [`ModelError`]s from
+//! [`try_detect`](OutputCache::try_detect), and a `CachePoison` fault
+//! marks the key uncacheable (its output is served but never stored, so
+//! every request re-runs the model — an evicting shard). Fault accounting
+//! follows the same schedule-independence rules as run accounting: for a
+//! key that ends up cached, only the thread whose insert wins accounts
+//! its retries/latency; for keys that are never cached (failures and
+//! poisoned keys) every call accounts itself, and the number of logical
+//! calls is fixed by the work, not the schedule. Simulated fault latency
+//! accumulates in integer microseconds, so sums are order-independent.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
+use smokescreen_rt::fault::FaultPlan;
 use smokescreen_rt::sync::{Mutex, RwLock};
 use smokescreen_video::{Frame, ObjectClass, Resolution};
 
-use crate::detector::{Detections, Detector};
+use crate::detector::{Detections, Detector, ModelResult};
+use crate::oracle::{detect_with_retry, RetryOutcome, RetryPolicy};
 
 /// Cache key: frame id × resolution (the detector is fixed per cache).
 type Key = (u64, Resolution);
@@ -48,8 +66,8 @@ fn shard_index(key: &Key) -> usize {
 
 /// A caching wrapper around a detector.
 ///
-/// Thread-safe and shard-locked; see the module docs for the concurrency
-/// and accounting contract.
+/// Thread-safe and shard-locked; see the module docs for the concurrency,
+/// accounting, and fault-injection contracts.
 pub struct OutputCache<'d> {
     detector: &'d dyn Detector,
     shards: Vec<RwLock<HashMap<Key, Detections>>>,
@@ -58,6 +76,15 @@ pub struct OutputCache<'d> {
     /// Distinct-key model runs per resolution, ordered so the derived
     /// model-time sum is deterministic.
     runs_by_resolution: Mutex<BTreeMap<Resolution, usize>>,
+    fault_plan: Option<FaultPlan>,
+    retry: RetryPolicy,
+    retries: AtomicUsize,
+    faults_injected: AtomicUsize,
+    failed_calls: AtomicUsize,
+    /// Simulated fault latency (backoff + slow responses) in integer
+    /// microseconds — integer adds commute, so the total is
+    /// schedule-independent.
+    fault_time_us: AtomicU64,
 }
 
 /// Invocation accounting.
@@ -69,17 +96,45 @@ pub struct Invocations {
     pub cache_hits: usize,
     /// Simulated total model time in milliseconds.
     pub model_time_ms: f64,
+    /// Retries spent clearing transient faults.
+    pub retries: usize,
+    /// Calls that encountered an injected fault of any kind.
+    pub faults_injected: usize,
+    /// Calls that failed permanently (timeout / retry budget exhausted).
+    pub failed_calls: usize,
+    /// Simulated fault latency (retry backoff + slow responses), ms.
+    pub fault_time_ms: f64,
 }
 
 impl<'d> OutputCache<'d> {
-    /// Wraps a detector.
+    /// Wraps a detector (no fault injection).
     pub fn new(detector: &'d dyn Detector) -> Self {
+        Self::with_fault_plan(detector, None, RetryPolicy::default())
+    }
+
+    /// Wraps a detector with a seeded fault plan and retry policy; the
+    /// chaos-run constructor.
+    pub fn with_faults(detector: &'d dyn Detector, plan: FaultPlan, retry: RetryPolicy) -> Self {
+        Self::with_fault_plan(detector, Some(plan), retry)
+    }
+
+    fn with_fault_plan(
+        detector: &'d dyn Detector,
+        fault_plan: Option<FaultPlan>,
+        retry: RetryPolicy,
+    ) -> Self {
         OutputCache {
             detector,
             shards: (0..SHARD_COUNT).map(|_| RwLock::new(HashMap::new())).collect(),
             model_runs: AtomicUsize::new(0),
             cache_hits: AtomicUsize::new(0),
             runs_by_resolution: Mutex::new(BTreeMap::new()),
+            fault_plan,
+            retry,
+            retries: AtomicUsize::new(0),
+            faults_injected: AtomicUsize::new(0),
+            failed_calls: AtomicUsize::new(0),
+            fault_time_us: AtomicU64::new(0),
         }
     }
 
@@ -88,34 +143,94 @@ impl<'d> OutputCache<'d> {
         self.detector
     }
 
-    /// Runs (or replays) the model on a frame at a resolution.
-    pub fn detect(&self, frame: &Frame, res: Resolution) -> Detections {
+    /// The fault plan in force, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Accounts one distinct-key model run at a resolution.
+    fn account_run(&self, res: Resolution) {
+        self.model_runs.fetch_add(1, Ordering::Relaxed);
+        *self.runs_by_resolution.lock().entry(res).or_insert(0) += 1;
+    }
+
+    /// Accounts the fault cost of one successful faulted call.
+    fn account_fault(&self, outcome: &RetryOutcome) {
+        self.faults_injected.fetch_add(1, Ordering::Relaxed);
+        self.retries
+            .fetch_add(outcome.retries as usize, Ordering::Relaxed);
+        let us = ((outcome.backoff_ms + outcome.slow_ms) * 1e3).round() as u64;
+        self.fault_time_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Runs (or replays) the model on a frame at a resolution, surfacing
+    /// injected faults as typed errors. Failed keys are never cached, so
+    /// a later call under a cleared plan (or a breaker probe) re-attempts
+    /// the model rather than replaying a poisoned result.
+    pub fn try_detect(&self, frame: &Frame, res: Resolution) -> ModelResult<Detections> {
         let key = (frame.id, res);
         let shard = &self.shards[shard_index(&key)];
         if let Some(hit) = shard.read().get(&key) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return hit.clone();
+            return Ok(hit.clone());
         }
         // Run the model outside the write lock so a slow inference never
         // blocks the shard. Detectors are deterministic per key, so a
         // racing duplicate computes the identical output.
-        let out = self.detector.detect(frame, res);
-        let mut entries = shard.write();
-        match entries.entry(key) {
-            std::collections::hash_map::Entry::Occupied(e) => {
-                // Lost a cold-key race: the winner's insert owns the model
-                // run; this call is accounted as a hit so totals stay
-                // independent of scheduling.
-                self.cache_hits.fetch_add(1, Ordering::Relaxed);
-                e.get().clone()
+        match detect_with_retry(self.detector, frame, res, self.fault_plan.as_ref(), &self.retry)
+        {
+            Ok(outcome) => {
+                if outcome.poisoned {
+                    // Poisoned shard: serve the output but never store it.
+                    // Every call to this key is real model work, so every
+                    // call accounts a run; the logical call count is fixed
+                    // by the work items, keeping totals replayable.
+                    self.account_run(res);
+                    self.account_fault(&outcome);
+                    return Ok(outcome.detections);
+                }
+                let mut entries = shard.write();
+                match entries.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        // Lost a cold-key race: the winner's insert owns
+                        // the model run (and any fault accounting); this
+                        // call is reclassified as a hit so totals stay
+                        // independent of scheduling.
+                        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        Ok(e.get().clone())
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        self.account_run(res);
+                        if outcome.retries > 0 || outcome.slow_ms > 0.0 {
+                            self.account_fault(&outcome);
+                        }
+                        v.insert(outcome.detections.clone());
+                        Ok(outcome.detections)
+                    }
+                }
             }
-            std::collections::hash_map::Entry::Vacant(v) => {
-                self.model_runs.fetch_add(1, Ordering::Relaxed);
-                *self.runs_by_resolution.lock().entry(res).or_insert(0) += 1;
-                v.insert(out.clone());
-                out
+            Err(e) => {
+                // Permanent failure: nothing to cache, so every logical
+                // call pays (and accounts) its full retry budget.
+                let retries = self.retry.max_attempts.max(1) - 1;
+                self.faults_injected.fetch_add(1, Ordering::Relaxed);
+                self.failed_calls.fetch_add(1, Ordering::Relaxed);
+                self.retries.fetch_add(retries as usize, Ordering::Relaxed);
+                let us = (self.retry.total_backoff_ms(retries) * 1e3).round() as u64;
+                self.fault_time_us.fetch_add(us, Ordering::Relaxed);
+                Err(e)
             }
         }
+    }
+
+    /// Runs (or replays) the model on a frame at a resolution. Infallible
+    /// companion of [`try_detect`](Self::try_detect) for fault-free
+    /// caches; panics if an injected fault surfaces, naming the fallible
+    /// entry point to use instead.
+    pub fn detect(&self, frame: &Frame, res: Resolution) -> Detections {
+        self.try_detect(frame, res).unwrap_or_else(|e| {
+            panic!("infallible OutputCache::detect hit an injected fault ({e}); chaos callers must use try_detect")
+        })
     }
 
     /// Count of a class, through the cache.
@@ -123,9 +238,21 @@ impl<'d> OutputCache<'d> {
         self.detect(frame, res).count(class) as f64
     }
 
+    /// Fallible count of a class, surfacing injected faults.
+    pub fn try_count(
+        &self,
+        frame: &Frame,
+        res: Resolution,
+        class: ObjectClass,
+    ) -> ModelResult<f64> {
+        Ok(self.try_detect(frame, res)?.count(class) as f64)
+    }
+
     /// Current accounting snapshot. `model_time_ms` is recomputed from the
     /// per-resolution ledger, so `model_time_ms = Σ runs(res) · cost(res)`
-    /// holds exactly at every snapshot.
+    /// holds exactly at every snapshot — including mid-chaos: poisoned
+    /// re-runs enter both sides of the identity, failed calls enter
+    /// neither.
     pub fn invocations(&self) -> Invocations {
         let model_time_ms = self
             .runs_by_resolution
@@ -137,6 +264,10 @@ impl<'d> OutputCache<'d> {
             model_runs: self.model_runs.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             model_time_ms,
+            retries: self.retries.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            failed_calls: self.failed_calls.load(Ordering::Relaxed),
+            fault_time_ms: self.fault_time_us.load(Ordering::Relaxed) as f64 / 1e3,
         }
     }
 
@@ -155,7 +286,9 @@ impl<'d> OutputCache<'d> {
 mod tests {
     use super::*;
     use crate::yolo::SimYoloV4;
+    use smokescreen_rt::pool::Pool;
     use smokescreen_video::synth::DatasetPreset;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
 
     #[test]
     fn caches_by_frame_and_resolution() {
@@ -175,6 +308,8 @@ mod tests {
         assert_eq!(inv.model_runs, 2);
         assert_eq!(inv.cache_hits, 1);
         assert!(inv.model_time_ms > 0.0);
+        assert_eq!(inv.retries, 0);
+        assert_eq!(inv.faults_injected, 0);
         assert_eq!(cache.len(), 2);
     }
 
@@ -232,6 +367,143 @@ mod tests {
             inv.model_time_ms,
             200.0 * smokescreen_models_cost(&yolo, res)
         );
+    }
+
+    #[test]
+    fn faulted_accounting_is_schedule_independent() {
+        // The chaos twin of the test above: under a fault plan, every
+        // accounting total (runs, hits+runs, retries, faults, failures,
+        // fault time) must be invariant across thread interleavings, and
+        // model_time_ms == runs · T_model must keep holding exactly.
+        let corpus = DatasetPreset::NightStreet.generate(9).slice(0, 300);
+        let yolo = SimYoloV4::new(10);
+        let res = Resolution::square(512);
+        let plan = FaultPlan::new(21, 0.3);
+        let run = |threads: usize| {
+            let cache = OutputCache::with_faults(&yolo, plan, RetryPolicy::default());
+            let frames: Vec<_> = corpus.frames().iter().collect();
+            let pool = Pool::with_threads(threads);
+            // Every frame requested 4 times: fixed logical call count.
+            let reps: Vec<usize> = (0..4 * frames.len()).collect();
+            let _: Vec<_> = pool.parallel_map(&reps, |_, &i| {
+                cache.try_detect(frames[i % frames.len()], res).ok()
+            });
+            cache.invocations()
+        };
+        let seq = run(1);
+        assert!(seq.faults_injected > 0, "plan must actually fire");
+        assert!(seq.failed_calls > 0);
+        assert!(seq.retries > 0);
+        assert!(seq.fault_time_ms > 0.0);
+        for threads in [2usize, 8] {
+            let par = run(threads);
+            assert_eq!(par, seq, "accounting diverged at {threads} threads");
+        }
+        assert_eq!(
+            seq.model_time_ms,
+            seq.model_runs as f64 * smokescreen_models_cost(&yolo, res)
+        );
+    }
+
+    #[test]
+    fn poisoned_keys_are_never_cached_but_stay_consistent() {
+        let corpus = DatasetPreset::Detrac.generate(5).slice(0, 400);
+        let yolo = SimYoloV4::new(11);
+        let res = Resolution::square(416);
+        // Poison-only plan: every faulted call succeeds but is uncacheable.
+        let plan = FaultPlan::with_rates(3, 0.0, 0.0, 0.0, 0.2);
+        let cache = OutputCache::with_faults(&yolo, plan, RetryPolicy::default());
+        for _ in 0..2 {
+            for f in corpus.frames() {
+                let got = cache.try_detect(f, res).expect("poison never fails calls");
+                assert_eq!(got, yolo.detect(f, res), "payloads are never corrupted");
+            }
+        }
+        let inv = cache.invocations();
+        assert!(inv.faults_injected > 0, "poison must fire");
+        assert_eq!(inv.failed_calls, 0);
+        // Poisoned keys re-ran on the second pass: strictly more runs than
+        // distinct cached keys, and the time identity still holds exactly.
+        assert!(inv.model_runs > cache.len());
+        assert_eq!(
+            inv.model_time_ms,
+            inv.model_runs as f64 * smokescreen_models_cost(&yolo, res)
+        );
+    }
+
+    #[test]
+    fn infallible_detect_panics_with_guidance_under_faults() {
+        let corpus = DatasetPreset::Detrac.generate(6).slice(0, 200);
+        let yolo = SimYoloV4::new(12);
+        let res = Resolution::square(320);
+        // Timeout-only plan: some call will fail permanently.
+        let plan = FaultPlan::with_rates(1, 0.5, 0.0, 0.0, 0.0);
+        let cache = OutputCache::with_faults(&yolo, plan, RetryPolicy::default());
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            for f in corpus.frames() {
+                let _ = cache.detect(f, res);
+            }
+        }));
+        std::panic::set_hook(hook);
+        let payload = outcome.expect_err("a 50% timeout plan must hit detect()");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("try_detect"), "panic must name the fallible API: {msg}");
+    }
+
+    #[test]
+    fn worker_death_leaves_shard_accounting_consistent() {
+        // Regression for the rt::pool worker-death path (companion to the
+        // pool's own panic-propagation proptests): a task that dies after
+        // partial cache writes must not corrupt shard accounting — the
+        // §5.3.1 identity model_time_ms == model_runs · T_model and
+        // runs == distinct cached keys must survive the panic, and the
+        // surviving entries must replay the exact detector outputs.
+        let corpus = DatasetPreset::NightStreet.generate(7).slice(0, 240);
+        let yolo = SimYoloV4::new(13);
+        let res = Resolution::square(512);
+        let cache = OutputCache::new(&yolo);
+        let pool = Pool::with_threads(4);
+        let tasks: Vec<usize> = (0..48).collect();
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            pool.parallel_map(&tasks, |_, &t| {
+                for i in 0..5 {
+                    let f = corpus.frame(t * 5 + i).unwrap();
+                    let _ = cache.detect(f, res);
+                    // Die mid-task after partial writes.
+                    if t == 17 && i == 2 {
+                        panic!("worker died after partial cache writes");
+                    }
+                }
+            })
+        }));
+        std::panic::set_hook(hook);
+        assert!(outcome.is_err(), "the injected worker death must propagate");
+
+        let inv = cache.invocations();
+        assert!(inv.model_runs > 0, "some writes must have landed");
+        assert_eq!(
+            inv.model_runs,
+            cache.len(),
+            "every accounted run must correspond to a cached key"
+        );
+        assert_eq!(
+            inv.model_time_ms,
+            inv.model_runs as f64 * smokescreen_models_cost(&yolo, res),
+            "model_time_ms == model_runs · T_model must survive worker death"
+        );
+        // The surviving shards serve correct payloads.
+        for i in 0..corpus.len() {
+            let f = corpus.frame(i).unwrap();
+            assert_eq!(cache.detect(f, res), yolo.detect(f, res));
+        }
+        assert_eq!(cache.invocations().model_runs, corpus.len());
     }
 
     /// Cost helper without importing the trait into every assert.

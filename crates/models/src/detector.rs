@@ -1,6 +1,80 @@
-//! The `Detector` trait and detection output types.
+//! The `Detector` trait, detection output types, and the typed failure
+//! taxonomy for model calls.
+
+use std::fmt;
 
 use smokescreen_video::{BBox, Frame, ObjectClass, Resolution};
+
+/// Typed failure taxonomy for model invocations.
+///
+/// Production detectors misbehave in distinguishable ways, and the layers
+/// above react differently to each: transient failures are retried,
+/// timeouts trip circuit breakers, unknown models are configuration
+/// errors. Simulated faults come from a seeded
+/// [`FaultPlan`](smokescreen_rt::fault::FaultPlan), so every error below
+/// is replayable bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The call hung past its deadline on every attempt — retries cannot
+    /// clear it.
+    Timeout {
+        /// Model name.
+        model: String,
+        /// Frame the call was processing.
+        frame_id: u64,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// The call kept failing transiently and the retry budget ran out.
+    TransientExhausted {
+        /// Model name.
+        model: String,
+        /// Frame the call was processing.
+        frame_id: u64,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// No detector is registered under this name.
+    UnknownModel(String),
+}
+
+impl ModelError {
+    /// Whether retrying the identical call could ever succeed (used by
+    /// callers deciding between retry and circuit-break).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ModelError::TransientExhausted { .. })
+    }
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Timeout {
+                model,
+                frame_id,
+                attempts,
+            } => write!(
+                f,
+                "model {model} timed out on frame {frame_id} after {attempts} attempt(s)"
+            ),
+            ModelError::TransientExhausted {
+                model,
+                frame_id,
+                attempts,
+            } => write!(
+                f,
+                "model {model} failed transiently on frame {frame_id}; retry budget of \
+                 {attempts} attempt(s) exhausted"
+            ),
+            ModelError::UnknownModel(name) => write!(f, "no detector registered as {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Result alias for fallible model calls.
+pub type ModelResult<T> = std::result::Result<T, ModelError>;
 
 /// One detected object.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +138,16 @@ pub trait Detector: Send + Sync {
     /// Runs the model on a frame rendered at `res`.
     fn detect(&self, frame: &Frame, res: Resolution) -> Detections;
 
+    /// Fallible model call. The simulators are pure functions and never
+    /// fail, so the default forwards to [`detect`](Self::detect); fault
+    /// injection happens at the invocation layer
+    /// ([`detect_with_retry`](crate::oracle::detect_with_retry) /
+    /// [`OutputCache`](crate::cache::OutputCache)), which surfaces this
+    /// taxonomy to callers.
+    fn try_detect(&self, frame: &Frame, res: Resolution) -> ModelResult<Detections> {
+        Ok(self.detect(frame, res))
+    }
+
     /// Convenience: count of a class at a resolution (the aggregate
     /// queries' per-frame output).
     fn count(&self, frame: &Frame, res: Resolution, class: ObjectClass) -> f64 {
@@ -99,5 +183,24 @@ mod tests {
         assert!(!d.contains(ObjectClass::Face));
         assert!(d.contains_any(&[ObjectClass::Face, ObjectClass::Car]));
         assert!(!Detections::default().contains_any(&[ObjectClass::Car]));
+    }
+
+    #[test]
+    fn model_error_taxonomy_classifies_retryability() {
+        let timeout = ModelError::Timeout {
+            model: "sim-yolov4".into(),
+            frame_id: 9,
+            attempts: 3,
+        };
+        let transient = ModelError::TransientExhausted {
+            model: "sim-yolov4".into(),
+            frame_id: 9,
+            attempts: 3,
+        };
+        assert!(!timeout.is_retryable());
+        assert!(transient.is_retryable());
+        assert!(!ModelError::UnknownModel("resnet".into()).is_retryable());
+        assert!(timeout.to_string().contains("timed out"));
+        assert!(transient.to_string().contains("retry budget"));
     }
 }

@@ -37,8 +37,9 @@ pub mod temporal;
 pub mod yolo;
 pub mod zoo;
 
-pub use cache::OutputCache;
-pub use detector::{Detection, Detections, Detector};
+pub use cache::{Invocations, OutputCache};
+pub use detector::{Detection, Detections, Detector, ModelError, ModelResult};
+pub use oracle::{call_key, detect_with_retry, RetryOutcome, RetryPolicy};
 pub use mask_rcnn::SimMaskRcnn;
 pub use mtcnn::SimMtcnn;
 pub use oracle::Oracle;

@@ -1,13 +1,156 @@
-//! The ground-truth oracle.
+//! The ground-truth oracle and the fault-tolerant invocation layer.
 //!
-//! Returns the synthetic annotations verbatim at any resolution. The paper
-//! treats model outputs at the highest resolution as ground truth; the
-//! oracle is the limiting case and is used by tests and by experiment
-//! harnesses that need the true `X_1 … X_N`.
+//! [`Oracle`] returns the synthetic annotations verbatim at any
+//! resolution. The paper treats model outputs at the highest resolution
+//! as ground truth; the oracle is the limiting case and is used by tests
+//! and by experiment harnesses that need the true `X_1 … X_N`.
+//!
+//! [`detect_with_retry`] is the oracle *path*: the single fault-aware
+//! entry point every model invocation funnels through. It consults an
+//! optional seeded [`FaultPlan`], retries transient failures with a
+//! deterministic exponential backoff ([`RetryPolicy`] — the backoff is
+//! *simulated* and accounted, never slept, so chaos runs stay fast and
+//! byte-reproducible), and surfaces permanent failures as the typed
+//! [`ModelError`] taxonomy instead of panicking or silently skipping
+//! frames.
 
+use smokescreen_rt::fault::{FaultKind, FaultPlan};
 use smokescreen_video::{Frame, Resolution};
 
-use crate::detector::{Detection, Detections, Detector};
+use crate::detector::{Detection, Detections, Detector, ModelError, ModelResult};
+
+/// Retry budget and deterministic backoff schedule for model calls.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per call (first try included). At least 1.
+    pub max_attempts: u32,
+    /// Simulated backoff before the first retry, ms.
+    pub base_backoff_ms: f64,
+    /// Multiplier applied per further retry (exponential backoff).
+    pub backoff_factor: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ms: 10.0,
+            backoff_factor: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Simulated backoff charged before retry number `retry` (1-based):
+    /// `base · factor^(retry − 1)` — the standard exponential schedule,
+    /// fully determined by the policy (no jitter, so replays are exact).
+    pub fn backoff_ms(&self, retry: u32) -> f64 {
+        debug_assert!(retry >= 1);
+        self.base_backoff_ms * self.backoff_factor.powi(retry as i32 - 1)
+    }
+
+    /// Total simulated backoff across `retries` consecutive retries.
+    pub fn total_backoff_ms(&self, retries: u32) -> f64 {
+        (1..=retries).map(|r| self.backoff_ms(r)).sum()
+    }
+}
+
+/// Outcome of a successful fault-aware model call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryOutcome {
+    /// The model output (identical to the fault-free output — faults
+    /// delay or drop calls, they never corrupt payloads).
+    pub detections: Detections,
+    /// Retries spent clearing transient faults (0 for a clean call).
+    pub retries: u32,
+    /// Simulated backoff time charged for those retries, ms.
+    pub backoff_ms: f64,
+    /// Extra simulated latency from a slow-response fault, ms.
+    pub slow_ms: f64,
+    /// Whether the result's cache shard is poisoned — the caller must
+    /// not cache this output.
+    pub poisoned: bool,
+}
+
+/// The stable 64-bit key identifying one `(frame, resolution)` model
+/// call for fault scheduling. Pure in its inputs, so every layer (cache,
+/// generation, tests) sees the same fault for the same logical call.
+pub fn call_key(frame_id: u64, res: Resolution) -> u64 {
+    frame_id ^ (u64::from(res.width) << 32) ^ (u64::from(res.height).rotate_left(16))
+}
+
+/// Runs a model call through the fault plan with retry-and-backoff.
+///
+/// * No plan, or no fault scheduled → one clean attempt.
+/// * `Transient` → attempts fail until the fault clears; if it clears
+///   within `policy.max_attempts` the call succeeds and reports its
+///   retries + simulated backoff, otherwise
+///   [`ModelError::TransientExhausted`].
+/// * `Timeout` → every attempt fails; [`ModelError::Timeout`] after
+///   `policy.max_attempts`.
+/// * `Slow` / `CachePoison` → success with the extra latency /
+///   poisoned flag reported.
+///
+/// Deterministic: the outcome is a pure function of
+/// `(detector, frame, res, plan, policy)` — thread count and timing
+/// never change it.
+pub fn detect_with_retry(
+    detector: &dyn Detector,
+    frame: &Frame,
+    res: Resolution,
+    plan: Option<&FaultPlan>,
+    policy: &RetryPolicy,
+) -> ModelResult<RetryOutcome> {
+    let fault = plan.and_then(|p| p.fault_for(call_key(frame.id, res)));
+    let max_attempts = policy.max_attempts.max(1);
+    match fault {
+        None => Ok(RetryOutcome {
+            detections: detector.try_detect(frame, res)?,
+            retries: 0,
+            backoff_ms: 0.0,
+            slow_ms: 0.0,
+            poisoned: false,
+        }),
+        Some(FaultKind::Slow { extra_ms }) => Ok(RetryOutcome {
+            detections: detector.try_detect(frame, res)?,
+            retries: 0,
+            backoff_ms: 0.0,
+            slow_ms: f64::from(extra_ms),
+            poisoned: false,
+        }),
+        Some(FaultKind::CachePoison) => Ok(RetryOutcome {
+            detections: detector.try_detect(frame, res)?,
+            retries: 0,
+            backoff_ms: 0.0,
+            slow_ms: 0.0,
+            poisoned: true,
+        }),
+        Some(FaultKind::Transient { clears_after }) => {
+            if clears_after < max_attempts {
+                // Attempts 0..clears_after fail, each failure buys one
+                // backoff step; the clearing attempt succeeds.
+                Ok(RetryOutcome {
+                    detections: detector.try_detect(frame, res)?,
+                    retries: clears_after,
+                    backoff_ms: policy.total_backoff_ms(clears_after),
+                    slow_ms: 0.0,
+                    poisoned: false,
+                })
+            } else {
+                Err(ModelError::TransientExhausted {
+                    model: detector.name().to_string(),
+                    frame_id: frame.id,
+                    attempts: max_attempts,
+                })
+            }
+        }
+        Some(FaultKind::Timeout) => Err(ModelError::Timeout {
+            model: detector.name().to_string(),
+            frame_id: frame.id,
+            attempts: max_attempts,
+        }),
+    }
+}
 
 /// Perfect detector.
 #[derive(Debug, Clone, Copy, Default)]
@@ -51,6 +194,76 @@ mod tests {
     use super::*;
     use smokescreen_video::synth::DatasetPreset;
     use smokescreen_video::ObjectClass;
+
+    #[test]
+    fn backoff_schedule_is_exponential_and_deterministic() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.backoff_ms(1), 10.0);
+        assert_eq!(policy.backoff_ms(2), 20.0);
+        assert_eq!(policy.backoff_ms(3), 40.0);
+        assert_eq!(policy.total_backoff_ms(3), 70.0);
+        assert_eq!(policy.total_backoff_ms(0), 0.0);
+    }
+
+    #[test]
+    fn retry_outcomes_replay_exactly_per_fault_kind() {
+        let corpus = DatasetPreset::Detrac.generate(6).slice(0, 3_000);
+        let o = Oracle;
+        let res = Resolution::square(416);
+        let plan = FaultPlan::new(13, 0.5);
+        let policy = RetryPolicy::default();
+        let (mut clean, mut retried, mut slow, mut poisoned, mut timeout, mut exhausted) =
+            (0u32, 0u32, 0u32, 0u32, 0u32, 0u32);
+        for f in corpus.frames() {
+            let a = detect_with_retry(&o, f, res, Some(&plan), &policy);
+            let b = detect_with_retry(&o, f, res, Some(&plan), &policy);
+            assert_eq!(a, b, "fault outcomes must be pure in (plan, key)");
+            match a {
+                Ok(out) => {
+                    // Faults never corrupt payloads.
+                    assert_eq!(out.detections, o.detect(f, res));
+                    if out.retries > 0 {
+                        assert_eq!(out.backoff_ms, policy.total_backoff_ms(out.retries));
+                        retried += 1;
+                    } else if out.slow_ms > 0.0 {
+                        slow += 1;
+                    } else if out.poisoned {
+                        poisoned += 1;
+                    } else {
+                        clean += 1;
+                    }
+                }
+                Err(ModelError::Timeout { attempts, .. }) => {
+                    assert_eq!(attempts, policy.max_attempts);
+                    timeout += 1;
+                }
+                Err(ModelError::TransientExhausted { attempts, .. }) => {
+                    assert_eq!(attempts, policy.max_attempts);
+                    exhausted += 1;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(
+            clean > 0 && retried > 0 && slow > 0 && poisoned > 0 && timeout > 0 && exhausted > 0,
+            "all paths must be exercised: clean={clean} retried={retried} slow={slow} \
+             poisoned={poisoned} timeout={timeout} exhausted={exhausted}"
+        );
+    }
+
+    #[test]
+    fn no_plan_means_no_faults() {
+        let corpus = DatasetPreset::Detrac.generate(7).slice(0, 200);
+        let o = Oracle;
+        let res = Resolution::square(320);
+        for f in corpus.frames() {
+            let out = detect_with_retry(&o, f, res, None, &RetryPolicy::default()).unwrap();
+            assert_eq!(out.retries, 0);
+            assert_eq!(out.slow_ms, 0.0);
+            assert!(!out.poisoned);
+            assert_eq!(out.detections, o.detect(f, res));
+        }
+    }
 
     #[test]
     fn oracle_matches_ground_truth_everywhere() {

@@ -5,7 +5,7 @@
 //! to its query processor.
 
 use crate::blob::BlobDetector;
-use crate::detector::Detector;
+use crate::detector::{Detector, ModelError, ModelResult};
 use crate::mask_rcnn::SimMaskRcnn;
 use crate::mtcnn::SimMtcnn;
 use crate::oracle::Oracle;
@@ -17,13 +17,20 @@ use crate::yolo::SimYoloV4;
 /// (aliases `mask-rcnn`, `maskrcnn`), `sim-mtcnn` (`mtcnn`), `blob`,
 /// `oracle`. The seed parameterizes the simulated weights.
 pub fn by_name(name: &str, seed: u64) -> Option<Box<dyn Detector>> {
+    resolve(name, seed).ok()
+}
+
+/// Instantiates a built-in detector by name, reporting a typed
+/// [`ModelError::UnknownModel`] for unregistered names so query planners
+/// can surface a configuration error instead of a bare `None`.
+pub fn resolve(name: &str, seed: u64) -> ModelResult<Box<dyn Detector>> {
     match name.to_ascii_lowercase().as_str() {
-        "sim-yolov4" | "yolo" | "yolov4" => Some(Box::new(SimYoloV4::new(seed))),
-        "sim-mask-rcnn" | "mask-rcnn" | "maskrcnn" => Some(Box::new(SimMaskRcnn::new(seed))),
-        "sim-mtcnn" | "mtcnn" => Some(Box::new(SimMtcnn::new(seed))),
-        "blob" => Some(Box::new(BlobDetector::default())),
-        "oracle" => Some(Box::new(Oracle)),
-        _ => None,
+        "sim-yolov4" | "yolo" | "yolov4" => Ok(Box::new(SimYoloV4::new(seed))),
+        "sim-mask-rcnn" | "mask-rcnn" | "maskrcnn" => Ok(Box::new(SimMaskRcnn::new(seed))),
+        "sim-mtcnn" | "mtcnn" => Ok(Box::new(SimMtcnn::new(seed))),
+        "blob" => Ok(Box::new(BlobDetector::default())),
+        "oracle" => Ok(Box::new(Oracle)),
+        other => Err(ModelError::UnknownModel(other.to_string())),
     }
 }
 
@@ -43,5 +50,14 @@ mod tests {
         }
         assert!(by_name("YOLO", 1).is_some());
         assert!(by_name("resnet", 1).is_none());
+    }
+
+    #[test]
+    fn resolve_reports_unknown_models_as_typed_errors() {
+        assert!(resolve("oracle", 0).is_ok());
+        match resolve("resnet", 0).map(|_| ()) {
+            Err(ModelError::UnknownModel(name)) => assert_eq!(name, "resnet"),
+            other => panic!("expected UnknownModel, got {other:?}"),
+        }
     }
 }

@@ -1,0 +1,269 @@
+//! Deterministic fault injection — seeded chaos for the model substrate.
+//!
+//! In production, detectors time out, workers die mid-cell, and cache
+//! shards get poisoned by partial writes. The paper's error bounds are
+//! only trustworthy if the system stays *sound* under such failures, so
+//! the workspace injects them on purpose — but, like every other
+//! stochastic component here, deterministically: a [`FaultPlan`] is a
+//! pure function from a 64-bit call key to a fault decision, derived from
+//! a seeded xoshiro256\*\* stream ([`crate::rng::StdRng`]). Two runs with
+//! the same plan observe byte-identical fault schedules regardless of
+//! thread count or interleaving, which is what makes chaos runs
+//! replayable bit-for-bit and lets the determinism suite compare 1-, 2-,
+//! and 8-worker profiles under injected failures.
+//!
+//! The plan schedules four failure modes:
+//!
+//! * **Timeout** — the call fails on every attempt; retries cannot save
+//!   it (a hung detector process).
+//! * **Transient** — the call fails for a deterministic number of
+//!   attempts, then succeeds (a briefly overloaded worker). Retry with
+//!   backoff clears it.
+//! * **Slow** — the call succeeds but costs deterministic extra
+//!   simulated latency (a degraded accelerator).
+//! * **CachePoison** — the call succeeds but its cache shard is poisoned:
+//!   the output must never be stored, so every future request re-runs the
+//!   model (an evicting / corrupted shard).
+//!
+//! Replay recipe: set `SMOKESCREEN_FAULT_SEED` and
+//! `SMOKESCREEN_FAULT_RATE` and build the plan with
+//! [`FaultPlan::from_env`]; any failure observed in a chaos run can then
+//! be replayed exactly.
+
+use crate::rng::StdRng;
+
+/// Environment variable carrying the fault-plan seed (decimal `u64`).
+pub const FAULT_SEED_ENV: &str = "SMOKESCREEN_FAULT_SEED";
+
+/// Environment variable carrying the total fault rate in `[0, 1]`.
+pub const FAULT_RATE_ENV: &str = "SMOKESCREEN_FAULT_RATE";
+
+/// One scheduled fault for a model call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fails on every attempt; only a circuit breaker stops the bleeding.
+    Timeout,
+    /// Fails until the given 1-based attempt succeeds (attempt indices
+    /// `0..clears_after` fail, attempt `clears_after` succeeds).
+    Transient {
+        /// Number of failed attempts before the call clears.
+        clears_after: u32,
+    },
+    /// Succeeds, but the response costs this much extra simulated
+    /// latency in milliseconds.
+    Slow {
+        /// Extra simulated latency, ms.
+        extra_ms: u32,
+    },
+    /// Succeeds, but the result's cache shard is poisoned: the output
+    /// must not be cached, so every request for this key re-runs the
+    /// model.
+    CachePoison,
+}
+
+/// A seeded, replayable fault schedule.
+///
+/// The plan is plain data (`Copy`): decisions are *pure functions* of
+/// `(plan, call key)`, never of shared mutable state, so any thread can
+/// evaluate them in any order and observe the identical schedule. The
+/// per-key decision stream is xoshiro256\*\* seeded from a SplitMix-style
+/// avalanche of the plan seed and the key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Probability a call hangs (fails every attempt).
+    pub timeout_rate: f64,
+    /// Probability a call fails transiently (cleared by retries).
+    pub transient_rate: f64,
+    /// Probability a call is slow (succeeds with extra latency).
+    pub slow_rate: f64,
+    /// Probability a call's cache shard is poisoned (uncacheable).
+    pub poison_rate: f64,
+}
+
+impl FaultPlan {
+    /// A plan splitting `rate` over the four failure modes with the
+    /// default chaos mix: 40% transient, 25% timeout, 20% slow, 15%
+    /// cache poisoning. `rate` is clamped to `[0, 1]`.
+    pub fn new(seed: u64, rate: f64) -> Self {
+        let rate = rate.clamp(0.0, 1.0);
+        FaultPlan {
+            seed,
+            timeout_rate: 0.25 * rate,
+            transient_rate: 0.40 * rate,
+            slow_rate: 0.20 * rate,
+            poison_rate: 0.15 * rate,
+        }
+    }
+
+    /// A plan with explicit per-mode rates (each clamped to `[0, 1]`;
+    /// their sum is treated as the total fault probability and should not
+    /// exceed 1).
+    pub fn with_rates(
+        seed: u64,
+        timeout_rate: f64,
+        transient_rate: f64,
+        slow_rate: f64,
+        poison_rate: f64,
+    ) -> Self {
+        FaultPlan {
+            seed,
+            timeout_rate: timeout_rate.clamp(0.0, 1.0),
+            transient_rate: transient_rate.clamp(0.0, 1.0),
+            slow_rate: slow_rate.clamp(0.0, 1.0),
+            poison_rate: poison_rate.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Builds a plan from `SMOKESCREEN_FAULT_SEED` /
+    /// `SMOKESCREEN_FAULT_RATE`. Returns `None` when the rate is unset,
+    /// unparsable, or zero — the faults-disabled configuration.
+    pub fn from_env() -> Option<Self> {
+        let rate: f64 = std::env::var(FAULT_RATE_ENV).ok()?.parse().ok()?;
+        if !(rate > 0.0) {
+            return None;
+        }
+        let seed: u64 = std::env::var(FAULT_SEED_ENV)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        Some(FaultPlan::new(seed, rate))
+    }
+
+    /// The plan seed (for replay reporting).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Total probability that a call faults at all.
+    pub fn total_rate(&self) -> f64 {
+        self.timeout_rate + self.transient_rate + self.slow_rate + self.poison_rate
+    }
+
+    /// The fault scheduled for a call key, or `None` for a clean call.
+    ///
+    /// Pure in `(self, key)`: the same plan and key always return the
+    /// same decision, on any thread, in any order.
+    pub fn fault_for(&self, key: u64) -> Option<FaultKind> {
+        if self.total_rate() <= 0.0 {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(mix(self.seed, key));
+        let u = rng.gen_f64();
+        let mut edge = self.timeout_rate;
+        if u < edge {
+            return Some(FaultKind::Timeout);
+        }
+        edge += self.transient_rate;
+        if u < edge {
+            // 1–3 failed attempts before clearing: within the default
+            // retry budget sometimes, beyond it sometimes, so both the
+            // retry-success and retry-exhausted paths get exercised.
+            return Some(FaultKind::Transient {
+                clears_after: rng.gen_range(1u32..=3),
+            });
+        }
+        edge += self.slow_rate;
+        if u < edge {
+            return Some(FaultKind::Slow {
+                extra_ms: rng.gen_range(5u32..=250),
+            });
+        }
+        edge += self.poison_rate;
+        if u < edge {
+            return Some(FaultKind::CachePoison);
+        }
+        None
+    }
+}
+
+/// Avalanches `(seed, key)` into one well-mixed 64-bit stream seed
+/// (SplitMix64 finalizer over both words).
+fn mix(seed: u64, key: u64) -> u64 {
+    let mut x = seed ^ key.rotate_left(32) ^ 0x9E37_79B9_7F4A_7C15;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_pure_and_seed_sensitive() {
+        let plan = FaultPlan::new(7, 0.3);
+        let other = FaultPlan::new(8, 0.3);
+        let a: Vec<Option<FaultKind>> = (0..4_000).map(|k| plan.fault_for(k)).collect();
+        let b: Vec<Option<FaultKind>> = (0..4_000).map(|k| plan.fault_for(k)).collect();
+        assert_eq!(a, b, "same plan must replay the same schedule");
+        let c: Vec<Option<FaultKind>> = (0..4_000).map(|k| other.fault_for(k)).collect();
+        assert_ne!(a, c, "different seeds must schedule differently");
+    }
+
+    #[test]
+    fn decisions_are_order_and_thread_independent() {
+        let plan = FaultPlan::new(3, 0.25);
+        let forward: Vec<Option<FaultKind>> = (0..1_000).map(|k| plan.fault_for(k)).collect();
+        let mut backward: Vec<Option<FaultKind>> =
+            (0..1_000).rev().map(|k| plan.fault_for(k)).collect();
+        backward.reverse();
+        assert_eq!(forward, backward);
+        let threaded: Vec<Option<FaultKind>> = crate::pool::Pool::with_threads(8)
+            .parallel_map(&(0..1_000u64).collect::<Vec<_>>(), |_, &k| plan.fault_for(k));
+        assert_eq!(forward, threaded);
+    }
+
+    #[test]
+    fn fault_frequency_tracks_rate() {
+        for &rate in &[0.0, 0.05, 0.2, 0.5] {
+            let plan = FaultPlan::new(11, rate);
+            let n = 20_000u64;
+            let faults = (0..n).filter(|&k| plan.fault_for(k).is_some()).count();
+            let observed = faults as f64 / n as f64;
+            assert!(
+                (observed - rate).abs() < 0.02,
+                "rate={rate} observed={observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_fault_kinds_appear_at_moderate_rates() {
+        let plan = FaultPlan::new(5, 0.4);
+        let (mut timeout, mut transient, mut slow, mut poison) = (0, 0, 0, 0);
+        for k in 0..10_000 {
+            match plan.fault_for(k) {
+                Some(FaultKind::Timeout) => timeout += 1,
+                Some(FaultKind::Transient { clears_after }) => {
+                    assert!((1..=3).contains(&clears_after));
+                    transient += 1;
+                }
+                Some(FaultKind::Slow { extra_ms }) => {
+                    assert!((5..=250).contains(&extra_ms));
+                    slow += 1;
+                }
+                Some(FaultKind::CachePoison) => poison += 1,
+                None => {}
+            }
+        }
+        assert!(timeout > 0 && transient > 0 && slow > 0 && poison > 0);
+        assert!(transient > timeout, "default mix is transient-heavy");
+    }
+
+    #[test]
+    fn zero_rate_plan_is_silent() {
+        let plan = FaultPlan::new(1, 0.0);
+        assert!((0..5_000).all(|k| plan.fault_for(k).is_none()));
+        assert_eq!(plan.total_rate(), 0.0);
+    }
+
+    #[test]
+    fn env_round_trip() {
+        // from_env is documented to return None when the rate variable is
+        // missing; exercised here without mutating process env (other
+        // tests run concurrently), by checking the parse contract alone.
+        assert!(FaultPlan::new(0, 2.0).total_rate() <= 1.0 + 1e-12);
+        assert_eq!(FaultPlan::new(9, 0.3), FaultPlan::new(9, 0.3));
+    }
+}

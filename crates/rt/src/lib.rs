@@ -14,6 +14,7 @@
 //! | [`pool`]      | `rayon` (subset)        | scoped, deterministic `parallel_map`/`scope` thread pool |
 //! | [`proptest`]  | `proptest`              | seeded case generation, replay via printed seed, no shrinking |
 //! | [`bench`]     | `criterion`             | warm-up + min/mean timer under the libtest harness |
+//! | [`fault`]     | — (new subsystem)       | seeded, replayable fault schedules for chaos testing |
 //!
 //! Determinism is a hard requirement here, not a convenience: the paper's
 //! bound-validity experiments (PAPER.md §4–5) are only checkable if every
@@ -25,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod fault;
 pub mod json;
 pub mod pool;
 pub mod proptest;

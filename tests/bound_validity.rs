@@ -160,6 +160,83 @@ fn hypergeometric_rank_bound_never_violated_across_night_street_scenes() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Chaos: bound validity under injected model faults.
+//
+// Fault decisions are pure functions of (frame id, resolution) — never of
+// frame content — so dropping permanently-failed frames leaves the
+// survivors a uniform without-replacement sample and the bounds, computed
+// over the smaller surviving n, must stay valid. These tests check that
+// at the ISSUE's 5% and 20% fault rates: nominal coverage at δ = 0.05,
+// and zero violations at the stringent δ = 1e-6 (where any exceedance
+// indicates broken math, not bad luck).
+
+fn faulted_coverage(aggregate: Aggregate, fault_rate: f64, delta: f64) -> (f64, usize) {
+    use smokescreen::models::{OutputCache, RetryPolicy};
+    use smokescreen_rt::fault::FaultPlan;
+
+    let corpus = DatasetPreset::Detrac.generate(3).slice(0, 5_000);
+    let yolo = SimYoloV4::new(3);
+    let workload = Workload {
+        corpus: &corpus,
+        detector: &yolo,
+        class: ObjectClass::Car,
+        aggregate,
+        delta,
+    };
+    let restrictions =
+        RestrictionIndex::from_ground_truth(&corpus, &[ObjectClass::Person, ObjectClass::Face]);
+    let population = workload.population_outputs();
+    let set = InterventionSet::sampling(0.03);
+
+    let mut covered = 0usize;
+    let mut total_lost = 0usize;
+    for t in 0..TRIALS {
+        let plan = FaultPlan::new(0xc4a0 ^ t as u64, fault_rate);
+        let cache = OutputCache::with_faults(&yolo, plan, RetryPolicy::default());
+        let est =
+            result_error_est(&workload, &restrictions, &set, t as u64, Some(&cache)).unwrap();
+        let requested = (0.03f64 * corpus.len() as f64).round() as usize;
+        assert!(est.n() <= requested);
+        total_lost += requested - est.n();
+        if true_relative_error(aggregate, &est, &population) <= est.err_b() {
+            covered += 1;
+        }
+    }
+    (covered as f64 / TRIALS as f64, total_lost)
+}
+
+#[test]
+fn bounds_cover_under_injected_faults() {
+    for rate in [0.05, 0.20] {
+        for aggregate in [Aggregate::Avg, Aggregate::Max { r: 0.99 }] {
+            let (c, lost) = faulted_coverage(aggregate, rate, DELTA);
+            assert!(lost > 0, "rate {rate} must actually lose frames");
+            assert!(
+                c >= 1.0 - DELTA - 0.05,
+                "{} coverage {c} below nominal at fault rate {rate}",
+                aggregate.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn bounds_never_violated_under_injected_faults_at_strict_delta() {
+    for rate in [0.05, 0.20] {
+        for aggregate in [Aggregate::Avg, Aggregate::Max { r: 0.99 }] {
+            let (c, lost) = faulted_coverage(aggregate, rate, STRICT_DELTA);
+            assert!(lost > 0, "rate {rate} must actually lose frames");
+            assert!(
+                c == 1.0,
+                "{} violated a δ=1e-6 bound at fault rate {rate} (coverage {c}): \
+                 survivor-widening is unsound",
+                aggregate.name()
+            );
+        }
+    }
+}
+
 #[test]
 fn unrepaired_bounds_fail_under_strong_bias() {
     // The negative control: without repair, heavy resolution degradation
