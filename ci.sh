@@ -17,9 +17,13 @@
 # fault injection (seeded FaultPlan via SMOKESCREEN_FAULT_SEED /
 # SMOKESCREEN_FAULT_RATE) at rates 0 and 0.05 × 1 and 8 workers: rate 0
 # proves the fault machinery is byte-invisible, rate 0.05 proves chaos
-# runs replay bit-for-bit across schedules. The golden re-diff at the
-# bottom runs with faults explicitly disabled, pinning the fault-free
-# fig4 CSVs to the committed snapshots.
+# runs replay bit-for-bit across schedules. The crash-resume matrix does
+# the same for process deaths: a seeded CrashPlan kills generation at
+# deterministic journal commits and the resumed profiles must byte-equal
+# their pinned goldens at every kill point × thread count × fault rate.
+# The golden re-diff at the bottom runs with faults disabled and the
+# checkpoint directory explicitly unset, pinning the fault-free,
+# checkpoint-free fig4 CSVs to the committed snapshots.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -44,6 +48,27 @@ for rate in 0 0.05; do
   done
 done
 
+echo "=== crash-resume matrix: kill points {1, 3} x threads {1, 8} x fault rates {0, 0.05} ==="
+# Crash-consistent checkpointing: a seeded CrashPlan kills generation at
+# deterministic journal commits (seed 1 tears a record mid-append, seed 3
+# dies after three separate durable appends); the suite reruns until the
+# profile completes and asserts the resumed bytes equal the uninterrupted
+# run — which itself is pinned to tests/golden/crash_resume_rate*.json.
+# Every combination below must land on the same two goldens: the profile
+# may not depend on the kill point, the thread count, or how many times
+# the process died on the way.
+for crash_seed in 1 3; do
+  for threads in 1 8; do
+    for rate in 0 0.05; do
+      echo "--- crash-resume @ seed=$crash_seed threads=$threads fault_rate=$rate ---"
+      SMOKESCREEN_CRASH_SEED=$crash_seed SMOKESCREEN_CRASH_RATE=0.5 \
+        SMOKESCREEN_FAULT_SEED=42 SMOKESCREEN_FAULT_RATE=$rate \
+        SMOKESCREEN_THREADS=$threads \
+        cargo test -q --offline --test crash_resume
+    done
+  done
+done
+
 echo "=== estimator kernels: batch vs incremental sweep ==="
 # Smoke-runs the incremental-kernel bench: asserts the ≥3× estimation
 # speedup on quantile-heavy sweeps and that the kernel path is
@@ -63,8 +88,10 @@ echo "=== golden re-diff: fig4 CSVs vs committed snapshots (faults disabled) ===
 # regenerate fig4 at the pinned golden configuration (seed 42, quick,
 # faults explicitly disabled) and diff against the committed goldens
 # directly — the chaos machinery must leave the fault-free path
-# untouched.
-SMOKESCREEN_FAULT_RATE=0 \
+# untouched. SMOKESCREEN_CHECKPOINT_DIR is explicitly unset: with no
+# checkpoint directory the journaling machinery must be byte-invisible,
+# so this diff doubles as the checkpoint-inertness proof.
+env -u SMOKESCREEN_CHECKPOINT_DIR SMOKESCREEN_FAULT_RATE=0 \
   ./target/release/repro fig4 --quick --seed 42 --threads 8 --out "$tmpdir/golden" >/dev/null
 for f in tests/golden/fig4_*.csv; do
   diff "$f" "$tmpdir/golden/$(basename "$f")"

@@ -2,9 +2,16 @@
 //!
 //! ```text
 //! repro <experiment>... [--trials N] [--quick] [--out DIR] [--threads N]
+//!                       [--resume DIR]
 //! repro all
 //! repro list
 //! ```
+//!
+//! `--resume DIR` arms crash-consistent checkpointing: profile generation
+//! journals each completed cell under DIR and a rerun after an
+//! interruption resumes from the journal, recomputing only missing cells
+//! — with byte-identical profile output (only the `cells_resumed`
+//! bookkeeping row records that a splice happened).
 //!
 //! Each experiment prints aligned tables to stdout and writes CSVs under
 //! the output directory (default `bench_results/`). Experiments fan out
@@ -19,6 +26,7 @@ use std::time::Instant;
 use smokescreen_bench::figures::{all_experiments, by_id};
 use smokescreen_bench::table::{results_dir, Table};
 use smokescreen_bench::RunConfig;
+use smokescreen_rt::journal::CHECKPOINT_DIR_ENV;
 use smokescreen_rt::pool::{Pool, THREADS_ENV};
 
 fn main() -> ExitCode {
@@ -81,6 +89,21 @@ fn main() -> ExitCode {
                     Some(n) if n > 0 => std::env::set_var(THREADS_ENV, n.to_string()),
                     _ => {
                         eprintln!("--threads expects a positive integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--resume" => {
+                i += 1;
+                match args.get(i) {
+                    // Experiments arm checkpointing from the env var (the
+                    // same pattern as --threads); still single-threaded
+                    // here, so the set is race-free.
+                    Some(dir) if !dir.is_empty() => {
+                        std::env::set_var(CHECKPOINT_DIR_ENV, dir)
+                    }
+                    _ => {
+                        eprintln!("--resume expects a checkpoint directory");
                         return ExitCode::FAILURE;
                     }
                 }

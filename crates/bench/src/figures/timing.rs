@@ -12,6 +12,7 @@
 use smokescreen_core::{Aggregate, GeneratorConfig, ProfileGenerator};
 use smokescreen_degrade::CandidateGrid;
 use smokescreen_rt::fault::FaultPlan;
+use smokescreen_rt::journal::checkpoint_dir_from_env;
 use smokescreen_video::synth::DatasetPreset;
 
 use crate::figures::Experiment;
@@ -52,6 +53,10 @@ impl Experiment for Timing {
                 // injection; unset (the default, and the golden
                 // configuration) runs fault-free.
                 faults: FaultPlan::from_env(),
+                // Crash-consistent checkpointing (repro --resume DIR or
+                // SMOKESCREEN_CHECKPOINT_DIR): journals each completed
+                // cell; a rerun resumes with byte-identical output.
+                checkpoint: checkpoint_dir_from_env(),
                 ..GeneratorConfig::default()
             },
         );
@@ -100,6 +105,21 @@ impl Experiment for Timing {
             "degraded_cells".into(),
             report.degraded_cells.len().to_string(),
         ]);
+        // Checkpoint accounting: all zero without --resume; with it they
+        // record how much of the run was spliced from the journal and the
+        // journal's (deterministic) on-disk footprint.
+        table.push_row(vec![
+            "cells_resumed".into(),
+            report.cells_resumed.to_string(),
+        ]);
+        table.push_row(vec![
+            "journal_bytes".into(),
+            report.journal_bytes.to_string(),
+        ]);
+        table.push_row(vec![
+            "journal_corrupt_records".into(),
+            report.journal_corrupt_records.to_string(),
+        ]);
         vec![table]
     }
 }
@@ -145,6 +165,10 @@ mod tests {
         // Fault-free run: no retry work, no quarantined cells.
         assert_eq!(get("retries"), 0.0);
         assert_eq!(get("degraded_cells"), 0.0);
+        // No checkpoint dir in the test environment: the feature is inert.
+        assert_eq!(get("cells_resumed"), 0.0);
+        assert_eq!(get("journal_bytes"), 0.0);
+        assert_eq!(get("journal_corrupt_records"), 0.0);
     }
 
     #[test]

@@ -39,6 +39,18 @@ pub enum CoreError {
     NoFeasibleTradeoff,
     /// Profile (de)serialization failed.
     Serialization(String),
+    /// The checkpoint journal could not be created, read, or appended to.
+    /// Durability problems are loud: generation refuses to continue
+    /// without the durability the operator asked for.
+    Checkpoint(String),
+    /// A seeded [`CrashPlan`](smokescreen_rt::fault::CrashPlan) killed
+    /// generation at this cell's journal commit. Only ever produced by
+    /// chaos runs; the caller resumes by invoking generation again with
+    /// the same checkpoint directory.
+    CrashInjected {
+        /// Grid-order index of the cell whose commit the crash hit.
+        cell: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -62,6 +74,10 @@ impl fmt::Display for CoreError {
                 write!(f, "no intervention candidate satisfies the preferences")
             }
             CoreError::Serialization(msg) => write!(f, "profile serialization: {msg}"),
+            CoreError::Checkpoint(msg) => write!(f, "checkpoint journal: {msg}"),
+            CoreError::CrashInjected { cell } => {
+                write!(f, "injected crash at cell {cell}'s journal commit")
+            }
         }
     }
 }

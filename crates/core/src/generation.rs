@@ -53,13 +53,57 @@
 //! points are withheld and the cell is reported in
 //! [`GenerationReport::degraded_cells`] — degraded work is never silently
 //! dropped.
+//!
+//! # Checkpoint/resume durability
+//!
+//! With [`GeneratorConfig::checkpoint`] set (or `SMOKESCREEN_CHECKPOINT_DIR`
+//! in the environment, wired up by callers), every completed cell is
+//! committed to an append-only [`rt::journal`](smokescreen_rt::journal)
+//! before generation moves past it, and a restarted run splices the
+//! journaled cells back in, recomputing only the missing ones. The
+//! resumed profile is **bit-identical to an uninterrupted run** because a
+//! cell's points are pure functions of `(workload, grid, seed, fault
+//! plan)` — nothing a cell computes depends on which process computed it,
+//! and the journal stores the cell's full output verbatim.
+//!
+//! Cells complete in arbitrary order under concurrency, but the journal
+//! must describe a *schedule-independent* prefix, so commits are
+//! serialized in **grid order**: a dedicated committer holds out-of-order
+//! results in a pending map and appends a cell only once every earlier
+//! cell is durable. The journal is therefore always a contiguous prefix
+//! `0..m` of the grid, making [`GenerationReport::cells_resumed`] and
+//! [`GenerationReport::journal_bytes`] deterministic at any thread count.
+//! Work completed out of order ahead of a crash is simply recomputed —
+//! lost wall-clock, never lost correctness.
+//!
+//! Resumed cells carry their journaled `frames_lost` / early-stop /
+//! quarantine state, so those report fields equal an uninterrupted run's.
+//! Cache-derived counters (`model_runs`, `cache_hits`, `model_time_ms`,
+//! retry/fault counters) count only the *fresh* work of the current
+//! process — cross-cell output reuse makes per-cell attribution
+//! impossible — and remain schedule-independent for a given journal
+//! state. Measured timings (`estimation_*_ms`) are excluded from journal
+//! payloads so journal bytes stay deterministic.
+//!
+//! A seeded [`CrashPlan`] makes process death itself replayable: a pure
+//! function of `(seed, cell index)` decides, at each cell's commit,
+//! whether generation dies cleanly after the append or mid-append with a
+//! torn record ([`CoreError::CrashInjected`]). Replay detects a torn
+//! record's cell and suppresses that cell's scheduled torn crash on
+//! resume (the tear already "happened"), so every crash→resume loop
+//! terminates: each firing cell kills at most one run.
 
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use smokescreen_degrade::{CandidateGrid, DegradedView, InterventionSet, RestrictionIndex};
 use smokescreen_models::{OutputCache, RetryPolicy};
-use smokescreen_rt::fault::FaultPlan;
+use smokescreen_rt::fault::{CrashKind, CrashPlan, FaultPlan};
+use smokescreen_rt::journal::{self, Journal, JournalWriter, Replay};
+use smokescreen_rt::json::{FromJson, Json, ToJson};
 use smokescreen_rt::pool::Pool;
+use smokescreen_rt::sync::Mutex;
 
 use crate::correction::CorrectionSet;
 use crate::estimate::{result_error_est, AggregateKernel, Workload};
@@ -68,7 +112,7 @@ use crate::repair::{best_bound_for_random, corrected_bound};
 use crate::{CoreError, Result};
 
 /// Generator tunables.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GeneratorConfig {
     /// Sampling-permutation seed.
     pub seed: u64,
@@ -89,6 +133,18 @@ pub struct GeneratorConfig {
     /// Circuit breaker: quarantine a cell when more than this fraction of
     /// its sampled frames are lost to permanent failures.
     pub max_cell_loss: f64,
+    /// Checkpoint directory for crash-consistent generation. `None` (the
+    /// default) disables journaling entirely and the run is byte-for-byte
+    /// what it was before this feature existed. With a directory set,
+    /// each completed cell is durably journaled in grid order and a rerun
+    /// resumes from the journal, recomputing only missing cells.
+    pub checkpoint: Option<PathBuf>,
+    /// Seeded process-death schedule for chaos runs: generation dies at
+    /// deterministic cells' journal commits with
+    /// [`CoreError::CrashInjected`]. `None` (the default) disables it.
+    /// Only useful together with [`checkpoint`](Self::checkpoint) — a
+    /// crash without a journal replays identically and never progresses.
+    pub crash: Option<CrashPlan>,
 }
 
 impl Default for GeneratorConfig {
@@ -101,6 +157,8 @@ impl Default for GeneratorConfig {
             faults: None,
             retry: RetryPolicy::default(),
             max_cell_loss: 0.5,
+            checkpoint: None,
+            crash: None,
         }
     }
 }
@@ -142,6 +200,19 @@ pub struct GenerationReport {
     /// Their candidates are withheld from the profile, never silently
     /// emitted with unsound bounds.
     pub degraded_cells: Vec<String>,
+    /// Cells spliced back from the checkpoint journal instead of being
+    /// recomputed (0 without a checkpoint directory). Schedule-independent:
+    /// the journal always holds a contiguous grid-order prefix.
+    pub cells_resumed: usize,
+    /// Final size of the checkpoint journal in bytes (0 when disabled).
+    /// Deterministic for a given workload: journal payloads exclude
+    /// measured timings.
+    pub journal_bytes: u64,
+    /// Corruption events detected and quarantined during journal replay
+    /// (torn tail record, checksum mismatch, wrong format version,
+    /// zero-byte file, …). The damaged cells were recomputed; nonzero
+    /// means the journal was repaired, never that the profile is wrong.
+    pub journal_corrupt_records: usize,
 }
 
 /// Per-cell sweep result, merged into the profile in grid order.
@@ -159,6 +230,178 @@ struct CellOutput {
     ingest_ns: u128,
     /// Time computing bounds and corrections from kernel state.
     bound_ns: u128,
+}
+
+/// Journal codec for one completed cell.
+///
+/// The payload is the cell's *deterministic* output — points, early-stop
+/// skips, loss accounting, quarantine label — encoded as compact JSON.
+/// Measured timings (`ingest_ns`/`bound_ns`) are deliberately excluded:
+/// they vary run to run, and journal bytes must not. A spliced cell
+/// contributes zero to the timing totals, which only ever describe the
+/// current process's work.
+struct CellRecord;
+
+impl CellRecord {
+    fn encode(cell: usize, out: &CellOutput) -> Vec<u8> {
+        Json::obj([
+            ("cell", cell.to_json()),
+            ("points", out.points.to_json()),
+            ("skipped", out.skipped_by_early_stop.to_json()),
+            ("frames_lost", out.frames_lost.to_json()),
+            ("quarantined", out.quarantined.to_json()),
+        ])
+        .encode()
+        .into_bytes()
+    }
+
+    /// Decodes a replayed payload, rejecting anything malformed or
+    /// carrying the wrong cell index. A `None` here is treated by replay
+    /// exactly like a checksum mismatch: quarantine and recompute.
+    fn decode(cell: u32, bytes: &[u8]) -> Option<CellOutput> {
+        let text = std::str::from_utf8(bytes).ok()?;
+        let v = Json::parse(text).ok()?;
+        if v.get("cell").ok()?.as_usize().ok()? != cell as usize {
+            return None;
+        }
+        Some(CellOutput {
+            points: Vec::<ProfilePoint>::from_json(v.get("points").ok()?).ok()?,
+            skipped_by_early_stop: v.get("skipped").ok()?.as_usize().ok()?,
+            frames_lost: v.get("frames_lost").ok()?.as_usize().ok()?,
+            quarantined: Option::<String>::from_json(v.get("quarantined").ok()?).ok()?,
+            ingest_ns: 0,
+            bound_ns: 0,
+        })
+    }
+}
+
+/// Serializes journal commits into grid order.
+///
+/// Workers complete cells in schedule-dependent order; the committer
+/// parks finished payloads in a pending map and appends to the journal
+/// only the contiguous next-in-grid-order run, so the on-disk journal is
+/// always a prefix `0..m` of the grid regardless of thread count. The
+/// seeded [`CrashPlan`] is evaluated here — at commit time, in grid
+/// order — which is what makes injected process deaths deterministic.
+struct Committer {
+    inner: Mutex<CommitterInner>,
+    crash: Option<CrashPlan>,
+    /// Cell whose torn append already reached disk in a previous life
+    /// (identified by replay): its scheduled torn crash must not re-fire,
+    /// or the crash→resume loop would never terminate.
+    torn_done: Option<usize>,
+}
+
+struct CommitterInner {
+    writer: Option<JournalWriter>,
+    /// Completed-but-not-yet-durable cells; `None` marks a cell whose
+    /// computation failed (commits halt at it — the run is failing).
+    pending: BTreeMap<usize, Option<Vec<u8>>>,
+    /// Next grid-order cell index to commit.
+    next: usize,
+    /// Cell whose commit an injected crash killed, once fired.
+    crashed: Option<usize>,
+    /// First journal I/O failure, surfaced as [`CoreError::Checkpoint`].
+    io_error: Option<String>,
+    /// Set when an errored cell blocks the contiguous prefix.
+    halted: bool,
+}
+
+impl Committer {
+    fn new(writer: Option<JournalWriter>, resumed: usize, crash: Option<CrashPlan>, torn_done: Option<usize>) -> Self {
+        Committer {
+            inner: Mutex::new(CommitterInner {
+                writer,
+                pending: BTreeMap::new(),
+                next: resumed,
+                crashed: None,
+                io_error: None,
+                halted: false,
+            }),
+            crash,
+            torn_done,
+        }
+    }
+
+    /// Whether an injected crash has fired; workers poll this and stop
+    /// starting new cells, simulating prompt process death.
+    fn crashed(&self) -> bool {
+        self.inner.lock().crashed.is_some()
+    }
+
+    /// Offers a completed cell (`None` payload = the cell errored) and
+    /// drains every newly contiguous cell to the journal.
+    fn offer(&self, cell: usize, payload: Option<Vec<u8>>) {
+        let mut g = self.inner.lock();
+        if g.crashed.is_some() || g.io_error.is_some() || g.halted {
+            return;
+        }
+        g.pending.insert(cell, payload);
+        loop {
+            let cell = g.next;
+            let Some(payload) = g.pending.remove(&cell) else {
+                return;
+            };
+            let Some(payload) = payload else {
+                // An errored cell can never become durable; later cells
+                // must not be journaled past the gap (contiguity is the
+                // resume invariant). The run is returning Err anyway.
+                g.halted = true;
+                return;
+            };
+            g.next += 1;
+            let crash = match self.crash.and_then(|p| p.crash_at(cell as u64)) {
+                Some(CrashKind::TornAppend { .. }) if self.torn_done == Some(cell) => None,
+                c => c,
+            };
+            match (&mut g.writer, crash) {
+                (Some(w), None) => {
+                    if let Err(e) = w.append(cell as u32, &payload) {
+                        g.io_error = Some(format!("appending cell {cell}: {e}"));
+                        return;
+                    }
+                }
+                (Some(w), Some(CrashKind::AfterAppend)) => {
+                    // The record becomes durable, *then* the process dies:
+                    // resume must splice this cell without recomputing it.
+                    if let Err(e) = w.append(cell as u32, &payload) {
+                        g.io_error = Some(format!("appending cell {cell}: {e}"));
+                        return;
+                    }
+                    g.crashed = Some(cell);
+                    return;
+                }
+                (Some(w), Some(CrashKind::TornAppend { keep_frac })) => {
+                    // The process dies mid-append: a torn record reaches
+                    // disk and resume must quarantine it and recompute.
+                    if let Err(e) = w.append_torn(cell as u32, &payload, keep_frac) {
+                        g.io_error = Some(format!("tearing cell {cell}: {e}"));
+                        return;
+                    }
+                    g.crashed = Some(cell);
+                    return;
+                }
+                // Crash without a journal: death still fires (the plan
+                // simulates the process, not the disk), nothing durable.
+                (None, Some(_)) => {
+                    g.crashed = Some(cell);
+                    return;
+                }
+                (None, None) => {}
+            }
+        }
+    }
+
+    /// Tears down the committer, returning `(journal bytes, crashed cell,
+    /// io error)`.
+    fn finish(self) -> (u64, Option<usize>, Option<String>) {
+        let g = self.inner.into_inner();
+        (
+            g.writer.as_ref().map_or(0, |w| w.bytes()),
+            g.crashed,
+            g.io_error,
+        )
+    }
 }
 
 /// Profile generator for one workload.
@@ -221,18 +464,76 @@ impl<'a> ProfileGenerator<'a> {
                 .flat_map(|&res| combos.iter().map(move |combo| (res, combo)))
                 .collect();
 
+        // Open the checkpoint journal (when configured) and splice back
+        // every cell it already holds. Replay validates each record's
+        // checksum, sequence position, and payload shape; anything
+        // damaged is quarantined and simply recomputed below.
+        let (writer, replay) = match &self.config.checkpoint {
+            Some(dir) => {
+                let (w, r) = self.open_journal(dir, grid, cells.len())?;
+                (Some(w), r)
+            }
+            None => (None, Replay::default()),
+        };
+        let resumed: Vec<CellOutput> = replay
+            .payloads
+            .iter()
+            .enumerate()
+            .map(|(i, payload)| {
+                CellRecord::decode(i as u32, payload)
+                    .expect("replay already validated payloads")
+            })
+            .collect();
+        let committer = Committer::new(
+            writer,
+            resumed.len(),
+            self.config.crash,
+            replay.torn_record.map(|c| c as usize),
+        );
+
         let pool = Pool::with_threads(self.config.threads);
-        let cell_outputs = pool.parallel_map(&cells, |_, &(resolution, combo)| {
-            self.profile_cell(grid, resolution, combo, correction, &cache)
+        let resumed_len = resumed.len();
+        let fresh_outputs = pool.parallel_map(&cells, |i, &(resolution, combo)| {
+            if i < resumed_len || committer.crashed() {
+                // Already durable (spliced below), or the process is
+                // "dead" — a real crash would compute nothing further.
+                return Ok(None);
+            }
+            match self.profile_cell(grid, resolution, combo, correction, &cache) {
+                Ok(out) => {
+                    committer.offer(i, Some(CellRecord::encode(i, &out)));
+                    Ok(Some(out))
+                }
+                Err(e) => {
+                    committer.offer(i, None);
+                    Err(e)
+                }
+            }
         });
+
+        let (journal_bytes, crashed, io_error) = committer.finish();
+        if let Some(msg) = io_error {
+            return Err(CoreError::Checkpoint(msg));
+        }
+        if let Some(cell) = crashed {
+            return Err(CoreError::CrashInjected { cell });
+        }
 
         let mut points = Vec::new();
         let mut report = GenerationReport::default();
         report.cells = cells.len();
+        report.cells_resumed = resumed_len;
+        report.journal_bytes = journal_bytes;
+        report.journal_corrupt_records = replay.corrupt_records;
         let mut ingest_ns: u128 = 0;
         let mut bound_ns: u128 = 0;
-        for cell in cell_outputs {
-            let cell = cell?;
+        let mut resumed = resumed.into_iter();
+        for (i, fresh) in fresh_outputs.into_iter().enumerate() {
+            let cell = if i < resumed_len {
+                resumed.next().expect("resumed prefix has resumed_len cells")
+            } else {
+                fresh?.expect("non-crashed run computes every fresh cell")
+            };
             report.skipped_by_early_stop += cell.skipped_by_early_stop;
             report.frames_lost += cell.frames_lost;
             if let Some(label) = cell.quarantined {
@@ -266,6 +567,72 @@ impl<'a> ProfileGenerator<'a> {
             },
             report,
         ))
+    }
+
+    /// Opens (creating if needed) this workload's journal inside the
+    /// checkpoint directory, replaying any valid prefix.
+    ///
+    /// The journal file is keyed by a workload identity string — corpus,
+    /// detector, query, grid, seed, and every config knob that changes
+    /// cell *contents* — so journals from different workloads sharing a
+    /// directory can never cross-contaminate. Thread count and the crash
+    /// plan are deliberately excluded: neither changes what a cell
+    /// computes, and resume must work across both.
+    fn open_journal(
+        &self,
+        dir: &Path,
+        grid: &CandidateGrid,
+        n_cells: usize,
+    ) -> Result<(JournalWriter, Replay)> {
+        std::fs::create_dir_all(dir).map_err(|e| {
+            CoreError::Checkpoint(format!("creating checkpoint dir {}: {e}", dir.display()))
+        })?;
+        let identity = self.journal_identity(grid);
+        let path = dir.join(format!(
+            "profile-{:016x}.journal",
+            journal::checksum64(identity.as_bytes())
+        ));
+        let validate =
+            |idx: u32, payload: &[u8]| (idx as usize) < n_cells && CellRecord::decode(idx, payload).is_some();
+        Journal::open(&path, &identity, validate).map_err(|e| {
+            CoreError::Checkpoint(format!("opening journal {}: {e}", path.display()))
+        })
+    }
+
+    /// The workload identity a journal is bound to (stored checksummed in
+    /// the journal header). Everything that affects a cell's output is in
+    /// here; nothing that merely affects scheduling is.
+    fn journal_identity(&self, grid: &CandidateGrid) -> String {
+        let w = self.workload;
+        let c = &self.config;
+        let faults = match &c.faults {
+            Some(p) => format!(
+                "seed={};to={};tr={};sl={};po={}",
+                p.seed(), p.timeout_rate, p.transient_rate, p.slow_rate, p.poison_rate
+            ),
+            None => "none".to_string(),
+        };
+        format!(
+            "smokescreen-profile-v1|corpus={}|frames={}|native={}|model={}|class={:?}|agg={:?}|delta={}|seed={}|early_stop={:?}/{}|max_loss={}|retry={}/{}/{}|faults={}|fractions={:?}|resolutions={:?}|combos={:?}",
+            w.corpus.name,
+            w.corpus.len(),
+            w.corpus.native_resolution,
+            w.detector.name(),
+            w.class,
+            w.aggregate,
+            w.delta,
+            c.seed,
+            c.early_stop_improvement,
+            c.early_stop_min_points,
+            c.max_cell_loss,
+            c.retry.max_attempts,
+            c.retry.base_backoff_ms,
+            c.retry.backoff_factor,
+            faults,
+            grid.fractions,
+            grid.resolutions,
+            grid.class_combos,
+        )
     }
 
     /// Profiles one `(resolution, removal)` cell: the ascending-fraction
@@ -673,8 +1040,9 @@ mod tests {
             early_stop_improvement: None,
             ..GeneratorConfig::default()
         };
-        let (clean, clean_report) =
-            ProfileGenerator::new(&w, &restrictions, base).generate(&grid(), None).unwrap();
+        let (clean, clean_report) = ProfileGenerator::new(&w, &restrictions, base.clone())
+            .generate(&grid(), None)
+            .unwrap();
         let chaotic_cfg = GeneratorConfig {
             faults: Some(smokescreen_rt::fault::FaultPlan::with_rates(
                 5, 0.04, 0.08, 0.04, 0.03,
@@ -787,6 +1155,171 @@ mod tests {
             assert_eq!(r1.degraded_cells, r.degraded_cells);
         }
         assert!(r1.frames_lost > 0, "the plan must actually bite");
+    }
+
+    fn checkpoint_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "smokescreen-generation-tests-{}",
+            std::process::id()
+        ));
+        let dir = dir.join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn fixture_workload(corpus: &smokescreen_video::VideoCorpus) -> (SimYoloV4, ObjectClass) {
+        let _ = corpus;
+        (SimYoloV4::new(1), ObjectClass::Car)
+    }
+
+    #[test]
+    fn checkpointing_is_inert_on_profile_and_warm_restart_splices_all() {
+        let corpus = DatasetPreset::Detrac.generate(52).slice(0, 1_500);
+        let (yolo, class) = fixture_workload(&corpus);
+        let w = Workload {
+            corpus: &corpus,
+            detector: &yolo,
+            class,
+            aggregate: Aggregate::Avg,
+            delta: 0.05,
+        };
+        let restrictions = RestrictionIndex::from_ground_truth(&corpus, &[ObjectClass::Person]);
+        let base = GeneratorConfig {
+            early_stop_improvement: None,
+            ..GeneratorConfig::default()
+        };
+        let (plain, plain_report) = ProfileGenerator::new(&w, &restrictions, base.clone())
+            .generate(&grid(), None)
+            .unwrap();
+        assert_eq!(plain_report.cells_resumed, 0);
+        assert_eq!(plain_report.journal_bytes, 0);
+        assert_eq!(plain_report.journal_corrupt_records, 0);
+
+        let dir = checkpoint_dir("inert");
+        let ckpt_cfg = GeneratorConfig {
+            checkpoint: Some(dir.clone()),
+            ..base.clone()
+        };
+        let (journaled, r1) = ProfileGenerator::new(&w, &restrictions, ckpt_cfg.clone())
+            .generate(&grid(), None)
+            .unwrap();
+        assert_eq!(
+            plain.to_json().unwrap(),
+            journaled.to_json().unwrap(),
+            "checkpointing must not change a byte of the profile"
+        );
+        assert_eq!(r1.cells_resumed, 0, "first run resumes nothing");
+        assert!(r1.journal_bytes > 0);
+        assert_eq!(r1.model_runs, plain_report.model_runs);
+
+        // Warm restart: the completed journal splices every cell back.
+        let (rerun, r2) = ProfileGenerator::new(&w, &restrictions, ckpt_cfg)
+            .generate(&grid(), None)
+            .unwrap();
+        assert_eq!(plain.to_json().unwrap(), rerun.to_json().unwrap());
+        assert_eq!(r2.cells_resumed, r2.cells, "all cells splice");
+        assert_eq!(r2.model_runs, 0, "no model work on a warm restart");
+        assert_eq!(r2.journal_bytes, r1.journal_bytes, "journal bytes are stable");
+        assert_eq!(r2.frames_lost, plain_report.frames_lost);
+        assert_eq!(r2.skipped_by_early_stop, plain_report.skipped_by_early_stop);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_resume_loop_converges_to_identical_profile() {
+        let corpus = DatasetPreset::Detrac.generate(53).slice(0, 1_500);
+        let (yolo, class) = fixture_workload(&corpus);
+        let w = Workload {
+            corpus: &corpus,
+            detector: &yolo,
+            class,
+            aggregate: Aggregate::Avg,
+            delta: 0.05,
+        };
+        let restrictions = RestrictionIndex::from_ground_truth(&corpus, &[ObjectClass::Person]);
+        let base = GeneratorConfig {
+            early_stop_improvement: None,
+            ..GeneratorConfig::default()
+        };
+        let (reference, reference_report) =
+            ProfileGenerator::new(&w, &restrictions, base.clone())
+                .generate(&grid(), None)
+                .unwrap();
+
+        // A rate-1 plan crashes at *every* cell commit: the loop must
+        // still converge in exactly `cells + 1` runs (one durable cell
+        // per life — torn crashes are suppressed on their resume because
+        // the tear already happened; AfterAppend cells are already
+        // durable when they kill the run).
+        let dir = checkpoint_dir("crash_loop");
+        let cfg = GeneratorConfig {
+            checkpoint: Some(dir.clone()),
+            crash: Some(CrashPlan::new(7, 1.0)),
+            ..base
+        };
+        let mut crashes = 0usize;
+        let outcome = loop {
+            match ProfileGenerator::new(&w, &restrictions, cfg.clone()).generate(&grid(), None) {
+                Ok(out) => break out,
+                Err(CoreError::CrashInjected { .. }) => {
+                    crashes += 1;
+                    assert!(crashes <= 16, "crash→resume loop must terminate");
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        };
+        let (resumed, report) = outcome;
+        assert!(crashes > 0, "a rate-1 plan must crash at least once");
+        assert_eq!(
+            reference.to_json().unwrap(),
+            resumed.to_json().unwrap(),
+            "crash→resume must be bit-identical to an uninterrupted run"
+        );
+        assert!(report.cells_resumed > 0);
+        assert_eq!(report.frames_lost, reference_report.frames_lost);
+        assert_eq!(report.skipped_by_early_stop, reference_report.skipped_by_early_stop);
+        assert_eq!(report.degraded_cells, reference_report.degraded_cells);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_workload_journal_is_quarantined_not_spliced() {
+        // Two different seeds share a checkpoint dir: different identity
+        // strings hash to different journal files, so neither can splice
+        // the other's cells.
+        let corpus = DatasetPreset::Detrac.generate(54).slice(0, 1_200);
+        let (yolo, class) = fixture_workload(&corpus);
+        let w = Workload {
+            corpus: &corpus,
+            detector: &yolo,
+            class,
+            aggregate: Aggregate::Avg,
+            delta: 0.05,
+        };
+        let restrictions = RestrictionIndex::from_ground_truth(&corpus, &[ObjectClass::Person]);
+        let dir = checkpoint_dir("foreign");
+        let run = |seed: u64| {
+            ProfileGenerator::new(
+                &w,
+                &restrictions,
+                GeneratorConfig {
+                    seed,
+                    early_stop_improvement: None,
+                    checkpoint: Some(dir.clone()),
+                    ..GeneratorConfig::default()
+                },
+            )
+            .generate(&grid(), None)
+            .unwrap()
+        };
+        let (_, r_a) = run(1);
+        let (_, r_b) = run(2);
+        assert_eq!(r_a.cells_resumed, 0);
+        assert_eq!(r_b.cells_resumed, 0, "seed 2 must not splice seed 1's journal");
+        assert!(r_b.model_runs > 0);
+        let (_, r_a2) = run(1);
+        assert_eq!(r_a2.cells_resumed, r_a2.cells, "seed 1 still resumes its own journal");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! fixing the other dimension, starting from the loosest values.
 
 use smokescreen_degrade::InterventionSet;
-use smokescreen_rt::json::{FromJson, Json, ToJson};
+use smokescreen_rt::json::{FromJson, Json, JsonError, ToJson};
 use smokescreen_video::{ObjectClass, Resolution};
 
 use crate::estimate::Aggregate;
@@ -221,10 +221,25 @@ impl ToJson for ProfilePoint {
 
 impl FromJson for ProfilePoint {
     fn from_json(value: &Json) -> smokescreen_rt::json::Result<Self> {
+        // Defense in depth for corrupted artifacts (this codec also runs
+        // under journal replay): a point carrying a non-finite answer or
+        // a nonsensical bound was damaged in storage, not produced by the
+        // generator — reject it rather than let it poison downstream
+        // tradeoff selection.
+        let y_approx = f64::from_json(value.get("y_approx")?)?;
+        if !y_approx.is_finite() {
+            return Err(JsonError::new("profile point y_approx is not finite"));
+        }
+        let err_b = f64::from_json(value.get("err_b")?)?;
+        if !err_b.is_finite() || err_b < 0.0 {
+            return Err(JsonError::new(format!(
+                "profile point err_b {err_b} is not a valid bound"
+            )));
+        }
         Ok(ProfilePoint {
             set: InterventionSet::from_json(value.get("set")?)?,
-            y_approx: f64::from_json(value.get("y_approx")?)?,
-            err_b: f64::from_json(value.get("err_b")?)?,
+            y_approx,
+            err_b,
             corrected: bool::from_json(value.get("corrected")?)?,
             n: usize::from_json(value.get("n")?)?,
         })
@@ -246,12 +261,20 @@ impl ToJson for Profile {
 
 impl FromJson for Profile {
     fn from_json(value: &Json) -> smokescreen_rt::json::Result<Self> {
+        let delta = f64::from_json(value.get("delta")?)?;
+        // δ is a confidence parameter: (0, 1) exclusive. Anything else in
+        // a stored profile is corruption.
+        if !delta.is_finite() || delta <= 0.0 || delta >= 1.0 {
+            return Err(JsonError::new(format!(
+                "profile delta {delta} is not a confidence parameter in (0, 1)"
+            )));
+        }
         Ok(Profile {
             corpus: String::from_json(value.get("corpus")?)?,
             model: String::from_json(value.get("model")?)?,
             class: ObjectClass::from_json(value.get("class")?)?,
             aggregate: Aggregate::from_json(value.get("aggregate")?)?,
-            delta: f64::from_json(value.get("delta")?)?,
+            delta,
             points: Vec::from_json(value.get("points")?)?,
         })
     }

@@ -88,6 +88,29 @@ impl<'a> Smokescreen<'a> {
         self
     }
 
+    /// Points profile generation at a checkpoint directory: each completed
+    /// cell is durably journaled, and a rerun of the same workload resumes
+    /// from the journal, recomputing only missing cells — bit-identical to
+    /// an uninterrupted run. `None` (the default) disables checkpointing
+    /// entirely.
+    pub fn with_checkpoint_dir(mut self, dir: Option<std::path::PathBuf>) -> Self {
+        self.config.checkpoint = dir;
+        self
+    }
+
+    /// Arms a seeded crash plan for chaos runs: generation dies with
+    /// [`CoreError::CrashInjected`](crate::CoreError::CrashInjected) at
+    /// deterministic cells' journal commits. Pair with
+    /// [`with_checkpoint_dir`](Self::with_checkpoint_dir) so each resume
+    /// makes durable progress.
+    pub fn with_crash_plan(
+        mut self,
+        plan: Option<smokescreen_rt::fault::CrashPlan>,
+    ) -> Self {
+        self.config.crash = plan;
+        self
+    }
+
     /// The workload view of this system.
     pub fn workload(&self) -> Workload<'_> {
         Workload {
@@ -118,7 +141,8 @@ impl<'a> Smokescreen<'a> {
         correction: Option<&CorrectionSet>,
     ) -> Result<(Profile, GenerationReport)> {
         let w = self.workload();
-        ProfileGenerator::new(&w, &self.restrictions, self.config).generate(grid, correction)
+        ProfileGenerator::new(&w, &self.restrictions, self.config.clone())
+            .generate(grid, correction)
     }
 
     /// Opens an administration session on a generated profile.

@@ -187,12 +187,27 @@ impl ToJson for InterventionSet {
 
 impl FromJson for InterventionSet {
     fn from_json(value: &Json) -> smokescreen_rt::json::Result<Self> {
+        // Stored artifacts only ever contain fractions in [0, 1] and
+        // non-negative finite noise; anything else is storage corruption
+        // and must be rejected, not carried into view construction.
+        let sample_fraction = f64::from_json(value.get("sample_fraction")?)?;
+        if !sample_fraction.is_finite() || !(0.0..=1.0).contains(&sample_fraction) {
+            return Err(smokescreen_rt::json::JsonError::new(format!(
+                "sample_fraction {sample_fraction} is not in [0, 1]"
+            )));
+        }
+        let noise = f64::from_json(value.get("noise")?)?;
+        if !noise.is_finite() || noise < 0.0 {
+            return Err(smokescreen_rt::json::JsonError::new(format!(
+                "noise {noise} is not a non-negative finite value"
+            )));
+        }
         Ok(InterventionSet {
-            sample_fraction: f64::from_json(value.get("sample_fraction")?)?,
+            sample_fraction,
             resolution: Option::from_json(value.get("resolution")?)?,
             restricted: Vec::from_json(value.get("restricted")?)?,
             blurred: Vec::from_json(value.get("blurred")?)?,
-            noise: f64::from_json(value.get("noise")?)?,
+            noise,
             quality: Option::from_json(value.get("quality")?)?,
         })
     }

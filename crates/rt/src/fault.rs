@@ -28,7 +28,18 @@
 //! Replay recipe: set `SMOKESCREEN_FAULT_SEED` and
 //! `SMOKESCREEN_FAULT_RATE` and build the plan with
 //! [`FaultPlan::from_env`]; any failure observed in a chaos run can then
-//! be replayed exactly.
+//! be replayed exactly. Malformed values in any of these variables are a
+//! *loud* startup error (a panic naming the variable and the offending
+//! string) — a typo in a chaos knob must never silently run the
+//! faults-disabled configuration.
+//!
+//! Beyond per-call faults, [`CrashPlan`] schedules whole-*process* deaths
+//! for the checkpoint/resume suite: a pure function of `(seed, cell
+//! index)` decides whether generation dies right after durably journaling
+//! a cell ([`CrashKind::AfterAppend`]) or mid-append, leaving a torn
+//! record ([`CrashKind::TornAppend`]). Because the decision is pure,
+//! crash→resume→compare is replayable bit-for-bit, composing with any
+//! [`FaultPlan`].
 
 use crate::rng::StdRng;
 
@@ -37,6 +48,12 @@ pub const FAULT_SEED_ENV: &str = "SMOKESCREEN_FAULT_SEED";
 
 /// Environment variable carrying the total fault rate in `[0, 1]`.
 pub const FAULT_RATE_ENV: &str = "SMOKESCREEN_FAULT_RATE";
+
+/// Environment variable carrying the crash-plan seed (decimal `u64`).
+pub const CRASH_SEED_ENV: &str = "SMOKESCREEN_CRASH_SEED";
+
+/// Environment variable carrying the per-cell crash rate in `[0, 1]`.
+pub const CRASH_RATE_ENV: &str = "SMOKESCREEN_CRASH_RATE";
 
 /// One scheduled fault for a model call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,18 +133,28 @@ impl FaultPlan {
     }
 
     /// Builds a plan from `SMOKESCREEN_FAULT_SEED` /
-    /// `SMOKESCREEN_FAULT_RATE`. Returns `None` when the rate is unset,
-    /// unparsable, or zero — the faults-disabled configuration.
+    /// `SMOKESCREEN_FAULT_RATE`. Returns `None` when the rate is unset or
+    /// zero — the faults-disabled configuration. A malformed seed or rate
+    /// is a loud startup error (panic naming the variable and the raw
+    /// string): a typo must never silently disable chaos.
     pub fn from_env() -> Option<Self> {
-        let rate: f64 = std::env::var(FAULT_RATE_ENV).ok()?.parse().ok()?;
-        if !(rate > 0.0) {
-            return None;
+        match Self::parse_env(
+            std::env::var(FAULT_SEED_ENV).ok().as_deref(),
+            std::env::var(FAULT_RATE_ENV).ok().as_deref(),
+        ) {
+            Ok(plan) => plan,
+            Err(msg) => panic!("{msg}"),
         }
-        let seed: u64 = std::env::var(FAULT_SEED_ENV)
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(0);
-        Some(FaultPlan::new(seed, rate))
+    }
+
+    /// Parse layer behind [`FaultPlan::from_env`], exposed for tests.
+    /// `Err` carries a message naming the offending variable and value.
+    pub fn parse_env(seed: Option<&str>, rate: Option<&str>) -> Result<Option<Self>, String> {
+        let seed = parse_seed(FAULT_SEED_ENV, seed)?;
+        match parse_rate(FAULT_RATE_ENV, rate)? {
+            Some(rate) if rate > 0.0 => Ok(Some(FaultPlan::new(seed, rate))),
+            _ => Ok(None),
+        }
     }
 
     /// The plan seed (for replay reporting).
@@ -174,6 +201,140 @@ impl FaultPlan {
             return Some(FaultKind::CachePoison);
         }
         None
+    }
+}
+
+/// How a scheduled process death interacts with the cell journal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CrashKind {
+    /// The process dies immediately *after* the cell's journal record is
+    /// durably appended and synced: resume must splice the cell back in
+    /// without recomputing it.
+    AfterAppend,
+    /// The process dies *mid-append*, leaving a torn record on disk (the
+    /// frame plus `keep_frac` of the payload): resume must quarantine the
+    /// tail and recompute the cell.
+    TornAppend {
+        /// Fraction of the record payload that reached disk, in `[0, 1)`.
+        keep_frac: f64,
+    },
+}
+
+/// A seeded, replayable schedule of process deaths during generation.
+///
+/// Like [`FaultPlan`], decisions are pure functions of `(plan, cell
+/// index)` — same plan, same cells, same crashes, at any thread count.
+/// The decision stream is keyed with a different avalanche constant than
+/// the fault stream, so crash and fault schedules built from the same
+/// seed are statistically independent.
+///
+/// A crash plan only makes *progress* when paired with a checkpoint
+/// directory: the crash fires at journal-commit time, so without a
+/// journal an identical rerun dies at the same cell forever. That is by
+/// design — the plan simulates death, the journal supplies durability,
+/// and the tests assert the pair converges.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashPlan {
+    seed: u64,
+    rate: f64,
+}
+
+/// Domain-separation constant keeping crash decisions independent of
+/// fault decisions derived from the same seed.
+const CRASH_STREAM_SALT: u64 = 0x5C1A_11ED_C4A5_D00D;
+
+impl CrashPlan {
+    /// A plan killing generation at each cell's journal commit with
+    /// probability `rate` (clamped to `[0, 1]`).
+    pub fn new(seed: u64, rate: f64) -> Self {
+        CrashPlan {
+            seed,
+            rate: rate.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The plan seed (for replay reporting).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Per-cell crash probability.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The death scheduled at `cell`'s journal commit, or `None` if the
+    /// commit completes. Pure in `(self, cell)`. Roughly half the
+    /// scheduled deaths are clean ([`CrashKind::AfterAppend`]) and half
+    /// tear the record ([`CrashKind::TornAppend`]).
+    pub fn crash_at(&self, cell: u64) -> Option<CrashKind> {
+        if self.rate <= 0.0 {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(mix(self.seed ^ CRASH_STREAM_SALT, cell));
+        if rng.gen_f64() >= self.rate {
+            return None;
+        }
+        if rng.gen_f64() < 0.5 {
+            Some(CrashKind::AfterAppend)
+        } else {
+            Some(CrashKind::TornAppend {
+                // Strictly below 1 so the record is always actually torn.
+                keep_frac: rng.gen_f64() * 0.95,
+            })
+        }
+    }
+
+    /// Builds a plan from `SMOKESCREEN_CRASH_SEED` /
+    /// `SMOKESCREEN_CRASH_RATE`. Returns `None` when the rate is unset or
+    /// zero; malformed values are a loud startup error, matching
+    /// [`FaultPlan::from_env`].
+    pub fn from_env() -> Option<Self> {
+        match Self::parse_env(
+            std::env::var(CRASH_SEED_ENV).ok().as_deref(),
+            std::env::var(CRASH_RATE_ENV).ok().as_deref(),
+        ) {
+            Ok(plan) => plan,
+            Err(msg) => panic!("{msg}"),
+        }
+    }
+
+    /// Parse layer behind [`CrashPlan::from_env`], exposed for tests.
+    pub fn parse_env(seed: Option<&str>, rate: Option<&str>) -> Result<Option<Self>, String> {
+        let seed = parse_seed(CRASH_SEED_ENV, seed)?;
+        match parse_rate(CRASH_RATE_ENV, rate)? {
+            Some(rate) if rate > 0.0 => Ok(Some(CrashPlan::new(seed, rate))),
+            _ => Ok(None),
+        }
+    }
+}
+
+/// Strictly parses a seed variable: unset defaults to 0, anything set
+/// must be a decimal `u64`.
+fn parse_seed(var: &str, raw: Option<&str>) -> Result<u64, String> {
+    match raw {
+        None => Ok(0),
+        Some(s) => s.trim().parse().map_err(|_| {
+            format!("{var} must be a decimal u64 seed, got {s:?}")
+        }),
+    }
+}
+
+/// Strictly parses a rate variable: unset means disabled, anything set
+/// must be a finite `f64` in `[0, 1]`.
+fn parse_rate(var: &str, raw: Option<&str>) -> Result<Option<f64>, String> {
+    match raw {
+        None => Ok(None),
+        Some(s) => {
+            let rate: f64 = s
+                .trim()
+                .parse()
+                .map_err(|_| format!("{var} must be a rate in [0, 1], got {s:?}"))?;
+            if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                return Err(format!("{var} must be a rate in [0, 1], got {s:?}"));
+            }
+            Ok(Some(rate))
+        }
     }
 }
 
@@ -265,5 +426,95 @@ mod tests {
         // tests run concurrently), by checking the parse contract alone.
         assert!(FaultPlan::new(0, 2.0).total_rate() <= 1.0 + 1e-12);
         assert_eq!(FaultPlan::new(9, 0.3), FaultPlan::new(9, 0.3));
+    }
+
+    #[test]
+    fn env_parsing_is_strict_and_loud() {
+        // Valid configurations.
+        assert_eq!(FaultPlan::parse_env(None, None), Ok(None));
+        assert_eq!(FaultPlan::parse_env(Some("7"), None), Ok(None));
+        assert_eq!(FaultPlan::parse_env(None, Some("0")), Ok(None));
+        assert_eq!(
+            FaultPlan::parse_env(Some("7"), Some("0.05")),
+            Ok(Some(FaultPlan::new(7, 0.05)))
+        );
+        assert_eq!(
+            CrashPlan::parse_env(Some("11"), Some("0.5")),
+            Ok(Some(CrashPlan::new(11, 0.5)))
+        );
+        assert_eq!(CrashPlan::parse_env(None, Some("0.0")), Ok(None));
+
+        // Malformed values surface the variable name and raw string.
+        for (seed, rate, bad) in [
+            (Some("banana"), Some("0.1"), "banana"),
+            (Some("-3"), Some("0.1"), "-3"),
+            (None, Some("lots"), "lots"),
+            (None, Some("1.5"), "1.5"),
+            (None, Some("-0.1"), "-0.1"),
+            (None, Some("NaN"), "NaN"),
+            (None, Some("inf"), "inf"),
+        ] {
+            let err = FaultPlan::parse_env(seed, rate).unwrap_err();
+            assert!(err.contains("SMOKESCREEN_FAULT_"), "{err}");
+            assert!(err.contains(bad), "{err} should quote {bad:?}");
+            let err = CrashPlan::parse_env(seed, rate).unwrap_err();
+            assert!(err.contains("SMOKESCREEN_CRASH_"), "{err}");
+            assert!(err.contains(bad), "{err} should quote {bad:?}");
+        }
+        // A malformed seed is loud even when the rate leaves the plan
+        // disabled — the typo is still a configuration bug.
+        assert!(FaultPlan::parse_env(Some("oops"), None).is_err());
+    }
+
+    #[test]
+    fn crash_decisions_are_pure_and_seed_sensitive() {
+        let plan = CrashPlan::new(4, 0.3);
+        let a: Vec<Option<CrashKind>> = (0..2_000).map(|c| plan.crash_at(c)).collect();
+        let b: Vec<Option<CrashKind>> = (0..2_000).map(|c| plan.crash_at(c)).collect();
+        assert_eq!(a, b, "same plan must replay the same crashes");
+        let other: Vec<Option<CrashKind>> =
+            (0..2_000).map(|c| CrashPlan::new(5, 0.3).crash_at(c)).collect();
+        assert_ne!(a, other, "different seeds must crash differently");
+    }
+
+    #[test]
+    fn crash_frequency_tracks_rate_and_mixes_kinds() {
+        let plan = CrashPlan::new(2, 0.25);
+        let n = 20_000u64;
+        let (mut clean, mut torn) = (0usize, 0usize);
+        for c in 0..n {
+            match plan.crash_at(c) {
+                Some(CrashKind::AfterAppend) => clean += 1,
+                Some(CrashKind::TornAppend { keep_frac }) => {
+                    assert!((0.0..1.0).contains(&keep_frac));
+                    torn += 1;
+                }
+                None => {}
+            }
+        }
+        let observed = (clean + torn) as f64 / n as f64;
+        assert!((observed - 0.25).abs() < 0.02, "observed={observed}");
+        assert!(clean > 0 && torn > 0, "both crash kinds must appear");
+    }
+
+    #[test]
+    fn crash_stream_is_independent_of_fault_stream() {
+        // Same seed, same keys: the two plans must not fire on the same
+        // key set (domain separation), or chaos runs would correlate
+        // model faults with process deaths.
+        let faults = FaultPlan::new(42, 0.2);
+        let crashes = CrashPlan::new(42, 0.2);
+        let both = (0..20_000u64)
+            .filter(|&k| faults.fault_for(k).is_some() && crashes.crash_at(k).is_some())
+            .count();
+        // Independent 20% streams co-fire on ~4% of keys; identical
+        // streams would co-fire on 20%.
+        assert!((both as f64 / 20_000.0) < 0.08, "co-fire={both}");
+    }
+
+    #[test]
+    fn zero_rate_crash_plan_is_silent() {
+        let plan = CrashPlan::new(9, 0.0);
+        assert!((0..5_000).all(|c| plan.crash_at(c).is_none()));
     }
 }

@@ -148,10 +148,17 @@ impl Json {
     }
 
     /// Parses a JSON document.
+    ///
+    /// Hardened against corrupted input (this is the parser journal
+    /// replay runs through): nesting is capped at [`MAX_PARSE_DEPTH`] so
+    /// adversarially deep documents error instead of overflowing the
+    /// stack, and numbers that overflow `f64` (`1e999`) are rejected
+    /// instead of decoding to infinity.
     pub fn parse(input: &str) -> Result<Json> {
         let mut p = Parser {
             bytes: input.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let value = p.value()?;
@@ -268,9 +275,15 @@ fn write_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Maximum container nesting depth [`Json::parse`] accepts. Real
+/// artifacts in this workspace nest a handful of levels; the cap exists
+/// so corrupted or hostile input cannot overflow the parser's stack.
+pub const MAX_PARSE_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -329,12 +342,28 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Bumps the container nesting depth, erroring past the cap. The
+    /// matching decrement happens only on success paths — a failed parse
+    /// aborts the whole document, so the counter never needs unwinding.
+    fn descend(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(JsonError::new(format!(
+                "nesting deeper than {MAX_PARSE_DEPTH} at byte {}",
+                self.pos
+            )));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json> {
         self.expect(b'[')?;
+        self.descend()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -345,6 +374,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(JsonError::new(format!("expected ',' or ']' at byte {}", self.pos))),
@@ -354,10 +384,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Json> {
         self.expect(b'{')?;
+        self.descend()?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(map));
         }
         loop {
@@ -373,6 +405,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(map));
                 }
                 _ => return Err(JsonError::new(format!("expected ',' or '}}' at byte {}", self.pos))),
@@ -490,9 +523,18 @@ impl<'a> Parser<'a> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| JsonError::new("invalid number"))?;
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| JsonError::new(format!("invalid number {text:?} at byte {start}")))
+        let n: f64 = text
+            .parse()
+            .map_err(|_| JsonError::new(format!("invalid number {text:?} at byte {start}")))?;
+        // `"1e999".parse::<f64>()` succeeds as infinity; JSON has no
+        // non-finite numbers, and letting one in would poison every
+        // downstream bound computation. Reject instead.
+        if !n.is_finite() {
+            return Err(JsonError::new(format!(
+                "number {text:?} at byte {start} overflows f64"
+            )));
+        }
+        Ok(Json::Num(n))
     }
 }
 
@@ -654,6 +696,29 @@ mod tests {
         assert_eq!(make().encode_pretty(), make().encode_pretty());
         // Keys come out sorted regardless of insertion order.
         assert!(make().encode().starts_with(r#"{"a":"#));
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // Just inside the cap parses; just past it errors. Far past it
+        // (a would-be stack overflow) also errors — that's the point.
+        let ok = format!("{}null{}", "[".repeat(MAX_PARSE_DEPTH), "]".repeat(MAX_PARSE_DEPTH));
+        assert!(Json::parse(&ok).is_ok());
+        for depth in [MAX_PARSE_DEPTH + 1, 200_000] {
+            let deep = "[".repeat(depth);
+            assert!(Json::parse(&deep).is_err(), "depth {depth} must error");
+            let objs = "{\"k\":".repeat(depth);
+            assert!(Json::parse(&objs).is_err(), "object depth {depth} must error");
+        }
+    }
+
+    #[test]
+    fn overflowing_numbers_are_rejected() {
+        for bad in ["1e999", "-1e999", "1e309", "123456789e400"] {
+            assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
+        }
+        // Large-but-finite still parses.
+        assert_eq!(Json::parse("1e308").unwrap(), Json::Num(1e308));
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //! | [`pool`]      | `rayon` (subset)        | scoped, deterministic `parallel_map`/`scope` thread pool |
 //! | [`proptest`]  | `proptest`              | seeded case generation, replay via printed seed, no shrinking |
 //! | [`bench`]     | `criterion`             | warm-up + min/mean timer under the libtest harness |
-//! | [`fault`]     | — (new subsystem)       | seeded, replayable fault schedules for chaos testing |
+//! | [`fault`]     | — (new subsystem)       | seeded, replayable fault + crash schedules for chaos testing |
+//! | [`journal`]   | — (new subsystem)       | crash-consistent append-only journal (checksummed framing, atomic repair) |
 //!
 //! Determinism is a hard requirement here, not a convenience: the paper's
 //! bound-validity experiments (PAPER.md §4–5) are only checkable if every
@@ -27,6 +28,7 @@
 
 pub mod bench;
 pub mod fault;
+pub mod journal;
 pub mod json;
 pub mod pool;
 pub mod proptest;

@@ -27,7 +27,7 @@ fn similar_video_profile_transfers_to_the_sensitive_one() {
         ..GeneratorConfig::default()
     };
     let system_a = Smokescreen::new(&video_a, &yolo, ObjectClass::Car, Aggregate::Avg, 0.05)
-        .with_config(config);
+        .with_config(config.clone());
     let system_b = Smokescreen::new(&video_b, &yolo, ObjectClass::Car, Aggregate::Avg, 0.05)
         .with_config(config);
 
