@@ -75,9 +75,34 @@ echo "=== estimator kernels: batch vs incremental sweep ==="
 # bit-identical to the batch reference.
 cargo test -q --offline -p smokescreen-bench --bench estimator_kernels
 
+echo "=== perf trajectory: smoke run + schema gate + regression exit code ==="
+# The trajectory harness smoke-runs the full bench suite on a tiny corpus
+# (2 reps) and validates the emitted BENCH_*.json against the structural
+# schema golden — a malformed or missing field fails the build here and
+# in tests/trajectory_schema.rs. The harness itself is then proven to
+# gate: `check` against a synthetically 10×-faster prior must exit
+# non-zero, and a self-check must exit zero. Reps/threshold are
+# overridable via SMOKESCREEN_BENCH_REPS / SMOKESCREEN_BENCH_THRESHOLD
+# (see EXPERIMENTS.md).
+trajdir="$(mktemp -d)"
+trap 'rm -rf "$trajdir"' EXIT
+./target/release/trajectory run --smoke --reps 2 --pr 6 --out "$trajdir" \
+  --schema-golden tests/golden/trajectory_schema.json
+./target/release/trajectory check \
+  --prev "$trajdir/BENCH_6.json" --cur "$trajdir/BENCH_6.json" >/dev/null
+# Doctor a prior whose medians are all near-zero; the gate must trip.
+sed -E 's/"median_wall_ms": [0-9.eE+-]+/"median_wall_ms": 0.000001/; s/"pr": 6/"pr": 5/' \
+  "$trajdir/BENCH_6.json" > "$trajdir/BENCH_5.json"
+if ./target/release/trajectory check \
+  --prev "$trajdir/BENCH_5.json" --cur "$trajdir/BENCH_6.json" >/dev/null 2>&1; then
+  echo "trajectory check FAILED to flag a synthetic regression" >&2
+  exit 1
+fi
+echo "trajectory smoke + schema + regression gate ok"
+
 echo "=== determinism cross-check: fig4 CSVs @ 1 vs 8 workers ==="
 tmpdir="$(mktemp -d)"
-trap 'rm -rf "$tmpdir"' EXIT
+trap 'rm -rf "$tmpdir" "$trajdir"' EXIT
 ./target/release/repro fig4 --quick --threads 1 --out "$tmpdir/t1" >/dev/null
 ./target/release/repro fig4 --quick --threads 8 --out "$tmpdir/t8" >/dev/null
 diff -r "$tmpdir/t1" "$tmpdir/t8"

@@ -14,6 +14,7 @@
 
 pub mod figures;
 pub mod table;
+pub mod trajectory;
 pub mod workloads;
 
 /// Experiment-wide configuration.

@@ -407,10 +407,31 @@ impl AggregateKernel {
         }
     }
 
-    /// Ingests a slice of raw outputs in order.
+    /// Ingests a slice of raw outputs in order — bit-identical to calling
+    /// [`push`](Self::push) on every element, but dispatched once per
+    /// slice so each fraction-ladder step reaches the kernels' batched
+    /// `push_slice` path (COUNT's indicator transform is fused into an
+    /// 8-wide stack buffer, never a heap allocation).
     pub fn extend(&mut self, raw: &[f64]) {
-        for &v in raw {
-            self.push(v);
+        match (&mut self.state, self.aggregate) {
+            (KernelState::Mean(k), Aggregate::Count { at_least }) => {
+                let mut ind = [0.0f64; 8];
+                let mut chunks = raw.chunks_exact(8);
+                for chunk in &mut chunks {
+                    for (slot, &v) in ind.iter_mut().zip(chunk) {
+                        *slot = if v >= at_least { 1.0 } else { 0.0 };
+                    }
+                    k.push_slice(&ind);
+                }
+                let rem = chunks.remainder();
+                for (slot, &v) in ind.iter_mut().zip(rem) {
+                    *slot = if v >= at_least { 1.0 } else { 0.0 };
+                }
+                k.push_slice(&ind[..rem.len()]);
+            }
+            (KernelState::Mean(k), _) => k.push_slice(raw),
+            (KernelState::Var(k), _) => k.push_slice(raw),
+            (KernelState::Order(k), _) => k.push_slice(raw),
         }
     }
 

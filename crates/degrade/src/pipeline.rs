@@ -217,11 +217,16 @@ impl<'c> DegradedView<'c> {
         let res = self.resolution();
         let end = range.end.min(self.n);
         let start = range.start.min(end);
-        self.sampler.prefix(self.n)[start..end]
-            .iter()
-            .filter_map(|&pos| self.corpus.frame(self.eligible[pos]))
-            .map(|f| cache.count(f, res, class))
-            .collect()
+        // `filter_map` hides the exact length from `collect`'s size hint;
+        // reserve it up front so each ladder rung allocates once.
+        let mut values = Vec::with_capacity(end - start);
+        values.extend(
+            self.sampler.prefix(self.n)[start..end]
+                .iter()
+                .filter_map(|&pos| self.corpus.frame(self.eligible[pos]))
+                .map(|f| cache.count(f, res, class)),
+        );
+        values
     }
 
     /// Fault-tolerant twin of [`outputs_cached`](Self::outputs_cached):
@@ -250,6 +255,10 @@ impl<'c> DegradedView<'c> {
         let end = range.end.min(self.n);
         let start = range.start.min(end);
         let mut out = RangeOutputs::default();
+        // One exact reservation per ladder rung: the slice-ingest path
+        // downstream consumes `values` as a single batch, so growth
+        // reallocations here would dominate small Δn fetches.
+        out.values.reserve_exact(end - start);
         for &pos in &self.sampler.prefix(self.n)[start..end] {
             let Some(frame) = self.corpus.frame(self.eligible[pos]) else {
                 continue;

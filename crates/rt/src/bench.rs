@@ -3,9 +3,11 @@
 //! Bench targets compile under the ordinary libtest harness
 //! (`harness = true`) and run as `#[test]` functions, so `cargo test -q`
 //! builds and exercises them on every commit; `cargo test -- --nocapture`
-//! (or `cargo bench`) shows the timings. No statistics beyond min/mean —
-//! the workspace uses these numbers for order-of-magnitude claims
-//! (§5.3.1's "tens of milliseconds"), not for regression gating.
+//! (or `cargo bench`) shows the timings. [`bench`] reports min/mean for
+//! order-of-magnitude claims (§5.3.1's "tens of milliseconds");
+//! [`bench_repeated`] keeps every sample and reports median/p95, which is
+//! what the `trajectory` harness persists into `BENCH_*.json` for
+//! regression gating.
 
 use std::time::{Duration, Instant};
 
@@ -56,6 +58,77 @@ pub fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) -> Measurement
     m
 }
 
+/// A benchmark measurement that keeps every per-repetition sample, so
+/// order statistics (median/p95) survive into machine-readable output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepeatedMeasurement {
+    /// Wall time of each timed repetition, in milliseconds, in run order.
+    pub samples_ms: Vec<f64>,
+}
+
+impl RepeatedMeasurement {
+    /// Nearest-rank percentile (`p` in `(0, 100]`): the smallest sample
+    /// such that at least `p`% of samples are ≤ it — `sorted[⌈p/100·n⌉−1]`.
+    /// Never interpolates, so the result is always an observed sample.
+    /// Returns 0.0 when empty.
+    pub fn percentile_ms(&self, p: f64) -> f64 {
+        let n = self.samples_ms.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let mut sorted = self.samples_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite wall times"));
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        sorted[rank.clamp(1, n) - 1]
+    }
+
+    /// Median wall time (nearest-rank 50th percentile).
+    pub fn median_ms(&self) -> f64 {
+        self.percentile_ms(50.0)
+    }
+
+    /// 95th-percentile wall time (nearest-rank).
+    pub fn p95_ms(&self) -> f64 {
+        self.percentile_ms(95.0)
+    }
+
+    /// Fastest repetition (0.0 when empty).
+    pub fn min_ms(&self) -> f64 {
+        if self.samples_ms.is_empty() {
+            return 0.0;
+        }
+        self.samples_ms.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Repetitions timed.
+    pub fn reps(&self) -> usize {
+        self.samples_ms.len()
+    }
+}
+
+/// Times `f` for `reps` repetitions (after one untimed warm-up), keeping
+/// every sample. Prints a `name  median  p95  min` line and returns the
+/// measurement. The repetition count is the caller's — deterministic, not
+/// adaptive — so trajectory runs are comparable across commits.
+pub fn bench_repeated<R>(name: &str, reps: usize, mut f: impl FnMut() -> R) -> RepeatedMeasurement {
+    std::hint::black_box(f());
+    let mut samples_ms = Vec::with_capacity(reps.max(1));
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        samples_ms.push(start.elapsed().as_secs_f64() * 1_000.0);
+    }
+    let m = RepeatedMeasurement { samples_ms };
+    println!(
+        "bench {name:<48} median {:>10.3} ms p95 {:>10.3} ms min {:>10.3} ms ({} reps)",
+        m.median_ms(),
+        m.p95_ms(),
+        m.min_ms(),
+        m.reps()
+    );
+    m
+}
+
 fn fmt_duration(d: Duration) -> String {
     let nanos = d.as_nanos();
     if nanos < 10_000 {
@@ -83,6 +156,55 @@ mod tests {
         assert_eq!(m.iters, 5);
         assert_eq!(calls, 6, "one warm-up plus five timed iterations");
         assert!(m.min <= m.mean());
+    }
+
+    #[test]
+    fn bench_repeated_runs_and_measures() {
+        let mut calls = 0u32;
+        let m = bench_repeated("noop-repeated", 7, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(m.reps(), 7);
+        assert_eq!(calls, 8, "one warm-up plus seven timed repetitions");
+        assert!(m.min_ms() <= m.median_ms());
+        assert!(m.median_ms() <= m.p95_ms());
+    }
+
+    #[test]
+    fn percentiles_match_hand_computed_nearest_rank() {
+        // Ten samples 10..=100: nearest-rank median = ⌈0.5·10⌉ = 5th
+        // smallest = 50; p95 = ⌈0.95·10⌉ = 10th = 100; p90 = 9th = 90.
+        let m = RepeatedMeasurement {
+            samples_ms: vec![70.0, 10.0, 90.0, 30.0, 50.0, 100.0, 20.0, 40.0, 80.0, 60.0],
+        };
+        assert_eq!(m.median_ms(), 50.0);
+        assert_eq!(m.p95_ms(), 100.0);
+        assert_eq!(m.percentile_ms(90.0), 90.0);
+        assert_eq!(m.percentile_ms(100.0), 100.0);
+        assert_eq!(m.percentile_ms(1.0), 10.0);
+        assert_eq!(m.min_ms(), 10.0);
+
+        // Odd count: 5 samples, median = ⌈0.5·5⌉ = 3rd smallest.
+        let m = RepeatedMeasurement {
+            samples_ms: vec![5.0, 1.0, 4.0, 2.0, 3.0],
+        };
+        assert_eq!(m.median_ms(), 3.0);
+        assert_eq!(m.p95_ms(), 5.0);
+
+        // Single sample: every percentile is that sample.
+        let m = RepeatedMeasurement {
+            samples_ms: vec![42.0],
+        };
+        assert_eq!(m.median_ms(), 42.0);
+        assert_eq!(m.p95_ms(), 42.0);
+
+        // Empty: all zeros, no panic.
+        let m = RepeatedMeasurement { samples_ms: vec![] };
+        assert_eq!(m.median_ms(), 0.0);
+        assert_eq!(m.p95_ms(), 0.0);
+        assert_eq!(m.min_ms(), 0.0);
+        assert_eq!(m.reps(), 0);
     }
 
     #[test]

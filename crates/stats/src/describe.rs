@@ -29,9 +29,7 @@ impl RunningStats {
     /// Builds an accumulator from a slice in one pass.
     pub fn from_slice(values: &[f64]) -> Self {
         let mut s = Self::new();
-        for &v in values {
-            s.push(v);
-        }
+        s.push_slice(values);
         s
     }
 
@@ -47,6 +45,65 @@ impl RunningStats {
         if v > self.max {
             self.max = v;
         }
+    }
+
+    /// Adds a batch of observations — bit-identical to calling
+    /// [`push`](Self::push) on every element in slice order.
+    ///
+    /// The batch path walks the slice in fixed-width 8-element chunks. The
+    /// **reduction order is pinned to the element index**: the Welford
+    /// mean/M2 recurrence carries a loop dependency and is applied in
+    /// element order, and the order-insensitive min/max accumulators fold
+    /// their per-chunk lanes in lane order (lane = element index mod 8,
+    /// restarting each chunk), which is again element order. Splitting one
+    /// stream into any sequence of `push`/`push_slice` calls therefore
+    /// produces the same bits — the determinism contract batched
+    /// ingestion (and every thread count) relies on; see DESIGN.md
+    /// "Pinned reduction order".
+    pub fn push_slice(&mut self, values: &[f64]) {
+        let mut n = self.n;
+        let mut mean = self.mean;
+        let mut m2 = self.m2;
+        let mut min = self.min;
+        let mut max = self.max;
+        let mut chunks = values.chunks_exact(8);
+        for chunk in &mut chunks {
+            // Order-sensitive Welford recurrence: element order, hoisted
+            // into locals so the chunk loop keeps state in registers.
+            for &v in chunk {
+                n += 1;
+                let delta = v - mean;
+                mean += delta / n as f64;
+                m2 += delta * (v - mean);
+            }
+            // Order-insensitive range tracking: lanes fold in pinned lane
+            // order, free of the recurrence's dependency chain.
+            for &v in chunk {
+                if v < min {
+                    min = v;
+                }
+                if v > max {
+                    max = v;
+                }
+            }
+        }
+        for &v in chunks.remainder() {
+            n += 1;
+            let delta = v - mean;
+            mean += delta / n as f64;
+            m2 += delta * (v - mean);
+            if v < min {
+                min = v;
+            }
+            if v > max {
+                max = v;
+            }
+        }
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = min;
+        self.max = max;
     }
 
     /// Number of observations so far.
@@ -205,6 +262,32 @@ mod tests {
         assert_eq!(s.mean(), 7.5);
         assert_eq!(s.variance(), 0.0);
         assert_eq!(s.range(), 0.0);
+    }
+
+    #[test]
+    fn push_slice_is_bit_identical_to_element_pushes() {
+        // Chunk lengths straddling the 8-lane width, including empty and
+        // exactly-one-chunk slices; every split of the same stream must
+        // land on identical bits.
+        let data: Vec<f64> = (0..57)
+            .map(|i| ((i * 37 + 11) % 23) as f64 * 0.37 - 3.1)
+            .collect();
+        for len in [0usize, 1, 7, 8, 9, 16, 57] {
+            let mut scalar = RunningStats::new();
+            for &v in &data[..len] {
+                scalar.push(v);
+            }
+            let mut sliced = RunningStats::new();
+            sliced.push_slice(&data[..len]);
+            assert_eq!(scalar, sliced, "len={len}");
+            // And an uneven split at every point of the prefix.
+            for split in 0..=len {
+                let mut mixed = RunningStats::new();
+                mixed.push_slice(&data[..split]);
+                mixed.push_slice(&data[split..len]);
+                assert_eq!(scalar, mixed, "len={len} split={split}");
+            }
+        }
     }
 
     #[test]

@@ -15,10 +15,18 @@
 //!   in `O(1)` after `O(Δn)` ingestion.
 //! * [`VarKernel`] — two running summaries (raw outputs and their
 //!   squares), matching `var_estimate`'s interval-arithmetic construction.
-//! * [`OrderKernel`] — a sorted buffer of the prefix maintained by binary
-//!   insertion, so each quantile candidate costs amortized `O(Δn log n)`
-//!   (plus the memmove) instead of a full re-sort, with `F̂_k̂` found by
-//!   `partition_point` range search.
+//! * [`OrderKernel`] — a sorted buffer of the prefix. Single elements
+//!   insert by binary search; ladder steps bulk-ingest through
+//!   [`push_slice`](OrderKernel::push_slice), which sorts the `Δn` batch
+//!   and merges it in one backward pass — `O(Δn log Δn + n)` per step
+//!   instead of binary insertion's `O(Δn·n)` memmove — with `F̂_k̂` found
+//!   by `partition_point` range search.
+//!
+//! Every kernel also exposes a batched `push_slice` that is **bit-identical
+//! to element-wise `push`** for any chunking of the same stream: the
+//! reduction order is pinned to the element index (see DESIGN.md "Pinned
+//! reduction order"), so the §3.3.2 sweep can ingest each fraction step as
+//! one slice without perturbing a single output bit.
 //!
 //! **Determinism contract.** Every kernel feeds the *same state* through
 //! the *same formula code* as the batch estimator it mirrors:
@@ -60,6 +68,14 @@ impl MeanKernel {
     /// with the batch path).
     pub fn push(&mut self, v: f64) {
         self.stats.push(v);
+    }
+
+    /// Ingests a batch of outputs in sample order — bit-identical to
+    /// calling [`push`](Self::push) per element, via the pinned-order
+    /// chunked [`RunningStats::push_slice`] path (one call per
+    /// fraction-ladder step instead of one per frame).
+    pub fn push_slice(&mut self, values: &[f64]) {
+        self.stats.push_slice(values);
     }
 
     /// Outputs ingested so far.
@@ -133,6 +149,30 @@ impl VarKernel {
         self.squares.push(v * v);
     }
 
+    /// Ingests a batch of outputs in sample order — bit-identical to
+    /// per-element [`push`](Self::push). The two running summaries are
+    /// independent accumulators, so feeding the raw slice and then the
+    /// squared slice leaves exactly the per-element interleaved state;
+    /// squares are computed in fixed 8-wide chunks (`v·v` is elementwise,
+    /// so chunking cannot move a bit) and streamed through the same
+    /// pinned-order slice path.
+    pub fn push_slice(&mut self, values: &[f64]) {
+        self.raw.push_slice(values);
+        let mut sq = [0.0f64; 8];
+        let mut chunks = values.chunks_exact(8);
+        for chunk in &mut chunks {
+            for (s, &v) in sq.iter_mut().zip(chunk) {
+                *s = v * v;
+            }
+            self.squares.push_slice(&sq);
+        }
+        let rem = chunks.remainder();
+        for (s, &v) in sq.iter_mut().zip(rem) {
+            *s = v * v;
+        }
+        self.squares.push_slice(&sq[..rem.len()]);
+    }
+
     /// Outputs ingested so far.
     pub fn n(&self) -> usize {
         self.raw.n()
@@ -146,10 +186,11 @@ impl VarKernel {
 }
 
 /// Streaming kernel for the quantile (MAX/MIN/QUANTILE) estimators: a
-/// sorted multiset of the prefix maintained by binary insertion into a
-/// reused buffer.
+/// sorted multiset of the prefix in a reused buffer, maintained by binary
+/// insertion per element or sort-then-merge per batch.
 ///
-/// Each push costs `O(log n)` comparisons plus one `memmove`; each
+/// Each push costs `O(log n)` comparisons plus one `memmove` (a
+/// [`push_slice`](Self::push_slice) batch costs `O(Δn log Δn + n)`); each
 /// estimate costs `O(log n)` (order-statistic index plus `partition_point`
 /// frequency search) instead of the batch path's `O(n log n)` re-sort.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -182,6 +223,55 @@ impl OrderKernel {
         }
         let at = self.sorted.partition_point(|&x| x < v);
         self.sorted.insert(at, v);
+    }
+
+    /// Bulk ingest for one fraction-ladder step: sorts the incoming batch
+    /// and merges it with the maintained prefix in a single backward pass.
+    ///
+    /// Per-element binary insertion pays an `O(n)` memmove per push —
+    /// `O(Δn·n)` per ladder step, quadratic over a sweep. Sort-then-merge
+    /// pays `O(Δn log Δn + n)` and touches each resident element once.
+    ///
+    /// The resulting buffer is byte-identical to element-wise
+    /// [`push`](Self::push): a sorted multiset is fully determined by its
+    /// elements whenever values that compare equal are bit-identical
+    /// (true for model outputs — counts — and any NaN-free ladder without
+    /// a mixed-sign zero; NaNs are tallied, never inserted, on both
+    /// paths).
+    pub fn push_slice(&mut self, values: &[f64]) {
+        match values {
+            [] => return,
+            [v] => return self.push(*v),
+            _ => {}
+        }
+        let mut batch: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        self.non_finite += values.len() - batch.len();
+        if batch.is_empty() {
+            return;
+        }
+        batch.sort_by(|a, b| a.partial_cmp(b).expect("finite batch"));
+        let old_len = self.sorted.len();
+        // Fast path: the batch lands entirely past the resident prefix
+        // (also covers an empty prefix).
+        if old_len == 0 || batch[0] >= self.sorted[old_len - 1] {
+            self.sorted.extend_from_slice(&batch);
+            return;
+        }
+        // Backward in-place merge of the resident run and the batch.
+        self.sorted.resize(old_len + batch.len(), 0.0);
+        let mut i = old_len;
+        let mut j = batch.len();
+        let mut k = self.sorted.len();
+        while j > 0 {
+            k -= 1;
+            if i > 0 && self.sorted[i - 1] > batch[j - 1] {
+                i -= 1;
+                self.sorted[k] = self.sorted[i];
+            } else {
+                j -= 1;
+                self.sorted[k] = batch[j];
+            }
+        }
     }
 
     /// Outputs ingested so far (including any non-finite ones).
@@ -320,5 +410,72 @@ mod tests {
         assert!(MeanKernel::new().avg(10, 0.05).is_err());
         assert!(VarKernel::new().estimate(10, 0.05).is_err());
         assert!(OrderKernel::new().quantile(10, 0.5, 0.05, Extreme::Max).is_err());
+    }
+
+    #[test]
+    fn mean_and_var_push_slice_bit_identical_to_pushes() {
+        let data = outputs(6, 123);
+        for len in [0usize, 1, 7, 8, 9, 16, 123] {
+            for split in [0, len / 3, len] {
+                let mut mean_scalar = MeanKernel::new();
+                let mut var_scalar = VarKernel::new();
+                for &v in &data[..len] {
+                    mean_scalar.push(v);
+                    var_scalar.push(v);
+                }
+                let mut mean_sliced = MeanKernel::new();
+                mean_sliced.push_slice(&data[..split]);
+                mean_sliced.push_slice(&data[split..len]);
+                let mut var_sliced = VarKernel::new();
+                var_sliced.push_slice(&data[..split]);
+                var_sliced.push_slice(&data[split..len]);
+                assert_eq!(mean_scalar, mean_sliced, "mean len={len} split={split}");
+                assert_eq!(var_scalar, var_sliced, "var len={len} split={split}");
+            }
+        }
+    }
+
+    #[test]
+    fn order_push_slice_merge_byte_identical_to_insertion() {
+        // Heavy ties (integer counts in 0..9) are exactly the model-output
+        // regime; the merged buffer must match binary insertion bitwise,
+        // including a non-finite mixed in via both paths.
+        let data = outputs(7, 300);
+        let rungs = [0usize, 1, 2, 9, 10, 47, 160, 161, 300];
+        let mut merged = OrderKernel::new();
+        let mut inserted = OrderKernel::new();
+        for w in rungs.windows(2) {
+            merged.push_slice(&data[w[0]..w[1]]);
+            for &v in &data[w[0]..w[1]] {
+                inserted.push(v);
+            }
+            assert_eq!(merged, inserted, "prefix {}..{}", w[0], w[1]);
+            assert_eq!(
+                merged.sorted().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                inserted.sorted().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            );
+        }
+        let with_nan = [f64::NAN, 3.0, f64::INFINITY, 1.0];
+        merged.push_slice(&with_nan);
+        for &v in &with_nan {
+            inserted.push(v);
+        }
+        assert_eq!(merged, inserted);
+        assert_eq!(merged.n(), data.len() + with_nan.len());
+    }
+
+    #[test]
+    fn order_push_slice_fast_append_path() {
+        // A batch strictly past the resident prefix must take the
+        // extend-only path and still match insertion.
+        let mut merged = OrderKernel::new();
+        merged.push_slice(&[1.0, 0.0, 2.0]);
+        merged.push_slice(&[5.0, 3.0, 4.0]);
+        let mut inserted = OrderKernel::new();
+        for v in [1.0, 0.0, 2.0, 5.0, 3.0, 4.0] {
+            inserted.push(v);
+        }
+        assert_eq!(merged, inserted);
+        assert_eq!(merged.sorted(), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
     }
 }

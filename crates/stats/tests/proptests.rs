@@ -218,3 +218,124 @@ proptest! {
         }
     }
 }
+
+// --- Batched `push_slice`: bit-identity with element-wise `push` ---
+//
+// The pinned-reduction-order contract (DESIGN.md): for any NaN-free ladder
+// and any chunking of the same stream, the batched path must land on the
+// same bits as per-element pushes — this is what lets the §3.3.2 sweep
+// ingest whole fraction steps without perturbing goldens.
+
+fn ladder(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec((0u32..100).prop_map(f64::from), 0..max_len + 1)
+}
+
+proptest! {
+    #[test]
+    fn push_slice_bit_identical_at_chunk_boundary_lengths(
+        data in ladder(4_096),
+    ) {
+        // Prefix lengths straddling the 8-lane chunk width, plus the full
+        // (up to 4096) random length.
+        for len in [0usize, 1, 7, 8, 9, data.len()] {
+            let len = len.min(data.len());
+            let mut mean_ref = MeanKernel::new();
+            let mut var_ref = VarKernel::new();
+            let mut order_ref = OrderKernel::new();
+            for &v in &data[..len] {
+                mean_ref.push(v);
+                var_ref.push(v);
+                order_ref.push(v);
+            }
+            let mut mean_sl = MeanKernel::new();
+            let mut var_sl = VarKernel::new();
+            let mut order_sl = OrderKernel::new();
+            mean_sl.push_slice(&data[..len]);
+            var_sl.push_slice(&data[..len]);
+            order_sl.push_slice(&data[..len]);
+            prop_assert_eq!(mean_ref, mean_sl, "mean len={}", len);
+            prop_assert_eq!(var_ref, var_sl, "var len={}", len);
+            prop_assert_eq!(&order_ref, &order_sl, "order len={}", len);
+            let bits = |k: &OrderKernel| -> Vec<u64> {
+                k.sorted().iter().map(|v| v.to_bits()).collect()
+            };
+            prop_assert_eq!(bits(&order_ref), bits(&order_sl), "order bits len={}", len);
+        }
+    }
+
+    #[test]
+    fn push_slice_bit_identical_at_random_split_points(
+        data in ladder(1_024),
+        split_frac in 0.0f64..=1.0,
+    ) {
+        // One stream, two slices split anywhere: same bits as one slice,
+        // and as per-element pushes.
+        let split = ((split_frac * data.len() as f64) as usize).min(data.len());
+        let mut mean_ref = MeanKernel::new();
+        let mut var_ref = VarKernel::new();
+        let mut order_ref = OrderKernel::new();
+        for &v in &data {
+            mean_ref.push(v);
+            var_ref.push(v);
+            order_ref.push(v);
+        }
+        let mut mean_sp = MeanKernel::new();
+        let mut var_sp = VarKernel::new();
+        let mut order_sp = OrderKernel::new();
+        for part in [&data[..split], &data[split..]] {
+            mean_sp.push_slice(part);
+            var_sp.push_slice(part);
+            order_sp.push_slice(part);
+        }
+        prop_assert_eq!(mean_ref, mean_sp, "mean split={}", split);
+        prop_assert_eq!(var_ref, var_sp, "var split={}", split);
+        prop_assert_eq!(&order_ref, &order_sp, "order split={}", split);
+        if !data.is_empty() {
+            let population = data.len() * 2;
+            prop_assert_eq!(
+                mean_ref.avg(population, 0.05).unwrap(),
+                mean_sp.avg(population, 0.05).unwrap()
+            );
+            prop_assert_eq!(
+                var_ref.estimate(population, 0.05).unwrap(),
+                var_sp.estimate(population, 0.05).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn order_merge_byte_identical_to_insertion_on_heavy_ties(
+        data in proptest::collection::vec((0u32..4).prop_map(f64::from), 1..2_049),
+        split_frac in 0.0f64..=1.0,
+        r in 0.05f64..0.95,
+    ) {
+        // Values drawn from {0,1,2,3}: long runs of exact ties, the model-
+        // output regime where merge order could plausibly diverge from
+        // insertion order. F̂/quantile estimates and the sorted buffer
+        // must match bitwise.
+        let split = ((split_frac * data.len() as f64) as usize).min(data.len());
+        let mut inserted = OrderKernel::new();
+        for &v in &data {
+            inserted.push(v);
+        }
+        let mut merged = OrderKernel::with_capacity(data.len());
+        merged.push_slice(&data[..split]);
+        merged.push_slice(&data[split..]);
+        prop_assert_eq!(&inserted, &merged);
+        let bits = |k: &OrderKernel| -> Vec<u64> {
+            k.sorted().iter().map(|v| v.to_bits()).collect()
+        };
+        prop_assert_eq!(bits(&inserted), bits(&merged));
+        let population = data.len() * 2;
+        for &extreme in &[Extreme::Max, Extreme::Min] {
+            prop_assert_eq!(
+                inserted.quantile(population, r, 0.05, extreme).unwrap(),
+                merged.quantile(population, r, 0.05, extreme).unwrap()
+            );
+        }
+        prop_assert_eq!(
+            inserted.stein(population, r, 0.05).unwrap(),
+            merged.stein(population, r, 0.05).unwrap()
+        );
+    }
+}

@@ -177,6 +177,143 @@ fn chaos_matrix_replays_byte_identically() {
 }
 
 #[test]
+fn batched_slice_ingestion_splits_survivor_gaps_correctly() {
+    // Ingestion is now batched per ladder rung: each rung's survivors
+    // arrive as one slice through `AggregateKernel::extend`. Faulted
+    // frames leave gaps inside a rung, so the slice must contain exactly
+    // that rung's survivors — the batched kernel state has to match a
+    // per-element twin (one fetch per sample position) bit-for-bit, and
+    // both have to match the batch estimator over the survivor list.
+    use smokescreen::core::{estimate_from_outputs, AggregateKernel};
+    use smokescreen::degrade::{DegradedView, InterventionSet};
+    use smokescreen::models::{OutputCache, RetryPolicy};
+
+    let fx = fixture(DatasetPreset::Detrac);
+    let restrictions = RestrictionIndex::from_ground_truth(&fx.corpus, &[ObjectClass::Person]);
+    let view = DegradedView::new(&fx.corpus, InterventionSet::sampling(0.4), &restrictions, 7)
+        .expect("valid view");
+    let population = fx.corpus.len();
+    for rate in [0.0, 0.05] {
+        let plan = FaultPlan::new(0xfa_17, rate);
+        for agg in [
+            Aggregate::Avg,
+            Aggregate::Max { r: 0.99 },
+            Aggregate::Quantile { r: 0.5 },
+        ] {
+            // Two caches with the same plan: fault outcomes are keyed on
+            // the call, not on cache history, so the slice-fetching and
+            // element-fetching twins see identical losses.
+            let slice_cache =
+                OutputCache::with_faults(fx.detector.as_ref(), plan, RetryPolicy::default());
+            let elem_cache =
+                OutputCache::with_faults(fx.detector.as_ref(), plan, RetryPolicy::default());
+            let mut sliced = AggregateKernel::new(agg);
+            let mut pushed = AggregateKernel::new(agg);
+            let mut survivors = Vec::new();
+            let mut lost = 0usize;
+            let rungs = [0usize, 41, 160, 161, 400, view.len()];
+            for w in rungs.windows(2) {
+                let part =
+                    view.try_outputs_cached_range(&slice_cache, ObjectClass::Car, w[0]..w[1]);
+                sliced.extend(&part.values);
+                lost += part.lost;
+                for i in w[0]..w[1] {
+                    let one =
+                        view.try_outputs_cached_range(&elem_cache, ObjectClass::Car, i..i + 1);
+                    for &v in &one.values {
+                        pushed.push(v);
+                    }
+                    survivors.extend(one.values);
+                }
+                assert_eq!(
+                    sliced.n(),
+                    survivors.len(),
+                    "rate {rate} {}: rung {}..{} slice must hold exactly the survivors",
+                    agg.name(),
+                    w[0],
+                    w[1]
+                );
+                if survivors.is_empty() {
+                    continue;
+                }
+                let batched = sliced.estimate(population, 0.05).unwrap();
+                assert_eq!(
+                    batched,
+                    pushed.estimate(population, 0.05).unwrap(),
+                    "rate {rate} {}: slice and element paths diverged at {}..{}",
+                    agg.name(),
+                    w[0],
+                    w[1]
+                );
+                assert_eq!(
+                    batched,
+                    estimate_from_outputs(agg, &survivors, population, 0.05).unwrap(),
+                    "rate {rate} {}: batched kernel diverged from batch estimator",
+                    agg.name()
+                );
+            }
+            if rate > 0.0 {
+                assert!(lost > 0, "a {rate} plan must lose frames over 600 fetches");
+            } else {
+                assert_eq!(lost, 0, "zero-rate plan must lose nothing");
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_slice_path_replays_for_order_aggregates_across_threads() {
+    // Generation-level twin of the test above: MAX profiles (OrderKernel
+    // merge ingest) under fault rate {0, 0.05} must stay byte-identical
+    // at 1/2/8 workers.
+    let fx = fixture(DatasetPreset::Detrac);
+    let restrictions = RestrictionIndex::from_ground_truth(&fx.corpus, &[ObjectClass::Person]);
+    let workload = Workload {
+        corpus: &fx.corpus,
+        detector: fx.detector.as_ref(),
+        class: ObjectClass::Car,
+        aggregate: Aggregate::Max { r: 0.99 },
+        delta: 0.05,
+    };
+    let run = |threads: usize, faults: Option<FaultPlan>| {
+        ProfileGenerator::new(
+            &workload,
+            &restrictions,
+            GeneratorConfig {
+                seed: 7,
+                threads,
+                faults,
+                ..GeneratorConfig::default()
+            },
+        )
+        .generate(&fx.grid, None)
+        .unwrap()
+    };
+    for rate in [0.0, 0.05] {
+        let plan = FaultPlan::new(0xfa_17, rate);
+        let (reference, ref_report) = run(1, Some(plan));
+        let reference_bytes = reference.to_json().unwrap();
+        assert!(!reference.is_empty(), "rate {rate}");
+        if rate > 0.0 {
+            assert!(ref_report.frames_lost > 0, "rate {rate}: plan must fire");
+        }
+        for threads in [2usize, 8] {
+            let (profile, report) = run(threads, Some(plan));
+            assert_eq!(
+                profile.to_json().unwrap(),
+                reference_bytes,
+                "rate {rate}: MAX profile diverged at {threads} threads"
+            );
+            assert_eq!(
+                chaos_fields(&report),
+                chaos_fields(&ref_report),
+                "rate {rate}: fault accounting diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
 fn survivors_never_outnumber_requests_and_losses_reconcile() {
     // Degradation bookkeeping across the matrix: every emitted point
     // estimates from no more frames than the fault-free twin, and cells

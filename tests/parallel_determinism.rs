@@ -101,6 +101,51 @@ fn profiles_are_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn slice_ingested_order_aggregates_are_thread_count_independent() {
+    // Ingestion is batched per fraction rung (`AggregateKernel::extend` →
+    // kernel `push_slice`), and the OrderKernel rewrites each rung via
+    // sort-then-merge. MAX and MEDIAN sweeps drive that merge path inside
+    // parallel cells; profiles must stay byte-identical at any worker
+    // count, exactly like the AVG path above.
+    let fx = fixture(DatasetPreset::Detrac);
+    let restrictions = RestrictionIndex::from_ground_truth(&fx.corpus, &[ObjectClass::Person]);
+    for aggregate in [Aggregate::Max { r: 0.99 }, Aggregate::Quantile { r: 0.5 }] {
+        let workload = Workload {
+            corpus: &fx.corpus,
+            detector: fx.detector.as_ref(),
+            class: ObjectClass::Car,
+            aggregate,
+            delta: 0.05,
+        };
+        let run = |threads: usize| {
+            ProfileGenerator::new(
+                &workload,
+                &restrictions,
+                GeneratorConfig {
+                    seed: 7,
+                    threads,
+                    ..GeneratorConfig::default()
+                },
+            )
+            .generate(&fx.grid, None)
+            .unwrap()
+        };
+        let (reference, _) = run(1);
+        let reference_bytes = reference.to_json().unwrap();
+        assert!(!reference.is_empty());
+        for threads in [2usize, 8] {
+            let (profile, _) = run(threads);
+            assert_eq!(
+                profile.to_json().unwrap(),
+                reference_bytes,
+                "{} profile diverged at {threads} threads",
+                aggregate.name()
+            );
+        }
+    }
+}
+
+#[test]
 fn early_stopping_decisions_are_thread_count_independent() {
     // Early stopping reads the previous candidate's bound, which is why
     // the in-cell sweep stays sequential; the skip counts must therefore
