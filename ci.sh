@@ -100,6 +100,17 @@ if ./target/release/trajectory check \
 fi
 echo "trajectory smoke + schema + regression gate ok"
 
+echo "=== content-fault robustness: smoke audit matrix + schema gate ==="
+# One kind (glare) × one rate × both corpora, 12 trials/cell: the
+# bound-soundness invariants (δ=1e-6 sweep never violated, nominal
+# coverage vs the perturbed truth, zero drift false positives) must hold
+# on every commit, and the emitted ROBUST_*.json must match the
+# structural schema golden. The full matrix lives in
+# bench_results/ROBUST_7.json (see EXPERIMENTS.md to regenerate).
+./target/release/robust run --smoke --pr 7 --out "$trajdir" \
+  --schema-golden tests/golden/content_shift_schema.json
+echo "robust smoke audit ok"
+
 echo "=== determinism cross-check: fig4 CSVs @ 1 vs 8 workers ==="
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir" "$trajdir"' EXIT
@@ -122,3 +133,21 @@ for f in tests/golden/fig4_*.csv; do
   diff "$f" "$tmpdir/golden/$(basename "$f")"
 done
 echo "fig4 output identical to committed goldens"
+
+echo "=== perturbation inertness: zero-rate plan vs committed fig4 goldens ==="
+# An armed-but-zero-rate content-fault plan (SMOKESCREEN_PERTURB_RATE=0
+# with a seed and kind set) routes every experiment fixture through
+# PerturbPlan::apply, which must return the corpus unchanged — the same
+# inertness contract the chaos knobs honor above. Any byte drift against
+# the committed fig4 goldens means the perturbation stack leaks into the
+# clean path.
+env -u SMOKESCREEN_CHECKPOINT_DIR SMOKESCREEN_FAULT_RATE=0 \
+  SMOKESCREEN_PERTURB_SEED=7 SMOKESCREEN_PERTURB_RATE=0 SMOKESCREEN_PERTURB_KIND=glare \
+  ./target/release/repro fig4 fig6 --quick --seed 42 --threads 8 --out "$tmpdir/perturb0" >/dev/null
+for f in tests/golden/fig4_*.csv tests/golden/fig6_*.csv; do
+  diff "$f" "$tmpdir/perturb0/$(basename "$f")"
+done
+# The crash-resume goldens must survive an armed zero-rate plan too.
+SMOKESCREEN_PERTURB_SEED=7 SMOKESCREEN_PERTURB_RATE=0 SMOKESCREEN_PERTURB_KIND=glare \
+  cargo test -q --offline --test crash_resume
+echo "zero-rate perturbation plan is byte-invisible"

@@ -13,6 +13,7 @@
 #![warn(clippy::all)]
 
 pub mod figures;
+pub mod robust;
 pub mod table;
 pub mod trajectory;
 pub mod workloads;

@@ -65,10 +65,19 @@ pub struct Bench {
 
 impl Bench {
     /// Builds the fixture for a dataset/model pair.
+    ///
+    /// Honors the `SMOKESCREEN_PERTURB_*` content-fault knobs: with a
+    /// plan configured in the environment, every experiment fixture is
+    /// built over the perturbed corpus — which is what makes the env
+    /// knobs real end to end, and what the zero-rate golden re-diff in
+    /// `ci.sh` proves inert.
     pub fn new(dataset: DatasetPreset, model: ModelKind, cfg: &RunConfig) -> Self {
         let mut corpus = dataset.generate(cfg.seed);
         if let Some(cap) = cfg.corpus_cap() {
             corpus = corpus.slice(0, cap);
+        }
+        if let Some(plan) = smokescreen_video::PerturbPlan::from_env() {
+            corpus = plan.apply(&corpus);
         }
         let detector = model.build(cfg.seed);
         let restrictions = RestrictionIndex::from_ground_truth(

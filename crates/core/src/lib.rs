@@ -46,9 +46,13 @@ pub use estimate::{
     estimate_from_outputs, result_error_est, true_relative_error, Aggregate, AggregateKernel,
     Estimate, Workload,
 };
-pub use generation::{GenerationReport, GeneratorConfig, ProfileGenerator};
+pub use generation::{DriftProbe, GenerationReport, GeneratorConfig, ProfileGenerator};
 pub use profile::{Profile, ProfilePoint};
 pub use repair::corrected_bound;
+pub use similarity::{
+    drift_score, DriftBaseline, DriftReport, DriftScorer, DEFAULT_DRIFT_THRESHOLD,
+    DEFAULT_DRIFT_WINDOW,
+};
 pub use streaming::{StreamingEstimator, StreamingStatus};
 pub use system::Smokescreen;
 pub use tradeoff::{choose_tradeoff, DegradationObjective, Preferences};

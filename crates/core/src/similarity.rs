@@ -1,14 +1,34 @@
-//! Profile similarity (§3.3.1 fallback, §5.3.2 experiment).
+//! Profile similarity (§3.3.1 fallback, §5.3.2 experiment) and
+//! content-drift scoring.
 //!
 //! When not even a random-intervention correction set is permissible on
 //! the query video, an administrator can profile a *similar but less
 //! sensitive* video and transfer the curves. This module quantifies how
 //! close two profiles are by aligning their points on matching
 //! intervention sets and diffing the bounds.
+//!
+//! The second half of the module is an AQuA-style **drift score**: a
+//! profile's bounds assume upcoming video is drawn from the same
+//! distribution the profile was calibrated on, and the scorer detects
+//! when it is not. It maintains a windowed divergence of the kernel
+//! summary statistic (the window mean of model outputs) against a
+//! profiled [`DriftBaseline`]: each consecutive window of the live stream
+//! is scored as `|window_mean − baseline_mean| / baseline_spread`, where
+//! the spread is measured **empirically from the baseline's own window
+//! means** — under temporal autocorrelation (cars persist across frames;
+//! UA-DETRAC-style sequence multipliers) the i.i.d. `σ/√W` prediction
+//! underestimates the real spread several-fold and would flood the score
+//! with false positives. A window scoring above the threshold is flagged;
+//! [`GenerationReport`](crate::generation::GenerationReport) surfaces the
+//! max score and flag count when a
+//! [`DriftProbe`](crate::generation::GeneratorConfig) is configured.
 
+use smokescreen_stats::describe::{windowed_means, RunningStats};
 use smokescreen_video::{ObjectClass, Resolution};
 
+use crate::estimate::Aggregate;
 use crate::profile::Profile;
+use crate::streaming::StreamingEstimator;
 
 /// A matched pair of profile points and their bound difference.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,6 +114,157 @@ fn same_classes(a: &[ObjectClass], b: &[ObjectClass]) -> bool {
     a.len() == b.len() && a.iter().all(|c| b.contains(c))
 }
 
+/// Default scoring window, in frames. At 30 fps this is ~8.5 s of video —
+/// long enough to average over per-frame detector noise, short enough to
+/// catch a mid-stream regime change within seconds.
+pub const DEFAULT_DRIFT_WINDOW: usize = 256;
+
+/// Default flagging threshold on the drift score (a z-like statistic in
+/// units of baseline window-mean spread). Tuned on both synthetic corpora:
+/// clean streams stay comfortably below it across seeds while prevalence
+/// drift clears it several-fold (see `tests/content_shift.rs`).
+pub const DEFAULT_DRIFT_THRESHOLD: f64 = 4.0;
+
+/// Profiled reference statistics the drift score diverges from.
+///
+/// Built once from the baseline stream's model outputs (the same outputs
+/// profile generation already computes), then carried as plain data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftBaseline {
+    /// Scoring window length, in outputs.
+    pub window: usize,
+    /// Mean of the baseline's non-overlapping window means.
+    pub mean: f64,
+    /// Empirical spread (sample std-dev) of those window means, floored
+    /// by the i.i.d. `σ/√W` prediction so a fluke-flat baseline cannot
+    /// produce a divide-by-near-zero score.
+    pub spread: f64,
+}
+
+impl DriftBaseline {
+    /// Profiles a baseline from a stream of model outputs. Returns `None`
+    /// when the stream holds fewer than two full windows — a spread
+    /// measured from one window mean is no spread at all.
+    pub fn from_outputs(outputs: &[f64], window: usize) -> Option<Self> {
+        let means = windowed_means(outputs, window);
+        if means.len() < 2 {
+            return None;
+        }
+        let of_means = RunningStats::from_slice(&means);
+        let per_frame = RunningStats::from_slice(outputs);
+        let iid_floor = per_frame.std_dev() / (window as f64).sqrt();
+        let abs_floor = 1e-6 * (1.0 + of_means.mean().abs());
+        Some(DriftBaseline {
+            window,
+            mean: of_means.mean(),
+            spread: of_means.sample_std_dev().max(iid_floor).max(abs_floor),
+        })
+    }
+
+    /// The drift score of one window mean: divergence from the baseline
+    /// mean in units of baseline spread.
+    pub fn score(&self, window_mean: f64) -> f64 {
+        (window_mean - self.mean).abs() / self.spread
+    }
+}
+
+/// Outcome of scoring a stream against a [`DriftBaseline`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DriftReport {
+    /// Windows scored (including a final partial window of at least half
+    /// length).
+    pub windows_scored: usize,
+    /// Windows whose score exceeded the threshold.
+    pub windows_flagged: usize,
+    /// Largest window score observed (0 when nothing was scored).
+    pub max_score: f64,
+}
+
+impl DriftReport {
+    /// Whether any window crossed the threshold.
+    pub fn flagged(&self) -> bool {
+        self.windows_flagged > 0
+    }
+}
+
+/// Streaming drift scorer: feeds consecutive windows of model outputs
+/// through a reused [`StreamingEstimator`] kernel and scores each against
+/// the baseline.
+///
+/// The estimator is the same machinery online query estimation uses — the
+/// window mean is its `Y_approx` over a window-sized population — reset
+/// between windows via
+/// [`reset_baseline`](StreamingEstimator::reset_baseline) rather than
+/// duplicated kernel state.
+#[derive(Debug, Clone)]
+pub struct DriftScorer {
+    baseline: DriftBaseline,
+    threshold: f64,
+    estimator: StreamingEstimator,
+    report: DriftReport,
+}
+
+impl DriftScorer {
+    /// Creates a scorer flagging windows whose score exceeds `threshold`.
+    pub fn new(baseline: DriftBaseline, threshold: f64) -> Self {
+        let estimator = StreamingEstimator::new(Aggregate::Avg, baseline.window, 0.05);
+        DriftScorer {
+            baseline,
+            threshold,
+            estimator,
+            report: DriftReport::default(),
+        }
+    }
+
+    /// Ingests one model output in stream order, scoring (and resetting)
+    /// whenever a window fills.
+    pub fn push(&mut self, output: f64) {
+        self.estimator
+            .push(output)
+            .expect("AVG estimation over a bounded window cannot fail");
+        if self.estimator.len() >= self.baseline.window {
+            self.score_current_window();
+            self.estimator.reset_baseline();
+        }
+    }
+
+    /// Scores a final partial window (if it holds at least half a window
+    /// of outputs — shorter tails are too noisy to judge) and returns the
+    /// accumulated report.
+    pub fn finish(mut self) -> DriftReport {
+        if self.estimator.len() >= self.baseline.window.div_ceil(2) {
+            self.score_current_window();
+        }
+        self.report
+    }
+
+    fn score_current_window(&mut self) {
+        let mean = self
+            .estimator
+            .estimate()
+            .expect("AVG estimation over a bounded window cannot fail")
+            .y_approx();
+        let score = self.baseline.score(mean);
+        self.report.windows_scored += 1;
+        if score > self.threshold {
+            self.report.windows_flagged += 1;
+        }
+        if score > self.report.max_score {
+            self.report.max_score = score;
+        }
+    }
+}
+
+/// Scores a whole stream at once — the batch convenience over
+/// [`DriftScorer`].
+pub fn drift_score(baseline: &DriftBaseline, outputs: &[f64], threshold: f64) -> DriftReport {
+    let mut scorer = DriftScorer::new(*baseline, threshold);
+    for &v in outputs {
+        scorer.push(v);
+    }
+    scorer.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,5 +318,77 @@ mod tests {
         let d = profile_difference(&a, &b);
         assert!(d.is_empty());
         assert_eq!(d.mean_abs_difference(), 0.0);
+    }
+
+    /// A deterministic noisy stream around `level` (LCG, no global rng).
+    fn noisy_stream(n: usize, level: f64, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                level + ((state >> 33) % 7) as f64 - 3.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn baseline_needs_two_full_windows() {
+        assert!(DriftBaseline::from_outputs(&noisy_stream(100, 5.0, 1), 64).is_none());
+        assert!(DriftBaseline::from_outputs(&noisy_stream(128, 5.0, 1), 64).is_some());
+        assert!(DriftBaseline::from_outputs(&[], 64).is_none());
+    }
+
+    #[test]
+    fn baseline_spread_never_collapses() {
+        // A perfectly constant stream still gets a positive spread (the
+        // absolute floor), so scoring can never divide by zero.
+        let constant = vec![3.0; 1_024];
+        let b = DriftBaseline::from_outputs(&constant, 128).unwrap();
+        assert!(b.spread > 0.0);
+        assert_eq!(b.mean, 3.0);
+        assert_eq!(b.score(3.0), 0.0);
+        assert!(b.score(4.0).is_finite());
+    }
+
+    #[test]
+    fn clean_stream_scores_low_and_shifted_stream_flags() {
+        let baseline_outputs = noisy_stream(4_096, 5.0, 7);
+        let b = DriftBaseline::from_outputs(&baseline_outputs, 256).unwrap();
+
+        // A fresh stream from the same regime: no window flags.
+        let clean = drift_score(&b, &noisy_stream(4_096, 5.0, 8), DEFAULT_DRIFT_THRESHOLD);
+        assert!(clean.windows_scored >= 16);
+        assert!(!clean.flagged(), "clean max_score={}", clean.max_score);
+
+        // The same regime with the final third shifted up 2.5×: the tail
+        // windows must flag.
+        let mut drifted = noisy_stream(4_096, 5.0, 9);
+        for v in drifted.iter_mut().skip(2_730) {
+            *v *= 2.5;
+        }
+        let report = drift_score(&b, &drifted, DEFAULT_DRIFT_THRESHOLD);
+        assert!(report.flagged(), "drifted max_score={}", report.max_score);
+        assert!(report.max_score > clean.max_score * 2.0);
+    }
+
+    #[test]
+    fn scorer_streams_identically_to_batch_and_scores_partial_tail() {
+        let b = DriftBaseline::from_outputs(&noisy_stream(2_048, 4.0, 3), 128).unwrap();
+        let stream = noisy_stream(1_000, 4.0, 4);
+        let batch = drift_score(&b, &stream, DEFAULT_DRIFT_THRESHOLD);
+        let mut scorer = DriftScorer::new(b, DEFAULT_DRIFT_THRESHOLD);
+        for &v in &stream {
+            scorer.push(v);
+        }
+        assert_eq!(scorer.finish(), batch);
+        // 1000 = 7 full windows of 128 (896) + a 104-output tail ≥ 64:
+        // the tail is scored too.
+        assert_eq!(batch.windows_scored, 8);
+
+        // A tail shorter than half a window is dropped.
+        let short = drift_score(&b, &stream[..896 + 40], DEFAULT_DRIFT_THRESHOLD);
+        assert_eq!(short.windows_scored, 7);
     }
 }

@@ -112,6 +112,25 @@ impl StreamingEstimator {
     pub fn cached_estimate(&self) -> Option<&Estimate> {
         self.cached.as_ref()
     }
+
+    /// The outputs ingested since construction or the last
+    /// [`reset_baseline`](Self::reset_baseline) — the current window, in
+    /// arrival order.
+    pub fn window(&self) -> &[f64] {
+        &self.outputs
+    }
+
+    /// Clears the ingested window so the estimator can be reused for the
+    /// next span of the stream — the hook the content-drift scorer uses
+    /// to score consecutive windows against a profiled baseline without
+    /// duplicating kernel state. The aggregate, population, `δ`, and any
+    /// stopping target are retained; only the window (and its cached
+    /// estimate / refresh schedule) reset.
+    pub fn reset_baseline(&mut self) {
+        self.outputs.clear();
+        self.cached = None;
+        self.next_refresh = 2;
+    }
 }
 
 #[cfg(test)]
@@ -176,6 +195,33 @@ mod tests {
         assert_eq!(s.push(1.0).unwrap(), StreamingStatus::Collecting);
         assert_eq!(s.push(2.0).unwrap(), StreamingStatus::Collecting);
         assert_eq!(s.push(3.0).unwrap(), StreamingStatus::Exhausted);
+    }
+
+    #[test]
+    fn reset_baseline_reuses_kernel_state_across_windows() {
+        let mut s = StreamingEstimator::new(Aggregate::Avg, 100, 0.05);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            s.push(v).unwrap();
+        }
+        assert_eq!(s.window(), &[1.0, 2.0, 3.0, 4.0]);
+        let first = s.estimate().unwrap();
+
+        s.reset_baseline();
+        assert!(s.is_empty());
+        assert!(s.window().is_empty());
+        assert!(s.cached_estimate().is_none());
+        assert_eq!(s.status(), StreamingStatus::Collecting);
+
+        // The second window must behave exactly like a fresh estimator —
+        // same refresh schedule, same estimate for the same inputs.
+        let mut fresh = StreamingEstimator::new(Aggregate::Avg, 100, 0.05);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            s.push(v).unwrap();
+            fresh.push(v).unwrap();
+        }
+        assert_eq!(s.estimate().unwrap(), first);
+        assert_eq!(s.estimate().unwrap(), fresh.estimate().unwrap());
+        assert_eq!(s.cached_estimate(), fresh.cached_estimate());
     }
 
     #[test]

@@ -167,6 +167,26 @@ impl RunningStats {
     }
 }
 
+/// Means of consecutive **non-overlapping** full windows of `window`
+/// observations (a trailing partial window is dropped; `window == 0`
+/// yields nothing).
+///
+/// This is the summary the content-drift scorer baselines on: under
+/// temporal autocorrelation (cars persist across frames, UA-DETRAC-style
+/// sequence multipliers) the spread of window means is far wider than the
+/// i.i.d. `σ/√W` prediction, so the scorer measures that spread
+/// empirically from these values instead of deriving it from per-frame
+/// variance.
+pub fn windowed_means(values: &[f64], window: usize) -> Vec<f64> {
+    if window == 0 {
+        return Vec::new();
+    }
+    values
+        .chunks_exact(window)
+        .map(|chunk| RunningStats::from_slice(chunk).mean())
+        .collect()
+}
+
 /// A fixed-bin histogram over non-negative integer-valued model outputs.
 ///
 /// Used by the Figure 8 reproduction (predicted car-count distributions)
@@ -295,6 +315,16 @@ mod tests {
         let s = RunningStats::from_slice(&[1.0, 2.0, 3.0]);
         assert!((s.variance() - 2.0 / 3.0).abs() < 1e-12);
         assert!((s.sample_variance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windowed_means_drops_partial_tail() {
+        let data = [1.0, 3.0, 5.0, 7.0, 9.0, 11.0, 13.0];
+        assert_eq!(windowed_means(&data, 2), vec![2.0, 6.0, 10.0]);
+        assert_eq!(windowed_means(&data, 7), vec![7.0]);
+        assert_eq!(windowed_means(&data, 8), Vec::<f64>::new());
+        assert_eq!(windowed_means(&data, 0), Vec::<f64>::new());
+        assert_eq!(windowed_means(&[], 4), Vec::<f64>::new());
     }
 
     #[test]

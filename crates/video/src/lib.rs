@@ -23,9 +23,11 @@ pub mod codec;
 pub mod corpus;
 pub mod frame;
 pub mod object;
+pub mod perturb;
 pub mod raster;
 pub mod synth;
 
 pub use corpus::{CorpusStats, VideoCorpus};
 pub use frame::Frame;
 pub use object::{BBox, Object, ObjectClass, Resolution};
+pub use perturb::{PerturbKind, PerturbPlan, Perturbation};
