@@ -11,7 +11,7 @@
 # The suite runs twice — pinned to 1 worker and to 8 workers — because
 # parallel profile generation (rt::pool) promises bit-for-bit identical
 # output at any thread count. A final cross-check regenerates the fig4
-# CSVs at both worker counts and fails on any byte difference.
+# CSVs at 1, 8, and 16 workers and fails on any byte difference.
 #
 # The chaos suite then re-runs the generation stack under deterministic
 # fault injection (seeded FaultPlan via SMOKESCREEN_FAULT_SEED /
@@ -34,13 +34,15 @@ SMOKESCREEN_THREADS=1 cargo test -q --offline --workspace
 echo "=== test suite @ SMOKESCREEN_THREADS=8 ==="
 SMOKESCREEN_THREADS=8 cargo test -q --offline --workspace
 
-echo "=== chaos suite: fault rates {0, 0.05} x threads {1, 8} ==="
+echo "=== chaos suite: fault rates {0, 0.05} x threads {1, 8, 16} ==="
 # Deterministic fault injection: rate 0 must be byte-invisible; rate 0.05
 # must injure model calls yet replay byte-identically at any worker
-# count. The bound-validity chaos tests (5% and 20% rates) already ran in
-# the workspace suites above.
+# count — including 16 workers on the persistent pool, where helpers
+# outnumber cores and every job runs on warm threads. The bound-validity
+# chaos tests (5% and 20% rates) already ran in the workspace suites
+# above.
 for rate in 0 0.05; do
-  for threads in 1 8; do
+  for threads in 1 8 16; do
     echo "--- chaos @ rate=$rate threads=$threads ---"
     SMOKESCREEN_FAULT_SEED=42 SMOKESCREEN_FAULT_RATE=$rate \
       SMOKESCREEN_THREADS=$threads \
@@ -48,7 +50,7 @@ for rate in 0 0.05; do
   done
 done
 
-echo "=== crash-resume matrix: kill points {1, 3} x threads {1, 8} x fault rates {0, 0.05} ==="
+echo "=== crash-resume matrix: kill points {1, 3} x threads {1, 8, 16} x fault rates {0, 0.05} ==="
 # Crash-consistent checkpointing: a seeded CrashPlan kills generation at
 # deterministic journal commits (seed 1 tears a record mid-append, seed 3
 # dies after three separate durable appends); the suite reruns until the
@@ -58,7 +60,7 @@ echo "=== crash-resume matrix: kill points {1, 3} x threads {1, 8} x fault rates
 # may not depend on the kill point, the thread count, or how many times
 # the process died on the way.
 for crash_seed in 1 3; do
-  for threads in 1 8; do
+  for threads in 1 8 16; do
     for rate in 0 0.05; do
       echo "--- crash-resume @ seed=$crash_seed threads=$threads fault_rate=$rate ---"
       SMOKESCREEN_CRASH_SEED=$crash_seed SMOKESCREEN_CRASH_RATE=0.5 \
@@ -100,6 +102,16 @@ if ./target/release/trajectory check \
 fi
 echo "trajectory smoke + schema + regression gate ok"
 
+echo "=== perf trajectory: committed BENCH files stay comparable ==="
+# The committed PR-8 trajectory must still pass the threshold gate
+# against the committed PR-6 baseline (a /1-schema file — `load` accepts
+# it and defaults its missing alloc/scaling fields). This proves the
+# schema migration kept old baselines usable and that the committed
+# numbers carry no regression past the default threshold.
+./target/release/trajectory check \
+  --prev bench_results/BENCH_6.json --cur bench_results/BENCH_8.json >/dev/null
+echo "BENCH_6 -> BENCH_8 trajectory gate ok"
+
 echo "=== content-fault robustness: smoke audit matrix + schema gate ==="
 # One kind (glare) × one rate × both corpora, 12 trials/cell: the
 # bound-soundness invariants (δ=1e-6 sweep never violated, nominal
@@ -111,12 +123,14 @@ echo "=== content-fault robustness: smoke audit matrix + schema gate ==="
   --schema-golden tests/golden/content_shift_schema.json
 echo "robust smoke audit ok"
 
-echo "=== determinism cross-check: fig4 CSVs @ 1 vs 8 workers ==="
+echo "=== determinism cross-check: fig4 CSVs @ 1 vs 8 vs 16 workers ==="
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir" "$trajdir"' EXIT
 ./target/release/repro fig4 --quick --threads 1 --out "$tmpdir/t1" >/dev/null
 ./target/release/repro fig4 --quick --threads 8 --out "$tmpdir/t8" >/dev/null
+./target/release/repro fig4 --quick --threads 16 --out "$tmpdir/t16" >/dev/null
 diff -r "$tmpdir/t1" "$tmpdir/t8"
+diff -r "$tmpdir/t1" "$tmpdir/t16"
 echo "fig4 output identical across worker counts"
 
 echo "=== golden re-diff: fig4 CSVs vs committed snapshots (faults disabled) ==="

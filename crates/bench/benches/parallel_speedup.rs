@@ -6,13 +6,15 @@
 //! detectors here answer in nanoseconds, so to measure what `rt::pool`
 //! buys on the paper's actual bottleneck this bench wraps a detector in a
 //! fixed per-inference latency and times `ProfileGenerator::generate` at
-//! 1 vs. 4 workers. Sleeping inferences overlap across workers even on a
-//! single-core host, so the measured ratio reflects the deployment-shaped
-//! speedup rather than the host's core count.
+//! 1/2/4/8/16 workers. Sleeping inferences overlap across workers even on
+//! a single-core host, so the measured ratio reflects the
+//! deployment-shaped speedup rather than the host's core count.
 //!
 //! Results land in `bench_results/parallel_speedup.csv`; the test also
-//! asserts the PR's acceptance floor (≥ 2× at 4 workers) and that the
-//! parallel profile is byte-identical to the sequential one.
+//! asserts the scaling floors (≥2× at 4 workers, ≥2.5× at 8, ≥4× at 16 —
+//! the committed `BENCH_8.json` records the tighter full-run numbers)
+//! and that every parallel profile is byte-identical to the sequential
+//! one.
 
 use std::path::Path;
 use std::time::{Duration, Instant};
@@ -69,17 +71,18 @@ fn bench_parallel_generation_speedup() {
         aggregate: Aggregate::Avg,
         delta: 0.05,
     };
-    // Six resolutions × two combos = 12 cells; at 4 workers the heavy
-    // (cold-cache) resolution cells pack into ~2 waves vs. 6 sequential.
+    // Sixteen resolutions × two combos: enough heavy (cold-cache) cells
+    // that 16 workers still have candidate-level parallelism to consume,
+    // on top of the per-frame parallelism inside each cell.
     let grid = CandidateGrid::explicit(
         vec![0.02, 0.05, 0.1],
-        (1..=6).map(|i| Resolution::square(i * 96)).collect(),
+        (2..=17).map(|i| Resolution::square(i * 32)).collect(),
         vec![vec![], vec![ObjectClass::Person]],
     );
 
     let mut timed = Vec::new();
     let mut profiles = Vec::new();
-    for threads in [1usize, 4] {
+    for threads in [1usize, 2, 4, 8, 16] {
         let gen = ProfileGenerator::new(
             &workload,
             &restrictions,
@@ -101,14 +104,16 @@ fn bench_parallel_generation_speedup() {
         profiles.push(profile);
     }
 
-    assert_eq!(
-        profiles[0], profiles[1],
-        "parallel profile must be byte-identical to sequential"
-    );
+    for (i, profile) in profiles.iter().enumerate().skip(1) {
+        assert_eq!(
+            &profiles[0], profile,
+            "profile at {} workers must be byte-identical to sequential",
+            timed[i].0
+        );
+    }
 
-    let speedup = timed[0].1 / timed[1].1;
     let mut table = Table::new(
-        "Parallel profile generation: wall-clock vs. workers (300µs simulated inference latency, UA-DETRAC 1000 frames, 36-candidate grid)",
+        "Parallel profile generation: wall-clock vs. workers (300µs simulated inference latency, UA-DETRAC 1000 frames, 96-candidate grid)",
         &["threads", "wall_ms", "speedup_vs_seq"],
     );
     for &(threads, wall_ms) in &timed {
@@ -124,8 +129,20 @@ fn bench_parallel_generation_speedup() {
     println!("{}", table.render());
     println!("wrote {}", path.display());
 
-    assert!(
-        speedup >= 2.0,
-        "4 workers must be ≥2× over sequential on latency-bound inference, got {speedup:.2}×"
-    );
+    // Conservative in-test floors: shared CI hosts are noisy, so the
+    // tighter ISSUE 8 targets (≥2.8× at 8, ≥5× at 16) are gated on the
+    // committed full trajectory run instead (`trajectory` binary).
+    for (want_threads, floor) in [(4usize, 2.0), (8, 2.5), (16, 4.0)] {
+        let (_, wall) = timed
+            .iter()
+            .copied()
+            .find(|&(t, _)| t == want_threads)
+            .expect("bench ran this worker count");
+        let speedup = timed[0].1 / wall;
+        assert!(
+            speedup >= floor,
+            "{want_threads} workers must be ≥{floor}× over sequential on \
+             latency-bound inference, got {speedup:.2}×"
+        );
+    }
 }

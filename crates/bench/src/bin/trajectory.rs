@@ -113,19 +113,35 @@ fn cmd_run(args: &[String]) -> ExitCode {
         println!("schema matches {golden}");
     }
 
-    // Full runs must demonstrate the slice-path ingest win in the same
-    // file that records it (ISSUE 6 acceptance floor). Smoke corpora are
-    // too small for stable ratios.
+    // Full runs must demonstrate the slice-path ingest win (ISSUE 6
+    // acceptance floor) and the persistent-pool scaling curve plus the
+    // zero-alloc cell path (ISSUE 8) in the same file that records them.
+    // Smoke corpora are too small for stable ratios.
     if !config.smoke {
         let d = trajectory.derived;
-        for (name, v) in [
-            ("ingest_speedup_max", d.ingest_speedup_max),
-            ("ingest_speedup_median", d.ingest_speedup_median),
+        for (name, v, floor) in [
+            ("ingest_speedup_max", d.ingest_speedup_max, 1.5),
+            ("ingest_speedup_median", d.ingest_speedup_median, 1.5),
+            ("parallel_speedup_8w", d.parallel_speedup_8w, 2.8),
+            ("parallel_speedup_16w", d.parallel_speedup_16w, 5.0),
         ] {
-            if v < 1.5 {
-                eprintln!("trajectory: floor failed: {name} = {v:.2}× < 1.5×");
+            if v < floor {
+                eprintln!("trajectory: floor failed: {name} = {v:.2}× < {floor:.1}×");
                 return ExitCode::from(1);
             }
+        }
+        if let Some(cell) = trajectory.bench("cell_path_steady_ingest") {
+            if cell.alloc_count != 0 {
+                eprintln!(
+                    "trajectory: floor failed: cell_path_steady_ingest made {} steady-state \
+                     allocations ({} B); the cell path must be zero-alloc",
+                    cell.alloc_count, cell.alloc_bytes
+                );
+                return ExitCode::from(1);
+            }
+        } else {
+            eprintln!("trajectory: cell_path_steady_ingest bench missing from run");
+            return ExitCode::from(1);
         }
     }
 

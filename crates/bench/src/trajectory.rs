@@ -9,12 +9,16 @@
 //! throughput into a versioned JSON file via `rt::json`, and compares any
 //! two trajectory files under a configurable regression threshold.
 //!
-//! The file format is `smokescreen-trajectory/1`: a flat object with run
+//! The file format is `smokescreen-trajectory/2`: a flat object with run
 //! provenance (git revision, thread count, corpus) plus one entry per
 //! bench and a `derived` block of cross-bench speedup ratios. Every bench
-//! entry carries the same keys (`model_runs` is 0 where not applicable)
-//! so the schema golden in `tests/golden/trajectory_schema.json` pins the
-//! shape, not the values.
+//! entry carries the same keys (`model_runs` is 0 where not applicable;
+//! `alloc_count`/`alloc_bytes` record the steady-state heap traffic of
+//! the final timed repetition) so the schema golden in
+//! `tests/golden/trajectory_schema.json` pins the shape, not the values.
+//! `/1` files (PR ≤ 6) still load — their missing fields default to zero
+//! — so `trajectory check` can gate a `/2` run against a committed `/1`
+//! baseline.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -23,7 +27,9 @@ use std::time::{Duration, Instant};
 use smokescreen_core::{
     Aggregate, AggregateKernel, GenerationReport, GeneratorConfig, ProfileGenerator, Workload,
 };
-use smokescreen_degrade::{CandidateGrid, DegradedView, InterventionSet, RestrictionIndex};
+use smokescreen_degrade::{
+    CandidateGrid, DegradedView, InterventionSet, RangeOutputs, RestrictionIndex,
+};
 use smokescreen_models::{Detections, Detector, OutputCache, SimYoloV4};
 use smokescreen_rt::bench::{bench_repeated, RepeatedMeasurement};
 use smokescreen_rt::json::{FromJson, Json, JsonError, ToJson};
@@ -33,7 +39,13 @@ use smokescreen_video::{Frame, ObjectClass, Resolution, VideoCorpus};
 use crate::table::{fmt, Table};
 
 /// Schema tag written into every trajectory file; bump on shape changes.
-pub const SCHEMA: &str = "smokescreen-trajectory/1";
+pub const SCHEMA: &str = "smokescreen-trajectory/2";
+
+/// The previous schema tag. [`Trajectory::load`] still accepts it so the
+/// regression gate can compare against baselines recorded before the
+/// alloc-count and scaling-curve fields existed; absent fields default
+/// to zero on read.
+pub const SCHEMA_V1: &str = "smokescreen-trajectory/1";
 
 /// Environment variable overriding the timed repetition count.
 pub const REPS_ENV: &str = "SMOKESCREEN_BENCH_REPS";
@@ -134,6 +146,12 @@ pub struct BenchResult {
     pub throughput_unit: String,
     /// Model invocations per repetition (0 when the bench runs no model).
     pub model_runs: usize,
+    /// Heap allocations on the bench thread during the final (steady-
+    /// state) timed repetition — the number the zero-alloc cell-path
+    /// contract gates on.
+    pub alloc_count: u64,
+    /// Bytes requested by those steady-state allocations.
+    pub alloc_bytes: u64,
 }
 
 impl BenchResult {
@@ -158,6 +176,8 @@ impl BenchResult {
             },
             throughput_unit: unit.to_string(),
             model_runs,
+            alloc_count: m.steady_allocs.count,
+            alloc_bytes: m.steady_allocs.bytes,
         }
     }
 }
@@ -173,6 +193,8 @@ impl ToJson for BenchResult {
             ("throughput_per_s", self.throughput_per_s.to_json()),
             ("throughput_unit", self.throughput_unit.to_json()),
             ("model_runs", self.model_runs.to_json()),
+            ("alloc_count", self.alloc_count.to_json()),
+            ("alloc_bytes", self.alloc_bytes.to_json()),
         ])
     }
 }
@@ -188,6 +210,17 @@ impl FromJson for BenchResult {
             throughput_per_s: value.get("throughput_per_s")?.as_f64()?,
             throughput_unit: String::from_json(value.get("throughput_unit")?)?,
             model_runs: value.get("model_runs")?.as_usize()?,
+            // Absent in `/1` files: the counting-allocator hook postdates
+            // them, and "unrecorded" is indistinguishable from zero for
+            // gating purposes (the threshold only fires on growth).
+            alloc_count: match value.get_opt("alloc_count") {
+                Some(v) => v.as_u64()?,
+                None => 0,
+            },
+            alloc_bytes: match value.get_opt("alloc_bytes") {
+                Some(v) => v.as_u64()?,
+                None => 0,
+            },
         })
     }
 }
@@ -198,6 +231,10 @@ impl FromJson for BenchResult {
 pub struct Derived {
     /// Latency-bound generation wall time at 1 worker over 4 workers.
     pub parallel_speedup_4w: f64,
+    /// Scaling-curve generation wall time at 1 worker over 8 workers.
+    pub parallel_speedup_8w: f64,
+    /// Scaling-curve generation wall time at 1 worker over 16 workers.
+    pub parallel_speedup_16w: f64,
     /// Scalar-push over slice-path ingest wall time, AVG kernel.
     pub ingest_speedup_avg: f64,
     /// Scalar-push over slice-path ingest wall time, MAX(r=0.99) kernel.
@@ -210,9 +247,11 @@ pub struct Derived {
 
 impl Derived {
     /// `(metric, value)` pairs, in file order.
-    pub fn entries(&self) -> [(&'static str, f64); 5] {
+    pub fn entries(&self) -> [(&'static str, f64); 7] {
         [
             ("parallel_speedup_4w", self.parallel_speedup_4w),
+            ("parallel_speedup_8w", self.parallel_speedup_8w),
+            ("parallel_speedup_16w", self.parallel_speedup_16w),
             ("ingest_speedup_avg", self.ingest_speedup_avg),
             ("ingest_speedup_max", self.ingest_speedup_max),
             ("ingest_speedup_median", self.ingest_speedup_median),
@@ -234,8 +273,19 @@ impl ToJson for Derived {
 
 impl FromJson for Derived {
     fn from_json(value: &Json) -> smokescreen_rt::json::Result<Self> {
+        // The 8w/16w ratios are absent in `/1` files; they default to 0,
+        // which `compare` treats as "no prior value" (a zero `pv` yields a
+        // zero delta), so a `/2` run never regresses against their absence.
+        let opt = |key: &str| -> smokescreen_rt::json::Result<f64> {
+            match value.get_opt(key) {
+                Some(v) => v.as_f64(),
+                None => Ok(0.0),
+            }
+        };
         Ok(Derived {
             parallel_speedup_4w: value.get("parallel_speedup_4w")?.as_f64()?,
+            parallel_speedup_8w: opt("parallel_speedup_8w")?,
+            parallel_speedup_16w: opt("parallel_speedup_16w")?,
             ingest_speedup_avg: value.get("ingest_speedup_avg")?.as_f64()?,
             ingest_speedup_max: value.get("ingest_speedup_max")?.as_f64()?,
             ingest_speedup_median: value.get("ingest_speedup_median")?.as_f64()?,
@@ -287,9 +337,9 @@ impl Trajectory {
             .map_err(|e| format!("{}: {e}", path.display()))?;
         let json = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
         let t = Trajectory::from_json(&json).map_err(|e| format!("{}: {e}", path.display()))?;
-        if t.schema != SCHEMA {
+        if t.schema != SCHEMA && t.schema != SCHEMA_V1 {
             return Err(format!(
-                "{}: schema {:?}, expected {SCHEMA:?}",
+                "{}: schema {:?}, expected {SCHEMA:?} (or the legacy {SCHEMA_V1:?})",
                 path.display(),
                 t.schema
             ));
@@ -349,16 +399,21 @@ pub fn bench_file_name(pr: u64) -> String {
 
 /// Scans `dir` for `BENCH_<n>.json` files; returns the highest `n` below
 /// `before` and its path (the comparison baseline for PR `before`).
+/// Files with other names (`ROBUST_*.json`, CSVs) are skipped, not
+/// treated as scan failures.
 pub fn latest_bench_below(dir: &Path, before: u64) -> Option<(u64, PathBuf)> {
     let mut best: Option<(u64, PathBuf)> = None;
     for entry in fs::read_dir(dir).ok()? {
-        let entry = entry.ok()?;
+        let Ok(entry) = entry else { continue };
         let name = entry.file_name();
         let name = name.to_string_lossy();
-        let n: u64 = name
+        let Some(n) = name
             .strip_prefix("BENCH_")
             .and_then(|s| s.strip_suffix(".json"))
-            .and_then(|s| s.parse().ok())?;
+            .and_then(|s| s.parse::<u64>().ok())
+        else {
+            continue;
+        };
         if n < before && best.as_ref().is_none_or(|(b, _)| n > *b) {
             best = Some((n, entry.path()));
         }
@@ -571,7 +626,13 @@ impl Detector for LatencyDetector {
 fn repeat_samples(name: &str, reps: usize, mut f: impl FnMut() -> f64) -> RepeatedMeasurement {
     std::hint::black_box(f());
     let samples_ms: Vec<f64> = (0..reps.max(1)).map(|_| f()).collect();
-    let m = RepeatedMeasurement { samples_ms };
+    // Self-timing benches measure an internal span, not the closure, so
+    // an alloc count over the whole closure would mix setup into the
+    // number; they report zero rather than a misleading total.
+    let m = RepeatedMeasurement {
+        samples_ms,
+        steady_allocs: Default::default(),
+    };
     println!(
         "bench {name:<48} median {:>10.3} ms p95 {:>10.3} ms min {:>10.3} ms ({} reps)",
         m.median_ms(),
@@ -590,10 +651,16 @@ fn repeat_samples(name: &str, reps: usize, mut f: impl FnMut() -> f64) -> Repeat
 /// 2. `generation_threads{1,4}_latency` — generation under a 300 µs
 ///    simulated inference latency at 1 vs. 4 workers (the ROADMAP
 ///    parallel-speedup claim).
-/// 3. `ingest_{scalar,slice}_{avg,max,median}` — per-element
+/// 3. `generation_scaling_threads{1,2,8,16}` — generation under the same
+///    simulated latency over a resolution-rich grid, at the four worker
+///    counts the persistent-pool scaling claim is made for.
+/// 4. `ingest_{scalar,slice}_{avg,max,median}` — per-element
 ///    `AggregateKernel::push` vs. batched `extend` over the same
 ///    pre-fetched ladder rungs (the SIMD-width slice-path claim).
-/// 4. `sweep_{batch,incremental}_max` — per-candidate `profile_point`
+/// 5. `cell_path_steady_ingest` — the fraction-ladder hot loop (range
+///    fetch into reused scratch → slice ingest → estimate) on a warm
+///    cache; its `alloc_count` is the zero-alloc cell-path proof.
+/// 6. `sweep_{batch,incremental}_max` — per-candidate `profile_point`
 ///    re-estimation vs. the kernel-backed sweep inside `generate`.
 pub fn run(config: &TrajectoryConfig, pr: u64, rev: String) -> Trajectory {
     let corpus = config.corpus();
@@ -691,7 +758,53 @@ pub fn run(config: &TrajectoryConfig, pr: u64, rev: String) -> Trajectory {
     }
     let parallel_speedup_4w = latency_medians[0] / latency_medians[1].max(1e-9);
 
-    // --- 3. Scalar vs. slice-path kernel ingest over the ladder rungs. ---
+    // --- 3. Scaling curve at 1/2/8/16 workers. ---
+    // A wider grid than bench 2 — sixteen resolution candidates — so 16
+    // workers still have enough candidate-level parallelism to express a
+    // slope; per-candidate frame loops parallelize too, so the curve is
+    // latency-bound end to end. Kept separate from bench 2 so the
+    // `/1`-era `generation_threads{1,4}_latency` medians stay comparable
+    // across the schema bump.
+    let scale_res_hi = if config.smoke { 5u32 } else { 17u32 };
+    let scale_grid = CandidateGrid::explicit(
+        vec![0.02, 0.05, 0.1],
+        // Multiples of the 32-pixel detector stride, all below the
+        // 608-native ceiling.
+        (2..=scale_res_hi).map(|i| Resolution::square(i * 32)).collect(),
+        vec![vec![]],
+    );
+    let mut scaling_medians = [0.0f64; 4];
+    for (slot, threads) in [1usize, 2, 8, 16].into_iter().enumerate() {
+        let scale_gen = ProfileGenerator::new(
+            &lat_workload,
+            &lat_restrictions,
+            GeneratorConfig {
+                early_stop_improvement: None,
+                threads,
+                seed: config.seed,
+                ..GeneratorConfig::default()
+            },
+        );
+        let name = format!("generation_scaling_threads{threads}");
+        let mut report = GenerationReport::default();
+        let m = bench_repeated(&name, config.reps, || {
+            let (profile, r) = scale_gen.generate(&scale_grid, None).expect("generation succeeds");
+            report = r;
+            profile.points.len()
+        });
+        scaling_medians[slot] = m.median_ms();
+        benches.push(BenchResult::from_measurement(
+            &name,
+            &m,
+            report.points,
+            "points",
+            report.model_runs,
+        ));
+    }
+    let parallel_speedup_8w = scaling_medians[0] / scaling_medians[2].max(1e-9);
+    let parallel_speedup_16w = scaling_medians[0] / scaling_medians[3].max(1e-9);
+
+    // --- 4. Scalar vs. slice-path kernel ingest over the ladder rungs. ---
     // Outputs are fetched once, untimed, through the full-fraction view;
     // the bench then times pure ingestion of the identical rung slices.
     let full_view = DegradedView::new(
@@ -750,7 +863,37 @@ pub fn run(config: &TrajectoryConfig, pr: u64, rev: String) -> Trajectory {
         ));
     }
 
-    // --- 4. Batch vs. incremental fraction sweep (MAX). ---
+    // --- 5. Steady-state cell path: range fetch → slice ingest. ---
+    // Replays the fraction-ladder hot loop exactly as `profile_cell`
+    // runs it — reused `RangeOutputs` scratch, memo-warm cache, slice
+    // ingest, estimate per rung — and records its steady-state heap
+    // traffic. After the first repetition warms the scratch, the
+    // counting allocator must see zero allocations (gated in full runs
+    // by the `trajectory` binary).
+    let mut cell_scratch = RangeOutputs::default();
+    let cell = bench_repeated("cell_path_steady_ingest", config.reps, || {
+        let mut kernel = AggregateKernel::new(Aggregate::Avg);
+        for w in rung_bounds.windows(2) {
+            full_view.try_outputs_cached_range_into(
+                &ingest_cache,
+                ObjectClass::Car,
+                w[0]..w[1],
+                &mut cell_scratch,
+            );
+            kernel.extend(&cell_scratch.values);
+            std::hint::black_box(kernel.estimate(corpus.len(), 0.05).ok());
+        }
+        kernel.n()
+    });
+    benches.push(BenchResult::from_measurement(
+        "cell_path_steady_ingest",
+        &cell,
+        outputs.len(),
+        "samples",
+        0,
+    ));
+
+    // --- 6. Batch vs. incremental fraction sweep (MAX). ---
     let sweep_workload = Workload {
         corpus: &corpus,
         detector: &yolo,
@@ -814,6 +957,8 @@ pub fn run(config: &TrajectoryConfig, pr: u64, rev: String) -> Trajectory {
         benches,
         derived: Derived {
             parallel_speedup_4w,
+            parallel_speedup_8w,
+            parallel_speedup_16w,
             ingest_speedup_avg: ingest_speedups[0],
             ingest_speedup_max: ingest_speedups[1],
             ingest_speedup_median: ingest_speedups[2],
@@ -844,9 +989,13 @@ mod tests {
                 throughput_per_s: 1_000.0 / median,
                 throughput_unit: "points".into(),
                 model_runs: 42,
+                alloc_count: 7,
+                alloc_bytes: 1_024,
             }],
             derived: Derived {
                 parallel_speedup_4w: speedup,
+                parallel_speedup_8w: speedup,
+                parallel_speedup_16w: speedup,
                 ingest_speedup_avg: speedup,
                 ingest_speedup_max: speedup,
                 ingest_speedup_median: speedup,
@@ -925,11 +1074,64 @@ mod tests {
         for pr in [3u64, 5, 6] {
             sample_trajectory(pr, 10.0, 4.0).save(&dir).unwrap();
         }
+        // Unrelated artifacts share the directory in practice
+        // (ROBUST_*.json audits, CSV tables); discovery must skip them
+        // rather than abort the scan.
+        fs::write(dir.join("ROBUST_7.json"), "{}").unwrap();
+        fs::write(dir.join("parallel_speedup.csv"), "threads,wall_ms\n").unwrap();
         assert_eq!(highest_bench_number(&dir), Some(6));
         let (n, path) = latest_bench_below(&dir, 6).unwrap();
         assert_eq!(n, 5);
         let loaded = Trajectory::load(&path).unwrap();
         assert_eq!(loaded.pr, 5);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Recursively drops the named keys from every object — used to
+    /// reconstruct a faithful `/1` file from a `/2` value.
+    fn strip_keys(value: &Json, keys: &[&str]) -> Json {
+        match value {
+            Json::Obj(map) => Json::Obj(
+                map.iter()
+                    .filter(|(k, _)| !keys.contains(&k.as_str()))
+                    .map(|(k, v)| (k.clone(), strip_keys(v, keys)))
+                    .collect(),
+            ),
+            Json::Arr(items) => Json::Arr(items.iter().map(|v| strip_keys(v, keys)).collect()),
+            other => other.clone(),
+        }
+    }
+
+    #[test]
+    fn load_accepts_legacy_v1_files_and_defaults_new_fields() {
+        let dir = std::env::temp_dir().join("smokescreen-trajectory-v1-compat");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let mut t = sample_trajectory(6, 10.0, 4.0);
+        t.schema = SCHEMA_V1.into();
+        let v1 = strip_keys(
+            &t.to_json(),
+            &[
+                "alloc_count",
+                "alloc_bytes",
+                "parallel_speedup_8w",
+                "parallel_speedup_16w",
+            ],
+        );
+        let path = dir.join(bench_file_name(6));
+        fs::write(&path, v1.encode_pretty()).unwrap();
+
+        let loaded = Trajectory::load(&path).unwrap();
+        assert_eq!(loaded.schema, SCHEMA_V1);
+        assert_eq!(loaded.benches[0].alloc_count, 0);
+        assert_eq!(loaded.benches[0].alloc_bytes, 0);
+        assert_eq!(loaded.derived.parallel_speedup_8w, 0.0);
+        assert_eq!(loaded.derived.parallel_speedup_16w, 0.0);
+
+        // A `/2` run compared against the `/1` baseline must not regress
+        // on the fields the baseline never recorded.
+        let cur = sample_trajectory(8, 10.0, 4.0);
+        assert!(!compare(&loaded, &cur, 0.25).regressed());
         let _ = fs::remove_dir_all(&dir);
     }
 

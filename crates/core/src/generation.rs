@@ -97,7 +97,9 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use smokescreen_degrade::{CandidateGrid, DegradedView, InterventionSet, RestrictionIndex};
+use smokescreen_degrade::{
+    CandidateGrid, DegradedView, InterventionSet, RangeOutputs, RestrictionIndex,
+};
 use smokescreen_models::{OutputCache, RetryPolicy};
 use smokescreen_rt::fault::{CrashKind, CrashPlan, FaultPlan};
 use smokescreen_rt::journal::{self, Journal, JournalWriter, Replay};
@@ -754,6 +756,13 @@ impl<'a> ProfileGenerator<'a> {
 
         let population = self.workload.corpus.len();
         let mut kernel = AggregateKernel::with_capacity(self.workload.aggregate, view.len());
+        // Reused fetch buffer for the ladder: with a warm cache (and once
+        // its capacity covers the largest rung) the fetch→extend→estimate
+        // loop below performs no heap allocation — see the zero-alloc
+        // suite in tests/zero_alloc.rs and the `cell_path_steady_ingest`
+        // trajectory bench.
+        let mut fresh = RangeOutputs::default();
+        out.points.reserve(grid.fractions.len());
         let mut prev_err: Option<f64> = None;
         let mut stopped = false;
         let mut seen = 0usize;
@@ -786,8 +795,12 @@ impl<'a> ProfileGenerator<'a> {
                 lost = 0;
             }
             if n_f > prefix_pos {
-                let fresh =
-                    view.try_outputs_cached_range(cache, self.workload.class, prefix_pos..n_f);
+                view.try_outputs_cached_range_into(
+                    cache,
+                    self.workload.class,
+                    prefix_pos..n_f,
+                    &mut fresh,
+                );
                 kernel.extend(&fresh.values);
                 lost += fresh.lost;
                 prefix_pos = n_f;

@@ -247,6 +247,26 @@ impl<'c> DegradedView<'c> {
         class: ObjectClass,
         range: std::ops::Range<usize>,
     ) -> RangeOutputs {
+        let mut out = RangeOutputs::default();
+        self.try_outputs_cached_range_into(cache, class, range, &mut out);
+        out
+    }
+
+    /// Scratch-reusing form of
+    /// [`try_outputs_cached_range`](Self::try_outputs_cached_range): the
+    /// caller owns `out` and hands the same instance back rung after
+    /// rung. `out` is cleared and refilled; once its `values` capacity
+    /// has grown to the largest rung it is ever asked for, this performs
+    /// no heap allocation — the zero-alloc contract the fraction-ladder
+    /// hot loop in `smokescreen-core` (and the counting-allocator bench
+    /// in `rt::bench`) relies on.
+    pub fn try_outputs_cached_range_into(
+        &self,
+        cache: &OutputCache<'_>,
+        class: ObjectClass,
+        range: std::ops::Range<usize>,
+        out: &mut RangeOutputs,
+    ) {
         debug_assert!(
             !self.rewrites_frames(),
             "cached outputs with contrast rewrites would alias clean frames"
@@ -254,11 +274,13 @@ impl<'c> DegradedView<'c> {
         let res = self.resolution();
         let end = range.end.min(self.n);
         let start = range.start.min(end);
-        let mut out = RangeOutputs::default();
-        // One exact reservation per ladder rung: the slice-ingest path
+        out.values.clear();
+        out.lost = 0;
+        // One up-front reservation per ladder rung: the slice-ingest path
         // downstream consumes `values` as a single batch, so growth
-        // reallocations here would dominate small Δn fetches.
-        out.values.reserve_exact(end - start);
+        // reallocations here would dominate small Δn fetches. A no-op
+        // once the reused scratch has warmed past the rung size.
+        out.values.reserve(end - start);
         for &pos in &self.sampler.prefix(self.n)[start..end] {
             let Some(frame) = self.corpus.frame(self.eligible[pos]) else {
                 continue;
@@ -268,7 +290,6 @@ impl<'c> DegradedView<'c> {
                 Err(_) => out.lost += 1,
             }
         }
-        out
     }
 }
 

@@ -11,8 +11,24 @@
 //! Profile generation now runs candidate cells on `rt::pool` workers, so
 //! the cache is shard-locked: keys hash to one of [`SHARD_COUNT`]
 //! independent `RwLock`ed maps, letting workers at different resolutions
-//! proceed without contending on a single lock. Accounting is defined to
-//! be **schedule-independent**:
+//! proceed without contending on a single lock.
+//!
+//! # Per-worker memo layer
+//!
+//! Shard `RwLock`s still serialize the hottest path: a warm fraction-ladder
+//! sweep is ~100% reads, and readers at the *same* resolution all hammer
+//! the same few shards. Each cache therefore carries a read-through memo
+//! layer keyed on [`pool::memo_slot`](smokescreen_rt::pool::memo_slot) —
+//! one private map per worker thread. A memo hit never touches a shard
+//! lock; a shard *read* hit is copied into the calling worker's memo once
+//! and served locally forever after. Cold inserts deliberately do **not**
+//! warm the memo — a workload that touches each key exactly once (a
+//! single-cell sweep) would pay a wasted clone per frame — so only keys
+//! that are actually re-read are ever copied. Memos are
+//! write-behind-never: they only mirror entries that are already in a
+//! shard, so they cannot change which keys exist. Poisoned and failed keys are never memoized (they
+//! are never cached at all), preserving the chaos contract below.
+//! Accounting is defined to be **schedule-independent**:
 //!
 //! * `model_runs` counts *distinct* `(frame, resolution)` keys materialized
 //!   — if two workers race on the same cold key, the losing insert is
@@ -43,6 +59,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use smokescreen_rt::fault::FaultPlan;
+use smokescreen_rt::pool::{memo_slot, MEMO_SLOTS};
 use smokescreen_rt::sync::{Mutex, RwLock};
 use smokescreen_video::{Frame, ObjectClass, Resolution};
 
@@ -71,6 +88,11 @@ fn shard_index(key: &Key) -> usize {
 pub struct OutputCache<'d> {
     detector: &'d dyn Detector,
     shards: Vec<RwLock<HashMap<Key, Detections>>>,
+    /// Per-worker read-through memos over the shards, indexed by
+    /// [`memo_slot`]. Each mutex is thread-affine in steady state, so
+    /// locking it never contends; it only exists so a slot reassigned to
+    /// a new thread (or aliased past [`MEMO_SLOTS`] workers) stays sound.
+    memos: Vec<Mutex<HashMap<Key, Detections>>>,
     model_runs: AtomicUsize,
     cache_hits: AtomicUsize,
     /// Distinct-key model runs per resolution, ordered so the derived
@@ -126,6 +148,7 @@ impl<'d> OutputCache<'d> {
         OutputCache {
             detector,
             shards: (0..SHARD_COUNT).map(|_| RwLock::new(HashMap::new())).collect(),
+            memos: (0..MEMO_SLOTS).map(|_| Mutex::new(HashMap::new())).collect(),
             model_runs: AtomicUsize::new(0),
             cache_hits: AtomicUsize::new(0),
             runs_by_resolution: Mutex::new(BTreeMap::new()),
@@ -169,10 +192,17 @@ impl<'d> OutputCache<'d> {
     /// the model rather than replaying a poisoned result.
     pub fn try_detect(&self, frame: &Frame, res: Resolution) -> ModelResult<Detections> {
         let key = (frame.id, res);
+        let memo = &self.memos[memo_slot()];
+        if let Some(hit) = memo.lock().get(&key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit.clone());
+        }
         let shard = &self.shards[shard_index(&key)];
         if let Some(hit) = shard.read().get(&key) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(hit.clone());
+            let out = hit.clone();
+            memo.lock().insert(key, out.clone());
+            return Ok(out);
         }
         // Run the model outside the write lock so a slow inference never
         // blocks the shard. Detectors are deterministic per key, so a
@@ -189,6 +219,11 @@ impl<'d> OutputCache<'d> {
                     self.account_fault(&outcome);
                     return Ok(outcome.detections);
                 }
+                // The fresh key is NOT mirrored into the memo here: a
+                // workload that touches each key once (a single-cell
+                // generation sweep) would pay a wasted clone per frame.
+                // The memo warms lazily on the first shard *read* hit
+                // instead, so only re-read keys are ever copied.
                 let mut entries = shard.write();
                 match entries.entry(key) {
                     std::collections::hash_map::Entry::Occupied(e) => {
@@ -235,16 +270,42 @@ impl<'d> OutputCache<'d> {
 
     /// Count of a class, through the cache.
     pub fn count(&self, frame: &Frame, res: Resolution, class: ObjectClass) -> f64 {
-        self.detect(frame, res).count(class) as f64
+        self.try_count(frame, res, class).unwrap_or_else(|e| {
+            panic!("infallible OutputCache::count hit an injected fault ({e}); chaos callers must use try_detect/try_count")
+        })
     }
 
     /// Fallible count of a class, surfacing injected faults.
+    ///
+    /// This is the fraction-ladder hot path: on a memo hit the count is
+    /// computed by reference inside the worker's own memo map — no shard
+    /// lock, no `Detections` clone, no allocation. A shard hit counts
+    /// under the read guard and pays one clone to warm the memo; only
+    /// cold keys fall through to the full [`try_detect`](Self::try_detect)
+    /// model path.
     pub fn try_count(
         &self,
         frame: &Frame,
         res: Resolution,
         class: ObjectClass,
     ) -> ModelResult<f64> {
+        let key = (frame.id, res);
+        let memo = &self.memos[memo_slot()];
+        if let Some(hit) = memo.lock().get(&key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit.count(class) as f64);
+        }
+        {
+            let shard = self.shards[shard_index(&key)].read();
+            if let Some(hit) = shard.get(&key) {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                let n = hit.count(class) as f64;
+                let warm = hit.clone();
+                drop(shard);
+                memo.lock().insert(key, warm);
+                return Ok(n);
+            }
+        }
         Ok(self.try_detect(frame, res)?.count(class) as f64)
     }
 
@@ -395,7 +456,7 @@ mod tests {
         assert!(seq.failed_calls > 0);
         assert!(seq.retries > 0);
         assert!(seq.fault_time_ms > 0.0);
-        for threads in [2usize, 8] {
+        for threads in [2usize, 8, 16] {
             let par = run(threads);
             assert_eq!(par, seq, "accounting diverged at {threads} threads");
         }
@@ -403,6 +464,47 @@ mod tests {
             seq.model_time_ms,
             seq.model_runs as f64 * smokescreen_models_cost(&yolo, res)
         );
+    }
+
+    #[test]
+    fn memo_layer_keeps_counts_and_accounting_schedule_independent() {
+        // The contention-free read path: after a warm-up pass, repeated
+        // try_count sweeps are served from per-worker memos. Totals must
+        // stay schedule-independent (runs == distinct keys, every logical
+        // call exactly one run or one hit) and every count must equal the
+        // raw detector's, at any thread count.
+        let corpus = DatasetPreset::Detrac.generate(14).slice(0, 150);
+        let yolo = SimYoloV4::new(14);
+        let res = Resolution::square(416);
+        let class = ObjectClass::Car;
+        let run = |threads: usize| {
+            let cache = OutputCache::new(&yolo);
+            let pool = Pool::with_threads(threads);
+            let frames: Vec<_> = corpus.frames().iter().collect();
+            // 6 passes over every frame: 900 logical calls, 150 distinct.
+            let passes: Vec<usize> = (0..6 * frames.len()).collect();
+            let counts = pool.parallel_map(&passes, |_, &i| {
+                let f = frames[i % frames.len()];
+                cache.try_count(f, res, class).expect("fault-free cache")
+            });
+            for (i, &n) in counts.iter().enumerate() {
+                let f = frames[i % frames.len()];
+                assert_eq!(n, yolo.detect(f, res).count(class) as f64);
+            }
+            let inv = cache.invocations();
+            assert_eq!(inv.model_runs, 150, "distinct keys only at {threads} threads");
+            assert_eq!(
+                inv.model_runs + inv.cache_hits,
+                900,
+                "every call counted once at {threads} threads"
+            );
+            assert_eq!(cache.len(), 150);
+            inv
+        };
+        let seq = run(1);
+        for threads in [2usize, 8, 16] {
+            assert_eq!(run(threads), seq, "accounting diverged at {threads} threads");
+        }
     }
 
     #[test]

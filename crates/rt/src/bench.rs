@@ -8,8 +8,109 @@
 //! [`bench_repeated`] keeps every sample and reports median/p95, which is
 //! what the `trajectory` harness persists into `BENCH_*.json` for
 //! regression gating.
+//!
+//! The [`alloc`] submodule installs a counting global allocator whose
+//! thread-local counters are armed only inside [`alloc::measure`]; every
+//! [`bench_repeated`] repetition runs under it, and the *last* repetition's
+//! counts are reported as the steady-state allocation profile (warm caches,
+//! warm scratch buffers) — the number the zero-alloc hot-path claims in
+//! `BENCH_*.json` are gated on.
 
 use std::time::{Duration, Instant};
+
+pub mod alloc {
+    //! Steady-state allocation counting.
+    //!
+    //! [`CountingAllocator`] wraps the system allocator and is installed as
+    //! the workspace's `#[global_allocator]` here (the workspace is
+    //! zero-dependency, so this is the only candidate). Counting is
+    //! *opt-in per thread*: outside [`measure`] the hook is a single
+    //! thread-local load per allocation, and nothing is ever recorded.
+    //! Counters are thread-local, so a measurement covers exactly the
+    //! calling thread — which is the point: the zero-alloc contract is a
+    //! statement about the worker running the hot loop, not about
+    //! whatever background threads do meanwhile.
+
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    /// Allocation counts observed by one [`measure`] call.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct AllocStats {
+        /// Heap allocations (`alloc`, `alloc_zeroed`, and growing
+        /// `realloc` calls each count once).
+        pub count: u64,
+        /// Total bytes requested across those allocations.
+        pub bytes: u64,
+    }
+
+    thread_local! {
+        static ENABLED: Cell<bool> = const { Cell::new(false) };
+        static COUNT: Cell<u64> = const { Cell::new(0) };
+        static BYTES: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// A pass-through allocator that tallies per-thread allocation counts
+    /// while a [`measure`] call has them armed.
+    pub struct CountingAllocator;
+
+    #[global_allocator]
+    static GLOBAL: CountingAllocator = CountingAllocator;
+
+    #[inline]
+    fn record(bytes: usize) {
+        // `try_with`: the allocator can be re-entered during TLS teardown,
+        // where touching a destroyed thread-local would abort the process.
+        let _ = ENABLED.try_with(|e| {
+            if e.get() {
+                let _ = COUNT.try_with(|c| c.set(c.get() + 1));
+                let _ = BYTES.try_with(|b| b.set(b.get() + bytes as u64));
+            }
+        });
+    }
+
+    // SAFETY: defers entirely to `System` for memory management; the
+    // counting side channel never touches the returned pointers.
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            record(layout.size());
+            System.alloc(layout)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            record(layout.size());
+            System.alloc_zeroed(layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            record(new_size);
+            System.realloc(ptr, layout, new_size)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+    }
+
+    /// Runs `f` with this thread's allocation counters armed and returns
+    /// what it allocated alongside its result. Nested measurements are
+    /// supported: the inner call's allocations are reported by the inner
+    /// call *and* folded back into the outer one's totals.
+    pub fn measure<R>(f: impl FnOnce() -> R) -> (AllocStats, R) {
+        let prev_enabled = ENABLED.with(|e| e.replace(true));
+        let prev_count = COUNT.with(|c| c.replace(0));
+        let prev_bytes = BYTES.with(|b| b.replace(0));
+        let out = f();
+        let stats = AllocStats {
+            count: COUNT.with(|c| c.get()),
+            bytes: BYTES.with(|b| b.get()),
+        };
+        COUNT.with(|c| c.set(prev_count + stats.count));
+        BYTES.with(|b| b.set(prev_bytes + stats.bytes));
+        ENABLED.with(|e| e.set(prev_enabled));
+        (stats, out)
+    }
+}
 
 /// One benchmark measurement.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,6 +165,10 @@ pub fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) -> Measurement
 pub struct RepeatedMeasurement {
     /// Wall time of each timed repetition, in milliseconds, in run order.
     pub samples_ms: Vec<f64>,
+    /// Allocations made by the *last* timed repetition on the bench
+    /// thread — the steady-state profile, after caches and scratch
+    /// buffers have warmed through the warm-up and earlier repetitions.
+    pub steady_allocs: alloc::AllocStats,
 }
 
 impl RepeatedMeasurement {
@@ -113,18 +218,26 @@ impl RepeatedMeasurement {
 pub fn bench_repeated<R>(name: &str, reps: usize, mut f: impl FnMut() -> R) -> RepeatedMeasurement {
     std::hint::black_box(f());
     let mut samples_ms = Vec::with_capacity(reps.max(1));
+    let mut steady_allocs = alloc::AllocStats::default();
     for _ in 0..reps.max(1) {
         let start = Instant::now();
-        std::hint::black_box(f());
+        let (stats, out) = alloc::measure(&mut f);
+        std::hint::black_box(out);
         samples_ms.push(start.elapsed().as_secs_f64() * 1_000.0);
+        steady_allocs = stats;
     }
-    let m = RepeatedMeasurement { samples_ms };
+    let m = RepeatedMeasurement {
+        samples_ms,
+        steady_allocs,
+    };
     println!(
-        "bench {name:<48} median {:>10.3} ms p95 {:>10.3} ms min {:>10.3} ms ({} reps)",
+        "bench {name:<48} median {:>10.3} ms p95 {:>10.3} ms min {:>10.3} ms ({} reps, steady allocs {}/{} B)",
         m.median_ms(),
         m.p95_ms(),
         m.min_ms(),
-        m.reps()
+        m.reps(),
+        m.steady_allocs.count,
+        m.steady_allocs.bytes,
     );
     m
 }
@@ -177,6 +290,7 @@ mod tests {
         // smallest = 50; p95 = ⌈0.95·10⌉ = 10th = 100; p90 = 9th = 90.
         let m = RepeatedMeasurement {
             samples_ms: vec![70.0, 10.0, 90.0, 30.0, 50.0, 100.0, 20.0, 40.0, 80.0, 60.0],
+            steady_allocs: alloc::AllocStats::default(),
         };
         assert_eq!(m.median_ms(), 50.0);
         assert_eq!(m.p95_ms(), 100.0);
@@ -188,6 +302,7 @@ mod tests {
         // Odd count: 5 samples, median = ⌈0.5·5⌉ = 3rd smallest.
         let m = RepeatedMeasurement {
             samples_ms: vec![5.0, 1.0, 4.0, 2.0, 3.0],
+            steady_allocs: alloc::AllocStats::default(),
         };
         assert_eq!(m.median_ms(), 3.0);
         assert_eq!(m.p95_ms(), 5.0);
@@ -195,16 +310,68 @@ mod tests {
         // Single sample: every percentile is that sample.
         let m = RepeatedMeasurement {
             samples_ms: vec![42.0],
+            steady_allocs: alloc::AllocStats::default(),
         };
         assert_eq!(m.median_ms(), 42.0);
         assert_eq!(m.p95_ms(), 42.0);
 
         // Empty: all zeros, no panic.
-        let m = RepeatedMeasurement { samples_ms: vec![] };
+        let m = RepeatedMeasurement {
+            samples_ms: vec![],
+            steady_allocs: alloc::AllocStats::default(),
+        };
         assert_eq!(m.median_ms(), 0.0);
         assert_eq!(m.p95_ms(), 0.0);
         assert_eq!(m.min_ms(), 0.0);
         assert_eq!(m.reps(), 0);
+    }
+
+    #[test]
+    fn alloc_measure_counts_heap_traffic_on_this_thread() {
+        let (stats, v) = alloc::measure(|| vec![1u8; 4096]);
+        assert!(stats.count >= 1, "a Vec allocation must be counted");
+        assert!(stats.bytes >= 4096, "bytes track the requested size");
+        drop(v);
+
+        // A heap-free closure measures clean zero.
+        let (stats, x) = alloc::measure(|| {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert_eq!(stats, alloc::AllocStats::default(), "no-alloc closure");
+        assert_eq!(x, 328350);
+
+        // Nested measurements fold inner counts into the outer total.
+        let (outer, inner) = alloc::measure(|| alloc::measure(|| vec![0u8; 128]).0);
+        assert!(inner.count >= 1);
+        assert!(outer.count >= inner.count);
+    }
+
+    #[test]
+    fn bench_repeated_reports_steady_state_allocs() {
+        // Allocating closure: the last rep's traffic is recorded.
+        let m = bench_repeated("alloc-steady", 3, || vec![0u8; 256]);
+        assert!(m.steady_allocs.count >= 1);
+        assert!(m.steady_allocs.bytes >= 256);
+
+        // Steady-state-clean closure: warm-up allocates, timed reps reuse.
+        let mut buf: Vec<u8> = Vec::new();
+        let m = bench_repeated("alloc-warm", 3, || {
+            if buf.capacity() == 0 {
+                buf.reserve(512);
+            }
+            buf.clear();
+            buf.extend(std::iter::repeat_n(7u8, 512));
+            buf.len()
+        });
+        assert_eq!(
+            m.steady_allocs,
+            alloc::AllocStats::default(),
+            "warm reps must be allocation-free"
+        );
     }
 
     #[test]

@@ -11,9 +11,9 @@
 //! | [`rng`]       | `rand`, `rand_distr`    | xoshiro256\*\* + SplitMix64; Poisson (PTRS), LogNormal, Box–Muller normal |
 //! | [`json`]      | `serde`, `serde_json`   | value model + hand-written `ToJson`/`FromJson` impls |
 //! | [`sync`]      | `parking_lot`           | direct-guard `Mutex`/`RwLock` over `std::sync` |
-//! | [`pool`]      | `rayon` (subset)        | scoped, deterministic `parallel_map`/`scope` thread pool |
+//! | [`pool`]      | `rayon` (subset)        | persistent, deterministic `parallel_map`/`scope` worker pool |
 //! | [`proptest`]  | `proptest`              | seeded case generation, replay via printed seed, no shrinking |
-//! | [`bench`]     | `criterion`             | warm-up + min/mean timer under the libtest harness |
+//! | [`bench`]     | `criterion`             | warm-up + min/mean timer + counting allocator under the libtest harness |
 //! | [`fault`]     | — (new subsystem)       | seeded, replayable fault + crash schedules for chaos testing |
 //! | [`journal`]   | — (new subsystem)       | crash-consistent append-only journal (checksummed framing, atomic repair) |
 //!

@@ -193,10 +193,21 @@ impl VarKernel {
 /// [`push_slice`](Self::push_slice) batch costs `O(Δn log Δn + n)`); each
 /// estimate costs `O(log n)` (order-statistic index plus `partition_point`
 /// frequency search) instead of the batch path's `O(n log n)` re-sort.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct OrderKernel {
     sorted: Vec<f64>,
     non_finite: usize,
+    /// Reused batch buffer for [`push_slice`](Self::push_slice); holds no
+    /// logical state between calls and is excluded from equality.
+    scratch: Vec<f64>,
+}
+
+/// Equality is over the logical state (the sorted multiset and the
+/// non-finite tally); the transient `scratch` buffer is ignored.
+impl PartialEq for OrderKernel {
+    fn eq(&self, other: &Self) -> bool {
+        self.sorted == other.sorted && self.non_finite == other.non_finite
+    }
 }
 
 impl OrderKernel {
@@ -206,11 +217,14 @@ impl OrderKernel {
     }
 
     /// Creates an empty kernel with room for `capacity` outputs, so a
-    /// sweep to a known terminal sample size never reallocates.
+    /// sweep to a known terminal sample size never reallocates — the
+    /// batch scratch is pre-sized too, making a whole warm-cache sweep
+    /// through [`push_slice`](Self::push_slice) allocation-free.
     pub fn with_capacity(capacity: usize) -> Self {
         OrderKernel {
             sorted: Vec::with_capacity(capacity),
             non_finite: 0,
+            scratch: Vec::with_capacity(capacity),
         }
     }
 
@@ -244,32 +258,40 @@ impl OrderKernel {
             [v] => return self.push(*v),
             _ => {}
         }
-        let mut batch: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
-        self.non_finite += values.len() - batch.len();
-        if batch.is_empty() {
+        // The batch lands in the reused scratch buffer: no allocation once
+        // scratch capacity has warmed to the largest rung. The sort is
+        // unstable (in-place, allocation-free); a sorted multiset is fully
+        // determined by its elements under the equal-means-bit-identical
+        // precondition above, so stability cannot move a bit.
+        self.scratch.clear();
+        self.scratch
+            .extend(values.iter().copied().filter(|v| v.is_finite()));
+        self.non_finite += values.len() - self.scratch.len();
+        if self.scratch.is_empty() {
             return;
         }
-        batch.sort_by(|a, b| a.partial_cmp(b).expect("finite batch"));
+        self.scratch
+            .sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite batch"));
         let old_len = self.sorted.len();
         // Fast path: the batch lands entirely past the resident prefix
         // (also covers an empty prefix).
-        if old_len == 0 || batch[0] >= self.sorted[old_len - 1] {
-            self.sorted.extend_from_slice(&batch);
+        if old_len == 0 || self.scratch[0] >= self.sorted[old_len - 1] {
+            self.sorted.extend_from_slice(&self.scratch);
             return;
         }
         // Backward in-place merge of the resident run and the batch.
-        self.sorted.resize(old_len + batch.len(), 0.0);
+        self.sorted.resize(old_len + self.scratch.len(), 0.0);
         let mut i = old_len;
-        let mut j = batch.len();
+        let mut j = self.scratch.len();
         let mut k = self.sorted.len();
         while j > 0 {
             k -= 1;
-            if i > 0 && self.sorted[i - 1] > batch[j - 1] {
+            if i > 0 && self.sorted[i - 1] > self.scratch[j - 1] {
                 i -= 1;
                 self.sorted[k] = self.sorted[i];
             } else {
                 j -= 1;
-                self.sorted[k] = batch[j];
+                self.sorted[k] = self.scratch[j];
             }
         }
     }

@@ -9,5 +9,6 @@ pub use smokescreen_core as core;
 pub use smokescreen_degrade as degrade;
 pub use smokescreen_models as models;
 pub use smokescreen_query as query;
+pub use smokescreen_rt as rt;
 pub use smokescreen_stats as stats;
 pub use smokescreen_video as video;

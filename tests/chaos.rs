@@ -112,7 +112,7 @@ fn disabled_faults_are_byte_invisible() {
         // A zero-rate plan arms the whole fault-aware path (fault-capable
         // cache, fallible fetches, breaker checks) yet must change
         // nothing, at any thread count.
-        for threads in [1usize, 8] {
+        for threads in [1usize, 8, 16] {
             let (profile, report) = generate(&fx, threads, Some(FaultPlan::new(99, 0.0)));
             assert_eq!(
                 profile.to_json().unwrap(),
@@ -149,8 +149,8 @@ fn chaos_matrix_replays_byte_identically() {
             assert_eq!(replay.to_json().unwrap(), reference_bytes);
             assert_eq!(chaos_fields(&replay_report), chaos_fields(&ref_report));
 
-            // Scheduling independence: 2 and 8 workers.
-            for threads in [2usize, 8] {
+            // Scheduling independence: 2, 8, and 16 workers.
+            for threads in [2usize, 8, 16] {
                 let (profile, report) = generate(&fx, threads, Some(plan));
                 assert_eq!(
                     profile.to_json().unwrap(),
@@ -297,7 +297,7 @@ fn chaos_slice_path_replays_for_order_aggregates_across_threads() {
         if rate > 0.0 {
             assert!(ref_report.frames_lost > 0, "rate {rate}: plan must fire");
         }
-        for threads in [2usize, 8] {
+        for threads in [2usize, 8, 16] {
             let (profile, report) = run(threads, Some(plan));
             assert_eq!(
                 profile.to_json().unwrap(),

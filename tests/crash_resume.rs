@@ -170,7 +170,7 @@ fn crash_resume_is_bit_identical_across_threads_and_fault_rates() {
             let plan = CrashPlan::new(crash_seed, 0.5);
             let expected = expected_crashes(&plan);
             let mut resumed_seen = Vec::new();
-            for threads in [1usize, 2, 8] {
+            for threads in [1usize, 2, 8, 16] {
                 let dir = checkpoint_dir(&format!(
                     "matrix-r{fault_rate}-s{crash_seed}-t{threads}"
                 ));

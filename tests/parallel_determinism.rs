@@ -73,7 +73,7 @@ fn profiles_are_byte_identical_across_thread_counts() {
         let reference_bytes = reference.to_json().unwrap();
         assert!(!reference.is_empty(), "{dataset:?}: profile must be non-trivial");
 
-        for threads in [2usize, 8] {
+        for threads in [2usize, 8, 16] {
             let (profile, runs, hits) = generate(&fx, threads);
             // Structural equality over every ProfilePoint (set, y_approx,
             // err_b, corrected, n)...
@@ -133,7 +133,7 @@ fn slice_ingested_order_aggregates_are_thread_count_independent() {
         let (reference, _) = run(1);
         let reference_bytes = reference.to_json().unwrap();
         assert!(!reference.is_empty());
-        for threads in [2usize, 8] {
+        for threads in [2usize, 8, 16] {
             let (profile, _) = run(threads);
             assert_eq!(
                 profile.to_json().unwrap(),
@@ -179,12 +179,36 @@ fn early_stopping_decisions_are_thread_count_independent() {
         .unwrap()
     };
     let (p1, r1) = run(1);
-    let (p8, r8) = run(8);
     assert!(
         r1.skipped_by_early_stop > 0,
         "fixture must exercise early stopping"
     );
-    assert_eq!(r1.skipped_by_early_stop, r8.skipped_by_early_stop);
-    assert_eq!(r1.points, r8.points);
-    assert_eq!(p1, p8);
+    for threads in [8usize, 16] {
+        let (p, r) = run(threads);
+        assert_eq!(r1.skipped_by_early_stop, r.skipped_by_early_stop);
+        assert_eq!(r1.points, r.points);
+        assert_eq!(p1, p, "early-stop profile diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn warm_pool_replays_byte_identically_run_after_run() {
+    // The persistent pool keeps its workers parked between jobs, so the
+    // second `generate` here runs on threads that already executed the
+    // first — any worker-identity leak into scheduling (thread-local
+    // memo slots, chunk claiming, result ordering) would surface as a
+    // cold-vs-warm divergence. Three consecutive 16-worker runs must be
+    // byte-identical to each other and to the sequential path.
+    let fx = fixture(DatasetPreset::Detrac);
+    let (reference, seq_runs, _) = generate(&fx, 1);
+    let reference_bytes = reference.to_json().unwrap();
+    for attempt in 0..3 {
+        let (profile, runs, _) = generate(&fx, 16);
+        assert_eq!(
+            profile.to_json().unwrap(),
+            reference_bytes,
+            "warm-pool run {attempt} diverged from the sequential profile"
+        );
+        assert_eq!(runs, seq_runs, "warm-pool run {attempt} changed model_runs");
+    }
 }

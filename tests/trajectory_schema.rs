@@ -35,10 +35,12 @@ fn representative_trajectory() -> Trajectory {
         throughput_per_s: 1_000.0,
         throughput_unit: "points".into(),
         model_runs: 10,
+        alloc_count: 3,
+        alloc_bytes: 96,
     };
     Trajectory {
         schema: SCHEMA.into(),
-        pr: 6,
+        pr: 8,
         git_rev: "0123456789ab".into(),
         threads: 4,
         corpus: "ua-detrac-sim".into(),
@@ -47,6 +49,8 @@ fn representative_trajectory() -> Trajectory {
         benches: vec![bench("generation_end_to_end")],
         derived: Derived {
             parallel_speedup_4w: 3.0,
+            parallel_speedup_8w: 6.0,
+            parallel_speedup_16w: 11.0,
             ingest_speedup_avg: 2.0,
             ingest_speedup_max: 8.0,
             ingest_speedup_median: 7.0,
