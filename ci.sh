@@ -103,14 +103,36 @@ fi
 echo "trajectory smoke + schema + regression gate ok"
 
 echo "=== perf trajectory: committed BENCH files stay comparable ==="
-# The committed PR-8 trajectory must still pass the threshold gate
-# against the committed PR-6 baseline (a /1-schema file — `load` accepts
-# it and defaults its missing alloc/scaling fields). This proves the
-# schema migration kept old baselines usable and that the committed
-# numbers carry no regression past the default threshold.
+# The committed PR-9 trajectory must still pass the threshold gate
+# against the committed PR-8 baseline. New bench families (the serve_*
+# throughput rows) are reported but never gated, so this proves the
+# pre-existing numbers carry no regression past the default threshold.
 ./target/release/trajectory check \
-  --prev bench_results/BENCH_6.json --cur bench_results/BENCH_8.json >/dev/null
-echo "BENCH_6 -> BENCH_8 trajectory gate ok"
+  --prev bench_results/BENCH_8.json --cur bench_results/BENCH_9.json >/dev/null
+echo "BENCH_8 -> BENCH_9 trajectory gate ok"
+
+echo "=== serving daemon: framed load at two rates + zero-quarantine reopen gate ==="
+# Boots the profile-serving daemon as a real separate process, drives it
+# with the seeded load generator at two concurrency levels (a put-heavy
+# seeding wave, then a read-heavy mixed wave that also requests graceful
+# shutdown), and then audits the store cold: `serve check` exits non-zero
+# if recovery quarantined even one record — the ack-is-durability gate.
+# The wire-protocol shape itself is pinned by
+# tests/golden/serve_protocol_schema.json, and determinism across worker
+# counts by tests/serve_soak.rs in the workspace suites above.
+servestore="$trajdir/serve-store"
+servesock="$trajdir/serve.sock"
+./target/release/serve run --unix "$servesock" --store "$servestore" --threads 4 &
+serve_pid=$!
+for _ in $(seq 1 200); do [ -S "$servesock" ] && break; sleep 0.05; done
+[ -S "$servesock" ] || { echo "serve daemon never bound $servesock" >&2; exit 1; }
+./target/release/serve_load --addr "unix:$servesock" \
+  --requests 600 --clients 2 --mix put --seed 42
+./target/release/serve_load --addr "unix:$servesock" \
+  --requests 600 --clients 8 --mix mixed --seed 43 --shutdown
+wait "$serve_pid"
+./target/release/serve check --store "$servestore"
+echo "serving slice ok: 1200 framed requests at 2 rates, clean shutdown, zero quarantined"
 
 echo "=== content-fault robustness: smoke audit matrix + schema gate ==="
 # One kind (glare) × one rate × both corpora, 12 trials/cell: the

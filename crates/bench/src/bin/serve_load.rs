@@ -1,0 +1,117 @@
+//! `serve_load` — deterministic load generator for the serving daemon.
+//!
+//! ```text
+//! serve_load --addr unix:PATH|tcp:HOST:PORT --requests N
+//!            [--clients K] [--mix put|get|query|mixed]
+//!            [--grids G] [--points P] [--seed S]
+//!            [--shutdown] [--expect-no-not-found]
+//! ```
+//!
+//! Drives `--requests` framed requests across `--clients` connections
+//! with a seed-derived schedule (see `smokescreen_bench::serve_client`)
+//! and prints counts, throughput, and latency percentiles. With
+//! `--shutdown`, sends a graceful `shutdown` after the load completes —
+//! the daemon flushes and compacts before exiting. Exit codes: 0 ok,
+//! 1 unexpected error responses (or `not_found` under
+//! `--expect-no-not-found`), 2 usage errors.
+
+use std::process::ExitCode;
+
+use smokescreen_bench::serve_client::{run_load, LoadConfig, LoadMix};
+use smokescreen_serve::{Request, Response, ServeAddr};
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn parse_addr(spec: &str) -> Result<ServeAddr, String> {
+    if let Some(path) = spec.strip_prefix("unix:") {
+        Ok(ServeAddr::Unix(path.into()))
+    } else if let Some(addr) = spec.strip_prefix("tcp:") {
+        Ok(ServeAddr::Tcp(addr.into()))
+    } else {
+        Err(format!("--addr {spec:?} must be unix:PATH or tcp:HOST:PORT"))
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = parse_addr(
+        &flag_value(&args, "--addr").ok_or("missing --addr unix:PATH|tcp:HOST:PORT")?,
+    )?;
+    let requests: usize = flag_value(&args, "--requests")
+        .ok_or("missing --requests N")?
+        .parse()
+        .map_err(|_| "--requests must be an integer")?;
+    let mut config = LoadConfig::new(addr.clone(), requests);
+    if let Some(raw) = flag_value(&args, "--clients") {
+        config.clients = raw.parse().map_err(|_| "--clients must be an integer")?;
+    }
+    if let Some(raw) = flag_value(&args, "--mix") {
+        config.mix = LoadMix::parse(&raw)?;
+    }
+    if let Some(raw) = flag_value(&args, "--grids") {
+        config.grids = raw.parse().map_err(|_| "--grids must be an integer")?;
+    }
+    if let Some(raw) = flag_value(&args, "--points") {
+        config.points = raw.parse().map_err(|_| "--points must be an integer")?;
+    }
+    if let Some(raw) = flag_value(&args, "--seed") {
+        config.seed = raw.parse().map_err(|_| "--seed must be an integer")?;
+    }
+
+    let report = run_load(&config)?;
+    println!(
+        "serve_load: {} requests over {} clients in {:.1} ms ({:.0} req/s)",
+        report.requests,
+        config.clients,
+        report.wall_ms,
+        report.throughput_per_s()
+    );
+    println!(
+        "serve_load: puts {} gets {} queries {} not_found {} errors {}",
+        report.puts, report.gets, report.queries, report.not_found, report.errors
+    );
+    println!(
+        "serve_load: latency p50 {:.0} us p95 {:.0} us p99 {:.0} us max {:.0} us",
+        report.p50_us, report.p95_us, report.p99_us, report.max_us
+    );
+
+    if has_flag(&args, "--shutdown") {
+        let mut conn = addr.connect().map_err(|e| format!("shutdown connect: {e}"))?;
+        match conn.request(&Request::Shutdown)? {
+            Response::Bye => println!("serve_load: daemon acknowledged shutdown"),
+            other => return Err(format!("shutdown: expected bye, got {other:?}")),
+        }
+    }
+
+    if report.errors > 0 {
+        eprintln!("serve_load: {} unexpected error responses", report.errors);
+        return Ok(ExitCode::from(1));
+    }
+    if has_flag(&args, "--expect-no-not-found") && report.not_found > 0 {
+        eprintln!(
+            "serve_load: {} not_found responses on a store expected to be fully seeded",
+            report.not_found
+        );
+        return Ok(ExitCode::from(1));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("serve_load: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

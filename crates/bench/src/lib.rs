@@ -14,6 +14,7 @@
 
 pub mod figures;
 pub mod robust;
+pub mod serve_client;
 pub mod table;
 pub mod trajectory;
 pub mod workloads;

@@ -1,0 +1,397 @@
+//! Seeded load generation against a running `smokescreen-serve` daemon.
+//!
+//! The serving client half of the daemon story: [`run_load`] drives a
+//! fleet of deterministic clients (each its own connection, schedule
+//! derived from `seed × client`) against a [`ServeAddr`], counts every
+//! response by type, and reports wall time plus request-latency
+//! percentiles. Both `ci.sh` (via the `serve_load` bin) and the
+//! trajectory harness's `serve_*_throughput` benches sit on this module.
+//!
+//! Determinism: the request *schedule* is a pure function of the config.
+//! Profile payloads come from [`sample_profile`], which is a pure
+//! function of `(grid, points)` — so a put-only load produces a store
+//! whose compacted bytes are independent of client interleaving (the
+//! store's per-key sequence numbers and key-ordered compaction do the
+//! rest).
+
+use std::time::Instant;
+
+use smokescreen_core::{Aggregate, Profile, ProfilePoint};
+use smokescreen_degrade::InterventionSet;
+use smokescreen_rt::journal::checksum64;
+use smokescreen_rt::pool::Pool;
+use smokescreen_serve::{ErrorCode, Request, Response, ServeAddr, StoreKey};
+use smokescreen_video::ObjectClass;
+
+/// What the generated requests do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMix {
+    /// `put_profile` only (seeds the key space).
+    Puts,
+    /// `get_profile` only (expects a seeded store).
+    Gets,
+    /// `query_tradeoff` only (expects a seeded store).
+    Queries,
+    /// Deterministic blend: ~50% gets, ~30% puts, ~20% queries.
+    Mixed,
+}
+
+impl LoadMix {
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Result<LoadMix, String> {
+        match s {
+            "put" | "puts" => Ok(LoadMix::Puts),
+            "get" | "gets" => Ok(LoadMix::Gets),
+            "query" | "queries" => Ok(LoadMix::Queries),
+            "mixed" => Ok(LoadMix::Mixed),
+            other => Err(format!("unknown mix {other:?} (put|get|query|mixed)")),
+        }
+    }
+}
+
+/// One load run's shape.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Daemon address.
+    pub addr: ServeAddr,
+    /// Concurrent clients, each with its own connection.
+    pub clients: usize,
+    /// Total requests, split evenly across clients (remainder to the
+    /// lowest client indices).
+    pub requests: usize,
+    /// Distinct grids (store keys) per client.
+    pub grids: usize,
+    /// Points per generated profile.
+    pub points: usize,
+    /// Request mix.
+    pub mix: LoadMix,
+    /// Schedule seed.
+    pub seed: u64,
+}
+
+impl LoadConfig {
+    /// A small default against `addr`: 4 clients, 8 grids each.
+    pub fn new(addr: ServeAddr, requests: usize) -> LoadConfig {
+        LoadConfig {
+            addr,
+            clients: 4,
+            requests,
+            grids: 8,
+            points: 12,
+            mix: LoadMix::Mixed,
+            seed: 1,
+        }
+    }
+}
+
+/// Aggregated outcome of a load run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoadReport {
+    /// Requests sent (== responses received; every request is answered).
+    pub requests: usize,
+    /// `ok` responses to puts.
+    pub puts: u64,
+    /// `profile` responses.
+    pub gets: u64,
+    /// `tradeoff` responses.
+    pub queries: u64,
+    /// `not_found` errors (expected for gets racing ahead of puts).
+    pub not_found: u64,
+    /// Every other error response (unexpected under a healthy daemon).
+    pub errors: u64,
+    /// Wall time of the whole run, ms.
+    pub wall_ms: f64,
+    /// Median request latency, µs (nearest-rank over all requests).
+    pub p50_us: f64,
+    /// 95th-percentile request latency, µs.
+    pub p95_us: f64,
+    /// 99th-percentile request latency, µs.
+    pub p99_us: f64,
+    /// Slowest request, µs.
+    pub max_us: f64,
+}
+
+impl LoadReport {
+    /// Requests per second over the whole run.
+    pub fn throughput_per_s(&self) -> f64 {
+        if self.wall_ms > 0.0 {
+            self.requests as f64 / (self.wall_ms / 1_000.0)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The stable camera id for load-gen client `c` — the same name-derived
+/// checksum `camera::fleet::CameraId` uses, so load-gen keys are
+/// reproducible and disjoint per client.
+pub fn client_camera(client: usize) -> u64 {
+    checksum64(format!("load-client-{client}").as_bytes())
+}
+
+/// A deterministic profile for `(grid, points)`: a plausible fraction
+/// ladder with shrinking error bounds. Pure function — every put of the
+/// same key carries identical bytes.
+pub fn sample_profile(grid: u64, points: usize) -> Profile {
+    let points = points.max(1);
+    Profile {
+        corpus: format!("load-grid-{grid}"),
+        model: "sim-yolov4".into(),
+        class: ObjectClass::Car,
+        aggregate: Aggregate::Avg,
+        delta: 0.05,
+        points: (0..points)
+            .map(|i| {
+                let fraction = (i + 1) as f64 / points as f64;
+                ProfilePoint {
+                    set: InterventionSet::sampling(fraction),
+                    y_approx: 1.0 + grid as f64 / 7.0 + fraction,
+                    err_b: 0.5 / (1.0 + 9.0 * fraction),
+                    corrected: i % 3 == 0,
+                    n: 64 * (i + 1),
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Splitmix-style step used for the per-client schedule stream.
+fn next_rand(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 16
+}
+
+struct ClientOutcome {
+    report: LoadReport,
+    latencies_us: Vec<f64>,
+    failure: Option<String>,
+}
+
+/// Runs one client's schedule to completion.
+fn run_client(config: &LoadConfig, client: usize, requests: usize) -> ClientOutcome {
+    let mut report = LoadReport::default();
+    let mut latencies_us = Vec::with_capacity(requests);
+    let camera = client_camera(client);
+    let mut rng = config
+        .seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(client as u64);
+
+    let mut conn = match config.addr.connect() {
+        Ok(c) => c,
+        Err(e) => {
+            return ClientOutcome {
+                report,
+                latencies_us,
+                failure: Some(format!("client {client}: connect: {e}")),
+            }
+        }
+    };
+    for step in 0..requests {
+        let grid = 1 + (next_rand(&mut rng) % config.grids.max(1) as u64);
+        let key = StoreKey::new(camera, grid);
+        let request = match config.mix {
+            LoadMix::Puts => Request::PutProfile {
+                key,
+                profile: sample_profile(grid, config.points),
+            },
+            LoadMix::Gets => Request::GetProfile { key },
+            LoadMix::Queries => Request::QueryTradeoff {
+                key,
+                max_err: 0.2,
+                max_fraction: Some(0.8),
+            },
+            LoadMix::Mixed => match next_rand(&mut rng) % 10 {
+                0..=4 => Request::GetProfile { key },
+                5..=7 => Request::PutProfile {
+                    key,
+                    profile: sample_profile(grid, config.points),
+                },
+                _ => Request::QueryTradeoff {
+                    key,
+                    max_err: 0.2,
+                    max_fraction: Some(0.8),
+                },
+            },
+        };
+        let t0 = Instant::now();
+        let response = conn.request(&request);
+        latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        report.requests += 1;
+        match response {
+            Ok(Response::Ok { .. }) => report.puts += 1,
+            Ok(Response::Profile { .. }) => report.gets += 1,
+            Ok(Response::Tradeoff { .. }) => report.queries += 1,
+            Ok(Response::Error {
+                code: ErrorCode::NotFound,
+                ..
+            }) => report.not_found += 1,
+            Ok(Response::Error { code, message }) => {
+                report.errors += 1;
+                return ClientOutcome {
+                    report,
+                    latencies_us,
+                    failure: Some(format!(
+                        "client {client} step {step}: {} error: {message}",
+                        code.as_str()
+                    )),
+                };
+            }
+            Ok(other) => {
+                report.errors += 1;
+                return ClientOutcome {
+                    report,
+                    latencies_us,
+                    failure: Some(format!(
+                        "client {client} step {step}: unexpected response {other:?}"
+                    )),
+                };
+            }
+            Err(e) => {
+                report.errors += 1;
+                return ClientOutcome {
+                    report,
+                    latencies_us,
+                    failure: Some(format!("client {client} step {step}: {e}")),
+                };
+            }
+        }
+    }
+    ClientOutcome {
+        report,
+        latencies_us,
+        failure: None,
+    }
+}
+
+/// Nearest-rank percentile over a sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Drives the configured load and merges per-client outcomes. Fails fast
+/// on the first unexpected error response or transport failure.
+pub fn run_load(config: &LoadConfig) -> Result<LoadReport, String> {
+    let clients = config.clients.max(1);
+    let base = config.requests / clients;
+    let extra = config.requests % clients;
+    let shares: Vec<(usize, usize)> = (0..clients)
+        .map(|c| (c, base + usize::from(c < extra)))
+        .collect();
+
+    let t0 = Instant::now();
+    let outcomes =
+        Pool::with_threads(clients).parallel_map(&shares, |_, &(c, n)| run_client(config, c, n));
+    let wall_ms = t0.elapsed().as_secs_f64() * 1_000.0;
+
+    let mut merged = LoadReport {
+        wall_ms,
+        ..LoadReport::default()
+    };
+    let mut latencies: Vec<f64> = Vec::with_capacity(config.requests);
+    let mut failures = Vec::new();
+    for outcome in outcomes {
+        merged.requests += outcome.report.requests;
+        merged.puts += outcome.report.puts;
+        merged.gets += outcome.report.gets;
+        merged.queries += outcome.report.queries;
+        merged.not_found += outcome.report.not_found;
+        merged.errors += outcome.report.errors;
+        latencies.extend(outcome.latencies_us);
+        if let Some(f) = outcome.failure {
+            failures.push(f);
+        }
+    }
+    if !failures.is_empty() {
+        return Err(failures.join("; "));
+    }
+    latencies.sort_by(f64::total_cmp);
+    merged.p50_us = percentile(&latencies, 0.50);
+    merged.p95_us = percentile(&latencies, 0.95);
+    merged.p99_us = percentile(&latencies, 0.99);
+    merged.max_us = latencies.last().copied().unwrap_or(0.0);
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_profile_is_pure_and_valid() {
+        let a = sample_profile(3, 12);
+        let b = sample_profile(3, 12);
+        assert_eq!(a, b, "same inputs, same profile");
+        assert_ne!(a, sample_profile(4, 12));
+        assert_eq!(a.points.len(), 12);
+        assert!(a.points.iter().all(|p| p.err_b > 0.0 && p.err_b.is_finite()));
+        // Encodable through the store's columnar codec.
+        let bytes = smokescreen_serve::store::encode_profile(&a);
+        let back = smokescreen_serve::store::decode_profile(&bytes).unwrap();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn client_cameras_are_disjoint_and_stable() {
+        let ids: Vec<u64> = (0..16).map(client_camera).collect();
+        let mut unique = ids.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), ids.len());
+        assert_eq!(client_camera(0), client_camera(0));
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let sorted = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&sorted, 0.50), 2.0);
+        assert_eq!(percentile(&sorted, 0.95), 4.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn load_round_trips_against_a_live_daemon() {
+        use smokescreen_serve::{Server, ServerConfig};
+        let dir = std::env::temp_dir().join(format!("smk-loadgen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let sock = std::env::temp_dir().join(format!("smk-loadgen-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&sock);
+        let server = Server::new(
+            ServerConfig::new(ServeAddr::Unix(sock), &dir).with_threads(2),
+        )
+        .spawn()
+        .unwrap();
+
+        let mut config = LoadConfig::new(server.addr().clone(), 64);
+        config.clients = 2;
+        config.grids = 4;
+        config.mix = LoadMix::Puts;
+        let seeded = run_load(&config).unwrap();
+        assert_eq!(seeded.requests, 64);
+        assert_eq!(seeded.puts, 64);
+        assert_eq!(seeded.errors, 0);
+
+        config.mix = LoadMix::Gets;
+        let gets = run_load(&config).unwrap();
+        assert_eq!(gets.gets + gets.not_found, 64);
+        assert_eq!(gets.not_found, 0, "every key was seeded");
+        assert!(gets.p50_us > 0.0 && gets.p95_us >= gets.p50_us);
+
+        config.mix = LoadMix::Mixed;
+        let mixed = run_load(&config).unwrap();
+        assert_eq!(mixed.errors, 0);
+        assert!(mixed.throughput_per_s() > 0.0);
+
+        let report = server.shutdown().unwrap();
+        assert!(report.graceful);
+        assert_eq!(report.stats.quarantined_records, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

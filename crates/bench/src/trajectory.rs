@@ -33,9 +33,11 @@ use smokescreen_degrade::{
 use smokescreen_models::{Detections, Detector, OutputCache, SimYoloV4};
 use smokescreen_rt::bench::{bench_repeated, RepeatedMeasurement};
 use smokescreen_rt::json::{FromJson, Json, JsonError, ToJson};
+use smokescreen_serve::{ServeAddr, Server, ServerConfig};
 use smokescreen_video::synth::DatasetPreset;
 use smokescreen_video::{Frame, ObjectClass, Resolution, VideoCorpus};
 
+use crate::serve_client::{run_load, LoadConfig, LoadMix};
 use crate::table::{fmt, Table};
 
 /// Schema tag written into every trajectory file; bump on shape changes.
@@ -945,6 +947,51 @@ pub fn run(config: &TrajectoryConfig, pr: u64, rev: String) -> Trajectory {
         "candidates",
         sweep_runs,
     ));
+
+    // --- 7. Serving throughput: the daemon under framed load. ---
+    // A live server on a Unix socket with `config.threads` workers; every
+    // repetition replays the same seeded schedule through
+    // `serve_client::run_load`, so the medians measure the full framed
+    // protocol + admission queue + columnar store path. Puts run first
+    // (seeding every key), so the get/query benches never see not_found.
+    let serve_requests = if config.smoke { 200 } else { 1_000 };
+    let serve_dir = std::env::temp_dir().join(format!("smk-traj-serve-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&serve_dir);
+    fs::create_dir_all(&serve_dir).expect("serve bench store dir");
+    let serve_sock =
+        std::env::temp_dir().join(format!("smk-traj-serve-{}.sock", std::process::id()));
+    let server = Server::new(
+        ServerConfig::new(ServeAddr::Unix(serve_sock), &serve_dir).with_threads(config.threads),
+    )
+    .spawn()
+    .expect("serve bench daemon");
+    let mut load = LoadConfig::new(server.addr().clone(), serve_requests);
+    load.seed = config.seed;
+    for (name, mix) in [
+        ("serve_put_throughput", LoadMix::Puts),
+        ("serve_get_throughput", LoadMix::Gets),
+        ("serve_query_throughput", LoadMix::Queries),
+    ] {
+        load.mix = mix;
+        let m = bench_repeated(name, config.reps, || {
+            let report = run_load(&load).expect("serve load succeeds");
+            assert_eq!(report.errors, 0, "daemon answered with unexpected errors");
+            report.requests
+        });
+        benches.push(BenchResult::from_measurement(
+            name,
+            &m,
+            serve_requests,
+            "requests",
+            0,
+        ));
+    }
+    let serve_report = server.shutdown().expect("serve bench shutdown");
+    assert_eq!(
+        serve_report.stats.quarantined_records, 0,
+        "serve bench store must stay clean"
+    );
+    let _ = fs::remove_dir_all(&serve_dir);
 
     Trajectory {
         schema: SCHEMA.to_string(),

@@ -6,6 +6,32 @@ use smokescreen_video::{ObjectClass, VideoCorpus};
 use crate::cost::{transmission_cost, EnergyModel, Link};
 use crate::privacy::{PrivacyAuditor, PrivacyReport};
 
+/// Stable 64-bit camera identity, derived from the camera name by the
+/// same FNV-1a checksum the durability layer uses — so the id a profile
+/// store keys records by is reproducible on any machine without a central
+/// id allocator. This is the store-key seam the serving daemon builds on:
+/// `StoreKey { camera: id.value(), grid }`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CameraId(u64);
+
+impl CameraId {
+    /// Derives the id for a camera name.
+    pub fn from_name(name: &str) -> CameraId {
+        CameraId(smokescreen_rt::journal::checksum64(name.as_bytes()))
+    }
+
+    /// The raw 64-bit value (what goes into a store key).
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for CameraId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
 /// One configurable networked camera.
 pub struct Camera {
     /// Camera name (e.g. `"intersection-7"`).
@@ -34,6 +60,11 @@ impl Camera {
             energy: EnergyModel::default(),
             restrictions,
         }
+    }
+
+    /// The camera's stable store-key identity.
+    pub fn stable_id(&self) -> CameraId {
+        CameraId::from_name(&self.name)
     }
 
     /// Simulates applying the intervention at-source and shipping the
@@ -107,6 +138,11 @@ impl FleetReport {
 }
 
 impl Fleet {
+    /// Stable ids for every camera, in fleet order.
+    pub fn camera_ids(&self) -> Vec<CameraId> {
+        self.cameras.iter().map(Camera::stable_id).collect()
+    }
+
     /// Applies one intervention set fleet-wide and reports totals.
     pub fn transmit_all(&self, set: &InterventionSet, seed: u64) -> Result<FleetReport, String> {
         let cameras = self
@@ -155,6 +191,22 @@ mod tests {
         assert!(degraded.total_bytes() < full.total_bytes() / 50);
         assert!(degraded.total_energy_j() < full.total_energy_j());
         assert!(degraded.total_exposure() < full.total_exposure() / 2.0);
+    }
+
+    #[test]
+    fn camera_ids_are_stable_name_derived_and_distinct() {
+        let f = fleet();
+        let ids = f.camera_ids();
+        assert_eq!(ids.len(), 2);
+        assert_ne!(ids[0], ids[1]);
+        assert_eq!(ids[0], CameraId::from_name("ns-1"), "pure function of the name");
+        assert_eq!(ids[0], f.cameras[0].stable_id());
+        assert_eq!(format!("{}", ids[0]).len(), 16, "fixed-width hex rendering");
+        assert_eq!(
+            ids[0].value(),
+            smokescreen_rt::journal::checksum64(b"ns-1"),
+            "same checksum the durability layer uses"
+        );
     }
 
     #[test]

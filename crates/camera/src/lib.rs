@@ -18,5 +18,5 @@ pub mod fleet;
 pub mod privacy;
 
 pub use cost::{EnergyModel, Link, TransmissionCost};
-pub use fleet::{Camera, Fleet, FleetReport};
+pub use fleet::{Camera, CameraId, Fleet, FleetReport};
 pub use privacy::{PrivacyAuditor, PrivacyReport};

@@ -1,0 +1,135 @@
+//! `serve` — the profile-serving daemon binary.
+//!
+//! ```text
+//! serve run --unix PATH | --tcp HOST:PORT  --store DIR
+//!           [--threads N] [--queue-cap N] [--identity S]
+//! serve check --store DIR [--identity S]
+//! ```
+//!
+//! `run` opens (or creates) the profile store under `--store`, binds the
+//! listener, prints the resolved address (`listening on ...`), and serves
+//! until a client sends `shutdown` — then flushes, compacts, and prints a
+//! final report. `check` opens the store read-only-ish (a replay, no
+//! serving), prints what recovery found, and exits 1 if any record was
+//! quarantined — the zero-data-loss gate `ci.sh` runs after a daemon
+//! cycle. Exit codes: 0 ok, 1 quarantined records (check) or serve
+//! failure, 2 usage errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use smokescreen_serve::{ProfileStore, ServeAddr, Server, ServerConfig};
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: serve run --unix PATH|--tcp HOST:PORT --store DIR \
+         [--threads N] [--queue-cap N] [--identity S]\n       \
+         serve check --store DIR [--identity S]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let addr = match (flag_value(args, "--unix"), flag_value(args, "--tcp")) {
+        (Some(path), None) => ServeAddr::Unix(PathBuf::from(path)),
+        (None, Some(spec)) => ServeAddr::Tcp(spec),
+        _ => return usage(),
+    };
+    let Some(store_dir) = flag_value(args, "--store") else {
+        return usage();
+    };
+    let mut config = ServerConfig::new(addr, store_dir);
+    if let Some(threads) = flag_value(args, "--threads").and_then(|t| t.parse().ok()) {
+        config = config.with_threads(threads);
+    }
+    if let Some(cap) = flag_value(args, "--queue-cap").and_then(|c| c.parse().ok()) {
+        config = config.with_queue_cap(cap);
+    }
+    if let Some(identity) = flag_value(args, "--identity") {
+        config = config.with_identity(identity);
+    }
+
+    let running = match Server::new(config).spawn() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    println!("listening on {}", running.addr());
+    match running.join() {
+        Ok(report) => {
+            println!(
+                "serve: stopped ({}) — {} requests over {} connections, {} live records, \
+                 {} quarantined",
+                if report.graceful { "graceful" } else { "killed" },
+                report.stats.requests,
+                report.stats.connections,
+                report.stats.live_records,
+                report.stats.quarantined_records,
+            );
+            if let Some(compaction) = report.compaction {
+                println!(
+                    "serve: compacted {} records, reclaimed {} bytes",
+                    compaction.live_records, compaction.reclaimed_bytes
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let Some(store_dir) = flag_value(args, "--store") else {
+        return usage();
+    };
+    let identity = flag_value(args, "--identity").unwrap_or_else(|| "smokescreen-serve".into());
+    match ProfileStore::open(PathBuf::from(&store_dir).as_path(), &identity) {
+        Ok((store, replay)) => {
+            println!(
+                "check: {} live records, {} bytes, index_used={} scanned={} \
+                 quarantined={} ({} bytes) torn_tail={}",
+                store.len(),
+                store.data_bytes(),
+                replay.index_used,
+                replay.scanned_records,
+                replay.quarantined_records,
+                replay.quarantined_bytes,
+                replay.torn_tail,
+            );
+            if replay.quarantined_records > 0 {
+                eprintln!(
+                    "check: {} records quarantined — acked data was lost or damaged",
+                    replay.quarantined_records
+                );
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("check: {store_dir}: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

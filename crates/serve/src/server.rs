@@ -1,0 +1,1055 @@
+//! The serving daemon: thread-per-core workers on the persistent
+//! `rt::pool`, fed by one acceptor task through a **bounded admission
+//! queue**.
+//!
+//! Topology: a [`Server`] binds a Unix or TCP listener, opens the
+//! [`ProfileStore`], and runs `workers + 1` long-lived tasks on one
+//! `rt::pool` scope — task 0 polls the listener (non-blocking accept,
+//! 1 ms poll) and every other task owns one connection at a time. A
+//! connection accepted while the queue is at capacity gets a typed
+//! [`ErrorCode::Overloaded`] response and is closed: overload is an
+//! explicit, observable rejection, never an unbounded backlog.
+//!
+//! Shutdown has two flavors, mirroring the store's durability story:
+//!
+//! * **graceful** (a `shutdown` request, or [`RunningServer::shutdown`]):
+//!   the acceptor stops, workers drain queued connections and close idle
+//!   ones at the next frame boundary, then the store is flushed and
+//!   **compacted** — a clean stop always leaves the canonical key-ordered
+//!   on-disk layout, which is what makes soak-test stores byte-comparable
+//!   across thread counts.
+//! * **kill** ([`RunningServer::kill`]): a simulated crash. Workers drop
+//!   connections at the next frame boundary and no compaction runs; every
+//!   acked put is already durable (`sync_data` before the `ok` frame), so
+//!   a reopen recovers all acknowledged writes by scan or index replay.
+//!
+//! Freshness (the `core::streaming` seam): each key may grow a
+//! [`FreshnessMonitor`] from outputs pushed via `push_outputs`. The first
+//! pushes accumulate until two full windows establish a drift baseline;
+//! later pushes are scored, and `get_profile` responses carry the
+//! resulting [`DriftStatus`] so a stale profile is visible at read time.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use smokescreen_core::{
+    FreshnessMonitor, ProfilePoint, DEFAULT_DRIFT_THRESHOLD, DEFAULT_DRIFT_WINDOW,
+};
+use smokescreen_rt::json::Json;
+use smokescreen_rt::pool::Pool;
+
+use crate::protocol::{
+    read_frame, write_frame, DriftStatus, ErrorCode, FrameError, Request, Response, ServerStats,
+};
+use crate::store::{CompactionReport, ProfileStore, StoreKey, StoreReplay};
+
+/// Server-side read timeout: the cadence at which an idle connection's
+/// worker polls the shutdown flag (see [`FrameError::Idle`]).
+const READ_TIMEOUT: Duration = Duration::from_millis(50);
+
+/// Server-side write timeout: a peer that stops reading cannot pin a
+/// worker forever.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Acceptor poll interval while the listener has no pending connection.
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
+
+/// How long a worker parks on the admission queue before re-checking the
+/// shutdown flags.
+const QUEUE_WAIT: Duration = Duration::from_millis(20);
+
+/// Default admission-queue capacity (connections waiting for a worker).
+pub const DEFAULT_QUEUE_CAP: usize = 64;
+
+/// Where a server listens (and where clients connect).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeAddr {
+    /// A Unix-domain socket at this path.
+    Unix(PathBuf),
+    /// A TCP address (`"host:port"`; port 0 picks a free port, and the
+    /// resolved address is reported by [`RunningServer::addr`]).
+    Tcp(String),
+}
+
+impl ServeAddr {
+    /// Connects a client to this address.
+    pub fn connect(&self) -> io::Result<Connection> {
+        let stream = match self {
+            ServeAddr::Unix(path) => Stream::Unix(UnixStream::connect(path)?),
+            ServeAddr::Tcp(addr) => Stream::Tcp(TcpStream::connect(addr.as_str())?),
+        };
+        Ok(Connection { stream })
+    }
+}
+
+impl std::fmt::Display for ServeAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeAddr::Unix(path) => write!(f, "unix:{}", path.display()),
+            ServeAddr::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
+}
+
+/// One transport stream, Unix or TCP, behind a common `Read`/`Write`.
+enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    /// Server-side setup for a freshly accepted stream: blocking mode
+    /// (the listener is non-blocking and that can be inherited), a short
+    /// read timeout for shutdown polling, and a bounded write timeout.
+    fn configure_server(&self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => {
+                s.set_nonblocking(false)?;
+                s.set_read_timeout(Some(READ_TIMEOUT))?;
+                s.set_write_timeout(Some(WRITE_TIMEOUT))
+            }
+            Stream::Tcp(s) => {
+                s.set_nonblocking(false)?;
+                s.set_read_timeout(Some(READ_TIMEOUT))?;
+                s.set_write_timeout(Some(WRITE_TIMEOUT))
+            }
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A client connection: blocking reads (no timeout — the server answers
+/// every frame), with framed request/response helpers on top.
+pub struct Connection {
+    stream: Stream,
+}
+
+impl Connection {
+    /// Connects to a serving address. Alias for [`ServeAddr::connect`].
+    pub fn open(addr: &ServeAddr) -> io::Result<Connection> {
+        addr.connect()
+    }
+
+    /// Sends one request frame.
+    pub fn send(&mut self, request: &Request) -> io::Result<()> {
+        write_frame(&mut self.stream, &request.to_json())
+    }
+
+    /// Receives one response frame.
+    pub fn receive(&mut self) -> Result<Response, String> {
+        match read_frame(&mut self.stream) {
+            Ok(Some(json)) => Response::from_json(&json),
+            Ok(None) => Err("server closed the connection".into()),
+            Err(FrameError::Io(e)) => Err(format!("transport error: {e}")),
+            Err(e) => Err(format!("frame error: {e:?}")),
+        }
+    }
+
+    /// Round trip: send a request, wait for its response.
+    pub fn request(&mut self, request: &Request) -> Result<Response, String> {
+        self.send(request).map_err(|e| e.to_string())?;
+        self.receive()
+    }
+}
+
+impl Read for Connection {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.stream.read(buf)
+    }
+}
+
+impl Write for Connection {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.stream.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.stream.flush()
+    }
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    /// Binds the address; for TCP the returned address carries the
+    /// resolved port (so `"127.0.0.1:0"` becomes connectable).
+    fn bind(addr: &ServeAddr) -> io::Result<(Listener, ServeAddr)> {
+        match addr {
+            ServeAddr::Unix(path) => {
+                // A previous unclean stop can leave a stale socket file;
+                // binding over it is the expected recovery.
+                if path.exists() {
+                    std::fs::remove_file(path)?;
+                }
+                Ok((
+                    Listener::Unix(UnixListener::bind(path)?),
+                    ServeAddr::Unix(path.clone()),
+                ))
+            }
+            ServeAddr::Tcp(spec) => {
+                let listener = TcpListener::bind(spec.as_str())?;
+                let resolved = ServeAddr::Tcp(listener.local_addr()?.to_string());
+                Ok((Listener::Tcp(listener), resolved))
+            }
+        }
+    }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Listener::Unix(l) => l.set_nonblocking(nonblocking),
+            Listener::Tcp(l) => l.set_nonblocking(nonblocking),
+        }
+    }
+
+    fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+        }
+    }
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address.
+    pub addr: ServeAddr,
+    /// Profile-store directory.
+    pub store_dir: PathBuf,
+    /// Store identity string (a foreign identity quarantines wholesale).
+    pub identity: String,
+    /// Worker tasks; `0` means the pool's automatic width. The acceptor
+    /// runs as one extra task on top of this count.
+    pub threads: usize,
+    /// Admission-queue capacity. `0` rejects every connection — useful
+    /// for testing the overload path.
+    pub queue_cap: usize,
+    /// Drift-monitor window (outputs per scored window).
+    pub drift_window: usize,
+    /// Drift score threshold for flagging a window.
+    pub drift_threshold: f64,
+}
+
+impl ServerConfig {
+    /// A config with defaults: automatic thread count, queue capacity
+    /// [`DEFAULT_QUEUE_CAP`], and the `core::similarity` drift defaults.
+    pub fn new(addr: ServeAddr, store_dir: impl Into<PathBuf>) -> ServerConfig {
+        ServerConfig {
+            addr,
+            store_dir: store_dir.into(),
+            identity: "smokescreen-serve".into(),
+            threads: 0,
+            queue_cap: DEFAULT_QUEUE_CAP,
+            drift_window: DEFAULT_DRIFT_WINDOW,
+            drift_threshold: DEFAULT_DRIFT_THRESHOLD,
+        }
+    }
+
+    /// Sets the worker count (`0` = automatic).
+    pub fn with_threads(mut self, threads: usize) -> ServerConfig {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the admission-queue capacity.
+    pub fn with_queue_cap(mut self, cap: usize) -> ServerConfig {
+        self.queue_cap = cap;
+        self
+    }
+
+    /// Sets the store identity.
+    pub fn with_identity(mut self, identity: impl Into<String>) -> ServerConfig {
+        self.identity = identity.into();
+        self
+    }
+
+    /// Sets the drift-monitor window and threshold.
+    pub fn with_drift(mut self, window: usize, threshold: f64) -> ServerConfig {
+        self.drift_window = window;
+        self.drift_threshold = threshold;
+        self
+    }
+}
+
+/// What a finished server run accomplished.
+#[derive(Debug, Clone)]
+pub struct ServerReport {
+    /// What opening the store recovered.
+    pub replay: StoreReplay,
+    /// Final counter snapshot.
+    pub stats: ServerStats,
+    /// The shutdown compaction (`None` after a kill).
+    pub compaction: Option<CompactionReport>,
+    /// Whether the stop was graceful (flush + compact) or a kill.
+    pub graceful: bool,
+}
+
+/// Per-key freshness state: outputs accumulate until a baseline exists,
+/// then a live monitor scores every subsequent window.
+#[derive(Default)]
+struct MonitorSlot {
+    pending: Vec<f64>,
+    monitor: Option<FreshnessMonitor>,
+}
+
+impl MonitorSlot {
+    /// Feeds outputs; returns the scored-window count (0 while the
+    /// baseline is still accumulating).
+    fn push(&mut self, outputs: &[f64], window: usize, threshold: f64) -> u64 {
+        match &mut self.monitor {
+            Some(monitor) => monitor.extend(outputs),
+            None => {
+                self.pending.extend_from_slice(outputs);
+                if let Some(monitor) =
+                    FreshnessMonitor::from_outputs(&self.pending, window, threshold)
+                {
+                    self.pending = Vec::new();
+                    self.monitor = Some(monitor);
+                }
+            }
+        }
+        self.monitor
+            .as_ref()
+            .map_or(0, |m| m.report().windows_scored as u64)
+    }
+
+    fn status(&self) -> Option<DriftStatus> {
+        self.monitor.as_ref().map(|monitor| {
+            let report = monitor.report();
+            DriftStatus {
+                score: report.max_score,
+                windows_scored: report.windows_scored as u64,
+                windows_flagged: report.windows_flagged as u64,
+                stale: monitor.stale(),
+            }
+        })
+    }
+}
+
+/// Mutable server state: the store plus the per-key drift monitors. One
+/// lock serializes both — the store is single-writer by contract, and
+/// keeping monitors under the same lock makes `get_profile` freshness
+/// reads consistent with concurrent `push_outputs`.
+struct State {
+    store: ProfileStore,
+    monitors: BTreeMap<StoreKey, MonitorSlot>,
+}
+
+/// Everything the acceptor, workers, and [`RunningServer`] handle share.
+struct Shared {
+    state: Mutex<State>,
+    queue: Mutex<VecDeque<Stream>>,
+    queue_ready: Condvar,
+    queue_cap: usize,
+    /// Graceful drain requested.
+    stop: AtomicBool,
+    /// Simulated crash requested.
+    kill: AtomicBool,
+    connections: AtomicU64,
+    requests: AtomicU64,
+    overload_rejections: AtomicU64,
+    protocol_errors: AtomicU64,
+    drift_window: usize,
+    drift_threshold: f64,
+}
+
+fn lock<'a, T>(mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst) || self.kill.load(Ordering::SeqCst)
+    }
+
+    /// Assembles a [`ServerStats`] snapshot (takes the state lock).
+    fn snapshot(&self) -> ServerStats {
+        let state = lock(&self.state);
+        let store_stats = state.store.stats();
+        let drift_monitors = state
+            .monitors
+            .values()
+            .filter(|slot| slot.monitor.is_some())
+            .count() as u64;
+        let stale_monitors = state
+            .monitors
+            .values()
+            .filter(|slot| slot.monitor.as_ref().is_some_and(|m| m.stale()))
+            .count() as u64;
+        ServerStats {
+            connections: self.connections.load(Ordering::SeqCst),
+            requests: self.requests.load(Ordering::SeqCst),
+            overload_rejections: self.overload_rejections.load(Ordering::SeqCst),
+            protocol_errors: self.protocol_errors.load(Ordering::SeqCst),
+            live_records: state.store.len() as u64,
+            data_bytes: state.store.data_bytes(),
+            puts: store_stats.puts,
+            gets: store_stats.gets,
+            cache_hits: store_stats.cache_hits,
+            cache_misses: store_stats.cache_misses,
+            quarantined_records: store_stats.quarantined_records,
+            compactions: store_stats.compactions,
+            drift_monitors,
+            stale_monitors,
+        }
+    }
+}
+
+/// A configured server, ready to [`run`](Server::run) on the calling
+/// thread or [`spawn`](Server::spawn) in the background.
+pub struct Server {
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Wraps a configuration.
+    pub fn new(config: ServerConfig) -> Server {
+        Server { config }
+    }
+
+    /// Binds, serves, and blocks until shutdown. Used by the `serve` bin.
+    pub fn run(self) -> io::Result<ServerReport> {
+        Boot::bind(self.config)?.serve()
+    }
+
+    /// Binds on the calling thread (so bind errors surface immediately
+    /// and the resolved address is known), then serves on a background
+    /// thread controlled through the returned handle.
+    pub fn spawn(self) -> io::Result<RunningServer> {
+        let boot = Boot::bind(self.config)?;
+        let addr = boot.addr.clone();
+        let shared = Arc::clone(&boot.shared);
+        let handle = std::thread::Builder::new()
+            .name("smokescreen-serve".into())
+            .spawn(move || boot.serve())?;
+        Ok(RunningServer {
+            addr,
+            shared,
+            handle,
+        })
+    }
+}
+
+/// A server bound and ready: listener + opened store.
+struct Boot {
+    listener: Listener,
+    addr: ServeAddr,
+    shared: Arc<Shared>,
+    replay: StoreReplay,
+    config: ServerConfig,
+}
+
+impl Boot {
+    fn bind(config: ServerConfig) -> io::Result<Boot> {
+        let (store, replay) = ProfileStore::open(&config.store_dir, &config.identity)?;
+        let (listener, addr) = Listener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                store,
+                monitors: BTreeMap::new(),
+            }),
+            queue: Mutex::new(VecDeque::new()),
+            queue_ready: Condvar::new(),
+            queue_cap: config.queue_cap,
+            stop: AtomicBool::new(false),
+            kill: AtomicBool::new(false),
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            overload_rejections: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            drift_window: config.drift_window,
+            drift_threshold: config.drift_threshold,
+        });
+        Ok(Boot {
+            listener,
+            addr,
+            shared,
+            replay,
+            config,
+        })
+    }
+
+    fn serve(self) -> io::Result<ServerReport> {
+        let workers = if self.config.threads == 0 {
+            Pool::new().threads()
+        } else {
+            self.config.threads
+        }
+        .max(1);
+        // One task per worker plus the acceptor; with task count equal to
+        // the pool width, guided chunking degenerates to one task per
+        // participant, so every long-running loop gets its own thread.
+        let pool = Pool::with_threads(workers + 1);
+        let shared: &Shared = &self.shared;
+        let listener = &self.listener;
+        pool.scope(|scope| {
+            scope.spawn(move || acceptor_loop(listener, shared));
+            for _ in 0..workers {
+                scope.spawn(move || worker_loop(shared));
+            }
+        });
+
+        if let ServeAddr::Unix(path) = &self.addr {
+            let _ = std::fs::remove_file(path);
+        }
+        let graceful = !shared.kill.load(Ordering::SeqCst);
+        let compaction = if graceful {
+            Some(lock(&shared.state).store.compact()?)
+        } else {
+            None
+        };
+        let stats = shared.snapshot();
+        Ok(ServerReport {
+            replay: self.replay,
+            stats,
+            compaction,
+            graceful,
+        })
+    }
+}
+
+/// Handle to a [`Server::spawn`]ed daemon.
+pub struct RunningServer {
+    addr: ServeAddr,
+    shared: Arc<Shared>,
+    handle: std::thread::JoinHandle<io::Result<ServerReport>>,
+}
+
+impl RunningServer {
+    /// The resolved listen address (for TCP, with the actual port).
+    pub fn addr(&self) -> &ServeAddr {
+        &self.addr
+    }
+
+    /// Connects a client.
+    pub fn connect(&self) -> io::Result<Connection> {
+        self.addr.connect()
+    }
+
+    /// Requests a graceful shutdown over the protocol and waits for the
+    /// final report (flush + compact included).
+    pub fn shutdown(self) -> io::Result<ServerReport> {
+        if let Ok(mut conn) = self.addr.connect() {
+            // Tolerate errors: the server may already be draining.
+            let _ = conn.request(&Request::Shutdown);
+        } else {
+            // No connection possible (e.g. already stopping): fall back
+            // to the drain flag so join cannot hang.
+            self.shared.stop.store(true, Ordering::SeqCst);
+        }
+        self.join()
+    }
+
+    /// Simulated crash: stop serving as fast as possible, skip the
+    /// shutdown compaction. Acked writes are already durable.
+    pub fn kill(self) -> io::Result<ServerReport> {
+        self.shared.kill.store(true, Ordering::SeqCst);
+        self.join()
+    }
+
+    /// Waits for the server to stop (however that happens).
+    pub fn join(self) -> io::Result<ServerReport> {
+        match self.handle.join() {
+            Ok(report) => report,
+            Err(_) => Err(io::Error::new(
+                io::ErrorKind::Other,
+                "server thread panicked",
+            )),
+        }
+    }
+}
+
+/// Task 0: accept connections and feed the admission queue.
+fn acceptor_loop(listener: &Listener, shared: &Shared) {
+    while !shared.stopping() {
+        match listener.accept() {
+            Ok(stream) => {
+                if stream.configure_server().is_err() {
+                    continue;
+                }
+                shared.connections.fetch_add(1, Ordering::SeqCst);
+                let mut queue = lock(&shared.queue);
+                if queue.len() >= shared.queue_cap {
+                    drop(queue);
+                    shared.overload_rejections.fetch_add(1, Ordering::SeqCst);
+                    let mut stream = stream;
+                    let _ = write_frame(
+                        &mut stream,
+                        &Response::error(ErrorCode::Overloaded, "admission queue full").to_json(),
+                    );
+                    // Dropping the stream closes the rejected connection.
+                } else {
+                    queue.push_back(stream);
+                    drop(queue);
+                    shared.queue_ready.notify_one();
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            // Transient accept failures (e.g. EMFILE) back off and retry.
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    // Wake parked workers so the drain check runs promptly.
+    shared.queue_ready.notify_all();
+}
+
+/// Worker task: own one connection at a time until drained.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let next = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if shared.stopping() {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .queue_ready
+                    .wait_timeout(queue, QUEUE_WAIT)
+                    .unwrap_or_else(PoisonError::into_inner);
+                queue = guard;
+            }
+        };
+        match next {
+            Some(stream) => serve_connection(stream, shared),
+            None => return,
+        }
+    }
+}
+
+/// Serves one connection until it closes, errors, or the server drains.
+fn serve_connection(mut stream: Stream, shared: &Shared) {
+    loop {
+        if shared.kill.load(Ordering::SeqCst) {
+            return;
+        }
+        match read_frame(&mut stream) {
+            Ok(None) => return,
+            Ok(Some(json)) => {
+                let (response, close) = handle_frame(shared, &json);
+                let sent = respond(&mut stream, shared, &response);
+                if close || sent.is_err() {
+                    return;
+                }
+            }
+            Err(FrameError::Idle) => {
+                if shared.stopping() {
+                    return;
+                }
+            }
+            Err(FrameError::Truncated) | Err(FrameError::Io(_)) => return,
+            Err(FrameError::Oversized(claimed)) => {
+                shared.protocol_errors.fetch_add(1, Ordering::SeqCst);
+                let _ = respond(
+                    &mut stream,
+                    shared,
+                    &Response::error(
+                        ErrorCode::Oversized,
+                        format!("frame claims {claimed} bytes (max {})", crate::protocol::MAX_FRAME_LEN),
+                    ),
+                );
+                // The stream position cannot be resynchronized after an
+                // oversized claim; close.
+                return;
+            }
+            Err(FrameError::Malformed(message)) => {
+                shared.protocol_errors.fetch_add(1, Ordering::SeqCst);
+                // Framing is intact, so the connection survives.
+                if respond(
+                    &mut stream,
+                    shared,
+                    &Response::error(ErrorCode::Malformed, message),
+                )
+                .is_err()
+                {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Writes a response frame and counts it.
+fn respond(stream: &mut Stream, shared: &Shared, response: &Response) -> io::Result<()> {
+    write_frame(stream, &response.to_json())?;
+    shared.requests.fetch_add(1, Ordering::SeqCst);
+    Ok(())
+}
+
+/// Dispatches one decoded frame. Returns the response and whether the
+/// connection must close afterwards.
+fn handle_frame(shared: &Shared, json: &Json) -> (Response, bool) {
+    let request = match Request::from_json(json) {
+        Ok(request) => request,
+        Err(message) => return (Response::error(ErrorCode::BadRequest, message), false),
+    };
+    if shared.stopping() && !matches!(request, Request::Shutdown | Request::Stats) {
+        return (
+            Response::error(ErrorCode::ShuttingDown, "server is draining"),
+            true,
+        );
+    }
+    match request {
+        Request::GetProfile { key } => {
+            let mut state = lock(&shared.state);
+            match state.store.get(key) {
+                Ok(Some((seq, profile))) => {
+                    let drift = state.monitors.get(&key).and_then(MonitorSlot::status);
+                    (
+                        Response::Profile {
+                            key,
+                            seq,
+                            profile: (*profile).clone(),
+                            drift,
+                        },
+                        false,
+                    )
+                }
+                Ok(None) => (not_found(key), false),
+                Err(e) => (Response::error(ErrorCode::Store, e.to_string()), false),
+            }
+        }
+        Request::PutProfile { key, profile } => {
+            let mut state = lock(&shared.state);
+            match state.store.put(key, &profile) {
+                Ok(seq) => (Response::Ok { seq }, false),
+                Err(e) => (Response::error(ErrorCode::Store, e.to_string()), false),
+            }
+        }
+        Request::QueryTradeoff {
+            key,
+            max_err,
+            max_fraction,
+        } => {
+            let mut state = lock(&shared.state);
+            match state.store.get(key) {
+                Ok(Some((_, profile))) => {
+                    let mut matches: Vec<ProfilePoint> = profile
+                        .points
+                        .iter()
+                        .filter(|p| {
+                            p.err_b <= max_err
+                                && max_fraction.is_none_or(|mf| p.set.sample_fraction <= mf)
+                        })
+                        .cloned()
+                        .collect();
+                    // Cheapest first, deterministically: ascending capture
+                    // spend, ties broken by the tighter bound.
+                    matches.sort_by(|a, b| {
+                        a.set
+                            .sample_fraction
+                            .total_cmp(&b.set.sample_fraction)
+                            .then(a.err_b.total_cmp(&b.err_b))
+                    });
+                    (Response::Tradeoff { matches }, false)
+                }
+                Ok(None) => (not_found(key), false),
+                Err(e) => (Response::error(ErrorCode::Store, e.to_string()), false),
+            }
+        }
+        Request::PushOutputs { key, outputs } => {
+            let mut state = lock(&shared.state);
+            let (window, threshold) = (shared.drift_window, shared.drift_threshold);
+            let slot = state.monitors.entry(key).or_default();
+            let scored = slot.push(&outputs, window, threshold);
+            (Response::Ok { seq: scored }, false)
+        }
+        Request::Stats => (Response::Stats(Box::new(shared.snapshot())), false),
+        Request::Shutdown => {
+            shared.stop.store(true, Ordering::SeqCst);
+            (Response::Bye, true)
+        }
+    }
+}
+
+fn not_found(key: StoreKey) -> Response {
+    Response::error(
+        ErrorCode::NotFound,
+        format!(
+            "no record for camera {:016x} grid {:016x}",
+            key.camera, key.grid
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smokescreen_core::{Aggregate, Profile};
+    use smokescreen_degrade::InterventionSet;
+    use smokescreen_video::ObjectClass;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("smk-serve-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sock(tag: &str) -> ServeAddr {
+        let path = std::env::temp_dir().join(format!("smk-{tag}-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        ServeAddr::Unix(path)
+    }
+
+    fn profile(points: usize) -> Profile {
+        Profile {
+            corpus: "night-street".into(),
+            model: "oracle".into(),
+            class: ObjectClass::Car,
+            aggregate: Aggregate::Avg,
+            delta: 0.05,
+            points: (0..points)
+                .map(|i| ProfilePoint {
+                    set: InterventionSet::sampling(0.1 + 0.1 * i as f64),
+                    y_approx: 1.0 + i as f64,
+                    err_b: 0.30 - 0.05 * i as f64,
+                    corrected: i % 2 == 0,
+                    n: 100 + i,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn round_trip_over_unix_socket_then_graceful_shutdown_compacts() {
+        let dir = tmp_dir("rt");
+        let server = Server::new(
+            ServerConfig::new(sock("rt"), &dir).with_threads(2),
+        )
+        .spawn()
+        .unwrap();
+        let mut conn = server.connect().unwrap();
+
+        let key = StoreKey::new(7, 9);
+        let p = profile(4);
+        match conn
+            .request(&Request::PutProfile {
+                key,
+                profile: p.clone(),
+            })
+            .unwrap()
+        {
+            Response::Ok { seq } => assert_eq!(seq, 1),
+            other => panic!("expected ok, got {other:?}"),
+        }
+        match conn.request(&Request::GetProfile { key }).unwrap() {
+            Response::Profile {
+                key: k,
+                seq,
+                profile,
+                drift,
+            } => {
+                assert_eq!(k, key);
+                assert_eq!(seq, 1);
+                assert_eq!(profile, p);
+                assert!(drift.is_none(), "no outputs pushed yet");
+            }
+            other => panic!("expected profile, got {other:?}"),
+        }
+        // Tradeoff query: err_b <= 0.25 excludes the first point; budget
+        // 0.25 keeps fractions 0.1 and 0.2 only.
+        match conn
+            .request(&Request::QueryTradeoff {
+                key,
+                max_err: 0.25,
+                max_fraction: Some(0.25),
+            })
+            .unwrap()
+        {
+            Response::Tradeoff { matches } => {
+                assert_eq!(matches.len(), 1);
+                assert!((matches[0].set.sample_fraction - 0.2).abs() < 1e-12);
+            }
+            other => panic!("expected tradeoff, got {other:?}"),
+        }
+        match conn.request(&Request::GetProfile { key: StoreKey::new(1, 1) }) {
+            Ok(Response::Error { code, .. }) => assert_eq!(code, ErrorCode::NotFound),
+            other => panic!("expected not_found, got {other:?}"),
+        }
+        match conn.request(&Request::Stats).unwrap() {
+            Response::Stats(stats) => {
+                assert_eq!(stats.puts, 1);
+                assert_eq!(stats.live_records, 1);
+                assert!(stats.requests >= 4);
+                assert_eq!(stats.connections, 1);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        drop(conn);
+
+        let report = server.shutdown().unwrap();
+        assert!(report.graceful);
+        let compaction = report.compaction.expect("graceful stop compacts");
+        assert_eq!(compaction.live_records, 1);
+
+        // Reopen: the compaction index makes the restart O(1).
+        let (store, replay) = ProfileStore::open(&dir, "smokescreen-serve").unwrap();
+        assert!(replay.index_used);
+        assert_eq!(replay.quarantined_records, 0);
+        assert_eq!(store.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_capacity_queue_rejects_with_typed_overload() {
+        let dir = tmp_dir("ovl");
+        let server = Server::new(
+            ServerConfig::new(sock("ovl"), &dir)
+                .with_threads(1)
+                .with_queue_cap(0),
+        )
+        .spawn()
+        .unwrap();
+        let mut conn = server.connect().unwrap();
+        match conn.receive() {
+            Ok(Response::Error { code, .. }) => assert_eq!(code, ErrorCode::Overloaded),
+            other => panic!("expected overloaded, got {other:?}"),
+        }
+        let report = server.kill().unwrap();
+        assert!(!report.graceful);
+        assert!(report.compaction.is_none());
+        assert_eq!(report.stats.overload_rejections, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drift_monitor_latches_staleness_visible_in_get_profile() {
+        let dir = tmp_dir("drift");
+        let server = Server::new(
+            ServerConfig::new(sock("drift"), &dir)
+                .with_threads(1)
+                .with_drift(16, 4.0),
+        )
+        .spawn()
+        .unwrap();
+        let mut conn = server.connect().unwrap();
+
+        let key = StoreKey::new(3, 4);
+        conn.request(&Request::PutProfile {
+            key,
+            profile: profile(2),
+        })
+        .unwrap();
+
+        // Clean baseline stream: mean 1.0, mild deterministic wobble.
+        let clean: Vec<f64> = (0..64)
+            .map(|i| 1.0 + 0.05 * ((i % 7) as f64 - 3.0))
+            .collect();
+        match conn
+            .request(&Request::PushOutputs {
+                key,
+                outputs: clean.clone(),
+            })
+            .unwrap()
+        {
+            Response::Ok { .. } => {}
+            other => panic!("expected ok, got {other:?}"),
+        }
+        match conn.request(&Request::GetProfile { key }).unwrap() {
+            Response::Profile { drift, .. } => {
+                let drift = drift.expect("monitor established after 4 windows");
+                assert!(!drift.stale, "clean stream must not flag");
+            }
+            other => panic!("expected profile, got {other:?}"),
+        }
+
+        // Prevalence shift: mean jumps 3x — the monitor must latch.
+        let shifted: Vec<f64> = clean.iter().map(|y| y * 3.0).collect();
+        conn.request(&Request::PushOutputs {
+            key,
+            outputs: shifted,
+        })
+        .unwrap();
+        match conn.request(&Request::GetProfile { key }).unwrap() {
+            Response::Profile { drift, .. } => {
+                let drift = drift.expect("monitor alive");
+                assert!(drift.stale, "shifted stream must latch staleness");
+                assert!(drift.windows_flagged > 0);
+                assert!(drift.score > 4.0);
+            }
+            other => panic!("expected profile, got {other:?}"),
+        }
+        match conn.request(&Request::Stats).unwrap() {
+            Response::Stats(stats) => {
+                assert_eq!(stats.drift_monitors, 1);
+                assert_eq!(stats.stale_monitors, 1);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        drop(conn);
+        server.shutdown().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tcp_transport_serves_and_survives_kill_reopen() {
+        let dir = tmp_dir("tcp");
+        let server = Server::new(
+            ServerConfig::new(ServeAddr::Tcp("127.0.0.1:0".into()), &dir).with_threads(2),
+        )
+        .spawn()
+        .unwrap();
+        assert!(matches!(server.addr(), ServeAddr::Tcp(a) if !a.ends_with(":0")));
+        let mut conn = server.connect().unwrap();
+        let key = StoreKey::new(11, 22);
+        let p = profile(3);
+        match conn
+            .request(&Request::PutProfile {
+                key,
+                profile: p.clone(),
+            })
+            .unwrap()
+        {
+            Response::Ok { seq } => assert_eq!(seq, 1),
+            other => panic!("expected ok, got {other:?}"),
+        }
+        drop(conn);
+
+        // Crash without compaction: the acked put must survive.
+        let report = server.kill().unwrap();
+        assert!(!report.graceful);
+        let (mut store, replay) = ProfileStore::open(&dir, "smokescreen-serve").unwrap();
+        assert_eq!(replay.quarantined_records, 0, "no acked write lost");
+        let (seq, got) = store.get(key).unwrap().expect("record survives the kill");
+        assert_eq!(seq, 1);
+        assert_eq!(*got, p);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,1337 @@
+//! Indexed columnar on-disk profile store.
+//!
+//! Grown out of `rt::journal`: the same framing/checksum/atomic-repair
+//! contract (append + `sync_data` before ack, temp-file + rename for every
+//! rewrite, quarantine-never-panic on corruption), extended in three ways:
+//!
+//! * **Keys, not sequences.** Records are keyed by
+//!   [`StoreKey`] `{ camera, grid }` — one record per profiled `(f, p, c)`
+//!   grid per camera — with a per-key sequence number instead of the
+//!   journal's single global index. Later sequence wins on replay; a
+//!   sequence rewind is corruption.
+//! * **A fixed-width index segment** (`profiles.idx`), written atomically
+//!   at compaction / clean shutdown. A valid index makes reopen O(live
+//!   records) instead of O(data bytes): the map is rebuilt from 44-byte
+//!   entries and only the data *tail* beyond the index high-water mark is
+//!   scanned. A stale, torn, or bit-rotted index silently degrades to the
+//!   full scan — the index is an accelerator, never a source of truth.
+//! * **Columnar payloads.** A profile is stored as metadata plus
+//!   contiguous per-column arrays (fraction, resolution, class masks,
+//!   noise, quality, `y_approx`, `err_b`, sample size, corrected) — see
+//!   [`encode_profile`]. Restricted/blurred class lists are canonicalized
+//!   to the [`ObjectClass::ALL`] order by the mask representation.
+//!
+//! Durability contract: a [`ProfileStore::put`] that returns `Ok` has been
+//! written and `sync_data`'d — a crash at any later byte cannot lose it
+//! (it can only be quarantined by a *subsequent* corruption event, same as
+//! `rt::journal`). [`ProfileStore::compact`] rewrites live records sorted
+//! by key, so the post-compaction bytes are a pure function of the
+//! surviving `(key → profile, seq)` map — the schedule-independence the
+//! soak test pins.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use smokescreen_core::{Aggregate, Profile, ProfilePoint};
+use smokescreen_degrade::InterventionSet;
+use smokescreen_rt::journal::{atomic_write, checksum64};
+use smokescreen_video::codec::Quality;
+use smokescreen_video::{ObjectClass, Resolution};
+
+/// Data file name inside a store directory.
+pub const DATA_FILE: &str = "profiles.data";
+/// Index file name inside a store directory.
+pub const INDEX_FILE: &str = "profiles.idx";
+
+/// On-disk format version for both segments. Bumped on any incompatible
+/// layout change; a mismatched file is quarantined wholesale, not misread.
+pub const STORE_FORMAT_VERSION: u32 = 1;
+
+/// Data-segment magic.
+const DATA_MAGIC: [u8; 8] = *b"SMKSTOR\0";
+/// Index-segment magic.
+const IDX_MAGIC: [u8; 8] = *b"SMKSIDX\0";
+
+/// Fixed portion of the data header preceding the identity bytes:
+/// magic | version u32 | identity len u32 | identity checksum u64.
+const DATA_HEADER_FIXED_LEN: usize = 8 + 4 + 4 + 8;
+
+/// Record frame: camera u64 | grid u64 | seq u64 | payload len u32
+/// | payload checksum u64 | header checksum u64 (over the preceding 36
+/// bytes). The header checksum closes the gap the journal's sequential
+/// index closes for it: without it, a bit flip in a key or seq field
+/// with the payload intact would silently redirect an acked record.
+const REC_HEADER_LEN: usize = 8 + 8 + 8 + 4 + 8 + 8;
+
+/// Bytes of the record frame covered by the trailing header checksum.
+const REC_HEADER_SUMMED: usize = REC_HEADER_LEN - 8;
+
+/// Index header: magic | version u32 | identity checksum u64 | entry
+/// count u32 | data high-water u64 | entries checksum u64.
+const IDX_HEADER_LEN: usize = 8 + 4 + 8 + 4 + 8 + 8;
+
+/// Index entry: camera u64 | grid u64 | seq u64 | payload offset u64
+/// | payload len u32 | payload checksum u64.
+const IDX_ENTRY_LEN: usize = 8 + 8 + 8 + 8 + 4 + 8;
+
+/// Upper bound on a single payload (1 GiB); larger can only be corruption.
+const MAX_PAYLOAD_LEN: u32 = 1 << 30;
+
+/// Upper bound on profile points per record accepted by the decoder; a
+/// larger count in a stored payload can only come from corruption.
+const MAX_POINTS: u32 = 1 << 22;
+
+/// Default read-cache capacity (records).
+pub const DEFAULT_CACHE_CAP: usize = 256;
+
+/// Store key: one record per camera per profiled degradation grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StoreKey {
+    /// Stable camera identifier (see `camera::fleet::CameraId`).
+    pub camera: u64,
+    /// Grid identifier — a hash of the profiled `(corpus, model, class,
+    /// aggregate, δ)` combination (see [`grid_id`]).
+    pub grid: u64,
+}
+
+impl StoreKey {
+    /// Convenience constructor.
+    pub const fn new(camera: u64, grid: u64) -> Self {
+        StoreKey { camera, grid }
+    }
+}
+
+/// Stable grid identifier for a profile: a checksum over the canonical
+/// `(corpus, model, class, aggregate, δ)` description, so the same logical
+/// grid maps to the same key on every machine.
+pub fn grid_id(profile: &Profile) -> u64 {
+    let desc = format!(
+        "{}/{}/{}/{:?}/{}",
+        profile.corpus,
+        profile.model,
+        profile.class.name(),
+        profile.aggregate,
+        profile.delta
+    );
+    checksum64(desc.as_bytes())
+}
+
+/// What opening a store recovered, mirroring `rt::journal::Replay`.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct StoreReplay {
+    /// Live records after replay (distinct keys).
+    pub records: usize,
+    /// Records recovered by scanning data bytes — all of them when no
+    /// usable index existed, only the tail beyond the index high-water
+    /// mark when the index fast path was taken.
+    pub scanned_records: usize,
+    /// Whether a valid index accelerated the reopen.
+    pub index_used: bool,
+    /// Corruption events detected and quarantined (each counts once, as in
+    /// journal replay: everything after the first damage is discarded).
+    pub quarantined_records: usize,
+    /// Bytes discarded by quarantine and repair.
+    pub quarantined_bytes: u64,
+    /// Whether the damage was a torn tail write (mid-frame truncation).
+    pub torn_tail: bool,
+    /// Whether the data file did not exist and was freshly created.
+    pub created: bool,
+}
+
+/// Monotonic operation counters, served verbatim by the daemon's `STATS`.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct StoreStats {
+    /// Acked (durable) puts since open.
+    pub puts: u64,
+    /// Gets since open (hits + misses + not-found).
+    pub gets: u64,
+    /// Gets served from the read cache.
+    pub cache_hits: u64,
+    /// Gets that went to disk.
+    pub cache_misses: u64,
+    /// Records quarantined after open (lazy checksum/decode failures) plus
+    /// records dropped by compaction as damaged.
+    pub quarantined_records: u64,
+    /// Bytes belonging to lazily quarantined records.
+    pub quarantined_bytes: u64,
+    /// Compactions performed.
+    pub compactions: u64,
+}
+
+/// What a compaction accomplished.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompactionReport {
+    /// Live records rewritten (key-sorted).
+    pub live_records: usize,
+    /// Bytes reclaimed from superseded and quarantined records.
+    pub reclaimed_bytes: u64,
+}
+
+#[derive(Debug, Clone)]
+struct IndexEntry {
+    seq: u64,
+    /// Payload offset in the data file (record header is the 36 bytes
+    /// immediately preceding).
+    offset: u64,
+    len: u32,
+    checksum: u64,
+}
+
+struct CacheSlot {
+    last_use: u64,
+    seq: u64,
+    profile: Arc<Profile>,
+}
+
+/// An open profile store (single writer; the daemon serializes access).
+pub struct ProfileStore {
+    dir: PathBuf,
+    identity: String,
+    /// Append handle; reopened after every atomic rewrite.
+    data: File,
+    /// Lazily opened read handle, invalidated by compaction.
+    read: Option<File>,
+    data_len: u64,
+    map: BTreeMap<StoreKey, IndexEntry>,
+    cache: BTreeMap<StoreKey, CacheSlot>,
+    cache_cap: usize,
+    tick: u64,
+    stats: StoreStats,
+    /// Set by [`ProfileStore::put_torn`]: the file tail is deliberately
+    /// damaged and further appends would write unrecoverable framing.
+    poisoned: bool,
+}
+
+impl ProfileStore {
+    /// Opens (creating if absent) the store in `dir` for `identity`,
+    /// replaying and repairing exactly like `rt::journal::open`: any
+    /// quarantine rewrites the valid prefix atomically before the handle
+    /// is returned, so appends always continue well-formed framing.
+    pub fn open(dir: &Path, identity: &str) -> io::Result<(ProfileStore, StoreReplay)> {
+        Self::open_with_cache(dir, identity, DEFAULT_CACHE_CAP)
+    }
+
+    /// [`ProfileStore::open`] with an explicit read-cache capacity.
+    pub fn open_with_cache(
+        dir: &Path,
+        identity: &str,
+        cache_cap: usize,
+    ) -> io::Result<(ProfileStore, StoreReplay)> {
+        std::fs::create_dir_all(dir)?;
+        let data_path = dir.join(DATA_FILE);
+        let idx_path = dir.join(INDEX_FILE);
+        let header = data_header_bytes(identity);
+        let mut replay = StoreReplay::default();
+        let mut map = BTreeMap::new();
+
+        let existing: Option<Vec<u8>> = match std::fs::read(&data_path) {
+            Ok(bytes) => Some(bytes),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+            Err(e) => return Err(e),
+        };
+
+        let data_len = match existing {
+            None => {
+                replay.created = true;
+                atomic_write(&data_path, &header)?;
+                let _ = std::fs::remove_file(&idx_path);
+                header.len() as u64
+            }
+            Some(bytes) if !bytes.starts_with(&header) => {
+                // Foreign identity, wrong version, damaged or truncated
+                // header: nothing in the file can be attributed to our
+                // keys — quarantine wholesale and start clean.
+                replay.quarantined_records += 1;
+                replay.quarantined_bytes = bytes.len() as u64;
+                atomic_write(&data_path, &header)?;
+                let _ = std::fs::remove_file(&idx_path);
+                header.len() as u64
+            }
+            Some(bytes) => {
+                let scan_from =
+                    match load_index(&idx_path, identity, &bytes, header.len(), &mut map) {
+                        Some(high_water) => {
+                            replay.index_used = true;
+                            high_water as usize
+                        }
+                        None => header.len(),
+                    };
+                let valid = scan_records(&bytes, scan_from, &mut map, &mut replay);
+                if valid < bytes.len() {
+                    replay.quarantined_bytes += (bytes.len() - valid) as u64;
+                    atomic_write(&data_path, &bytes[..valid])?;
+                }
+                valid as u64
+            }
+        };
+
+        replay.records = map.len();
+        let data = OpenOptions::new().append(true).open(&data_path)?;
+        Ok((
+            ProfileStore {
+                dir: dir.to_path_buf(),
+                identity: identity.to_string(),
+                data,
+                read: None,
+                data_len,
+                map,
+                cache: BTreeMap::new(),
+                cache_cap,
+                tick: 0,
+                stats: StoreStats::default(),
+                poisoned: false,
+            },
+            replay,
+        ))
+    }
+
+    /// Path of the data segment.
+    pub fn data_path(&self) -> PathBuf {
+        self.dir.join(DATA_FILE)
+    }
+
+    /// Path of the index segment.
+    pub fn index_path(&self) -> PathBuf {
+        self.dir.join(INDEX_FILE)
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store holds no live records.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Live keys in sorted order.
+    pub fn keys(&self) -> Vec<StoreKey> {
+        self.map.keys().copied().collect()
+    }
+
+    /// Current sequence number for `key` (0 = absent).
+    pub fn seq(&self, key: StoreKey) -> u64 {
+        self.map.get(&key).map_or(0, |e| e.seq)
+    }
+
+    /// Data segment size in bytes (header + all appended frames).
+    pub fn data_bytes(&self) -> u64 {
+        self.data_len
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+
+    /// Stores `profile` under `key` durably and returns the new per-key
+    /// sequence number. When this returns `Ok`, the record has been
+    /// `sync_data`'d — the ack IS the durability guarantee.
+    pub fn put(&mut self, key: StoreKey, profile: &Profile) -> io::Result<u64> {
+        debug_assert!(!self.poisoned, "store poisoned by put_torn");
+        let payload = encode_profile(profile);
+        let seq = self.seq(key) + 1;
+        let frame = frame_record(key, seq, &payload);
+        self.data.write_all(&frame)?;
+        self.data.sync_data()?;
+        let offset = self.data_len + REC_HEADER_LEN as u64;
+        self.data_len += frame.len() as u64;
+        self.map.insert(
+            key,
+            IndexEntry {
+                seq,
+                offset,
+                len: payload.len() as u32,
+                checksum: checksum64(&payload),
+            },
+        );
+        self.tick += 1;
+        self.cache.insert(
+            key,
+            CacheSlot {
+                last_use: self.tick,
+                seq,
+                profile: Arc::new(profile.clone()),
+            },
+        );
+        self.evict();
+        self.stats.puts += 1;
+        Ok(seq)
+    }
+
+    /// Deliberately writes a *torn* record — frame header plus a prefix of
+    /// the payload — simulating a crash mid-append for the seeded crash
+    /// tests (mirrors `JournalWriter::append_torn`). The write is never
+    /// acked: the map is not updated, and the store must not be appended
+    /// to afterwards; reopen will quarantine the tail.
+    pub fn put_torn(&mut self, key: StoreKey, profile: &Profile, keep_frac: f64) -> io::Result<()> {
+        let payload = encode_profile(profile);
+        let seq = self.seq(key) + 1;
+        let frame = frame_record(key, seq, &payload);
+        let keep_payload = (payload.len() as f64 * keep_frac.clamp(0.0, 1.0)) as usize;
+        let keep = (REC_HEADER_LEN + keep_payload).min(frame.len().saturating_sub(1));
+        self.data.write_all(&frame[..keep])?;
+        self.data.sync_data()?;
+        self.data_len += keep as u64;
+        self.poisoned = true;
+        Ok(())
+    }
+
+    /// Fetches the profile stored under `key`. Returns the per-key
+    /// sequence number alongside the profile. A record whose payload fails
+    /// its checksum or decode is **quarantined** — removed from the map
+    /// with counters bumped — and reported as absent, never panicked on.
+    pub fn get(&mut self, key: StoreKey) -> io::Result<Option<(u64, Arc<Profile>)>> {
+        self.stats.gets += 1;
+        let entry = match self.map.get(&key) {
+            Some(e) => e.clone(),
+            None => return Ok(None),
+        };
+        if let Some(slot) = self.cache.get_mut(&key) {
+            if slot.seq == entry.seq {
+                self.tick += 1;
+                slot.last_use = self.tick;
+                self.stats.cache_hits += 1;
+                return Ok(Some((entry.seq, slot.profile.clone())));
+            }
+        }
+        self.stats.cache_misses += 1;
+        if self.read.is_none() {
+            self.read = Some(File::open(self.data_path())?);
+        }
+        let file = self.read.as_mut().expect("just opened");
+        file.seek(SeekFrom::Start(entry.offset))?;
+        let mut payload = vec![0u8; entry.len as usize];
+        if file.read_exact(&mut payload).is_err() || checksum64(&payload) != entry.checksum {
+            return Ok(self.quarantine(key));
+        }
+        match decode_profile(&payload) {
+            Ok(profile) => {
+                let profile = Arc::new(profile);
+                self.tick += 1;
+                self.cache.insert(
+                    key,
+                    CacheSlot {
+                        last_use: self.tick,
+                        seq: entry.seq,
+                        profile: profile.clone(),
+                    },
+                );
+                self.evict();
+                Ok(Some((entry.seq, profile)))
+            }
+            Err(_) => Ok(self.quarantine(key)),
+        }
+    }
+
+    /// Rewrites the data segment with only live records, **sorted by
+    /// key**, and writes a fresh index atomically. After compaction the
+    /// on-disk bytes are a pure function of the live `(key, seq, profile)`
+    /// map — independent of the append order that produced it.
+    pub fn compact(&mut self) -> io::Result<CompactionReport> {
+        let data = std::fs::read(self.data_path())?;
+        let header = data_header_bytes(&self.identity);
+        let mut out = Vec::with_capacity(data.len());
+        out.extend_from_slice(&header);
+        let mut new_map = BTreeMap::new();
+        for (key, e) in &self.map {
+            let start = e.offset as usize;
+            let end = start + e.len as usize;
+            let payload = data.get(start..end).unwrap_or(&[]);
+            if checksum64(payload) != e.checksum {
+                // Bit-rot discovered while compacting: drop the record
+                // with counts, never carry damage forward.
+                self.stats.quarantined_records += 1;
+                self.stats.quarantined_bytes += REC_HEADER_LEN as u64 + e.len as u64;
+                continue;
+            }
+            let offset = (out.len() + REC_HEADER_LEN) as u64;
+            out.extend_from_slice(&frame_record(*key, e.seq, payload));
+            new_map.insert(
+                *key,
+                IndexEntry {
+                    seq: e.seq,
+                    offset,
+                    len: e.len,
+                    checksum: e.checksum,
+                },
+            );
+        }
+        atomic_write(&self.data_path(), &out)?;
+        let reclaimed = self.data_len.saturating_sub(out.len() as u64);
+        self.data_len = out.len() as u64;
+        self.map = new_map;
+        self.write_index()?;
+        // The rename replaced the inode: reopen both handles.
+        self.data = OpenOptions::new().append(true).open(self.data_path())?;
+        self.read = None;
+        self.cache.clear();
+        self.stats.compactions += 1;
+        Ok(CompactionReport {
+            live_records: self.map.len(),
+            reclaimed_bytes: reclaimed,
+        })
+    }
+
+    /// Writes the index segment for the current map atomically.
+    fn write_index(&self) -> io::Result<()> {
+        let mut entries = Vec::with_capacity(self.map.len() * IDX_ENTRY_LEN);
+        for (key, e) in &self.map {
+            entries.extend_from_slice(&key.camera.to_le_bytes());
+            entries.extend_from_slice(&key.grid.to_le_bytes());
+            entries.extend_from_slice(&e.seq.to_le_bytes());
+            entries.extend_from_slice(&e.offset.to_le_bytes());
+            entries.extend_from_slice(&e.len.to_le_bytes());
+            entries.extend_from_slice(&e.checksum.to_le_bytes());
+        }
+        let mut buf = Vec::with_capacity(IDX_HEADER_LEN + entries.len());
+        buf.extend_from_slice(&IDX_MAGIC);
+        buf.extend_from_slice(&STORE_FORMAT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&checksum64(self.identity.as_bytes()).to_le_bytes());
+        buf.extend_from_slice(&(self.map.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&self.data_len.to_le_bytes());
+        buf.extend_from_slice(&checksum64(&entries).to_le_bytes());
+        buf.extend_from_slice(&entries);
+        atomic_write(&self.index_path(), &buf)
+    }
+
+    fn quarantine(&mut self, key: StoreKey) -> Option<(u64, Arc<Profile>)> {
+        if let Some(e) = self.map.remove(&key) {
+            self.stats.quarantined_bytes += REC_HEADER_LEN as u64 + e.len as u64;
+        }
+        self.cache.remove(&key);
+        self.stats.quarantined_records += 1;
+        None
+    }
+
+    fn evict(&mut self) {
+        while self.cache.len() > self.cache_cap {
+            let oldest = self
+                .cache
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_use)
+                .map(|(k, _)| *k)
+                .expect("non-empty cache");
+            self.cache.remove(&oldest);
+        }
+    }
+}
+
+fn data_header_bytes(identity: &str) -> Vec<u8> {
+    let id = identity.as_bytes();
+    let mut buf = Vec::with_capacity(DATA_HEADER_FIXED_LEN + id.len());
+    buf.extend_from_slice(&DATA_MAGIC);
+    buf.extend_from_slice(&STORE_FORMAT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&(id.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&checksum64(id).to_le_bytes());
+    buf.extend_from_slice(id);
+    buf
+}
+
+fn frame_record(key: StoreKey, seq: u64, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(REC_HEADER_LEN + payload.len());
+    buf.extend_from_slice(&key.camera.to_le_bytes());
+    buf.extend_from_slice(&key.grid.to_le_bytes());
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&checksum64(payload).to_le_bytes());
+    buf.extend_from_slice(&checksum64(&buf).to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("bounds checked"))
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("bounds checked"))
+}
+
+/// Attempts the index fast path: returns the data high-water mark to scan
+/// from when the index is valid and consistent with `data`, `None` to
+/// fall back to a full scan. Every entry's record header is cross-checked
+/// against the data bytes, so a stale or rotted index can never inject a
+/// record the data segment does not carry.
+fn load_index(
+    idx_path: &Path,
+    identity: &str,
+    data: &[u8],
+    data_header_len: usize,
+    map: &mut BTreeMap<StoreKey, IndexEntry>,
+) -> Option<u64> {
+    let bytes = std::fs::read(idx_path).ok()?;
+    if bytes.len() < IDX_HEADER_LEN
+        || bytes[..8] != IDX_MAGIC
+        || read_u32(&bytes, 8) != STORE_FORMAT_VERSION
+        || read_u64(&bytes, 12) != checksum64(identity.as_bytes())
+    {
+        return None;
+    }
+    let count = read_u32(&bytes, 20) as usize;
+    let high_water = read_u64(&bytes, 24);
+    let entries_sum = read_u64(&bytes, 32);
+    if bytes.len() != IDX_HEADER_LEN + count * IDX_ENTRY_LEN
+        || high_water < data_header_len as u64
+        || high_water > data.len() as u64
+    {
+        return None;
+    }
+    let entries = &bytes[IDX_HEADER_LEN..];
+    if checksum64(entries) != entries_sum {
+        return None;
+    }
+    let mut loaded = BTreeMap::new();
+    for i in 0..count {
+        let at = i * IDX_ENTRY_LEN;
+        let camera = read_u64(entries, at);
+        let grid = read_u64(entries, at + 8);
+        let seq = read_u64(entries, at + 16);
+        let offset = read_u64(entries, at + 24);
+        let len = read_u32(entries, at + 32);
+        let sum = read_u64(entries, at + 36);
+        if offset < (data_header_len + REC_HEADER_LEN) as u64
+            || offset + len as u64 > high_water
+            || seq == 0
+        {
+            return None;
+        }
+        let rec = offset as usize - REC_HEADER_LEN;
+        if read_u64(data, rec) != camera
+            || read_u64(data, rec + 8) != grid
+            || read_u64(data, rec + 16) != seq
+            || read_u32(data, rec + 24) != len
+            || read_u64(data, rec + 28) != sum
+            || read_u64(data, rec + REC_HEADER_SUMMED)
+                != checksum64(&data[rec..rec + REC_HEADER_SUMMED])
+        {
+            return None;
+        }
+        let prev = loaded.insert(
+            StoreKey { camera, grid },
+            IndexEntry {
+                seq,
+                offset,
+                len,
+                checksum: sum,
+            },
+        );
+        if prev.is_some() {
+            return None; // duplicate key in an index is corruption
+        }
+    }
+    *map = loaded;
+    Some(high_water)
+}
+
+/// Scans data bytes from `from`, folding valid records into `map` (later
+/// per-key sequence wins) and returning the byte length of the valid
+/// region. Stops at the first damaged record: framing downstream of
+/// damage cannot be trusted, exactly as in journal replay.
+fn scan_records(
+    bytes: &[u8],
+    from: usize,
+    map: &mut BTreeMap<StoreKey, IndexEntry>,
+    replay: &mut StoreReplay,
+) -> usize {
+    let mut pos = from;
+    loop {
+        let remaining = bytes.len() - pos;
+        if remaining == 0 {
+            return pos; // clean end
+        }
+        if remaining < REC_HEADER_LEN {
+            replay.quarantined_records += 1;
+            replay.torn_tail = true;
+            return pos;
+        }
+        if read_u64(bytes, pos + REC_HEADER_SUMMED)
+            != checksum64(&bytes[pos..pos + REC_HEADER_SUMMED])
+        {
+            // Damaged frame header: no field in it can be trusted, not
+            // even the length that would locate the next record.
+            replay.quarantined_records += 1;
+            return pos;
+        }
+        let camera = read_u64(bytes, pos);
+        let grid = read_u64(bytes, pos + 8);
+        let seq = read_u64(bytes, pos + 16);
+        let len = read_u32(bytes, pos + 24);
+        let sum = read_u64(bytes, pos + 28);
+        if len > MAX_PAYLOAD_LEN || seq == 0 {
+            replay.quarantined_records += 1;
+            return pos;
+        }
+        if remaining - REC_HEADER_LEN < len as usize {
+            // Frame header intact but payload truncated: a torn append.
+            replay.quarantined_records += 1;
+            replay.torn_tail = true;
+            return pos;
+        }
+        let payload = &bytes[pos + REC_HEADER_LEN..pos + REC_HEADER_LEN + len as usize];
+        if checksum64(payload) != sum {
+            replay.quarantined_records += 1;
+            return pos;
+        }
+        let key = StoreKey { camera, grid };
+        if let Some(prev) = map.get(&key) {
+            // Per-key sequences only advance; a rewind means these bytes
+            // are not an append stream we wrote.
+            if seq <= prev.seq {
+                replay.quarantined_records += 1;
+                return pos;
+            }
+        }
+        map.insert(
+            key,
+            IndexEntry {
+                seq,
+                offset: (pos + REC_HEADER_LEN) as u64,
+                len,
+                checksum: sum,
+            },
+        );
+        replay.scanned_records += 1;
+        pos += REC_HEADER_LEN + len as usize;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Columnar profile codec
+// ---------------------------------------------------------------------------
+
+/// Encodes a profile into the columnar payload layout:
+///
+/// ```text
+/// corpus len u32 | corpus bytes | model len u32 | model bytes
+/// class u8 | aggregate tag u8 | aggregate param f64 | delta f64
+/// n_points u32
+/// fraction f64×n | res_w u32×n | res_h u32×n (0,0 = native)
+/// restricted mask u8×n | blurred mask u8×n
+/// noise f64×n | quality f64×n (-1 = none)
+/// y_approx f64×n | err_b f64×n | n u64×n | corrected u8×n
+/// ```
+///
+/// Restricted/blurred class lists are represented as bitmasks over
+/// [`ObjectClass::ALL`], which canonicalizes their order and drops
+/// duplicates; everything else round-trips exactly.
+pub fn encode_profile(p: &Profile) -> Vec<u8> {
+    let pts = &p.points;
+    let mut buf = Vec::with_capacity(64 + pts.len() * 54);
+    put_str(&mut buf, &p.corpus);
+    put_str(&mut buf, &p.model);
+    buf.push(class_index(p.class));
+    let (tag, param) = aggregate_tag(&p.aggregate);
+    buf.push(tag);
+    buf.extend_from_slice(&param.to_le_bytes());
+    buf.extend_from_slice(&p.delta.to_le_bytes());
+    buf.extend_from_slice(&(pts.len() as u32).to_le_bytes());
+    for pt in pts {
+        buf.extend_from_slice(&pt.set.sample_fraction.to_le_bytes());
+    }
+    for pt in pts {
+        buf.extend_from_slice(&pt.set.resolution.map_or(0, |r| r.width).to_le_bytes());
+    }
+    for pt in pts {
+        buf.extend_from_slice(&pt.set.resolution.map_or(0, |r| r.height).to_le_bytes());
+    }
+    for pt in pts {
+        buf.push(class_mask(&pt.set.restricted));
+    }
+    for pt in pts {
+        buf.push(class_mask(&pt.set.blurred));
+    }
+    for pt in pts {
+        buf.extend_from_slice(&pt.set.noise.to_le_bytes());
+    }
+    for pt in pts {
+        buf.extend_from_slice(&pt.set.quality.map_or(-1.0, |q| q.value()).to_le_bytes());
+    }
+    for pt in pts {
+        buf.extend_from_slice(&pt.y_approx.to_le_bytes());
+    }
+    for pt in pts {
+        buf.extend_from_slice(&pt.err_b.to_le_bytes());
+    }
+    for pt in pts {
+        buf.extend_from_slice(&(pt.n as u64).to_le_bytes());
+    }
+    for pt in pts {
+        buf.push(pt.corrected as u8);
+    }
+    buf
+}
+
+/// Decodes a columnar payload, validating every field with the same
+/// defense-in-depth the JSON profile codec applies: this decoder runs on
+/// replayed storage bytes, so anything out of range is corruption to
+/// reject, never data to propagate.
+pub fn decode_profile(bytes: &[u8]) -> Result<Profile, String> {
+    let mut cur = Cursor { bytes, pos: 0 };
+    let corpus = cur.take_str()?;
+    let model = cur.take_str()?;
+    let class = class_from_index(cur.take_u8()?)?;
+    let tag = cur.take_u8()?;
+    let param = cur.take_f64()?;
+    let aggregate = aggregate_from_tag(tag, param)?;
+    let delta = cur.take_f64()?;
+    if !delta.is_finite() || delta <= 0.0 || delta >= 1.0 {
+        return Err(format!("delta {delta} is not a confidence parameter"));
+    }
+    let n = cur.take_u32()?;
+    if n > MAX_POINTS {
+        return Err(format!("point count {n} exceeds limit"));
+    }
+    let n = n as usize;
+    let fractions = cur.take_f64s(n)?;
+    let res_w = cur.take_u32s(n)?;
+    let res_h = cur.take_u32s(n)?;
+    let restricted = cur.take_bytes(n)?.to_vec();
+    let blurred = cur.take_bytes(n)?.to_vec();
+    let noise = cur.take_f64s(n)?;
+    let quality = cur.take_f64s(n)?;
+    let y_approx = cur.take_f64s(n)?;
+    let err_b = cur.take_f64s(n)?;
+    let samples = cur.take_u64s(n)?;
+    let corrected = cur.take_bytes(n)?.to_vec();
+    if cur.pos != bytes.len() {
+        return Err("trailing bytes after columns".into());
+    }
+
+    let mut points = Vec::with_capacity(n);
+    for i in 0..n {
+        let f = fractions[i];
+        if !f.is_finite() || !(0.0..=1.0).contains(&f) {
+            return Err(format!("sample fraction {f} out of range"));
+        }
+        let resolution = match (res_w[i], res_h[i]) {
+            (0, 0) => None,
+            (0, _) | (_, 0) => return Err("one-sided resolution".into()),
+            (w, h) => Some(Resolution::new(w, h)),
+        };
+        let nz = noise[i];
+        if !nz.is_finite() || !(0.0..=1.0).contains(&nz) {
+            return Err(format!("noise {nz} out of range"));
+        }
+        let q = quality[i];
+        let quality_i = if q == -1.0 {
+            None
+        } else if q.is_finite() && (0.0..=1.0).contains(&q) {
+            Some(Quality::new(q))
+        } else {
+            return Err(format!("quality {q} out of range"));
+        };
+        let y = y_approx[i];
+        if !y.is_finite() {
+            return Err("y_approx is not finite".into());
+        }
+        let e = err_b[i];
+        if !e.is_finite() || e < 0.0 {
+            return Err(format!("err_b {e} is not a valid bound"));
+        }
+        if corrected[i] > 1 {
+            return Err("corrected flag is not boolean".into());
+        }
+        points.push(ProfilePoint {
+            set: InterventionSet {
+                sample_fraction: f,
+                resolution,
+                restricted: classes_from_mask(restricted[i])?,
+                blurred: classes_from_mask(blurred[i])?,
+                noise: nz,
+                quality: quality_i,
+            },
+            y_approx: y,
+            err_b: e,
+            corrected: corrected[i] == 1,
+            n: samples[i] as usize,
+        });
+    }
+    Ok(Profile {
+        corpus,
+        model,
+        class,
+        aggregate,
+        delta,
+        points,
+    })
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn class_index(class: ObjectClass) -> u8 {
+    ObjectClass::ALL
+        .iter()
+        .position(|c| *c == class)
+        .expect("class in ALL") as u8
+}
+
+fn class_from_index(idx: u8) -> Result<ObjectClass, String> {
+    ObjectClass::ALL
+        .get(idx as usize)
+        .copied()
+        .ok_or_else(|| format!("class index {idx} out of range"))
+}
+
+fn class_mask(classes: &[ObjectClass]) -> u8 {
+    ObjectClass::ALL
+        .iter()
+        .enumerate()
+        .fold(0u8, |m, (i, c)| {
+            if classes.contains(c) {
+                m | (1 << i)
+            } else {
+                m
+            }
+        })
+}
+
+fn classes_from_mask(mask: u8) -> Result<Vec<ObjectClass>, String> {
+    if mask >= 1 << ObjectClass::ALL.len() {
+        return Err(format!("class mask {mask:#x} has unknown bits"));
+    }
+    Ok(ObjectClass::ALL
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, c)| *c)
+        .collect())
+}
+
+fn aggregate_tag(a: &Aggregate) -> (u8, f64) {
+    match a {
+        Aggregate::Avg => (0, 0.0),
+        Aggregate::Sum => (1, 0.0),
+        Aggregate::Var => (2, 0.0),
+        Aggregate::Count { at_least } => (3, *at_least),
+        Aggregate::Max { r } => (4, *r),
+        Aggregate::Min { r } => (5, *r),
+        Aggregate::Quantile { r } => (6, *r),
+    }
+}
+
+fn aggregate_from_tag(tag: u8, param: f64) -> Result<Aggregate, String> {
+    let quantile_ok = param.is_finite() && param > 0.0 && param < 1.0;
+    match tag {
+        0 => Ok(Aggregate::Avg),
+        1 => Ok(Aggregate::Sum),
+        2 => Ok(Aggregate::Var),
+        3 if param.is_finite() => Ok(Aggregate::Count { at_least: param }),
+        4 if quantile_ok => Ok(Aggregate::Max { r: param }),
+        5 if quantile_ok => Ok(Aggregate::Min { r: param }),
+        6 if quantile_ok => Ok(Aggregate::Quantile { r: param }),
+        _ => Err(format!("aggregate tag {tag} / param {param} invalid")),
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take_bytes(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or("payload truncated")?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn take_u8(&mut self) -> Result<u8, String> {
+        Ok(self.take_bytes(1)?[0])
+    }
+
+    fn take_u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(
+            self.take_bytes(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn take_f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_le_bytes(
+            self.take_bytes(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn take_str(&mut self) -> Result<String, String> {
+        let len = self.take_u32()? as usize;
+        if len > 4096 {
+            return Err(format!("string length {len} exceeds limit"));
+        }
+        String::from_utf8(self.take_bytes(len)?.to_vec()).map_err(|_| "invalid utf-8".into())
+    }
+
+    fn take_u32s(&mut self, n: usize) -> Result<Vec<u32>, String> {
+        let raw = self.take_bytes(n * 4)?;
+        Ok((0..n).map(|i| read_u32(raw, i * 4)).collect())
+    }
+
+    fn take_u64s(&mut self, n: usize) -> Result<Vec<u64>, String> {
+        let raw = self.take_bytes(n * 8)?;
+        Ok((0..n).map(|i| read_u64(raw, i * 8)).collect())
+    }
+
+    fn take_f64s(&mut self, n: usize) -> Result<Vec<f64>, String> {
+        let raw = self.take_bytes(n * 8)?;
+        Ok((0..n)
+            .map(|i| f64::from_le_bytes(raw[i * 8..i * 8 + 8].try_into().expect("8 bytes")))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_store(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "smokescreen-store-tests-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_profile(tag: u64) -> Profile {
+        let mut points = Vec::new();
+        for i in 0..4u64 {
+            let mut set = InterventionSet::sampling(0.1 + 0.2 * i as f64);
+            if i % 2 == 0 {
+                set.resolution = Some(Resolution::square(128 + 64 * i as u32));
+            }
+            if i == 1 {
+                set.restricted = vec![ObjectClass::Person, ObjectClass::Face];
+                set.blurred = vec![ObjectClass::Face];
+            }
+            if i == 3 {
+                set.noise = 0.25;
+                set.quality = Some(Quality::new(0.5));
+            }
+            points.push(ProfilePoint {
+                set,
+                y_approx: 1.5 + tag as f64 + i as f64,
+                err_b: 0.01 * (i + 1) as f64,
+                corrected: i == 3,
+                n: 100 * (tag as usize + 1),
+            });
+        }
+        Profile {
+            corpus: format!("corpus-{tag}"),
+            model: "oracle".into(),
+            class: ObjectClass::Car,
+            aggregate: Aggregate::Count { at_least: 1.0 },
+            delta: 0.05,
+            points,
+        }
+    }
+
+    #[test]
+    fn codec_round_trips_exactly() {
+        let p = sample_profile(7);
+        let bytes = encode_profile(&p);
+        let back = decode_profile(&bytes).unwrap();
+        assert_eq!(p, back);
+        // All aggregate shapes survive.
+        for agg in [
+            Aggregate::Avg,
+            Aggregate::Sum,
+            Aggregate::Var,
+            Aggregate::Max { r: 0.99 },
+            Aggregate::Min { r: 0.01 },
+            Aggregate::Quantile { r: 0.5 },
+        ] {
+            let mut q = sample_profile(1);
+            q.aggregate = agg;
+            assert_eq!(decode_profile(&encode_profile(&q)).unwrap(), q);
+        }
+    }
+
+    #[test]
+    fn codec_rejects_malformed_payloads() {
+        let good = encode_profile(&sample_profile(0));
+        assert!(decode_profile(&[]).is_err());
+        assert!(decode_profile(&good[..good.len() - 1]).is_err(), "truncated");
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(decode_profile(&trailing).is_err(), "trailing bytes");
+        // Corrupt the class byte (after the two length-prefixed strings).
+        let corpus_len = read_u32(&good, 0) as usize;
+        let model_len = read_u32(&good, 4 + corpus_len) as usize;
+        let class_at = 4 + corpus_len + 4 + model_len;
+        let mut bad_class = good.clone();
+        bad_class[class_at] = 99;
+        assert!(decode_profile(&bad_class).is_err(), "class index");
+        let mut bad_tag = good;
+        bad_tag[class_at + 1] = 9;
+        assert!(decode_profile(&bad_tag).is_err(), "aggregate tag");
+    }
+
+    #[test]
+    fn put_get_and_reopen_via_full_scan() {
+        let dir = tmp_store("basic");
+        let k1 = StoreKey::new(1, 10);
+        let k2 = StoreKey::new(2, 10);
+        let p1 = sample_profile(1);
+        let p2 = sample_profile(2);
+        {
+            let (mut store, replay) = ProfileStore::open(&dir, "fleet-a").unwrap();
+            assert!(replay.created);
+            assert_eq!(store.put(k1, &p1).unwrap(), 1);
+            assert_eq!(store.put(k2, &p2).unwrap(), 1);
+            assert_eq!(store.put(k1, &p2).unwrap(), 2, "per-key seq advances");
+            let (seq, got) = store.get(k1).unwrap().unwrap();
+            assert_eq!(seq, 2);
+            assert_eq!(*got, p2);
+            // No compaction: crash-shaped exit leaves no index.
+        }
+        let (mut store, replay) = ProfileStore::open(&dir, "fleet-a").unwrap();
+        assert!(!replay.index_used, "no index written yet");
+        assert_eq!(replay.records, 2);
+        assert_eq!(replay.scanned_records, 3, "full scan sees every frame");
+        assert_eq!(replay.quarantined_records, 0);
+        assert_eq!(*store.get(k1).unwrap().unwrap().1, p2, "later seq wins");
+        assert_eq!(*store.get(k2).unwrap().unwrap().1, p2);
+    }
+
+    #[test]
+    fn compaction_sorts_reclaims_and_enables_index_fast_path() {
+        let dir = tmp_store("compact");
+        let keys: Vec<StoreKey> = (0..6).rev().map(|i| StoreKey::new(i, 1)).collect();
+        let bytes_after = {
+            let (mut store, _) = ProfileStore::open(&dir, "fleet").unwrap();
+            for (i, k) in keys.iter().enumerate() {
+                store.put(*k, &sample_profile(i as u64)).unwrap();
+                store.put(*k, &sample_profile(i as u64 + 10)).unwrap();
+            }
+            let before = store.data_bytes();
+            let report = store.compact().unwrap();
+            assert_eq!(report.live_records, 6);
+            assert!(report.reclaimed_bytes > 0);
+            assert!(store.data_bytes() < before);
+            // Reads still work after the rewrite.
+            for (i, k) in keys.iter().enumerate() {
+                let (seq, p) = store.get(*k).unwrap().unwrap();
+                assert_eq!(seq, 2);
+                assert_eq!(*p, sample_profile(i as u64 + 10));
+            }
+            store.data_bytes()
+        };
+        let (mut store, replay) = ProfileStore::open(&dir, "fleet").unwrap();
+        assert!(replay.index_used, "compaction wrote a usable index");
+        assert_eq!(replay.records, 6);
+        assert_eq!(replay.scanned_records, 0, "no tail to scan");
+        assert_eq!(store.data_bytes(), bytes_after);
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(*store.get(*k).unwrap().unwrap().1, sample_profile(i as u64 + 10));
+        }
+    }
+
+    #[test]
+    fn compacted_bytes_are_append_order_independent() {
+        let dir_a = tmp_store("order-a");
+        let dir_b = tmp_store("order-b");
+        let keys: Vec<StoreKey> = (0..5).map(|i| StoreKey::new(i, i * 7)).collect();
+        let (mut a, _) = ProfileStore::open(&dir_a, "fleet").unwrap();
+        let (mut b, _) = ProfileStore::open(&dir_b, "fleet").unwrap();
+        for k in &keys {
+            a.put(*k, &sample_profile(k.camera)).unwrap();
+        }
+        for k in keys.iter().rev() {
+            b.put(*k, &sample_profile(k.camera)).unwrap();
+        }
+        a.compact().unwrap();
+        b.compact().unwrap();
+        assert_eq!(
+            std::fs::read(a.data_path()).unwrap(),
+            std::fs::read(b.data_path()).unwrap()
+        );
+        assert_eq!(
+            std::fs::read(a.index_path()).unwrap(),
+            std::fs::read(b.index_path()).unwrap()
+        );
+    }
+
+    #[test]
+    fn index_tail_scan_recovers_post_compaction_puts() {
+        let dir = tmp_store("tail");
+        let k_old = StoreKey::new(1, 1);
+        let k_new = StoreKey::new(2, 2);
+        {
+            let (mut store, _) = ProfileStore::open(&dir, "fleet").unwrap();
+            store.put(k_old, &sample_profile(1)).unwrap();
+            store.compact().unwrap();
+            // Post-compaction puts land beyond the index high-water mark.
+            store.put(k_new, &sample_profile(2)).unwrap();
+            store.put(k_old, &sample_profile(3)).unwrap();
+        }
+        let (mut store, replay) = ProfileStore::open(&dir, "fleet").unwrap();
+        assert!(replay.index_used);
+        assert_eq!(replay.scanned_records, 2, "only the tail is scanned");
+        assert_eq!(replay.records, 2);
+        assert_eq!(*store.get(k_old).unwrap().unwrap().1, sample_profile(3));
+        assert_eq!(*store.get(k_new).unwrap().unwrap().1, sample_profile(2));
+    }
+
+    #[test]
+    fn torn_put_is_quarantined_and_repaired() {
+        let dir = tmp_store("torn");
+        let acked = StoreKey::new(1, 1);
+        {
+            let (mut store, _) = ProfileStore::open(&dir, "fleet").unwrap();
+            store.put(acked, &sample_profile(1)).unwrap();
+            store
+                .put_torn(StoreKey::new(2, 2), &sample_profile(2), 0.5)
+                .unwrap();
+        }
+        let before = std::fs::metadata(dir.join(DATA_FILE)).unwrap().len();
+        let (mut store, replay) = ProfileStore::open(&dir, "fleet").unwrap();
+        assert_eq!(replay.records, 1, "acked write survives");
+        assert_eq!(replay.quarantined_records, 1);
+        assert!(replay.torn_tail);
+        assert!(replay.quarantined_bytes > 0);
+        assert!(std::fs::metadata(store.data_path()).unwrap().len() < before);
+        assert_eq!(*store.get(acked).unwrap().unwrap().1, sample_profile(1));
+        // Further reopen is clean.
+        let (_, replay2) = ProfileStore::open(&dir, "fleet").unwrap();
+        assert_eq!(replay2.quarantined_records, 0);
+        assert_eq!(replay2.records, 1);
+    }
+
+    #[test]
+    fn bit_rot_in_scan_region_quarantines_suffix() {
+        let dir = tmp_store("rot");
+        let keys: Vec<StoreKey> = (0..3).map(|i| StoreKey::new(i, 0)).collect();
+        let rec_starts: Vec<usize>;
+        {
+            let (mut store, _) = ProfileStore::open(&dir, "fleet").unwrap();
+            let header = data_header_bytes("fleet").len();
+            let mut starts = vec![header as u64];
+            for k in &keys {
+                store.put(*k, &sample_profile(k.camera)).unwrap();
+                starts.push(store.data_bytes());
+            }
+            rec_starts = starts.iter().map(|&b| b as usize).collect();
+        }
+        // Flip a payload byte in record 1.
+        let path = dir.join(DATA_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[rec_starts[1] + REC_HEADER_LEN + 5] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, replay) = ProfileStore::open(&dir, "fleet").unwrap();
+        assert_eq!(replay.records, 1, "only the prefix before damage survives");
+        assert_eq!(replay.quarantined_records, 1);
+        assert!(!replay.torn_tail, "bit-rot is not a torn write");
+        assert!(replay.quarantined_bytes > 0);
+    }
+
+    #[test]
+    fn bit_rot_under_index_is_quarantined_lazily_on_get() {
+        let dir = tmp_store("lazy");
+        let victim = StoreKey::new(1, 1);
+        let healthy = StoreKey::new(2, 2);
+        let victim_offset;
+        {
+            let (mut store, _) = ProfileStore::open(&dir, "fleet").unwrap();
+            store.put(victim, &sample_profile(1)).unwrap();
+            store.put(healthy, &sample_profile(2)).unwrap();
+            store.compact().unwrap();
+            victim_offset = store.map.get(&victim).unwrap().offset as usize;
+        }
+        // Rot the victim's payload without touching its record header, so
+        // the index cross-check still passes and damage surfaces on read.
+        let path = dir.join(DATA_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[victim_offset + 3] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let (mut store, replay) = ProfileStore::open(&dir, "fleet").unwrap();
+        assert!(replay.index_used);
+        assert_eq!(replay.records, 2);
+        assert!(store.get(victim).unwrap().is_none(), "quarantined, not panicked");
+        assert_eq!(store.stats().quarantined_records, 1);
+        assert!(store.stats().quarantined_bytes > 0);
+        assert_eq!(store.len(), 1);
+        assert_eq!(*store.get(healthy).unwrap().unwrap().1, sample_profile(2));
+    }
+
+    #[test]
+    fn damaged_index_degrades_to_full_scan() {
+        let dir = tmp_store("badidx");
+        let key = StoreKey::new(1, 1);
+        {
+            let (mut store, _) = ProfileStore::open(&dir, "fleet").unwrap();
+            store.put(key, &sample_profile(1)).unwrap();
+            store.compact().unwrap();
+        }
+        let idx = dir.join(INDEX_FILE);
+        let mut bytes = std::fs::read(&idx).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&idx, &bytes).unwrap();
+        let (mut store, replay) = ProfileStore::open(&dir, "fleet").unwrap();
+        assert!(!replay.index_used, "rotted index is ignored");
+        assert_eq!(replay.records, 1);
+        assert_eq!(replay.scanned_records, 1, "full scan fallback");
+        assert_eq!(replay.quarantined_records, 0, "data was never damaged");
+        assert_eq!(*store.get(key).unwrap().unwrap().1, sample_profile(1));
+    }
+
+    #[test]
+    fn foreign_identity_and_zero_byte_file_quarantine_wholesale() {
+        let dir = tmp_store("foreign");
+        {
+            let (mut store, _) = ProfileStore::open(&dir, "fleet-a").unwrap();
+            store.put(StoreKey::new(1, 1), &sample_profile(1)).unwrap();
+            store.compact().unwrap();
+        }
+        let (_, replay) = ProfileStore::open(&dir, "fleet-b").unwrap();
+        assert_eq!(replay.records, 0);
+        assert_eq!(replay.quarantined_records, 1);
+        assert!(replay.quarantined_bytes > 0);
+        assert!(!dir.join(INDEX_FILE).exists(), "foreign index removed");
+
+        std::fs::write(dir.join(DATA_FILE), b"").unwrap();
+        let (_, replay) = ProfileStore::open(&dir, "fleet-b").unwrap();
+        assert_eq!(replay.quarantined_records, 1, "crash artifact quarantined");
+        let (_, replay2) = ProfileStore::open(&dir, "fleet-b").unwrap();
+        assert_eq!(replay2.quarantined_records, 0, "repaired");
+    }
+
+    #[test]
+    fn read_cache_hits_and_evicts() {
+        let dir = tmp_store("cache");
+        let (mut store, _) = ProfileStore::open_with_cache(&dir, "fleet", 2).unwrap();
+        let keys: Vec<StoreKey> = (0..3).map(|i| StoreKey::new(i, 0)).collect();
+        for k in &keys {
+            store.put(*k, &sample_profile(k.camera)).unwrap();
+        }
+        assert!(store.cache.len() <= 2, "eviction bounds the cache");
+        // Hot key stays cached; a put-invalidated key misses then re-caches.
+        store.get(keys[2]).unwrap().unwrap();
+        let hits_before = store.stats().cache_hits;
+        store.get(keys[2]).unwrap().unwrap();
+        assert_eq!(store.stats().cache_hits, hits_before + 1);
+        let misses_before = store.stats().cache_misses;
+        store.get(keys[0]).unwrap().unwrap();
+        assert_eq!(store.stats().cache_misses, misses_before + 1);
+    }
+
+    #[test]
+    fn grid_id_is_stable_and_discriminates() {
+        let a = sample_profile(1);
+        let mut b = a.clone();
+        assert_eq!(grid_id(&a), grid_id(&b));
+        b.model = "different".into();
+        assert_ne!(grid_id(&a), grid_id(&b));
+    }
+}

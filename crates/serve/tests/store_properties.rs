@@ -1,0 +1,367 @@
+//! Property tests for the columnar profile store.
+//!
+//! The store's contract is the journal's, lifted to keyed records: an
+//! acked `put` is never lost, damage is always *quarantined with counts*
+//! (never a panic, never silently read back), and compaction is a pure
+//! function of the live `(key, seq, profile)` map. Each property drives a
+//! seeded random schedule — op interleavings, crash injections from
+//! `rt::fault::CrashPlan`, raw byte flips — against a shadow model and
+//! checks those three guarantees at every recovery point.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use smokescreen_core::{Aggregate, Profile, ProfilePoint};
+use smokescreen_degrade::InterventionSet;
+use smokescreen_rt::fault::{CrashKind, CrashPlan};
+use smokescreen_rt::proptest::prelude::*;
+use smokescreen_serve::{ProfileStore, StoreKey};
+use smokescreen_video::ObjectClass;
+
+const IDENTITY: &str = "store-properties";
+
+/// A fresh scratch directory per case; unique across the parallel test
+/// threads of this binary.
+fn scratch_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "smk-store-prop-{tag}-{}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Small key space: collisions between ops are the interesting part.
+fn key_for(sel: u64) -> StoreKey {
+    StoreKey::new(1 + sel % 3, 1 + (sel / 3) % 4)
+}
+
+/// Deterministic but varied profile payloads — different variants give
+/// different byte lengths and field values, so superseded records leave
+/// dead regions of differing sizes.
+fn profile_for(variant: u64, points: usize) -> Profile {
+    let points = points.max(1);
+    let class = [
+        ObjectClass::Car,
+        ObjectClass::Truck,
+        ObjectClass::Bus,
+        ObjectClass::Person,
+    ][(variant % 4) as usize];
+    let aggregate = match variant % 3 {
+        0 => Aggregate::Avg,
+        1 => Aggregate::Sum,
+        _ => Aggregate::Count { at_least: 1.0 },
+    };
+    Profile {
+        corpus: format!("prop-corpus-{}", variant % 5),
+        model: format!("sim-model-{}", variant % 3),
+        class,
+        aggregate,
+        delta: 0.01 + (variant % 7) as f64 * 0.01,
+        points: (0..points)
+            .map(|i| {
+                let fraction = (i + 1) as f64 / points as f64;
+                ProfilePoint {
+                    set: InterventionSet::sampling(fraction),
+                    y_approx: variant as f64 * 0.25 + fraction,
+                    err_b: 0.4 / (1.0 + 8.0 * fraction) + (variant % 11) as f64 * 1e-3,
+                    corrected: (variant + i as u64) % 2 == 0,
+                    n: 32 * (i + 1),
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Shadow of every *acked* write: key → (expected seq, expected profile).
+type Shadow = BTreeMap<StoreKey, (u64, Profile)>;
+
+/// Asserts that the live store agrees exactly with the shadow model.
+fn assert_matches_shadow(store: &mut ProfileStore, shadow: &Shadow) {
+    assert_eq!(store.len(), shadow.len(), "live record count");
+    for (key, (seq, profile)) in shadow {
+        let got = store.get(*key).expect("get never errors on a clean store");
+        let (got_seq, got_profile) = got.unwrap_or_else(|| {
+            panic!("acked write {key:?} seq {seq} lost");
+        });
+        assert_eq!(got_seq, *seq, "per-key sequence for {key:?}");
+        assert_eq!(*got_profile, *profile, "payload for {key:?}");
+    }
+}
+
+proptest! {
+    /// Random put/get/compact/reopen interleavings never diverge from a
+    /// shadow map of acked writes, and recovery after a clean close finds
+    /// exactly the shadow — no quarantine, no torn tail.
+    #[test]
+    fn interleavings_match_shadow_model(
+        ops in proptest::collection::vec((0u8..10, 0u64..12, 1u64..64), 1..28),
+        points in 1usize..6,
+    ) {
+        let dir = scratch_dir("model");
+        let (mut store, replay) = ProfileStore::open(&dir, IDENTITY).unwrap();
+        prop_assert!(replay.created);
+        let mut shadow = Shadow::new();
+
+        for (op, key_sel, variant) in ops {
+            let key = key_for(key_sel);
+            match op {
+                // Put dominates the mix: it is the only state transition.
+                0..=5 => {
+                    let profile = profile_for(variant, points);
+                    let seq = store.put(key, &profile).unwrap();
+                    let expected = shadow.get(&key).map_or(0, |(s, _)| *s) + 1;
+                    prop_assert_eq!(seq, expected, "acked seq is prior seq + 1");
+                    shadow.insert(key, (seq, profile));
+                }
+                6 | 7 => {
+                    let got = store.get(key).unwrap();
+                    match shadow.get(&key) {
+                        Some((seq, profile)) => {
+                            let (got_seq, got_profile) =
+                                got.expect("acked write visible to get");
+                            prop_assert_eq!(got_seq, *seq);
+                            prop_assert_eq!(&*got_profile, profile);
+                        }
+                        None => prop_assert!(got.is_none(), "unwritten key is absent"),
+                    }
+                }
+                8 => {
+                    let report = store.compact().unwrap();
+                    prop_assert_eq!(report.live_records, shadow.len());
+                }
+                _ => {
+                    drop(store);
+                    let (reopened, replay) = ProfileStore::open(&dir, IDENTITY).unwrap();
+                    store = reopened;
+                    prop_assert_eq!(replay.quarantined_records, 0, "clean close, clean replay");
+                    prop_assert!(!replay.torn_tail);
+                    prop_assert_eq!(replay.records, shadow.len());
+                }
+            }
+        }
+
+        assert_matches_shadow(&mut store, &shadow);
+        drop(store);
+        let (mut reopened, replay) = ProfileStore::open(&dir, IDENTITY).unwrap();
+        prop_assert_eq!(replay.records, shadow.len());
+        prop_assert_eq!(replay.quarantined_records, 0);
+        assert_matches_shadow(&mut reopened, &shadow);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The final compacted bytes — data segment and index segment — are a
+    /// pure function of the surviving map: where compactions happen in
+    /// the schedule changes nothing. This is the invariant the soak
+    /// test's byte-identical-across-thread-counts claim stands on.
+    #[test]
+    fn compaction_points_do_not_change_final_bytes(
+        puts in proptest::collection::vec((0u64..12, 1u64..64, any::<bool>()), 1..24),
+        points in 1usize..5,
+    ) {
+        let dir_a = scratch_dir("cpt-a");
+        let dir_b = scratch_dir("cpt-b");
+        let (mut a, _) = ProfileStore::open(&dir_a, IDENTITY).unwrap();
+        let (mut b, _) = ProfileStore::open(&dir_b, IDENTITY).unwrap();
+
+        for (key_sel, variant, compact_a_here) in &puts {
+            let key = key_for(*key_sel);
+            let profile = profile_for(*variant, points);
+            let seq_a = a.put(key, &profile).unwrap();
+            let seq_b = b.put(key, &profile).unwrap();
+            prop_assert_eq!(seq_a, seq_b, "same schedule, same seqs");
+            // Store A compacts mid-schedule wherever the coin says;
+            // store B only once at the end.
+            if *compact_a_here {
+                a.compact().unwrap();
+            }
+        }
+        let report_a = a.compact().unwrap();
+        let report_b = b.compact().unwrap();
+        prop_assert_eq!(report_a.live_records, report_b.live_records);
+
+        let data_a = std::fs::read(a.data_path()).unwrap();
+        let data_b = std::fs::read(b.data_path()).unwrap();
+        prop_assert_eq!(data_a, data_b, "data segments byte-identical");
+        let idx_a = std::fs::read(a.index_path()).unwrap();
+        let idx_b = std::fs::read(b.index_path()).unwrap();
+        prop_assert_eq!(idx_a, idx_b, "index segments byte-identical");
+
+        // Compaction is also idempotent: a second pass reclaims nothing
+        // and rewrites the same bytes.
+        let again = a.compact().unwrap();
+        prop_assert_eq!(again.reclaimed_bytes, 0);
+        prop_assert_eq!(
+            std::fs::read(a.data_path()).unwrap(),
+            data_b,
+            "second compaction is a fixed point"
+        );
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    /// `CrashPlan`-driven kills — clean crashes after an acked append and
+    /// torn mid-append crashes — never lose an acked write. Torn tails
+    /// are always quarantined with counts on reopen, and the repair
+    /// truncates so the *next* reopen is clean.
+    #[test]
+    fn crash_plan_kills_never_lose_acked_writes(
+        seed in any::<u64>(),
+        puts in proptest::collection::vec((0u64..12, 1u64..64), 1..20),
+        points in 1usize..5,
+    ) {
+        let dir = scratch_dir("crash");
+        let plan = CrashPlan::new(seed, 0.4);
+        let (mut store, _) = ProfileStore::open(&dir, IDENTITY).unwrap();
+        let mut shadow = Shadow::new();
+
+        for (cell, (key_sel, variant)) in puts.iter().enumerate() {
+            let key = key_for(*key_sel);
+            let profile = profile_for(*variant, points);
+            match plan.crash_at(cell as u64) {
+                None => {
+                    let seq = store.put(key, &profile).unwrap();
+                    shadow.insert(key, (seq, profile));
+                }
+                Some(CrashKind::AfterAppend) => {
+                    // The append was acked, THEN the process died: the
+                    // write must survive the reopen.
+                    let seq = store.put(key, &profile).unwrap();
+                    shadow.insert(key, (seq, profile));
+                    drop(store);
+                    let (reopened, replay) = ProfileStore::open(&dir, IDENTITY).unwrap();
+                    store = reopened;
+                    prop_assert_eq!(replay.quarantined_records, 0);
+                    prop_assert!(!replay.torn_tail);
+                    prop_assert_eq!(replay.records, shadow.len());
+                }
+                Some(CrashKind::TornAppend { keep_frac }) => {
+                    // Died mid-append: the write was never acked, so the
+                    // shadow does not record it. Reopen must quarantine
+                    // the torn tail — with counts, never a panic — and
+                    // must not surface the partial record.
+                    store.put_torn(key, &profile, keep_frac).unwrap();
+                    drop(store);
+                    let (reopened, replay) = ProfileStore::open(&dir, IDENTITY).unwrap();
+                    store = reopened;
+                    prop_assert!(replay.torn_tail, "partial frame reported as torn");
+                    prop_assert!(replay.quarantined_records >= 1);
+                    prop_assert!(replay.quarantined_bytes > 0);
+                    prop_assert_eq!(replay.records, shadow.len());
+                    // The repair truncated the tail: recovery converges
+                    // in one step.
+                    drop(store);
+                    let (clean, replay) = ProfileStore::open(&dir, IDENTITY).unwrap();
+                    store = clean;
+                    prop_assert_eq!(replay.quarantined_records, 0);
+                    prop_assert!(!replay.torn_tail);
+                }
+            }
+        }
+
+        assert_matches_shadow(&mut store, &shadow);
+        let report = store.compact().unwrap();
+        prop_assert_eq!(report.live_records, shadow.len());
+        assert_matches_shadow(&mut store, &shadow);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A flipped byte anywhere in the data segment — header, record
+    /// framing, or payload; scan path or index fast path — is either
+    /// quarantined at open or quarantined at read, always with counts,
+    /// never a panic and never a wrong payload. The store keeps accepting
+    /// writes afterwards, and compaction washes the damage out.
+    #[test]
+    fn byte_flips_quarantine_with_counts_never_panic(
+        records in 1u64..10,
+        points in 1usize..5,
+        offset_frac in 0.0f64..1.0,
+        mask in 1u8..=255,
+        compact_first in any::<bool>(),
+    ) {
+        let dir = scratch_dir("rot");
+        let (mut store, _) = ProfileStore::open(&dir, IDENTITY).unwrap();
+        let mut expected = Shadow::new();
+        for i in 0..records {
+            // Distinct keys: every appended record stays live.
+            let key = StoreKey::new(100 + i, 1);
+            let profile = profile_for(i + 1, points);
+            let seq = store.put(key, &profile).unwrap();
+            expected.insert(key, (seq, profile));
+        }
+        if compact_first {
+            // With an index present, recovery takes the fast path and
+            // payload damage is only discoverable at read time.
+            store.compact().unwrap();
+        }
+        drop(store);
+
+        let data_path = dir.join("profiles.data");
+        let mut bytes = std::fs::read(&data_path).unwrap();
+        let at = ((bytes.len() as f64 * offset_frac) as usize).min(bytes.len() - 1);
+        bytes[at] ^= mask;
+        std::fs::write(&data_path, &bytes).unwrap();
+
+        // Never an Err, never a panic — whatever byte was hit.
+        let (mut store, replay) = ProfileStore::open(&dir, IDENTITY).unwrap();
+        prop_assert!(replay.records <= expected.len());
+
+        let mut correct = 0usize;
+        let mut lost = 0usize;
+        for (key, (seq, profile)) in &expected {
+            match store.get(*key).expect("get never errors under bit rot") {
+                Some((got_seq, got_profile)) => {
+                    // A surviving read is never a wrong read: the
+                    // checksum gate means damage cannot masquerade as
+                    // a valid payload.
+                    prop_assert_eq!(got_seq, *seq);
+                    prop_assert_eq!(&*got_profile, profile);
+                    correct += 1;
+                }
+                None => lost += 1,
+            }
+        }
+        prop_assert_eq!(correct + lost, expected.len());
+        // The flip always damages something, and every loss is counted:
+        // either recovery quarantined it at open or the read path did.
+        let surfaced =
+            replay.quarantined_records as u64 + store.stats().quarantined_records;
+        prop_assert!(lost >= 1, "a flipped byte never goes unnoticed");
+        prop_assert!(surfaced >= 1, "loss is always quarantined with counts");
+
+        // Still writable after damage …
+        let fresh_key = StoreKey::new(9_999, 9_999);
+        let fresh = profile_for(77, points);
+        prop_assert_eq!(store.put(fresh_key, &fresh).unwrap(), 1);
+        // … and compaction drops the damage for good: the next recovery
+        // is clean and serves every survivor.
+        store.compact().unwrap();
+        drop(store);
+        let (mut clean, replay) = ProfileStore::open(&dir, IDENTITY).unwrap();
+        prop_assert_eq!(replay.quarantined_records, 0);
+        prop_assert!(replay.index_used);
+        prop_assert_eq!(replay.records, correct + 1);
+        for (key, (seq, profile)) in &expected {
+            if let Some((got_seq, got_profile)) = clean.get(*key).unwrap() {
+                prop_assert_eq!(got_seq, *seq);
+                prop_assert_eq!(&*got_profile, profile);
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The columnar codec round-trips every generated profile exactly.
+    #[test]
+    fn codec_round_trips_generated_profiles(
+        variant in any::<u64>(),
+        points in 1usize..24,
+    ) {
+        let profile = profile_for(variant, points);
+        let bytes = smokescreen_serve::store::encode_profile(&profile);
+        let back = smokescreen_serve::store::decode_profile(&bytes).unwrap();
+        prop_assert_eq!(profile, back);
+    }
+}
