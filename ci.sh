@@ -103,13 +103,13 @@ fi
 echo "trajectory smoke + schema + regression gate ok"
 
 echo "=== perf trajectory: committed BENCH files stay comparable ==="
-# The committed PR-9 trajectory must still pass the threshold gate
-# against the committed PR-8 baseline. New bench families (the serve_*
+# The committed PR-10 trajectory must still pass the threshold gate
+# against the committed PR-9 baseline. New bench families (the serve_*
 # throughput rows) are reported but never gated, so this proves the
 # pre-existing numbers carry no regression past the default threshold.
 ./target/release/trajectory check \
-  --prev bench_results/BENCH_8.json --cur bench_results/BENCH_9.json >/dev/null
-echo "BENCH_8 -> BENCH_9 trajectory gate ok"
+  --prev bench_results/BENCH_9.json --cur bench_results/BENCH_10.json >/dev/null
+echo "BENCH_9 -> BENCH_10 trajectory gate ok"
 
 echo "=== serving daemon: framed load at two rates + zero-quarantine reopen gate ==="
 # Boots the profile-serving daemon as a real separate process, drives it
@@ -132,7 +132,60 @@ for _ in $(seq 1 200); do [ -S "$servesock" ] && break; sleep 0.05; done
   --requests 600 --clients 8 --mix mixed --seed 43 --shutdown
 wait "$serve_pid"
 ./target/release/serve check --store "$servestore"
+./target/release/serve check --store "$servestore" --scrub
 echo "serving slice ok: 1200 framed requests at 2 rates, clean shutdown, zero quarantined"
+
+echo "=== chaos serving: supervised daemon under seeded disk+net faults ==="
+# The daemon runs with armed fault plans (seeded, replayable: every
+# injected failure is a pure function of (seed, rid/op)) and an induced
+# generation-1 crash after 150 answered requests. The retry client rides
+# through all of it — idempotent puts keyed on expected_seq, hedged
+# gets, reconnects across the supervisor restart — and must finish with
+# zero unexpected errors. `serve check --scrub` then proves the store
+# lost no acked write: scrub passes drain whatever the chaos
+# quarantined, and any unrepaired record fails the build.
+chaosstore="$trajdir/chaos-store"
+chaossock="$trajdir/chaos.sock"
+SMOKESCREEN_DISKFAULT_SEED=53596 SMOKESCREEN_DISKFAULT_RATE=0.08 \
+  SMOKESCREEN_NETFAULT_SEED=1255 SMOKESCREEN_NETFAULT_RATE=0.10 \
+  ./target/release/serve run --unix "$chaossock" --store "$chaosstore" \
+  --threads 2 --scrub-batch 16 --supervise --crash-after 150 &
+chaos_pid=$!
+for _ in $(seq 1 200); do [ -S "$chaossock" ] && break; sleep 0.05; done
+[ -S "$chaossock" ] || { echo "chaos daemon never bound $chaossock" >&2; exit 1; }
+./target/release/serve_load --addr "unix:$chaossock" \
+  --requests 400 --clients 4 --mix mixed --seed 44 --retry
+./target/release/serve_load --addr "unix:$chaossock" \
+  --requests 200 --clients 2 --mix mixed --seed 45 --retry --shutdown
+wait "$chaos_pid"
+./target/release/serve check --store "$chaosstore" --scrub
+echo "chaos serving slice ok: crash + faults survived, zero unrepaired records"
+
+echo "=== serving inertness: zero-rate armed plans vs none -> identical store bytes ==="
+# Armed-but-zero-rate disk/net fault plans must be byte-invisible: the
+# same seeded load against a plan-free daemon and a zero-rate-armed
+# daemon must compact to identical store bytes — the serving-layer
+# analogue of the perturbation-inertness gate below.
+for mode in off zero; do
+  inertstore="$trajdir/inert-$mode"
+  inertsock="$trajdir/inert-$mode.sock"
+  if [ "$mode" = zero ]; then
+    SMOKESCREEN_DISKFAULT_SEED=53596 SMOKESCREEN_DISKFAULT_RATE=0 \
+      SMOKESCREEN_NETFAULT_SEED=1255 SMOKESCREEN_NETFAULT_RATE=0 \
+      ./target/release/serve run --unix "$inertsock" --store "$inertstore" --threads 4 &
+  else
+    ./target/release/serve run --unix "$inertsock" --store "$inertstore" --threads 4 &
+  fi
+  inert_pid=$!
+  for _ in $(seq 1 200); do [ -S "$inertsock" ] && break; sleep 0.05; done
+  [ -S "$inertsock" ] || { echo "inert daemon never bound $inertsock" >&2; exit 1; }
+  ./target/release/serve_load --addr "unix:$inertsock" \
+    --requests 300 --clients 4 --mix mixed --seed 46 --shutdown
+  wait "$inert_pid"
+done
+diff "$trajdir/inert-off/profiles.data" "$trajdir/inert-zero/profiles.data"
+diff "$trajdir/inert-off/profiles.idx" "$trajdir/inert-zero/profiles.idx"
+echo "zero-rate fault plans are byte-invisible to the store"
 
 echo "=== content-fault robustness: smoke audit matrix + schema gate ==="
 # One kind (glare) × one rate × both corpora, 12 trials/cell: the

@@ -3,13 +3,16 @@
 //! ```text
 //! serve_load --addr unix:PATH|tcp:HOST:PORT --requests N
 //!            [--clients K] [--mix put|get|query|mixed]
-//!            [--grids G] [--points P] [--seed S]
+//!            [--grids G] [--points P] [--seed S] [--retry]
 //!            [--shutdown] [--expect-no-not-found]
 //! ```
 //!
 //! Drives `--requests` framed requests across `--clients` connections
 //! with a seed-derived schedule (see `smokescreen_bench::serve_client`)
 //! and prints counts, throughput, and latency percentiles. With
+//! `--retry`, every op goes through the fault-tolerant client —
+//! idempotent puts, hedged gets, reconnects — which is required against
+//! a daemon running armed fault plans (the chaos CI slice). With
 //! `--shutdown`, sends a graceful `shutdown` after the load completes —
 //! the daemon flushes and compacts before exiting. Exit codes: 0 ok,
 //! 1 unexpected error responses (or `not_found` under
@@ -17,7 +20,7 @@
 
 use std::process::ExitCode;
 
-use smokescreen_bench::serve_client::{run_load, LoadConfig, LoadMix};
+use smokescreen_bench::serve_client::{run_load, LoadConfig, LoadMix, RetryPolicy};
 use smokescreen_serve::{Request, Response, ServeAddr};
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -66,6 +69,9 @@ fn run() -> Result<ExitCode, String> {
     if let Some(raw) = flag_value(&args, "--seed") {
         config.seed = raw.parse().map_err(|_| "--seed must be an integer")?;
     }
+    if has_flag(&args, "--retry") {
+        config.retry = Some(RetryPolicy::default());
+    }
 
     let report = run_load(&config)?;
     println!(
@@ -83,6 +89,12 @@ fn run() -> Result<ExitCode, String> {
         "serve_load: latency p50 {:.0} us p95 {:.0} us p99 {:.0} us max {:.0} us",
         report.p50_us, report.p95_us, report.p99_us, report.max_us
     );
+    if config.retry.is_some() {
+        println!(
+            "serve_load: retries {} reconnects {} hedged_gets {} sim_backoff {:.1} ms",
+            report.retries, report.reconnects, report.hedged_gets, report.sim_backoff_ms
+        );
+    }
 
     if has_flag(&args, "--shutdown") {
         let mut conn = addr.connect().map_err(|e| format!("shutdown connect: {e}"))?;

@@ -13,14 +13,26 @@
 //! whose compacted bytes are independent of client interleaving (the
 //! store's per-key sequence numbers and key-ordered compaction do the
 //! rest).
+//!
+//! The fault-tolerant half is [`FaultClient`]: idempotent puts keyed on
+//! `expected_seq` (a resent ack-lost put dedups instead of
+//! double-applying), hedged gets, deterministic [`RetryPolicy`] backoff
+//! (simulated — counted, not slept — so chaos runs stay fast and
+//! replayable), and request ids stamped on every frame so the server's
+//! seeded `NetFaultPlan` makes per-request fault decisions that replay
+//! bit-for-bit. `run_load` drives it when [`LoadConfig::retry`] is set.
 
-use std::time::Instant;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
 
 use smokescreen_core::{Aggregate, Profile, ProfilePoint};
 use smokescreen_degrade::InterventionSet;
 use smokescreen_rt::journal::checksum64;
 use smokescreen_rt::pool::Pool;
-use smokescreen_serve::{ErrorCode, Request, Response, ServeAddr, StoreKey};
+use smokescreen_serve::protocol::{read_frame, write_frame, FrameError};
+use smokescreen_serve::{
+    stamp_rid, Connection, ErrorCode, Request, Response, ServeAddr, StoreKey,
+};
 use smokescreen_video::ObjectClass;
 
 /// What the generated requests do.
@@ -67,6 +79,11 @@ pub struct LoadConfig {
     pub mix: LoadMix,
     /// Schedule seed.
     pub seed: u64,
+    /// When set, clients run through [`FaultClient`] — idempotent
+    /// retried puts, hedged gets, reconnect-on-failure — instead of the
+    /// plain fail-fast connection. Required for any run against a daemon
+    /// with armed fault plans.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl LoadConfig {
@@ -80,6 +97,7 @@ impl LoadConfig {
             points: 12,
             mix: LoadMix::Mixed,
             seed: 1,
+            retry: None,
         }
     }
 }
@@ -109,6 +127,18 @@ pub struct LoadReport {
     pub p99_us: f64,
     /// Slowest request, µs.
     pub max_us: f64,
+    /// Re-sent attempts beyond the first, across all ops (retry mode).
+    pub retries: u64,
+    /// Connections re-established after a timeout, reset, or refused
+    /// connect (retry mode).
+    pub reconnects: u64,
+    /// Gets re-issued on a fresh connection after the hedge deadline
+    /// (retry mode).
+    pub hedged_gets: u64,
+    /// Total *simulated* backoff the retry policy charged, ms. Counted
+    /// deterministically instead of slept, so it never shows up in
+    /// `wall_ms`.
+    pub sim_backoff_ms: f64,
 }
 
 impl LoadReport {
@@ -163,14 +193,520 @@ fn next_rand(state: &mut u64) -> u64 {
     *state >> 16
 }
 
+/// Deterministic retry schedule for [`FaultClient`].
+///
+/// Backoff is *simulated*: the client charges `backoff_ms` to a counter
+/// and retries immediately, so a chaos run's wall time stays bounded by
+/// real work while the charged schedule is still a pure function of
+/// `(rid, attempt)` — replayable and assertable. The only real sleeps
+/// are short waits for a refused connect (a restarting daemon), capped
+/// at [`RetryPolicy::CONNECT_SLEEP_CAP_MS`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Attempts per logical op before giving up.
+    pub max_attempts: u32,
+    /// First-retry backoff, ms.
+    pub base_ms: f64,
+    /// Exponential growth per retry.
+    pub multiplier: f64,
+    /// Jitter half-width as a fraction of the exponential term
+    /// (0.2 → ±20%), derived deterministically from the attempt's rid.
+    pub jitter: f64,
+    /// Read deadline per attempt, ms. A response that misses it is
+    /// abandoned — the connection is dropped (a late frame would desync
+    /// the request/response pairing) and the op re-sent.
+    pub read_deadline_ms: u64,
+    /// First-attempt read deadline for gets, ms. On expiry the read is
+    /// hedged: re-issued on a fresh connection rather than waiting out
+    /// the full deadline.
+    pub hedge_after_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 8,
+            base_ms: 10.0,
+            multiplier: 2.0,
+            jitter: 0.2,
+            read_deadline_ms: 200,
+            hedge_after_ms: 50,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Longest single real sleep while waiting for a daemon to come
+    /// back, ms.
+    pub const CONNECT_SLEEP_CAP_MS: u64 = 50;
+
+    /// The simulated backoff charged before retry `attempt` (1-based)
+    /// of the op whose request id is `rid`. Pure function.
+    pub fn backoff_ms(&self, rid: u64, attempt: u32) -> f64 {
+        let exp = self.base_ms * self.multiplier.powi(attempt.min(16) as i32 - 1);
+        let mut state = rid ^ u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let unit = (next_rand(&mut state) % 1_000_000) as f64 / 1e6;
+        exp * (1.0 - self.jitter + 2.0 * self.jitter * unit)
+    }
+}
+
+/// The request id stamped on attempt `attempt` of logical op `op` from
+/// the client owning `camera`. Pure function — the same schedule always
+/// stamps the same rids, so the server's seeded `NetFaultPlan` (a pure
+/// function of rid) makes identical fault decisions on every replay.
+pub fn request_id(camera: u64, op: u64, attempt: u32) -> u64 {
+    let mut z = camera
+        .wrapping_add(op.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(u64::from(attempt).wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Counters a [`FaultClient`] accumulates across its ops.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RetryStats {
+    /// Frames sent (first attempts + retries).
+    pub attempts: u64,
+    /// Attempts beyond the first, across all ops.
+    pub retries: u64,
+    /// Connections re-established.
+    pub reconnects: u64,
+    /// Gets re-issued after the hedge deadline.
+    pub hedged_gets: u64,
+    /// Simulated backoff charged, ms.
+    pub sim_backoff_ms: f64,
+}
+
+/// A successful `get_profile` through the retry layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GetReply {
+    /// Per-key sequence number of the served record.
+    pub seq: u64,
+    /// The profile.
+    pub profile: Profile,
+    /// Latched drift staleness (served anyway, bounds widened).
+    pub stale: bool,
+    /// Degraded-mode marker: quarantine pending somewhere in the store.
+    pub degraded: bool,
+}
+
+/// What one framed exchange produced.
+enum Recv {
+    Response(Response),
+    /// The read deadline elapsed at a frame boundary. The connection has
+    /// been dropped: a response that arrives after we stop waiting would
+    /// otherwise be mis-paired with the *next* request.
+    TimedOut,
+    /// Send failed, stream reset, or frame torn; connection dropped.
+    Disconnected(String),
+}
+
+/// Is this error response worth re-sending the same op for?
+fn retryable(code: ErrorCode) -> bool {
+    matches!(
+        code,
+        ErrorCode::Overloaded | ErrorCode::ShuttingDown | ErrorCode::Quarantined | ErrorCode::Store
+    )
+}
+
+/// A serving client that survives injected disk/net faults and daemon
+/// restarts without ever double-applying a write.
+///
+/// * **Idempotent puts** — every put carries `expected_seq`, the next
+///   sequence number after the last the client *observed* for the key
+///   (shadow map, lazily synced with a get on first touch). If the put
+///   applied but the ack was dropped, the retry's `expected_seq` equals
+///   the server's current seq and the server acks without re-applying.
+/// * **Hedged gets** — the first attempt waits only
+///   [`RetryPolicy::hedge_after_ms`]; on expiry the read is re-issued on
+///   a fresh connection instead of waiting out a dropped response.
+/// * **Deterministic rids** — [`request_id`] stamps every frame, so the
+///   server's seeded net-fault decisions are a pure function of the
+///   schedule.
+pub struct FaultClient {
+    addr: ServeAddr,
+    policy: RetryPolicy,
+    camera: u64,
+    conn: Option<Connection>,
+    ops: u64,
+    shadow: BTreeMap<StoreKey, u64>,
+    /// Counters; read them out after the run.
+    pub stats: RetryStats,
+}
+
+impl FaultClient {
+    /// A client for `camera`'s key space against `addr`.
+    pub fn new(addr: ServeAddr, camera: u64, policy: RetryPolicy) -> FaultClient {
+        FaultClient {
+            addr,
+            policy,
+            camera,
+            conn: None,
+            ops: 0,
+            shadow: BTreeMap::new(),
+            stats: RetryStats::default(),
+        }
+    }
+
+    /// The load-gen client for slot `client` (camera from
+    /// [`client_camera`]).
+    pub fn for_client(addr: ServeAddr, client: usize, policy: RetryPolicy) -> FaultClient {
+        FaultClient::new(addr, client_camera(client), policy)
+    }
+
+    fn next_op(&mut self) -> u64 {
+        self.ops += 1;
+        self.ops
+    }
+
+    /// Connects (or reuses the live connection), sleeping briefly when
+    /// the daemon refuses — the one place real time is spent, because a
+    /// restarting supervisor generation genuinely is not there yet.
+    fn connection(&mut self) -> Result<&mut Connection, String> {
+        if self.conn.is_none() {
+            let budget = self.policy.max_attempts.max(1) * 4;
+            let mut last = String::new();
+            for attempt in 0..budget {
+                match self.addr.connect() {
+                    Ok(conn) => {
+                        if attempt > 0 || self.stats.attempts > 0 {
+                            self.stats.reconnects += 1;
+                        }
+                        self.conn = Some(conn);
+                        break;
+                    }
+                    Err(e) => {
+                        last = e.to_string();
+                        let ms = self
+                            .policy
+                            .backoff_ms(self.camera, attempt + 1)
+                            .min(RetryPolicy::CONNECT_SLEEP_CAP_MS as f64);
+                        std::thread::sleep(Duration::from_micros((ms * 1_000.0) as u64));
+                    }
+                }
+            }
+            if self.conn.is_none() {
+                return Err(format!("connect to {:?} kept failing: {last}", self.addr));
+            }
+        }
+        Ok(self.conn.as_mut().expect("connection populated above"))
+    }
+
+    /// One framed exchange under a read deadline. Any outcome other than
+    /// a parsed response drops the connection.
+    fn exchange(&mut self, frame: &smokescreen_rt::json::Json, deadline_ms: u64) -> Recv {
+        let conn = match self.connection() {
+            Ok(c) => c,
+            Err(e) => return Recv::Disconnected(e),
+        };
+        if let Err(e) = conn.set_read_timeout(Some(Duration::from_millis(deadline_ms.max(1)))) {
+            self.conn = None;
+            return Recv::Disconnected(format!("set deadline: {e}"));
+        }
+        if let Err(e) = write_frame(conn, frame) {
+            self.conn = None;
+            return Recv::Disconnected(format!("send: {e}"));
+        }
+        match read_frame(conn) {
+            Ok(Some(json)) => match Response::from_json(&json) {
+                Ok(response) => Recv::Response(response),
+                Err(e) => {
+                    self.conn = None;
+                    Recv::Disconnected(format!("bad response frame: {e}"))
+                }
+            },
+            Ok(None) => {
+                self.conn = None;
+                Recv::Disconnected("server closed the connection".into())
+            }
+            Err(FrameError::Idle) => {
+                self.conn = None;
+                Recv::TimedOut
+            }
+            Err(e) => {
+                self.conn = None;
+                Recv::Disconnected(format!("frame error: {e:?}"))
+            }
+        }
+    }
+
+    /// Charges simulated backoff for retry `attempt` of `rid`.
+    fn charge_backoff(&mut self, rid: u64, attempt: u32) {
+        if attempt > 0 {
+            self.stats.retries += 1;
+            self.stats.sim_backoff_ms += self.policy.backoff_ms(rid, attempt);
+        }
+    }
+
+    /// Idempotent durable write. Returns the acked sequence number; a
+    /// retry whose previous attempt applied-but-lost-the-ack dedups on
+    /// the server and still lands here with the same seq.
+    pub fn put(&mut self, key: StoreKey, profile: &Profile) -> Result<u64, String> {
+        if !self.shadow.contains_key(&key) {
+            let seq = self.get(key)?.map_or(0, |reply| reply.seq);
+            self.shadow.insert(key, seq);
+        }
+        let op = self.next_op();
+        let mut last = String::new();
+        for attempt in 0..self.policy.max_attempts {
+            let expected = self.shadow[&key] + 1;
+            let rid = request_id(self.camera, op, attempt);
+            let frame = stamp_rid(
+                &Request::PutProfile {
+                    key,
+                    profile: profile.clone(),
+                    expected_seq: Some(expected),
+                }
+                .to_json(),
+                rid,
+            );
+            self.stats.attempts += 1;
+            self.charge_backoff(rid, attempt);
+            match self.exchange(&frame, self.policy.read_deadline_ms) {
+                Recv::Response(Response::Ok { seq }) => {
+                    self.shadow.insert(key, seq.max(expected));
+                    return Ok(seq);
+                }
+                Recv::Response(Response::Error { code, message }) => match code {
+                    // `expected_seq` disagreed with the store (e.g. the
+                    // key advanced underneath a restart): resync the
+                    // shadow and re-derive, same op.
+                    ErrorCode::BadRequest => {
+                        let seq = self.get(key)?.map_or(0, |reply| reply.seq);
+                        self.shadow.insert(key, seq);
+                        last = message;
+                    }
+                    code if retryable(code) => last = format!("{}: {message}", code.as_str()),
+                    code => {
+                        return Err(format!("put: fatal {} error: {message}", code.as_str()))
+                    }
+                },
+                Recv::Response(other) => {
+                    return Err(format!("put: unexpected response {other:?}"))
+                }
+                Recv::TimedOut => last = "read deadline elapsed".into(),
+                Recv::Disconnected(e) => last = e,
+            }
+        }
+        Err(format!(
+            "put gave up after {} attempts: {last}",
+            self.policy.max_attempts
+        ))
+    }
+
+    /// Hedged read. `Ok(None)` means the key has no record.
+    pub fn get(&mut self, key: StoreKey) -> Result<Option<GetReply>, String> {
+        let op = self.next_op();
+        let mut last = String::new();
+        for attempt in 0..self.policy.max_attempts {
+            let rid = request_id(self.camera, op, attempt);
+            let frame = stamp_rid(&Request::GetProfile { key }.to_json(), rid);
+            let deadline = if attempt == 0 {
+                self.policy.hedge_after_ms
+            } else {
+                self.policy.read_deadline_ms
+            };
+            self.stats.attempts += 1;
+            self.charge_backoff(rid, attempt);
+            match self.exchange(&frame, deadline) {
+                Recv::Response(Response::Profile {
+                    seq,
+                    profile,
+                    stale,
+                    degraded,
+                    ..
+                }) => {
+                    self.shadow.insert(key, seq);
+                    return Ok(Some(GetReply {
+                        seq,
+                        profile,
+                        stale,
+                        degraded,
+                    }));
+                }
+                Recv::Response(Response::Error {
+                    code: ErrorCode::NotFound,
+                    ..
+                }) => {
+                    self.shadow.insert(key, 0);
+                    return Ok(None);
+                }
+                Recv::Response(Response::Error { code, message }) if retryable(code) => {
+                    last = format!("{}: {message}", code.as_str());
+                }
+                Recv::Response(Response::Error { code, message }) => {
+                    return Err(format!("get: fatal {} error: {message}", code.as_str()));
+                }
+                Recv::Response(other) => {
+                    return Err(format!("get: unexpected response {other:?}"))
+                }
+                Recv::TimedOut => {
+                    if attempt == 0 {
+                        self.stats.hedged_gets += 1;
+                    }
+                    last = "read deadline elapsed".into();
+                }
+                Recv::Disconnected(e) => last = e,
+            }
+        }
+        Err(format!(
+            "get gave up after {} attempts: {last}",
+            self.policy.max_attempts
+        ))
+    }
+
+    /// Retried tradeoff query. `Ok(None)` means the key has no record.
+    pub fn query(
+        &mut self,
+        key: StoreKey,
+        max_err: f64,
+        max_fraction: Option<f64>,
+        max_bytes: Option<u64>,
+        max_energy_j: Option<f64>,
+    ) -> Result<Option<Vec<ProfilePoint>>, String> {
+        let op = self.next_op();
+        let mut last = String::new();
+        for attempt in 0..self.policy.max_attempts {
+            let rid = request_id(self.camera, op, attempt);
+            let frame = stamp_rid(
+                &Request::QueryTradeoff {
+                    key,
+                    max_err,
+                    max_fraction,
+                    max_bytes,
+                    max_energy_j,
+                }
+                .to_json(),
+                rid,
+            );
+            self.stats.attempts += 1;
+            self.charge_backoff(rid, attempt);
+            match self.exchange(&frame, self.policy.read_deadline_ms) {
+                Recv::Response(Response::Tradeoff { matches }) => return Ok(Some(matches)),
+                Recv::Response(Response::Error {
+                    code: ErrorCode::NotFound,
+                    ..
+                }) => return Ok(None),
+                Recv::Response(Response::Error { code, message }) if retryable(code) => {
+                    last = format!("{}: {message}", code.as_str());
+                }
+                Recv::Response(Response::Error { code, message }) => {
+                    return Err(format!("query: fatal {} error: {message}", code.as_str()));
+                }
+                Recv::Response(other) => {
+                    return Err(format!("query: unexpected response {other:?}"))
+                }
+                Recv::TimedOut => last = "read deadline elapsed".into(),
+                Recv::Disconnected(e) => last = e,
+            }
+        }
+        Err(format!(
+            "query gave up after {} attempts: {last}",
+            self.policy.max_attempts
+        ))
+    }
+
+    /// The last sequence number this client observed for `key` (acked
+    /// put or served get), if any. The chaos audit compares these against
+    /// a cold reopen of the store: every acked write must still be there.
+    pub fn shadow_seq(&self, key: StoreKey) -> Option<u64> {
+        self.shadow.get(&key).copied()
+    }
+}
+
 struct ClientOutcome {
     report: LoadReport,
     latencies_us: Vec<f64>,
     failure: Option<String>,
 }
 
-/// Runs one client's schedule to completion.
+/// Runs one client's schedule to completion, through the retry layer
+/// when the config asks for it.
 fn run_client(config: &LoadConfig, client: usize, requests: usize) -> ClientOutcome {
+    match config.retry {
+        Some(policy) => run_client_retry(config, client, requests, policy),
+        None => run_client_plain(config, client, requests),
+    }
+}
+
+/// One step of the shared schedule: which op, against which key. Both
+/// client modes consume the rng identically so a retry run answers the
+/// same logical schedule as a plain run.
+fn schedule_step(config: &LoadConfig, rng: &mut u64, camera: u64) -> (StoreKey, LoadMix) {
+    let grid = 1 + (next_rand(rng) % config.grids.max(1) as u64);
+    let key = StoreKey::new(camera, grid);
+    let op = match config.mix {
+        LoadMix::Mixed => match next_rand(rng) % 10 {
+            0..=4 => LoadMix::Gets,
+            5..=7 => LoadMix::Puts,
+            _ => LoadMix::Queries,
+        },
+        fixed => fixed,
+    };
+    (key, op)
+}
+
+/// Retry-mode client: same schedule, every op through [`FaultClient`].
+/// An op that still fails after the retry budget is a run failure — under
+/// the seeded fault plans the budget is sized to always win.
+fn run_client_retry(
+    config: &LoadConfig,
+    client: usize,
+    requests: usize,
+    policy: RetryPolicy,
+) -> ClientOutcome {
+    let mut report = LoadReport::default();
+    let mut latencies_us = Vec::with_capacity(requests);
+    let camera = client_camera(client);
+    let mut rng = config
+        .seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(client as u64);
+    let mut fc = FaultClient::new(config.addr.clone(), camera, policy);
+
+    let mut failure = None;
+    for step in 0..requests {
+        let (key, op) = schedule_step(config, &mut rng, camera);
+        let t0 = Instant::now();
+        let outcome = match op {
+            LoadMix::Puts | LoadMix::Mixed => fc
+                .put(key, &sample_profile(key.grid, config.points))
+                .map(|_| report.puts += 1),
+            LoadMix::Gets => fc.get(key).map(|reply| match reply {
+                Some(_) => report.gets += 1,
+                None => report.not_found += 1,
+            }),
+            LoadMix::Queries => fc
+                .query(key, 0.2, Some(0.8), None, None)
+                .map(|matches| match matches {
+                    Some(_) => report.queries += 1,
+                    None => report.not_found += 1,
+                }),
+        };
+        latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        report.requests += 1;
+        if let Err(e) = outcome {
+            report.errors += 1;
+            failure = Some(format!("client {client} step {step}: {e}"));
+            break;
+        }
+    }
+    report.retries = fc.stats.retries;
+    report.reconnects = fc.stats.reconnects;
+    report.hedged_gets = fc.stats.hedged_gets;
+    report.sim_backoff_ms = fc.stats.sim_backoff_ms;
+    ClientOutcome {
+        report,
+        latencies_us,
+        failure,
+    }
+}
+
+/// Plain fail-fast client (the pre-chaos path; still what the latency
+/// benches measure, since retries would fold fault noise into the
+/// percentiles).
+fn run_client_plain(config: &LoadConfig, client: usize, requests: usize) -> ClientOutcome {
     let mut report = LoadReport::default();
     let mut latencies_us = Vec::with_capacity(requests);
     let camera = client_camera(client);
@@ -190,30 +726,20 @@ fn run_client(config: &LoadConfig, client: usize, requests: usize) -> ClientOutc
         }
     };
     for step in 0..requests {
-        let grid = 1 + (next_rand(&mut rng) % config.grids.max(1) as u64);
-        let key = StoreKey::new(camera, grid);
-        let request = match config.mix {
-            LoadMix::Puts => Request::PutProfile {
+        let (key, op) = schedule_step(config, &mut rng, camera);
+        let request = match op {
+            LoadMix::Puts | LoadMix::Mixed => Request::PutProfile {
                 key,
-                profile: sample_profile(grid, config.points),
+                profile: sample_profile(key.grid, config.points),
+                expected_seq: None,
             },
             LoadMix::Gets => Request::GetProfile { key },
             LoadMix::Queries => Request::QueryTradeoff {
                 key,
                 max_err: 0.2,
                 max_fraction: Some(0.8),
-            },
-            LoadMix::Mixed => match next_rand(&mut rng) % 10 {
-                0..=4 => Request::GetProfile { key },
-                5..=7 => Request::PutProfile {
-                    key,
-                    profile: sample_profile(grid, config.points),
-                },
-                _ => Request::QueryTradeoff {
-                    key,
-                    max_err: 0.2,
-                    max_fraction: Some(0.8),
-                },
+                max_bytes: None,
+                max_energy_j: None,
             },
         };
         let t0 = Instant::now();
@@ -303,6 +829,10 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, String> {
         merged.queries += outcome.report.queries;
         merged.not_found += outcome.report.not_found;
         merged.errors += outcome.report.errors;
+        merged.retries += outcome.report.retries;
+        merged.reconnects += outcome.report.reconnects;
+        merged.hedged_gets += outcome.report.hedged_gets;
+        merged.sim_backoff_ms += outcome.report.sim_backoff_ms;
         latencies.extend(outcome.latencies_us);
         if let Some(f) = outcome.failure {
             failures.push(f);
@@ -353,6 +883,82 @@ mod tests {
         assert_eq!(percentile(&sorted, 0.50), 2.0);
         assert_eq!(percentile(&sorted, 0.95), 4.0);
         assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn retry_schedule_is_deterministic_and_exponential() {
+        let policy = RetryPolicy::default();
+        // Same (rid, attempt) → same backoff; jitter stays within ±20%.
+        for attempt in 1..policy.max_attempts {
+            let rid = request_id(client_camera(3), 7, attempt);
+            let ms = policy.backoff_ms(rid, attempt);
+            assert_eq!(ms, policy.backoff_ms(rid, attempt), "pure function");
+            let exp = policy.base_ms * policy.multiplier.powi(attempt as i32 - 1);
+            assert!(
+                ms >= exp * 0.8 - 1e-9 && ms <= exp * 1.2 + 1e-9,
+                "attempt {attempt}: {ms} outside jitter band around {exp}"
+            );
+        }
+        // rids are pure and distinct across attempts of one op.
+        let a = request_id(client_camera(0), 1, 0);
+        assert_eq!(a, request_id(client_camera(0), 1, 0));
+        assert_ne!(a, request_id(client_camera(0), 1, 1));
+        assert_ne!(a, request_id(client_camera(0), 2, 0));
+        assert_ne!(a, request_id(client_camera(1), 1, 0));
+    }
+
+    #[test]
+    fn fault_client_survives_armed_net_faults_without_double_applies() {
+        use smokescreen_rt::fault::NetFaultPlan;
+        use smokescreen_serve::{Server, ServerConfig};
+        let dir = std::env::temp_dir().join(format!("smk-retrygen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let sock = std::env::temp_dir().join(format!("smk-retrygen-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&sock);
+        // A third of rid-stamped frames get a fault decision: drops,
+        // resets, partial frames, delays. The retry layer must still land
+        // every op exactly once.
+        let server = Server::new(
+            ServerConfig::new(ServeAddr::Unix(sock), &dir)
+                .with_threads(2)
+                .with_net_faults(Some(NetFaultPlan::new(0x4E7, 0.35))),
+        )
+        .spawn()
+        .unwrap();
+
+        let policy = RetryPolicy::default();
+        let mut fc = FaultClient::for_client(server.addr().clone(), 0, policy);
+        let camera = client_camera(0);
+        // Three puts per key: per-key seqs must come back exactly 1, 2, 3
+        // even when acks are dropped and the put is re-sent.
+        for round in 1..=3u64 {
+            for grid in 1..=4u64 {
+                let key = StoreKey::new(camera, grid);
+                let seq = fc.put(key, &sample_profile(grid, 6)).unwrap();
+                assert_eq!(seq, round, "grid {grid}: no double-apply, no gap");
+            }
+        }
+        for grid in 1..=4u64 {
+            let key = StoreKey::new(camera, grid);
+            let reply = fc.get(key).unwrap().expect("seeded key");
+            assert_eq!(reply.seq, 3);
+            assert_eq!(reply.profile, sample_profile(grid, 6));
+            let matches = fc.query(key, 0.2, Some(0.8), None, None).unwrap();
+            assert!(matches.is_some());
+        }
+        assert!(
+            fc.stats.retries > 0,
+            "a 35% fault rate over {} attempts must force retries",
+            fc.stats.attempts
+        );
+        assert!(fc.stats.sim_backoff_ms > 0.0);
+
+        let report = server.shutdown().unwrap();
+        assert!(report.graceful);
+        assert!(report.stats.net_faults > 0, "plan was armed and hit");
+        assert_eq!(report.stats.quarantined_records, 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -217,6 +217,22 @@ impl FreshnessMonitor {
         self.stale
     }
 
+    /// Multiplicative factor by which served error bounds should be
+    /// widened while the profile is stale: `1.0` while fresh, and at
+    /// least `1.0` once staleness latches — the worst observed window
+    /// score relative to the flagging threshold. A profile that barely
+    /// crossed the threshold widens barely; one whose stream drifted far
+    /// from the baseline widens proportionally. Like the flag itself the
+    /// factor never shrinks until re-profiling, because the bound
+    /// calibration does not recover when the stream wanders back.
+    pub fn widening_factor(&self) -> f64 {
+        if !self.stale || self.threshold <= 0.0 {
+            1.0
+        } else {
+            (self.report.max_score / self.threshold).max(1.0)
+        }
+    }
+
     /// The baseline being scored against.
     pub fn baseline(&self) -> &DriftBaseline {
         &self.baseline
@@ -374,6 +390,35 @@ mod tests {
         monitor.extend(&noisy_stream(1_024, 5.0, 45));
         assert!(monitor.stale(), "staleness is latched until re-profiling");
         assert!(monitor.report().max_score > DEFAULT_DRIFT_THRESHOLD);
+    }
+
+    #[test]
+    fn widening_factor_is_one_while_fresh_and_tracks_worst_window() {
+        use crate::similarity::DEFAULT_DRIFT_THRESHOLD;
+        let window = 256;
+        let mut monitor = FreshnessMonitor::from_outputs(
+            &noisy_stream(4_096, 5.0, 42),
+            window,
+            DEFAULT_DRIFT_THRESHOLD,
+        )
+        .unwrap();
+        monitor.extend(&noisy_stream(1_024, 5.0, 43));
+        assert_eq!(monitor.widening_factor(), 1.0, "fresh profile never widens");
+
+        let drifted: Vec<f64> = noisy_stream(1_024, 5.0, 44).iter().map(|v| v * 2.5).collect();
+        monitor.extend(&drifted);
+        assert!(monitor.stale());
+        let widen = monitor.widening_factor();
+        assert!(widen > 1.0, "stale profile widens, got {widen}");
+        assert_eq!(
+            widen,
+            monitor.report().max_score / DEFAULT_DRIFT_THRESHOLD,
+            "factor is the worst window score relative to the threshold"
+        );
+
+        // Back on the old regime the factor stays latched, like the flag.
+        monitor.extend(&noisy_stream(1_024, 5.0, 45));
+        assert!(monitor.widening_factor() >= widen);
     }
 
     #[test]

@@ -40,6 +40,20 @@
 //! record ([`CrashKind::TornAppend`]). Because the decision is pure,
 //! crash→resume→compare is replayable bit-for-bit, composing with any
 //! [`FaultPlan`].
+//!
+//! The serving stack gets its own two plan families with the same
+//! contract. [`DiskFaultPlan`] schedules storage-level failures against
+//! the profile store — short writes, torn syncs, transient read bit-flips
+//! and outright `EIO` — keyed on a per-operation id, with *separate*
+//! write and read decision streams so an append and the read-back of the
+//! same record never share a fate. [`NetFaultPlan`] schedules wire-level
+//! failures against the daemon — dropped requests, dropped or truncated
+//! responses, simulated delay and connection resets — keyed on the
+//! client-stamped request id (`rid`), so a retried request (new rid) rolls
+//! a fresh decision. Both arm from `SMOKESCREEN_DISKFAULT_SEED` /
+//! `SMOKESCREEN_DISKFAULT_RATE` and `SMOKESCREEN_NETFAULT_SEED` /
+//! `SMOKESCREEN_NETFAULT_RATE` under the same strict-parse-or-panic
+//! contract as the generation knobs.
 
 use crate::rng::StdRng;
 
@@ -54,6 +68,18 @@ pub const CRASH_SEED_ENV: &str = "SMOKESCREEN_CRASH_SEED";
 
 /// Environment variable carrying the per-cell crash rate in `[0, 1]`.
 pub const CRASH_RATE_ENV: &str = "SMOKESCREEN_CRASH_RATE";
+
+/// Environment variable carrying the disk-fault-plan seed (decimal `u64`).
+pub const DISKFAULT_SEED_ENV: &str = "SMOKESCREEN_DISKFAULT_SEED";
+
+/// Environment variable carrying the per-operation disk-fault rate in `[0, 1]`.
+pub const DISKFAULT_RATE_ENV: &str = "SMOKESCREEN_DISKFAULT_RATE";
+
+/// Environment variable carrying the net-fault-plan seed (decimal `u64`).
+pub const NETFAULT_SEED_ENV: &str = "SMOKESCREEN_NETFAULT_SEED";
+
+/// Environment variable carrying the per-request net-fault rate in `[0, 1]`.
+pub const NETFAULT_RATE_ENV: &str = "SMOKESCREEN_NETFAULT_RATE";
 
 /// One scheduled fault for a model call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -309,6 +335,263 @@ impl CrashPlan {
     }
 }
 
+/// One scheduled storage-level failure in the profile store's I/O path.
+///
+/// Disk faults model the path between the store and the platter, not rot
+/// on the platter itself: a short write or torn sync leaves an *unacked*
+/// torn tail (truncate-repaired before the next append), a read bit-flip
+/// corrupts only the in-memory read buffer (the on-disk bytes stay good,
+/// so a later attempt heals), and `EIO` fails before any byte moves.
+/// That is what keeps "no acked write is ever lost" and "every injected
+/// corruption is repairable" jointly satisfiable under any plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DiskFaultKind {
+    /// The append persists only `keep_frac` of the record frame before
+    /// failing — a torn tail past the last durable offset.
+    ShortWrite {
+        /// Fraction of the frame that reached disk, in `[0, 1)`.
+        keep_frac: f64,
+    },
+    /// The full frame is written but the sync fails: the bytes are not
+    /// durable, so the store must treat the whole frame as a torn tail.
+    TornSync,
+    /// The read buffer comes back with a flipped bit for this many
+    /// attempts, then reads clean — the on-disk record was never damaged.
+    ReadBitFlip {
+        /// Number of corrupted read attempts before the path heals.
+        heals_after: u32,
+    },
+    /// The operation fails outright with an I/O error before any byte
+    /// is transferred.
+    Eio,
+}
+
+/// A seeded, replayable schedule of storage faults for the profile store.
+///
+/// Decisions are pure functions of `(plan, operation key)` like every
+/// other plan here, with one refinement: writes and reads draw from
+/// *separate* decision streams (distinct domain salts), so the append of
+/// a record and later reads of the same record fault independently. The
+/// store keys write operations on `(key, seq, attempt)` — a retried
+/// append rolls a fresh decision — and read operations on `(key, seq)`,
+/// so a scheduled bit-flip hits every reader of that record until the
+/// per-record attempt counter passes `heals_after`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskFaultPlan {
+    seed: u64,
+    rate: f64,
+}
+
+/// Domain-separation constant for the disk *write* decision stream.
+const DISK_WRITE_STREAM_SALT: u64 = 0xD15C_F417_B10C_4EA1;
+
+/// Domain-separation constant for the disk *read* decision stream.
+const DISK_READ_STREAM_SALT: u64 = 0xD15C_0F11_D47A_0B0E;
+
+impl DiskFaultPlan {
+    /// A plan faulting each disk operation with probability `rate`
+    /// (clamped to `[0, 1]`). Scheduled write faults split 40% short
+    /// write / 30% torn sync / 30% `EIO`; scheduled read faults are
+    /// always transient bit-flips.
+    pub fn new(seed: u64, rate: f64) -> Self {
+        DiskFaultPlan {
+            seed,
+            rate: rate.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The plan seed (for replay reporting).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Per-operation fault probability.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The fault scheduled for write operation `op`, or `None` for a
+    /// clean append. Pure in `(self, op)`; never returns
+    /// [`DiskFaultKind::ReadBitFlip`].
+    pub fn write_fault(&self, op: u64) -> Option<DiskFaultKind> {
+        if self.rate <= 0.0 {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(mix(self.seed ^ DISK_WRITE_STREAM_SALT, op));
+        if rng.gen_f64() >= self.rate {
+            return None;
+        }
+        let u = rng.gen_f64();
+        if u < 0.40 {
+            Some(DiskFaultKind::ShortWrite {
+                // Strictly below 1 so the frame is always actually torn.
+                keep_frac: rng.gen_f64() * 0.95,
+            })
+        } else if u < 0.70 {
+            Some(DiskFaultKind::TornSync)
+        } else {
+            Some(DiskFaultKind::Eio)
+        }
+    }
+
+    /// The fault scheduled for read operation `op`, or `None` for a
+    /// clean read. Pure in `(self, op)`; always a
+    /// [`DiskFaultKind::ReadBitFlip`] when scheduled.
+    pub fn read_fault(&self, op: u64) -> Option<DiskFaultKind> {
+        if self.rate <= 0.0 {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(mix(self.seed ^ DISK_READ_STREAM_SALT, op));
+        if rng.gen_f64() >= self.rate {
+            return None;
+        }
+        Some(DiskFaultKind::ReadBitFlip {
+            heals_after: rng.gen_range(1u32..=2),
+        })
+    }
+
+    /// Builds a plan from `SMOKESCREEN_DISKFAULT_SEED` /
+    /// `SMOKESCREEN_DISKFAULT_RATE`. Returns `None` when the rate is
+    /// unset or zero; malformed values are a loud startup error, matching
+    /// [`FaultPlan::from_env`].
+    pub fn from_env() -> Option<Self> {
+        match Self::parse_env(
+            std::env::var(DISKFAULT_SEED_ENV).ok().as_deref(),
+            std::env::var(DISKFAULT_RATE_ENV).ok().as_deref(),
+        ) {
+            Ok(plan) => plan,
+            Err(msg) => panic!("{msg}"),
+        }
+    }
+
+    /// Parse layer behind [`DiskFaultPlan::from_env`], exposed for tests.
+    pub fn parse_env(seed: Option<&str>, rate: Option<&str>) -> Result<Option<Self>, String> {
+        let seed = parse_seed(DISKFAULT_SEED_ENV, seed)?;
+        match parse_rate(DISKFAULT_RATE_ENV, rate)? {
+            Some(rate) if rate > 0.0 => Ok(Some(DiskFaultPlan::new(seed, rate))),
+            _ => Ok(None),
+        }
+    }
+}
+
+/// One scheduled wire-level failure for a served request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NetFaultKind {
+    /// The request is silently eaten before processing — the client sees
+    /// a read timeout and must retry (the server never applied it).
+    DropRequest,
+    /// The request is processed but its response never leaves — the
+    /// dangerous half of at-most-once, which idempotent retries must
+    /// absorb without double-applying.
+    DropResponse,
+    /// The response frame is truncated to `keep_frac` of its bytes and
+    /// the connection closed — the client sees a torn frame.
+    PartialResponse {
+        /// Fraction of the encoded frame that is sent, in `[0, 1)`.
+        keep_frac: f64,
+    },
+    /// The response is delivered after this much simulated extra latency
+    /// (accounted, not slept).
+    Delay {
+        /// Extra simulated latency, ms.
+        extra_ms: u32,
+    },
+    /// The connection is reset before the request is processed.
+    Reset,
+}
+
+/// A seeded, replayable schedule of wire faults for the serving daemon.
+///
+/// Decisions are pure functions of `(plan, rid)` where `rid` is the
+/// request id the client stamps into each attempt — so a retry (fresh
+/// rid) rolls a fresh decision, and replaying a load with the same
+/// client seeds replays the identical fault schedule at any server
+/// width. Requests without a rid (control operations like `stats` and
+/// `shutdown`) are never faulted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetFaultPlan {
+    seed: u64,
+    rate: f64,
+}
+
+/// Domain-separation constant for the net decision stream.
+const NET_STREAM_SALT: u64 = 0x4E7F_A017_C0FF_EE00;
+
+impl NetFaultPlan {
+    /// A plan faulting each rid-stamped request with probability `rate`
+    /// (clamped to `[0, 1]`). Scheduled faults split 25% dropped request
+    /// / 25% dropped response / 20% partial response / 20% delay / 10%
+    /// reset.
+    pub fn new(seed: u64, rate: f64) -> Self {
+        NetFaultPlan {
+            seed,
+            rate: rate.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The plan seed (for replay reporting).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Per-request fault probability.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The fault scheduled for request id `rid`, or `None` for clean
+    /// delivery. Pure in `(self, rid)`.
+    pub fn fault_for(&self, rid: u64) -> Option<NetFaultKind> {
+        if self.rate <= 0.0 {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(mix(self.seed ^ NET_STREAM_SALT, rid));
+        if rng.gen_f64() >= self.rate {
+            return None;
+        }
+        let u = rng.gen_f64();
+        if u < 0.25 {
+            Some(NetFaultKind::DropRequest)
+        } else if u < 0.50 {
+            Some(NetFaultKind::DropResponse)
+        } else if u < 0.70 {
+            Some(NetFaultKind::PartialResponse {
+                // Strictly below 1 so the frame is always actually torn.
+                keep_frac: rng.gen_f64() * 0.95,
+            })
+        } else if u < 0.90 {
+            Some(NetFaultKind::Delay {
+                extra_ms: rng.gen_range(1u32..=50),
+            })
+        } else {
+            Some(NetFaultKind::Reset)
+        }
+    }
+
+    /// Builds a plan from `SMOKESCREEN_NETFAULT_SEED` /
+    /// `SMOKESCREEN_NETFAULT_RATE`. Returns `None` when the rate is
+    /// unset or zero; malformed values are a loud startup error, matching
+    /// [`FaultPlan::from_env`].
+    pub fn from_env() -> Option<Self> {
+        match Self::parse_env(
+            std::env::var(NETFAULT_SEED_ENV).ok().as_deref(),
+            std::env::var(NETFAULT_RATE_ENV).ok().as_deref(),
+        ) {
+            Ok(plan) => plan,
+            Err(msg) => panic!("{msg}"),
+        }
+    }
+
+    /// Parse layer behind [`NetFaultPlan::from_env`], exposed for tests.
+    pub fn parse_env(seed: Option<&str>, rate: Option<&str>) -> Result<Option<Self>, String> {
+        let seed = parse_seed(NETFAULT_SEED_ENV, seed)?;
+        match parse_rate(NETFAULT_RATE_ENV, rate)? {
+            Some(rate) if rate > 0.0 => Ok(Some(NetFaultPlan::new(seed, rate))),
+            _ => Ok(None),
+        }
+    }
+}
+
 /// Strictly parses a seed variable: unset defaults to 0, anything set
 /// must be a decimal `u64`.
 fn parse_seed(var: &str, raw: Option<&str>) -> Result<u64, String> {
@@ -516,5 +799,155 @@ mod tests {
     fn zero_rate_crash_plan_is_silent() {
         let plan = CrashPlan::new(9, 0.0);
         assert!((0..5_000).all(|c| plan.crash_at(c).is_none()));
+    }
+
+    #[test]
+    fn disk_decisions_are_pure_and_seed_sensitive() {
+        let plan = DiskFaultPlan::new(7, 0.3);
+        let a: Vec<_> = (0..4_000)
+            .map(|op| (plan.write_fault(op), plan.read_fault(op)))
+            .collect();
+        let b: Vec<_> = (0..4_000)
+            .map(|op| (plan.write_fault(op), plan.read_fault(op)))
+            .collect();
+        assert_eq!(a, b, "same plan must replay the same schedule");
+        let other = DiskFaultPlan::new(8, 0.3);
+        let c: Vec<_> = (0..4_000)
+            .map(|op| (other.write_fault(op), other.read_fault(op)))
+            .collect();
+        assert_ne!(a, c, "different seeds must schedule differently");
+    }
+
+    #[test]
+    fn disk_decisions_are_order_and_thread_independent() {
+        let plan = DiskFaultPlan::new(3, 0.25);
+        let forward: Vec<_> = (0..1_000).map(|op| plan.write_fault(op)).collect();
+        let threaded: Vec<_> = crate::pool::Pool::with_threads(8)
+            .parallel_map(&(0..1_000u64).collect::<Vec<_>>(), |_, &op| {
+                plan.write_fault(op)
+            });
+        assert_eq!(forward, threaded);
+    }
+
+    #[test]
+    fn disk_fault_frequency_tracks_rate_on_both_streams() {
+        for &rate in &[0.0, 0.05, 0.2] {
+            let plan = DiskFaultPlan::new(11, rate);
+            let n = 20_000u64;
+            let writes = (0..n).filter(|&op| plan.write_fault(op).is_some()).count();
+            let reads = (0..n).filter(|&op| plan.read_fault(op).is_some()).count();
+            for observed in [writes as f64 / n as f64, reads as f64 / n as f64] {
+                assert!(
+                    (observed - rate).abs() < 0.02,
+                    "rate={rate} observed={observed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disk_streams_partition_kinds_and_are_independent() {
+        let plan = DiskFaultPlan::new(5, 0.4);
+        let (mut short, mut torn, mut eio, mut flip) = (0, 0, 0, 0);
+        for op in 0..10_000 {
+            match plan.write_fault(op) {
+                Some(DiskFaultKind::ShortWrite { keep_frac }) => {
+                    assert!((0.0..1.0).contains(&keep_frac));
+                    short += 1;
+                }
+                Some(DiskFaultKind::TornSync) => torn += 1,
+                Some(DiskFaultKind::Eio) => eio += 1,
+                Some(DiskFaultKind::ReadBitFlip { .. }) => {
+                    panic!("write stream must never schedule a read fault")
+                }
+                None => {}
+            }
+            match plan.read_fault(op) {
+                Some(DiskFaultKind::ReadBitFlip { heals_after }) => {
+                    assert!((1..=2).contains(&heals_after));
+                    flip += 1;
+                }
+                Some(other) => panic!("read stream scheduled {other:?}"),
+                None => {}
+            }
+        }
+        assert!(short > 0 && torn > 0 && eio > 0 && flip > 0);
+        // Same seed, same op keys: the write and read streams must not
+        // co-fire like a single shared stream would.
+        let co = (0..20_000u64)
+            .filter(|&op| plan.write_fault(op).is_some() && plan.read_fault(op).is_some())
+            .count();
+        assert!((co as f64 / 20_000.0) < 0.25, "co-fire={co}");
+    }
+
+    #[test]
+    fn net_decisions_are_pure_and_cover_every_kind() {
+        let plan = NetFaultPlan::new(6, 0.4);
+        let a: Vec<_> = (0..4_000).map(|rid| plan.fault_for(rid)).collect();
+        let b: Vec<_> = (0..4_000).map(|rid| plan.fault_for(rid)).collect();
+        assert_eq!(a, b, "same plan must replay the same schedule");
+        let (mut dreq, mut dresp, mut partial, mut delay, mut reset) = (0, 0, 0, 0, 0);
+        for rid in 0..10_000 {
+            match plan.fault_for(rid) {
+                Some(NetFaultKind::DropRequest) => dreq += 1,
+                Some(NetFaultKind::DropResponse) => dresp += 1,
+                Some(NetFaultKind::PartialResponse { keep_frac }) => {
+                    assert!((0.0..1.0).contains(&keep_frac));
+                    partial += 1;
+                }
+                Some(NetFaultKind::Delay { extra_ms }) => {
+                    assert!((1..=50).contains(&extra_ms));
+                    delay += 1;
+                }
+                Some(NetFaultKind::Reset) => reset += 1,
+                None => {}
+            }
+        }
+        assert!(dreq > 0 && dresp > 0 && partial > 0 && delay > 0 && reset > 0);
+        assert!(reset < dreq, "resets are the rarest kind in the mix");
+    }
+
+    #[test]
+    fn net_fault_frequency_tracks_rate() {
+        for &rate in &[0.0, 0.05, 0.2] {
+            let plan = NetFaultPlan::new(13, rate);
+            let n = 20_000u64;
+            let faults = (0..n).filter(|&rid| plan.fault_for(rid).is_some()).count();
+            let observed = faults as f64 / n as f64;
+            assert!(
+                (observed - rate).abs() < 0.02,
+                "rate={rate} observed={observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn serving_env_parsing_is_strict_and_loud() {
+        assert_eq!(DiskFaultPlan::parse_env(None, None), Ok(None));
+        assert_eq!(DiskFaultPlan::parse_env(Some("7"), Some("0")), Ok(None));
+        assert_eq!(
+            DiskFaultPlan::parse_env(Some("7"), Some("0.1")),
+            Ok(Some(DiskFaultPlan::new(7, 0.1)))
+        );
+        assert_eq!(NetFaultPlan::parse_env(None, Some("0.0")), Ok(None));
+        assert_eq!(
+            NetFaultPlan::parse_env(Some("9"), Some("0.15")),
+            Ok(Some(NetFaultPlan::new(9, 0.15)))
+        );
+        for (seed, rate, bad) in [
+            (Some("banana"), Some("0.1"), "banana"),
+            (None, Some("lots"), "lots"),
+            (None, Some("1.5"), "1.5"),
+            (None, Some("NaN"), "NaN"),
+        ] {
+            let err = DiskFaultPlan::parse_env(seed, rate).unwrap_err();
+            assert!(err.contains("SMOKESCREEN_DISKFAULT_"), "{err}");
+            assert!(err.contains(bad), "{err} should quote {bad:?}");
+            let err = NetFaultPlan::parse_env(seed, rate).unwrap_err();
+            assert!(err.contains("SMOKESCREEN_NETFAULT_"), "{err}");
+            assert!(err.contains(bad), "{err} should quote {bad:?}");
+        }
+        assert!(DiskFaultPlan::parse_env(Some("oops"), None).is_err());
+        assert!(NetFaultPlan::parse_env(Some("oops"), None).is_err());
     }
 }

@@ -3,22 +3,43 @@
 //! ```text
 //! serve run --unix PATH | --tcp HOST:PORT  --store DIR
 //!           [--threads N] [--queue-cap N] [--identity S]
-//! serve check --store DIR [--identity S]
+//!           [--cache-cap N] [--scrub-batch N]
+//!           [--supervise] [--crash-after N]
+//! serve check --store DIR [--identity S] [--scrub]
 //! ```
 //!
 //! `run` opens (or creates) the profile store under `--store`, binds the
 //! listener, prints the resolved address (`listening on ...`), and serves
 //! until a client sends `shutdown` — then flushes, compacts, and prints a
-//! final report. `check` opens the store read-only-ish (a replay, no
-//! serving), prints what recovery found, and exits 1 if any record was
-//! quarantined — the zero-data-loss gate `ci.sh` runs after a daemon
-//! cycle. Exit codes: 0 ok, 1 quarantined records (check) or serve
+//! final report. Fault plans arm from the environment
+//! (`SMOKESCREEN_DISKFAULT_*` / `SMOKESCREEN_NETFAULT_*`); with no
+//! variables set the daemon runs clean.
+//!
+//! `--supervise` keeps the process alive across crashed generations: any
+//! non-graceful worker-loop exit (including one forced by
+//! `--crash-after N`, which kills the first generation after its Nth
+//! answered request) restarts the daemon on the same store and socket.
+//! Acked writes survive the restart — the store's ack-is-durability
+//! contract is exactly what the supervisor leans on. A graceful
+//! `shutdown` still ends the process.
+//!
+//! `check` opens the store read-only-ish (a replay, no serving), prints
+//! what recovery found, and exits 1 if any record was quarantined — the
+//! zero-data-loss gate `ci.sh` runs after a daemon cycle. With `--scrub`
+//! it additionally runs full scrub passes until the quarantine backlog
+//! drains (bounded), and gates on zero unrepaired records.
+//! Exit codes: 0 ok, 1 quarantined/unrepaired records (check) or serve
 //! failure, 2 usage errors.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use smokescreen_serve::{ProfileStore, ServeAddr, Server, ServerConfig};
+use smokescreen_serve::{ProfileStore, ServeAddr, Server, ServerConfig, ServerReport};
+
+/// Most full scrub passes `check --scrub` runs before declaring the
+/// backlog stuck. Direct repair retries escalate to log re-fetch after
+/// two failures, so a repairable store always drains well within this.
+const CHECK_SCRUB_PASSES: usize = 8;
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -27,11 +48,16 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .cloned()
 }
 
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: serve run --unix PATH|--tcp HOST:PORT --store DIR \
-         [--threads N] [--queue-cap N] [--identity S]\n       \
-         serve check --store DIR [--identity S]"
+         [--threads N] [--queue-cap N] [--identity S] [--cache-cap N] \
+         [--scrub-batch N] [--supervise] [--crash-after N]\n       \
+         serve check --store DIR [--identity S] [--scrub]"
     );
     ExitCode::from(2)
 }
@@ -42,6 +68,35 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         _ => usage(),
+    }
+}
+
+fn print_report(generation: u64, report: &ServerReport) {
+    println!(
+        "serve: generation {generation} stopped ({}) — {} requests over {} connections, \
+         {} live records, {} quarantined",
+        if report.graceful { "graceful" } else { "killed" },
+        report.stats.requests,
+        report.stats.connections,
+        report.stats.live_records,
+        report.stats.quarantined_records,
+    );
+    if report.stats.deduped_puts + report.stats.net_faults + report.stats.disk_write_faults > 0 {
+        println!(
+            "serve: chaos — {} net faults, {} disk write faults, {} disk read faults, \
+             {} deduped puts, {} repaired records",
+            report.stats.net_faults,
+            report.stats.disk_write_faults,
+            report.stats.disk_read_faults,
+            report.stats.deduped_puts,
+            report.stats.repaired_records,
+        );
+    }
+    if let Some(compaction) = &report.compaction {
+        println!(
+            "serve: compacted {} records, reclaimed {} bytes",
+            compaction.live_records, compaction.reclaimed_bytes
+        );
     }
 }
 
@@ -64,37 +119,52 @@ fn cmd_run(args: &[String]) -> ExitCode {
     if let Some(identity) = flag_value(args, "--identity") {
         config = config.with_identity(identity);
     }
+    if let Some(cap) = flag_value(args, "--cache-cap").and_then(|c| c.parse().ok()) {
+        config = config.with_cache_cap(cap);
+    }
+    if let Some(batch) = flag_value(args, "--scrub-batch").and_then(|b| b.parse().ok()) {
+        config = config.with_scrub_batch(batch);
+    }
+    let supervise = has_flag(args, "--supervise");
+    let crash_after: Option<u64> = flag_value(args, "--crash-after").and_then(|n| n.parse().ok());
 
-    let running = match Server::new(config).spawn() {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("serve: {e}");
-            return ExitCode::from(1);
-        }
-    };
-    println!("listening on {}", running.addr());
-    match running.join() {
-        Ok(report) => {
-            println!(
-                "serve: stopped ({}) — {} requests over {} connections, {} live records, \
-                 {} quarantined",
-                if report.graceful { "graceful" } else { "killed" },
-                report.stats.requests,
-                report.stats.connections,
-                report.stats.live_records,
-                report.stats.quarantined_records,
-            );
-            if let Some(compaction) = report.compaction {
-                println!(
-                    "serve: compacted {} records, reclaimed {} bytes",
-                    compaction.live_records, compaction.reclaimed_bytes
-                );
+    let mut generation: u64 = 0;
+    loop {
+        generation += 1;
+        // The crash counter arms the first generation only: the point of
+        // `--supervise --crash-after N` is to demonstrate one induced
+        // crash and a clean successor, not a crash loop.
+        let gen_config = if generation == 1 {
+            config.clone().with_crash_after(crash_after)
+        } else {
+            config.clone()
+        };
+        let running = match Server::new(gen_config).spawn() {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("serve: generation {generation}: {e}");
+                return ExitCode::from(1);
             }
-            ExitCode::SUCCESS
+        };
+        if generation == 1 {
+            println!("listening on {}", running.addr());
+        } else {
+            println!("serve: generation {generation} listening on {}", running.addr());
         }
-        Err(e) => {
-            eprintln!("serve: {e}");
-            ExitCode::from(1)
+        match running.join() {
+            Ok(report) => {
+                print_report(generation, &report);
+                if report.graceful || !supervise {
+                    return ExitCode::SUCCESS;
+                }
+                println!("serve: generation {generation} died without a shutdown; restarting");
+            }
+            Err(e) => {
+                eprintln!("serve: generation {generation}: {e}");
+                if !supervise {
+                    return ExitCode::from(1);
+                }
+            }
         }
     }
 }
@@ -105,7 +175,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
     };
     let identity = flag_value(args, "--identity").unwrap_or_else(|| "smokescreen-serve".into());
     match ProfileStore::open(PathBuf::from(&store_dir).as_path(), &identity) {
-        Ok((store, replay)) => {
+        Ok((mut store, replay)) => {
             println!(
                 "check: {} live records, {} bytes, index_used={} scanned={} \
                  quarantined={} ({} bytes) torn_tail={}",
@@ -117,6 +187,42 @@ fn cmd_check(args: &[String]) -> ExitCode {
                 replay.quarantined_bytes,
                 replay.torn_tail,
             );
+            if has_flag(args, "--scrub") {
+                for pass in 1..=CHECK_SCRUB_PASSES {
+                    match store.scrub_pass() {
+                        Ok(report) => {
+                            println!(
+                                "check: scrub pass {pass} — scanned {} verified {} \
+                                 repaired {} quarantined {} unrepaired {}",
+                                report.scanned,
+                                report.verified,
+                                report.repaired,
+                                report.quarantined,
+                                report.unrepaired,
+                            );
+                            if report.unrepaired == 0 {
+                                break;
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("check: scrub pass {pass}: {e}");
+                            return ExitCode::from(1);
+                        }
+                    }
+                }
+                if store.quarantine_pending() > 0 {
+                    eprintln!(
+                        "check: {} records still quarantined after {CHECK_SCRUB_PASSES} \
+                         scrub passes — unrepairable damage",
+                        store.quarantine_pending()
+                    );
+                    return ExitCode::from(1);
+                }
+                // The scrub drained every quarantined record, so damage
+                // the replay saw has been repaired — the gate is zero
+                // *unrepaired* quarantine, not zero history.
+                return ExitCode::SUCCESS;
+            }
             if replay.quarantined_records > 0 {
                 eprintln!(
                     "check: {} records quarantined — acked data was lost or damaged",

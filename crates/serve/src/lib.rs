@@ -30,6 +30,14 @@
 //! with per-key sequence numbers — so a seeded request schedule produces
 //! byte-identical stores at any server thread count (see
 //! `tests/serve_soak.rs`).
+//!
+//! The chaos layer (this PR) keeps that contract under *injected*
+//! failure: seeded disk faults behind the store's I/O seams, seeded net
+//! faults keyed on client-stamped request ids, idempotent retries via
+//! `expected_seq`, a background scrubber that quarantines-with-counts
+//! and repairs, and degraded-mode serving with a typed flag — so the
+//! same schedule under the same fault plans replays bit-for-bit too
+//! (see `tests/serve_chaos.rs`).
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -39,9 +47,13 @@ pub mod server;
 pub mod store;
 
 pub use protocol::{
-    DriftStatus, ErrorCode, FrameError, Request, Response, ServerStats, MAX_FRAME_LEN,
+    frame_rid, stamp_rid, DriftStatus, ErrorCode, FrameError, Request, Response, ServerStats,
+    MAX_FRAME_LEN, REPAIR_QUEUE_LIST_CAP,
 };
 pub use server::{
-    Connection, RunningServer, ServeAddr, Server, ServerConfig, ServerReport, DEFAULT_QUEUE_CAP,
+    Connection, RunningServer, ServeAddr, Server, ServerConfig, ServerReport,
+    DEFAULT_QUEUE_CAP, DEFAULT_SCRUB_BATCH,
 };
-pub use store::{CompactionReport, ProfileStore, StoreKey, StoreReplay, StoreStats};
+pub use store::{
+    CompactionReport, GetOutcome, ProfileStore, ScrubReport, StoreKey, StoreReplay, StoreStats,
+};

@@ -153,6 +153,10 @@ pub enum ErrorCode {
     ShuttingDown,
     /// The store failed the operation (I/O error).
     Store,
+    /// The record exists but is quarantined pending repair: the bytes on
+    /// disk failed their checksum and the scrubber has not healed them
+    /// yet. Retryable — repair usually lands within a scrub cadence.
+    Quarantined,
 }
 
 impl ErrorCode {
@@ -166,6 +170,7 @@ impl ErrorCode {
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::Store => "store",
+            ErrorCode::Quarantined => "quarantined",
         }
     }
 
@@ -179,6 +184,7 @@ impl ErrorCode {
             "overloaded" => Ok(ErrorCode::Overloaded),
             "shutting_down" => Ok(ErrorCode::ShuttingDown),
             "store" => Ok(ErrorCode::Store),
+            "quarantined" => Ok(ErrorCode::Quarantined),
             other => Err(format!("unknown error code {other:?}")),
         }
     }
@@ -198,6 +204,11 @@ pub struct DriftStatus {
     /// Latched staleness flag: once a window crosses the threshold the
     /// profile is stale until re-profiled.
     pub stale: bool,
+    /// Multiplicative staleness widening factor (`>= 1.0`): how much a
+    /// consumer should inflate the profile's error bounds while the
+    /// latch is set. `1.0` while fresh; tracks the worst scored window
+    /// relative to the drift threshold once stale.
+    pub widen: f64,
 }
 
 impl ToJson for DriftStatus {
@@ -207,6 +218,7 @@ impl ToJson for DriftStatus {
             ("windows_scored", (self.windows_scored as usize).to_json()),
             ("windows_flagged", (self.windows_flagged as usize).to_json()),
             ("stale", self.stale.to_json()),
+            ("widen", self.widen.to_json()),
         ])
     }
 }
@@ -218,8 +230,40 @@ impl FromJson for DriftStatus {
             windows_scored: value.get("windows_scored")?.as_u64()?,
             windows_flagged: value.get("windows_flagged")?.as_u64()?,
             stale: bool::from_json(value.get("stale")?)?,
+            widen: f64::from_json(value.get("widen")?)?,
         })
     }
+}
+
+/// Stamps a deterministic request id onto an encoded request frame.
+///
+/// The rid is the retry-idempotence handle: a client derives it as a pure
+/// function of `(client, op, attempt)` so every resend is distinguishable
+/// on the wire, and the server's [`NetFaultPlan`] keys its drop / delay /
+/// partial / reset decisions on it — making net chaos a pure function of
+/// the request stream rather than of timing. Requests without a rid
+/// (control frames like `stats` / `shutdown`) are never net-faulted.
+///
+/// [`NetFaultPlan`]: smokescreen_rt::fault::NetFaultPlan
+pub fn stamp_rid(request: &Json, rid: u64) -> Json {
+    let mut obj = match request {
+        Json::Obj(map) => map.clone(),
+        _ => unreachable!("requests encode as objects"),
+    };
+    obj.insert("rid".into(), Json::Str(format!("{rid:016x}")));
+    Json::Obj(obj)
+}
+
+/// Extracts the request id stamped by [`stamp_rid`], if any. Malformed
+/// rids read as absent: the frame still gets a normal (fault-free)
+/// answer, which is the conservative choice for a field only the chaos
+/// plan consumes.
+pub fn frame_rid(request: &Json) -> Option<u64> {
+    let s = request.get_opt("rid")?.as_str().ok()?;
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
 }
 
 /// Flat counter snapshot served by `STATS`.
@@ -253,10 +297,43 @@ pub struct ServerStats {
     pub drift_monitors: u64,
     /// Monitors whose staleness flag is latched.
     pub stale_monitors: u64,
+    /// Retried puts absorbed by the idempotence guard (acked without
+    /// re-applying).
+    pub deduped_puts: u64,
+    /// Injected disk write faults observed at the append seam.
+    pub disk_write_faults: u64,
+    /// Injected disk read faults observed at the payload-read seam.
+    pub disk_read_faults: u64,
+    /// Injected net faults fired across all connections.
+    pub net_faults: u64,
+    /// Torn data-segment tails repaired by truncation before an append.
+    pub tail_repairs: u64,
+    /// Quarantined records healed (re-put, direct re-read, or log
+    /// fallback).
+    pub repaired_records: u64,
+    /// Live records whose checksums the scrubber has verified.
+    pub scrubbed_records: u64,
+    /// Full scrub passes completed over the live map.
+    pub scrub_passes: u64,
+    /// Records quarantined right now, awaiting repair.
+    pub quarantine_pending: u64,
+    /// Answers served while quarantined/degraded: gets refused with
+    /// `quarantined` plus profiles served with the `degraded` flag set.
+    pub degraded_answers: u64,
+    /// Keys currently enqueued for re-profiling (drift latched or
+    /// quarantine observed).
+    pub repair_queue_len: u64,
+    /// The repair queue itself: `"camera:grid"` hex pairs, sorted,
+    /// truncated to [`REPAIR_QUEUE_LIST_CAP`] entries (`repair_queue_len`
+    /// is the true length).
+    pub repair_queue: Vec<String>,
 }
 
+/// Most repair-queue keys listed inline in a `stats` response.
+pub const REPAIR_QUEUE_LIST_CAP: usize = 32;
+
 impl ServerStats {
-    const FIELDS: [&'static str; 14] = [
+    const FIELDS: [&'static str; 25] = [
         "connections",
         "requests",
         "overload_rejections",
@@ -271,6 +348,17 @@ impl ServerStats {
         "compactions",
         "drift_monitors",
         "stale_monitors",
+        "deduped_puts",
+        "disk_write_faults",
+        "disk_read_faults",
+        "net_faults",
+        "tail_repairs",
+        "repaired_records",
+        "scrubbed_records",
+        "scrub_passes",
+        "quarantine_pending",
+        "degraded_answers",
+        "repair_queue_len",
     ];
 
     fn field(&self, name: &str) -> u64 {
@@ -289,6 +377,17 @@ impl ServerStats {
             "compactions" => self.compactions,
             "drift_monitors" => self.drift_monitors,
             "stale_monitors" => self.stale_monitors,
+            "deduped_puts" => self.deduped_puts,
+            "disk_write_faults" => self.disk_write_faults,
+            "disk_read_faults" => self.disk_read_faults,
+            "net_faults" => self.net_faults,
+            "tail_repairs" => self.tail_repairs,
+            "repaired_records" => self.repaired_records,
+            "scrubbed_records" => self.scrubbed_records,
+            "scrub_passes" => self.scrub_passes,
+            "quarantine_pending" => self.quarantine_pending,
+            "degraded_answers" => self.degraded_answers,
+            "repair_queue_len" => self.repair_queue_len,
             _ => unreachable!("field list is closed"),
         }
     }
@@ -309,6 +408,17 @@ impl ServerStats {
             "compactions" => &mut self.compactions,
             "drift_monitors" => &mut self.drift_monitors,
             "stale_monitors" => &mut self.stale_monitors,
+            "deduped_puts" => &mut self.deduped_puts,
+            "disk_write_faults" => &mut self.disk_write_faults,
+            "disk_read_faults" => &mut self.disk_read_faults,
+            "net_faults" => &mut self.net_faults,
+            "tail_repairs" => &mut self.tail_repairs,
+            "repaired_records" => &mut self.repaired_records,
+            "scrubbed_records" => &mut self.scrubbed_records,
+            "scrub_passes" => &mut self.scrub_passes,
+            "quarantine_pending" => &mut self.quarantine_pending,
+            "degraded_answers" => &mut self.degraded_answers,
+            "repair_queue_len" => &mut self.repair_queue_len,
             _ => unreachable!("field list is closed"),
         }
     }
@@ -316,11 +426,16 @@ impl ServerStats {
 
 impl ToJson for ServerStats {
     fn to_json(&self) -> Json {
-        Json::obj(
+        let mut obj = match Json::obj(
             Self::FIELDS
                 .iter()
                 .map(|name| (*name, (self.field(name) as usize).to_json())),
-        )
+        ) {
+            Json::Obj(map) => map,
+            _ => unreachable!("obj builder returns an object"),
+        };
+        obj.insert("repair_queue".into(), self.repair_queue.to_json());
+        Json::Obj(obj)
     }
 }
 
@@ -330,6 +445,7 @@ impl FromJson for ServerStats {
         for name in Self::FIELDS {
             *stats.field_mut(name) = value.get(name)?.as_u64()?;
         }
+        stats.repair_queue = <Vec<String> as FromJson>::from_json(value.get("repair_queue")?)?;
         Ok(stats)
     }
 }
@@ -348,6 +464,14 @@ pub enum Request {
         key: StoreKey,
         /// The profile to store.
         profile: Profile,
+        /// Idempotence guard for retried puts. When set, the put only
+        /// applies if it would land exactly at this per-key sequence
+        /// number; a retry of an already-applied put (store seq `>=`
+        /// expected) is acked with the expected seq **without**
+        /// re-applying, so a re-sent `put_profile` can never
+        /// double-apply. `None` keeps the PR 9 last-writer-wins
+        /// semantics.
+        expected_seq: Option<u64>,
     },
     /// Tradeoff query: profiled points satisfying the error-bound /
     /// degradation-budget predicates, cheapest first.
@@ -359,6 +483,20 @@ pub enum Request {
         /// Optional upper bound on the sample fraction (a degradation
         /// budget: "spend at most this much capture").
         max_fraction: Option<f64>,
+        /// Optional per-window transmission byte budget (`camera::cost`):
+        /// points whose shipped bytes over the canonical costing window
+        /// exceed this are filtered out.
+        max_bytes: Option<u64>,
+        /// Optional per-window capture+encode+transmit energy budget in
+        /// joules (`camera::cost`).
+        max_energy_j: Option<f64>,
+    },
+    /// Run one bounded scrub step over the store (admin/chaos surface:
+    /// lets a client drive the quarantine to empty deterministically
+    /// instead of waiting on the background cadence).
+    Scrub {
+        /// Max live records to verify this step.
+        budget: u64,
     },
     /// Feed fresh model outputs into the key's drift monitor.
     PushOutputs {
@@ -402,19 +540,32 @@ impl Request {
                 let [c, g] = key_to_json(*key);
                 Json::obj([("op", Json::Str("get_profile".into())), c, g])
             }
-            Request::PutProfile { key, profile } => {
+            Request::PutProfile {
+                key,
+                profile,
+                expected_seq,
+            } => {
                 let [c, g] = key_to_json(*key);
                 Json::obj([
                     ("op", Json::Str("put_profile".into())),
                     c,
                     g,
                     ("profile", ToJson::to_json(profile)),
+                    (
+                        "expected_seq",
+                        match expected_seq {
+                            Some(seq) => (*seq as usize).to_json(),
+                            None => Json::Null,
+                        },
+                    ),
                 ])
             }
             Request::QueryTradeoff {
                 key,
                 max_err,
                 max_fraction,
+                max_bytes,
+                max_energy_j,
             } => {
                 let [c, g] = key_to_json(*key);
                 Json::obj([
@@ -423,8 +574,20 @@ impl Request {
                     g,
                     ("max_err", max_err.to_json()),
                     ("max_fraction", max_fraction.to_json()),
+                    (
+                        "max_bytes",
+                        match max_bytes {
+                            Some(b) => (*b as usize).to_json(),
+                            None => Json::Null,
+                        },
+                    ),
+                    ("max_energy_j", max_energy_j.to_json()),
                 ])
             }
+            Request::Scrub { budget } => Json::obj([
+                ("op", Json::Str("scrub".into())),
+                ("budget", (*budget as usize).to_json()),
+            ]),
             Request::PushOutputs { key, outputs } => {
                 let [c, g] = key_to_json(*key);
                 Json::obj([
@@ -455,7 +618,21 @@ impl Request {
                 let profile_json = value.get("profile").map_err(|e| e.to_string())?;
                 let profile =
                     <Profile as FromJson>::from_json(profile_json).map_err(|e| e.to_string())?;
-                Ok(Request::PutProfile { key, profile })
+                let expected_seq = match value.get_opt("expected_seq") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => {
+                        let seq = v.as_u64().map_err(|e| e.to_string())?;
+                        if seq == 0 {
+                            return Err("expected_seq 0 is reserved (seqs start at 1)".into());
+                        }
+                        Some(seq)
+                    }
+                };
+                Ok(Request::PutProfile {
+                    key,
+                    profile,
+                    expected_seq,
+                })
             }
             "query_tradeoff" => {
                 let key = key_from_json(value)?;
@@ -476,11 +653,37 @@ impl Request {
                         Some(f)
                     }
                 };
+                let max_bytes = match value.get_opt("max_bytes") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(v.as_u64().map_err(|e| e.to_string())?),
+                };
+                let max_energy_j = match value.get_opt("max_energy_j") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => {
+                        let j = v.as_f64().map_err(|e| e.to_string())?;
+                        if !j.is_finite() || j < 0.0 {
+                            return Err(format!("max_energy_j {j} is not a valid budget"));
+                        }
+                        Some(j)
+                    }
+                };
                 Ok(Request::QueryTradeoff {
                     key,
                     max_err,
                     max_fraction,
+                    max_bytes,
+                    max_energy_j,
                 })
+            }
+            "scrub" => {
+                let budget = value
+                    .get("budget")
+                    .and_then(|v| v.as_u64())
+                    .map_err(|e| e.to_string())?;
+                if budget == 0 {
+                    return Err("scrub budget must be nonzero".into());
+                }
+                Ok(Request::Scrub { budget })
             }
             "push_outputs" => {
                 let key = key_from_json(value)?;
@@ -513,6 +716,17 @@ pub enum Response {
         profile: Profile,
         /// Freshness metadata, when a drift monitor exists for the key.
         drift: Option<DriftStatus>,
+        /// Latched drift staleness, surfaced at the top level so clients
+        /// need not inspect `drift`. A stale profile is still served —
+        /// intentional, bounded degradation — but its error bounds
+        /// should be widened by `drift.widen` and the key sits in the
+        /// repair queue until re-profiled.
+        stale: bool,
+        /// Degraded-mode marker: `true` while any part of the store is
+        /// quarantined pending repair. The answer itself is verified
+        /// bytes; the flag tells the client the serving context is
+        /// running under widened staleness until the scrubber drains.
+        degraded: bool,
     },
     /// `put_profile` / `push_outputs` ack. For puts, `seq` is the durable
     /// per-key sequence number; for output pushes it echoes the monitor's
@@ -529,6 +743,21 @@ pub enum Response {
     },
     /// `stats` snapshot.
     Stats(Box<ServerStats>),
+    /// `scrub` step report (mirrors `store::ScrubReport`).
+    Scrub {
+        /// Live records examined this step.
+        scanned: u64,
+        /// Records whose checksums verified clean.
+        verified: u64,
+        /// Quarantined records healed (direct re-read or log fallback).
+        repaired: u64,
+        /// Records newly quarantined by this step's verify pass.
+        quarantined: u64,
+        /// Quarantine backlog after the step.
+        unrepaired: u64,
+        /// Whether the verify cursor wrapped (one full pass complete).
+        wrapped: bool,
+    },
     /// Typed failure.
     Error {
         /// Machine-readable code.
@@ -549,6 +778,8 @@ impl Response {
                 seq,
                 profile,
                 drift,
+                stale,
+                degraded,
             } => {
                 let [c, g] = key_to_json(*key);
                 Json::obj([
@@ -558,6 +789,8 @@ impl Response {
                     ("seq", (*seq as usize).to_json()),
                     ("profile", ToJson::to_json(profile)),
                     ("drift", drift.to_json()),
+                    ("stale", stale.to_json()),
+                    ("degraded", degraded.to_json()),
                 ])
             }
             Response::Ok { seq } => Json::obj([
@@ -580,6 +813,22 @@ impl Response {
                 ("type", Json::Str("error".into())),
                 ("code", Json::Str(code.as_str().into())),
                 ("message", Json::Str(message.clone())),
+            ]),
+            Response::Scrub {
+                scanned,
+                verified,
+                repaired,
+                quarantined,
+                unrepaired,
+                wrapped,
+            } => Json::obj([
+                ("type", Json::Str("scrub".into())),
+                ("scanned", (*scanned as usize).to_json()),
+                ("verified", (*verified as usize).to_json()),
+                ("repaired", (*repaired as usize).to_json()),
+                ("quarantined", (*quarantined as usize).to_json()),
+                ("unrepaired", (*unrepaired as usize).to_json()),
+                ("wrapped", wrapped.to_json()),
             ]),
             Response::Bye => Json::obj([("type", Json::Str("bye".into()))]),
         }
@@ -608,6 +857,14 @@ impl Response {
                         <DriftStatus as FromJson>::from_json(v).map_err(|e| e.to_string())?,
                     ),
                 },
+                stale: value
+                    .get("stale")
+                    .and_then(bool::from_json)
+                    .map_err(|e| e.to_string())?,
+                degraded: value
+                    .get("degraded")
+                    .and_then(bool::from_json)
+                    .map_err(|e| e.to_string())?,
             }),
             "ok" => Ok(Response::Ok {
                 seq: value
@@ -636,6 +893,25 @@ impl Response {
                     .and_then(|v| v.as_str().map(str::to_string))
                     .map_err(|e| e.to_string())?,
             }),
+            "scrub" => {
+                let count = |field: &str| -> Result<u64, String> {
+                    value
+                        .get(field)
+                        .and_then(|v| v.as_u64())
+                        .map_err(|e| e.to_string())
+                };
+                Ok(Response::Scrub {
+                    scanned: count("scanned")?,
+                    verified: count("verified")?,
+                    repaired: count("repaired")?,
+                    quarantined: count("quarantined")?,
+                    unrepaired: count("unrepaired")?,
+                    wrapped: value
+                        .get("wrapped")
+                        .and_then(bool::from_json)
+                        .map_err(|e| e.to_string())?,
+                })
+            }
             "bye" => Ok(Response::Bye),
             other => Err(format!("unknown response type {other:?}")),
         }
@@ -680,6 +956,7 @@ pub fn representative_frames() -> Vec<(&'static str, Json)> {
         windows_scored: 12,
         windows_flagged: 1,
         stale: true,
+        widen: 1.25,
     };
 
     vec![
@@ -689,6 +966,7 @@ pub fn representative_frames() -> Vec<(&'static str, Json)> {
             Request::PutProfile {
                 key,
                 profile: profile.clone(),
+                expected_seq: Some(4),
             }
             .to_json(),
         ),
@@ -698,9 +976,12 @@ pub fn representative_frames() -> Vec<(&'static str, Json)> {
                 key,
                 max_err: 0.1,
                 max_fraction: Some(0.5),
+                max_bytes: Some(1 << 20),
+                max_energy_j: Some(40.0),
             }
             .to_json(),
         ),
+        ("request.scrub", Request::Scrub { budget: 64 }.to_json()),
         (
             "request.push_outputs",
             Request::PushOutputs {
@@ -718,6 +999,8 @@ pub fn representative_frames() -> Vec<(&'static str, Json)> {
                 seq: 3,
                 profile: profile.clone(),
                 drift: Some(drift),
+                stale: true,
+                degraded: true,
             }
             .to_json(),
         ),
@@ -731,7 +1014,24 @@ pub fn representative_frames() -> Vec<(&'static str, Json)> {
         ),
         (
             "response.stats",
-            Response::Stats(Box::new(ServerStats::default())).to_json(),
+            Response::Stats(Box::new(ServerStats {
+                repair_queue: vec!["00c5a2e19f034b77:1122334455667788".into()],
+                repair_queue_len: 1,
+                ..ServerStats::default()
+            }))
+            .to_json(),
+        ),
+        (
+            "response.scrub",
+            Response::Scrub {
+                scanned: 64,
+                verified: 63,
+                repaired: 2,
+                quarantined: 1,
+                unrepaired: 0,
+                wrapped: true,
+            }
+            .to_json(),
         ),
         (
             "response.error",
@@ -816,16 +1116,21 @@ mod tests {
                 key,
                 max_err: 0.2,
                 max_fraction: None,
+                max_bytes: None,
+                max_energy_j: None,
             },
             Request::QueryTradeoff {
                 key,
                 max_err: 0.2,
                 max_fraction: Some(0.5),
+                max_bytes: Some(4096),
+                max_energy_j: Some(2.5),
             },
             Request::PushOutputs {
                 key,
                 outputs: vec![0.0, 1.5, -2.25],
             },
+            Request::Scrub { budget: 7 },
             Request::Stats,
             Request::Shutdown,
         ];
@@ -845,6 +1150,41 @@ mod tests {
             Request::GetProfile { key: k } => assert_eq!(k, key),
             other => panic!("wrong request: {other:?}"),
         }
+    }
+
+    #[test]
+    fn rid_stamp_survives_the_wire_and_decode_ignores_it() {
+        let key = StoreKey::new(1, 2);
+        let req = Request::PutProfile {
+            key,
+            profile: Profile {
+                corpus: "c".into(),
+                model: "m".into(),
+                class: smokescreen_video::ObjectClass::Car,
+                aggregate: smokescreen_core::Aggregate::Avg,
+                delta: 0.05,
+                points: vec![],
+            },
+            expected_seq: Some(12345),
+        };
+        let rid = u64::MAX - 3;
+        let stamped = stamp_rid(&req.to_json(), rid);
+        let reparsed = Json::parse(&stamped.encode()).unwrap();
+        assert_eq!(frame_rid(&reparsed), Some(rid), "full u64 rid survives");
+        // The rid is transport metadata: request decode is oblivious and
+        // the retried put's idempotence guard survives untouched.
+        match Request::from_json(&reparsed).unwrap() {
+            Request::PutProfile { expected_seq, .. } => {
+                assert_eq!(expected_seq, Some(12345));
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+        assert_eq!(frame_rid(&req.to_json()), None, "unstamped frames have no rid");
+        assert_eq!(
+            frame_rid(&Json::obj([("rid", Json::Str("zz".into()))])),
+            None,
+            "malformed rids read as absent"
+        );
     }
 
     #[test]
@@ -888,7 +1228,7 @@ mod tests {
     #[test]
     fn representative_frames_cover_every_shape() {
         let frames = representative_frames();
-        assert_eq!(frames.len(), 12, "6 request + 6 response shapes");
+        assert_eq!(frames.len(), 14, "7 request + 7 response shapes");
         // Every frame fits the wire and re-parses byte-exactly.
         for (name, json) in &frames {
             let bytes = frame_bytes(json);

@@ -28,8 +28,22 @@
 //! pushes accumulate until two full windows establish a drift baseline;
 //! later pushes are scored, and `get_profile` responses carry the
 //! resulting [`DriftStatus`] so a stale profile is visible at read time.
+//! A latched staleness signal enqueues the key in the **repair queue**
+//! (listed by `stats`); a fresh `put_profile` for a queued key is the
+//! repair — it dequeues the key and retires the exhausted monitor, so
+//! drift → detect → flag → re-profile is one observable loop.
+//!
+//! Chaos (the `rt::fault` seam): an armed [`NetFaultPlan`] drops,
+//! delays, garbles, or resets request frames that carry a client-stamped
+//! rid — a pure function of the rid, so a chaos run is replayable
+//! bit-for-bit. Disk faults live one layer down in the store; both are
+//! inert unless armed (default: the `SMOKESCREEN_{DISK,NET}FAULT_*` env
+//! knobs). A background **scrubber** task walks the store on a short
+//! cadence, re-verifying checksums and repairing quarantined records,
+//! and `get_profile` keeps answering while a quarantine is pending —
+//! with the typed `degraded` flag set, degradation made intentional.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -38,16 +52,22 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
+use smokescreen_camera::cost::{transmission_cost, EnergyModel};
 use smokescreen_core::{
     FreshnessMonitor, ProfilePoint, DEFAULT_DRIFT_THRESHOLD, DEFAULT_DRIFT_WINDOW,
 };
+use smokescreen_rt::fault::{DiskFaultPlan, NetFaultKind, NetFaultPlan};
 use smokescreen_rt::json::Json;
 use smokescreen_rt::pool::Pool;
+use smokescreen_video::Resolution;
 
 use crate::protocol::{
-    read_frame, write_frame, DriftStatus, ErrorCode, FrameError, Request, Response, ServerStats,
+    frame_rid, read_frame, write_frame, DriftStatus, ErrorCode, FrameError, Request, Response,
+    ServerStats, REPAIR_QUEUE_LIST_CAP,
 };
-use crate::store::{CompactionReport, ProfileStore, StoreKey, StoreReplay};
+use crate::store::{
+    CompactionReport, GetOutcome, ProfileStore, StoreKey, StoreReplay, DEFAULT_CACHE_CAP,
+};
 
 /// Server-side read timeout: the cadence at which an idle connection's
 /// worker polls the shutdown flag (see [`FrameError::Idle`]).
@@ -66,6 +86,24 @@ const QUEUE_WAIT: Duration = Duration::from_millis(20);
 
 /// Default admission-queue capacity (connections waiting for a worker).
 pub const DEFAULT_QUEUE_CAP: usize = 64;
+
+/// Background scrubber cadence: how long the scrubber task sleeps
+/// between incremental verify/repair steps.
+const SCRUB_INTERVAL: Duration = Duration::from_millis(5);
+
+/// Default live records verified per background scrub step.
+pub const DEFAULT_SCRUB_BATCH: usize = 16;
+
+/// Canonical costing window for `query_tradeoff` budgets: cost budgets
+/// are judged on shipping this many captured frames (≈ half a minute at
+/// 30 fps), so `max_bytes` / `max_energy_j` thresholds are comparable
+/// across cameras and profiles.
+pub const COST_WINDOW_FRAMES: usize = 1000;
+
+/// Native capture resolution assumed when an intervention leaves
+/// resolution untouched (the detector-native 608×608 used throughout the
+/// eval pipeline).
+pub const COST_NATIVE_RES: u32 = 608;
 
 /// Where a server listens (and where clients connect).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -180,6 +218,18 @@ impl Connection {
         self.send(request).map_err(|e| e.to_string())?;
         self.receive()
     }
+
+    /// Sets a client-side read deadline. With a deadline armed,
+    /// `read_frame` on this connection reports [`FrameError::Idle`] when
+    /// no response arrives in time — the hook fault-tolerant clients use
+    /// to abandon a dropped response and retry. `None` restores blocking
+    /// reads.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match &self.stream {
+            Stream::Unix(s) => s.set_read_timeout(timeout),
+            Stream::Tcp(s) => s.set_read_timeout(timeout),
+        }
+    }
 }
 
 impl Read for Connection {
@@ -261,6 +311,23 @@ pub struct ServerConfig {
     pub drift_window: usize,
     /// Drift score threshold for flagging a window.
     pub drift_threshold: f64,
+    /// Read-cache capacity for the store.
+    pub cache_cap: usize,
+    /// Disk-fault plan injected behind the store's I/O seams. Defaults
+    /// to [`DiskFaultPlan::from_env`] (inert unless the
+    /// `SMOKESCREEN_DISKFAULT_*` knobs arm it).
+    pub disk_faults: Option<DiskFaultPlan>,
+    /// Net-fault plan applied to rid-stamped request frames. Defaults to
+    /// [`NetFaultPlan::from_env`] (`SMOKESCREEN_NETFAULT_*`).
+    pub net_faults: Option<NetFaultPlan>,
+    /// Live records verified per background scrub step (`0` disables the
+    /// background scrubber; wire `scrub` requests still work).
+    pub scrub_batch: usize,
+    /// Self-crash after answering this many requests (the supervisor
+    /// restart path exercised by `serve run --crash-after`): the kill
+    /// flag trips exactly as [`RunningServer::kill`] would, so no
+    /// compaction runs and acked writes must survive the reopen.
+    pub crash_after: Option<u64>,
 }
 
 impl ServerConfig {
@@ -275,6 +342,11 @@ impl ServerConfig {
             queue_cap: DEFAULT_QUEUE_CAP,
             drift_window: DEFAULT_DRIFT_WINDOW,
             drift_threshold: DEFAULT_DRIFT_THRESHOLD,
+            cache_cap: DEFAULT_CACHE_CAP,
+            disk_faults: DiskFaultPlan::from_env(),
+            net_faults: NetFaultPlan::from_env(),
+            scrub_batch: DEFAULT_SCRUB_BATCH,
+            crash_after: None,
         }
     }
 
@@ -300,6 +372,36 @@ impl ServerConfig {
     pub fn with_drift(mut self, window: usize, threshold: f64) -> ServerConfig {
         self.drift_window = window;
         self.drift_threshold = threshold;
+        self
+    }
+
+    /// Sets the store read-cache capacity.
+    pub fn with_cache_cap(mut self, cap: usize) -> ServerConfig {
+        self.cache_cap = cap;
+        self
+    }
+
+    /// Overrides the disk-fault plan (in-process chaos without env).
+    pub fn with_disk_faults(mut self, plan: Option<DiskFaultPlan>) -> ServerConfig {
+        self.disk_faults = plan;
+        self
+    }
+
+    /// Overrides the net-fault plan (in-process chaos without env).
+    pub fn with_net_faults(mut self, plan: Option<NetFaultPlan>) -> ServerConfig {
+        self.net_faults = plan;
+        self
+    }
+
+    /// Sets the background scrub batch size (`0` disables the task).
+    pub fn with_scrub_batch(mut self, batch: usize) -> ServerConfig {
+        self.scrub_batch = batch;
+        self
+    }
+
+    /// Arms the self-crash counter.
+    pub fn with_crash_after(mut self, requests: Option<u64>) -> ServerConfig {
+        self.crash_after = requests;
         self
     }
 }
@@ -354,8 +456,13 @@ impl MonitorSlot {
                 windows_scored: report.windows_scored as u64,
                 windows_flagged: report.windows_flagged as u64,
                 stale: monitor.stale(),
+                widen: monitor.widening_factor(),
             }
         })
+    }
+
+    fn stale(&self) -> bool {
+        self.monitor.as_ref().is_some_and(FreshnessMonitor::stale)
     }
 }
 
@@ -366,6 +473,9 @@ impl MonitorSlot {
 struct State {
     store: ProfileStore,
     monitors: BTreeMap<StoreKey, MonitorSlot>,
+    /// Keys flagged for re-profiling: a latched drift staleness observed
+    /// at serve or push time enqueues; a fresh put dequeues (the repair).
+    repair_queue: BTreeSet<StoreKey>,
 }
 
 /// Everything the acceptor, workers, and [`RunningServer`] handle share.
@@ -382,8 +492,14 @@ struct Shared {
     requests: AtomicU64,
     overload_rejections: AtomicU64,
     protocol_errors: AtomicU64,
+    deduped_puts: AtomicU64,
+    net_faults: AtomicU64,
+    degraded_answers: AtomicU64,
     drift_window: usize,
     drift_threshold: f64,
+    net_plan: Option<NetFaultPlan>,
+    scrub_batch: usize,
+    crash_after: Option<u64>,
 }
 
 fn lock<'a, T>(mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
@@ -409,6 +525,12 @@ impl Shared {
             .values()
             .filter(|slot| slot.monitor.as_ref().is_some_and(|m| m.stale()))
             .count() as u64;
+        let repair_queue: Vec<String> = state
+            .repair_queue
+            .iter()
+            .take(REPAIR_QUEUE_LIST_CAP)
+            .map(|k| format!("{:016x}:{:016x}", k.camera, k.grid))
+            .collect();
         ServerStats {
             connections: self.connections.load(Ordering::SeqCst),
             requests: self.requests.load(Ordering::SeqCst),
@@ -424,6 +546,18 @@ impl Shared {
             compactions: store_stats.compactions,
             drift_monitors,
             stale_monitors,
+            deduped_puts: self.deduped_puts.load(Ordering::SeqCst),
+            disk_write_faults: store_stats.disk_write_faults,
+            disk_read_faults: store_stats.disk_read_faults,
+            net_faults: self.net_faults.load(Ordering::SeqCst),
+            tail_repairs: store_stats.tail_repairs,
+            repaired_records: store_stats.repaired_records,
+            scrubbed_records: store_stats.scrubbed_records,
+            scrub_passes: store_stats.scrub_passes,
+            quarantine_pending: state.store.quarantine_pending() as u64,
+            degraded_answers: self.degraded_answers.load(Ordering::SeqCst),
+            repair_queue_len: state.repair_queue.len() as u64,
+            repair_queue,
         }
     }
 }
@@ -474,13 +608,19 @@ struct Boot {
 
 impl Boot {
     fn bind(config: ServerConfig) -> io::Result<Boot> {
-        let (store, replay) = ProfileStore::open(&config.store_dir, &config.identity)?;
+        let (store, replay) = ProfileStore::open_with_options(
+            &config.store_dir,
+            &config.identity,
+            config.cache_cap,
+            config.disk_faults,
+        )?;
         let (listener, addr) = Listener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 store,
                 monitors: BTreeMap::new(),
+                repair_queue: BTreeSet::new(),
             }),
             queue: Mutex::new(VecDeque::new()),
             queue_ready: Condvar::new(),
@@ -491,8 +631,14 @@ impl Boot {
             requests: AtomicU64::new(0),
             overload_rejections: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
+            deduped_puts: AtomicU64::new(0),
+            net_faults: AtomicU64::new(0),
+            degraded_answers: AtomicU64::new(0),
             drift_window: config.drift_window,
             drift_threshold: config.drift_threshold,
+            net_plan: config.net_faults,
+            scrub_batch: config.scrub_batch,
+            crash_after: config.crash_after,
         });
         Ok(Boot {
             listener,
@@ -510,14 +656,19 @@ impl Boot {
             self.config.threads
         }
         .max(1);
-        // One task per worker plus the acceptor; with task count equal to
-        // the pool width, guided chunking degenerates to one task per
-        // participant, so every long-running loop gets its own thread.
-        let pool = Pool::with_threads(workers + 1);
+        // One task per worker plus the acceptor and the scrubber; with
+        // task count equal to the pool width, guided chunking degenerates
+        // to one task per participant, so every long-running loop gets
+        // its own thread.
+        let scrubbers = usize::from(self.config.scrub_batch > 0);
+        let pool = Pool::with_threads(workers + 1 + scrubbers);
         let shared: &Shared = &self.shared;
         let listener = &self.listener;
         pool.scope(|scope| {
             scope.spawn(move || acceptor_loop(listener, shared));
+            if scrubbers > 0 {
+                scope.spawn(move || scrubber_loop(shared));
+            }
             for _ in 0..workers {
                 scope.spawn(move || worker_loop(shared));
             }
@@ -653,7 +804,41 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Serves one connection until it closes, errors, or the server drains.
+/// Background task: incremental scrub on a short cadence. Each step
+/// takes the state lock briefly — repairs anything quarantined, then
+/// verifies the next `scrub_batch` live records — so a full pass over
+/// the store interleaves with serving instead of stalling it. Scrub I/O
+/// errors are swallowed: the scrubber is best-effort and the backlog it
+/// could not clear stays visible as `quarantine_pending`.
+fn scrubber_loop(shared: &Shared) {
+    while !shared.stopping() {
+        std::thread::sleep(SCRUB_INTERVAL);
+        let mut state = lock(&shared.state);
+        let _ = state.store.scrub_step(shared.scrub_batch);
+    }
+}
+
+/// Fair handoff: a worker must not camp on one connection while others
+/// wait in the admission queue — deadline-based clients on the queued
+/// connections would time out against a server that is merely busy, not
+/// faulty. When the queue is non-empty the current stream goes to the
+/// back and the worker picks up the next one; rotation only ever happens
+/// at a frame boundary (after a response went out, or on an idle read
+/// window), so no partially read frame is abandoned. Returns the stream
+/// back when there is no contention.
+fn rotate_if_contended(stream: Stream, shared: &Shared) -> Option<Stream> {
+    let mut queue = lock(&shared.queue);
+    if queue.is_empty() {
+        return Some(stream);
+    }
+    queue.push_back(stream);
+    drop(queue);
+    shared.queue_ready.notify_one();
+    None
+}
+
+/// Serves one connection until it closes, errors, rotates out behind a
+/// contended admission queue, or the server drains.
 fn serve_connection(mut stream: Stream, shared: &Shared) {
     loop {
         if shared.kill.load(Ordering::SeqCst) {
@@ -662,15 +847,62 @@ fn serve_connection(mut stream: Stream, shared: &Shared) {
         match read_frame(&mut stream) {
             Ok(None) => return,
             Ok(Some(json)) => {
+                // Net chaos fires only on rid-stamped frames: control
+                // traffic (stats/shutdown) and rid-less clients stay
+                // reliable, and the decision is a pure function of the
+                // rid so a chaos run replays exactly.
+                let fault = shared
+                    .net_plan
+                    .as_ref()
+                    .and_then(|plan| frame_rid(&json).and_then(|rid| plan.fault_for(rid)));
+                if let Some(kind) = fault {
+                    shared.net_faults.fetch_add(1, Ordering::SeqCst);
+                    match kind {
+                        NetFaultKind::DropRequest => continue,
+                        NetFaultKind::Reset => return,
+                        NetFaultKind::DropResponse => {
+                            // The request takes effect — an acked-side
+                            // effect the client never hears about, the
+                            // case idempotent retries exist for.
+                            let _ = handle_frame(shared, &json);
+                            shared.requests.fetch_add(1, Ordering::SeqCst);
+                            continue;
+                        }
+                        NetFaultKind::PartialResponse { keep_frac } => {
+                            let (response, _) = handle_frame(shared, &json);
+                            let mut frame = Vec::new();
+                            let _ = write_frame(&mut frame, &response.to_json());
+                            let keep =
+                                ((frame.len() as f64 * keep_frac) as usize).clamp(1, frame.len() - 1);
+                            let _ = stream.write_all(&frame[..keep]);
+                            let _ = stream.flush();
+                            // A torn frame cannot be resynchronized.
+                            return;
+                        }
+                        NetFaultKind::Delay { extra_ms } => {
+                            // Simulated latency: bounded, real enough to
+                            // exercise client read deadlines.
+                            std::thread::sleep(Duration::from_millis(u64::from(extra_ms.min(50))));
+                        }
+                    }
+                }
                 let (response, close) = handle_frame(shared, &json);
                 let sent = respond(&mut stream, shared, &response);
                 if close || sent.is_err() {
                     return;
                 }
+                match rotate_if_contended(stream, shared) {
+                    Some(kept) => stream = kept,
+                    None => return,
+                }
             }
             Err(FrameError::Idle) => {
                 if shared.stopping() {
                     return;
+                }
+                match rotate_if_contended(stream, shared) {
+                    Some(kept) => stream = kept,
+                    None => return,
                 }
             }
             Err(FrameError::Truncated) | Err(FrameError::Io(_)) => return,
@@ -705,10 +937,18 @@ fn serve_connection(mut stream: Stream, shared: &Shared) {
     }
 }
 
-/// Writes a response frame and counts it.
+/// Writes a response frame and counts it. When `crash_after` is armed,
+/// reaching the threshold trips the kill flag *after* this answer went
+/// out — the crash happens between acks, exactly the window a
+/// supervisor restart must not lose writes in.
 fn respond(stream: &mut Stream, shared: &Shared, response: &Response) -> io::Result<()> {
     write_frame(stream, &response.to_json())?;
-    shared.requests.fetch_add(1, Ordering::SeqCst);
+    let answered = shared.requests.fetch_add(1, Ordering::SeqCst) + 1;
+    if let Some(limit) = shared.crash_after {
+        if answered >= limit {
+            shared.kill.store(true, Ordering::SeqCst);
+        }
+    }
     Ok(())
 }
 
@@ -728,27 +968,89 @@ fn handle_frame(shared: &Shared, json: &Json) -> (Response, bool) {
     match request {
         Request::GetProfile { key } => {
             let mut state = lock(&shared.state);
-            match state.store.get(key) {
-                Ok(Some((seq, profile))) => {
+            match state.store.get_outcome(key) {
+                Ok(GetOutcome::Hit { seq, profile }) => {
                     let drift = state.monitors.get(&key).and_then(MonitorSlot::status);
+                    let stale = drift.as_ref().is_some_and(|d| d.stale);
+                    if stale {
+                        // Latched drift observed on a served key: flag
+                        // for re-profiling.
+                        state.repair_queue.insert(key);
+                    }
+                    // Degraded mode: part of the store is quarantined
+                    // pending repair. This answer is verified bytes, but
+                    // the serving context is impaired — say so, keep
+                    // serving.
+                    let degraded = state.store.quarantine_pending() > 0;
+                    if degraded {
+                        shared.degraded_answers.fetch_add(1, Ordering::SeqCst);
+                    }
                     (
                         Response::Profile {
                             key,
                             seq,
                             profile: (*profile).clone(),
                             drift,
+                            stale,
+                            degraded,
                         },
                         false,
                     )
                 }
-                Ok(None) => (not_found(key), false),
+                Ok(GetOutcome::Miss) => (not_found(key), false),
+                Ok(GetOutcome::Quarantined) => {
+                    shared.degraded_answers.fetch_add(1, Ordering::SeqCst);
+                    (
+                        Response::error(
+                            ErrorCode::Quarantined,
+                            format!(
+                                "record for camera {:016x} grid {:016x} is quarantined pending repair; retry",
+                                key.camera, key.grid
+                            ),
+                        ),
+                        false,
+                    )
+                }
                 Err(e) => (Response::error(ErrorCode::Store, e.to_string()), false),
             }
         }
-        Request::PutProfile { key, profile } => {
+        Request::PutProfile {
+            key,
+            profile,
+            expected_seq,
+        } => {
             let mut state = lock(&shared.state);
+            if let Some(expected) = expected_seq {
+                let current = state.store.seq(key);
+                if current >= expected {
+                    // Retry of an already-applied put: the original
+                    // append is durable, so ack it again without
+                    // touching the store — the idempotence contract.
+                    shared.deduped_puts.fetch_add(1, Ordering::SeqCst);
+                    return (Response::Ok { seq: expected }, false);
+                }
+                if expected > current + 1 {
+                    return (
+                        Response::error(
+                            ErrorCode::BadRequest,
+                            format!(
+                                "expected_seq {expected} skips ahead of current seq {current}"
+                            ),
+                        ),
+                        false,
+                    );
+                }
+            }
             match state.store.put(key, &profile) {
-                Ok(seq) => (Response::Ok { seq }, false),
+                Ok(seq) => {
+                    if state.repair_queue.remove(&key) {
+                        // A fresh profile is the repair for a drift
+                        // flag: retire the exhausted monitor so scoring
+                        // restarts against the new baseline.
+                        state.monitors.remove(&key);
+                    }
+                    (Response::Ok { seq }, false)
+                }
                 Err(e) => (Response::error(ErrorCode::Store, e.to_string()), false),
             }
         }
@@ -756,16 +1058,47 @@ fn handle_frame(shared: &Shared, json: &Json) -> (Response, bool) {
             key,
             max_err,
             max_fraction,
+            max_bytes,
+            max_energy_j,
         } => {
             let mut state = lock(&shared.state);
-            match state.store.get(key) {
-                Ok(Some((_, profile))) => {
+            // `get_outcome`, not `get`: a quarantine-pending record must
+            // answer with a retryable `quarantined` error, never collapse
+            // into `not_found` — an acked key temporarily failing its
+            // checksum is degraded, not absent.
+            match state.store.get_outcome(key) {
+                Ok(GetOutcome::Hit { profile, .. }) => {
+                    let energy = EnergyModel::default();
+                    let native = Resolution::square(COST_NATIVE_RES);
                     let mut matches: Vec<ProfilePoint> = profile
                         .points
                         .iter()
                         .filter(|p| {
-                            p.err_b <= max_err
-                                && max_fraction.is_none_or(|mf| p.set.sample_fraction <= mf)
+                            if p.err_b > max_err
+                                || max_fraction.is_some_and(|mf| p.set.sample_fraction > mf)
+                            {
+                                return false;
+                            }
+                            if max_bytes.is_none() && max_energy_j.is_none() {
+                                return true;
+                            }
+                            // Cost budgets (`camera::cost`): judge each
+                            // point on shipping the canonical window at
+                            // its sampled rate.
+                            let shipped = (p.set.sample_fraction
+                                * COST_WINDOW_FRAMES as f64)
+                                .ceil()
+                                .min(COST_WINDOW_FRAMES as f64)
+                                as usize;
+                            let cost = transmission_cost(
+                                &p.set,
+                                COST_WINDOW_FRAMES,
+                                shipped,
+                                native,
+                                &energy,
+                            );
+                            max_bytes.map_or(true, |mb| cost.bytes <= mb)
+                                && max_energy_j.map_or(true, |mj| cost.energy_j <= mj)
                         })
                         .cloned()
                         .collect();
@@ -779,7 +1112,14 @@ fn handle_frame(shared: &Shared, json: &Json) -> (Response, bool) {
                     });
                     (Response::Tradeoff { matches }, false)
                 }
-                Ok(None) => (not_found(key), false),
+                Ok(GetOutcome::Miss) => (not_found(key), false),
+                Ok(GetOutcome::Quarantined) => (
+                    Response::error(
+                        ErrorCode::Quarantined,
+                        format!("record {key:?} is quarantined pending repair"),
+                    ),
+                    false,
+                ),
                 Err(e) => (Response::error(ErrorCode::Store, e.to_string()), false),
             }
         }
@@ -788,7 +1128,29 @@ fn handle_frame(shared: &Shared, json: &Json) -> (Response, bool) {
             let (window, threshold) = (shared.drift_window, shared.drift_threshold);
             let slot = state.monitors.entry(key).or_default();
             let scored = slot.push(&outputs, window, threshold);
+            if slot.stale() {
+                // The push that latches the flag enqueues immediately:
+                // detection and repair scheduling are one step.
+                state.repair_queue.insert(key);
+            }
             (Response::Ok { seq: scored }, false)
+        }
+        Request::Scrub { budget } => {
+            let mut state = lock(&shared.state);
+            match state.store.scrub_step(budget as usize) {
+                Ok(report) => (
+                    Response::Scrub {
+                        scanned: report.scanned as u64,
+                        verified: report.verified as u64,
+                        repaired: report.repaired as u64,
+                        quarantined: report.quarantined as u64,
+                        unrepaired: report.unrepaired as u64,
+                        wrapped: report.wrapped,
+                    },
+                    false,
+                ),
+                Err(e) => (Response::error(ErrorCode::Store, e.to_string()), false),
+            }
         }
         Request::Stats => (Response::Stats(Box::new(shared.snapshot())), false),
         Request::Shutdown => {
@@ -863,6 +1225,7 @@ mod tests {
             .request(&Request::PutProfile {
                 key,
                 profile: p.clone(),
+                expected_seq: None,
             })
             .unwrap()
         {
@@ -875,11 +1238,14 @@ mod tests {
                 seq,
                 profile,
                 drift,
+                stale,
+                degraded,
             } => {
                 assert_eq!(k, key);
                 assert_eq!(seq, 1);
                 assert_eq!(profile, p);
                 assert!(drift.is_none(), "no outputs pushed yet");
+                assert!(!stale && !degraded, "clean store, fresh profile");
             }
             other => panic!("expected profile, got {other:?}"),
         }
@@ -890,6 +1256,8 @@ mod tests {
                 key,
                 max_err: 0.25,
                 max_fraction: Some(0.25),
+                max_bytes: None,
+                max_energy_j: None,
             })
             .unwrap()
         {
@@ -965,6 +1333,7 @@ mod tests {
         conn.request(&Request::PutProfile {
             key,
             profile: profile(2),
+            expected_seq: None,
         })
         .unwrap();
 
@@ -1019,6 +1388,387 @@ mod tests {
     }
 
     #[test]
+    fn idempotent_put_retries_never_double_apply() {
+        let dir = tmp_dir("idem");
+        let server = Server::new(ServerConfig::new(sock("idem"), &dir).with_threads(1))
+            .spawn()
+            .unwrap();
+        let mut conn = server.connect().unwrap();
+        let key = StoreKey::new(21, 34);
+        let put = Request::PutProfile {
+            key,
+            profile: profile(2),
+            expected_seq: Some(1),
+        };
+        match conn.request(&put).unwrap() {
+            Response::Ok { seq } => assert_eq!(seq, 1),
+            other => panic!("expected ok, got {other:?}"),
+        }
+        // The retry a client sends after a lost ack: same payload, same
+        // expected_seq. It must be absorbed, not re-applied.
+        for _ in 0..3 {
+            match conn.request(&put).unwrap() {
+                Response::Ok { seq } => assert_eq!(seq, 1, "retry acks the original seq"),
+                other => panic!("expected ok, got {other:?}"),
+            }
+        }
+        // Skipping ahead is a client bug, not a retry: typed rejection.
+        match conn
+            .request(&Request::PutProfile {
+                key,
+                profile: profile(2),
+                expected_seq: Some(5),
+            })
+            .unwrap()
+        {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+            other => panic!("expected bad_request, got {other:?}"),
+        }
+        match conn.request(&Request::Stats).unwrap() {
+            Response::Stats(stats) => {
+                assert_eq!(stats.puts, 1, "one durable append despite 4 sends");
+                assert_eq!(stats.deduped_puts, 3);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        drop(conn);
+        let report = server.shutdown().unwrap();
+        assert_eq!(report.stats.live_records, 1);
+        // The sequence counter never moved past the first apply.
+        let (store, _) = ProfileStore::open(&dir, "smokescreen-serve").unwrap();
+        assert_eq!(store.seq(key), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantined_key_degrades_serving_then_heals() {
+        let dir = tmp_dir("degraded");
+        let plan = DiskFaultPlan::new(0xD15C, 0.6);
+        // Pick keys by their scheduled read fate: `victim` draws a
+        // bit-flip, `clean` does not.
+        let victim = (0..400u64)
+            .map(|i| StoreKey::new(i, 70))
+            .find(|k| plan.read_fault(crate::store::op_key(*k, 1, 0)).is_some())
+            .expect("some key draws a read fault at 60%");
+        let clean = (0..400u64)
+            .map(|i| StoreKey::new(i, 71))
+            .find(|k| plan.read_fault(crate::store::op_key(*k, 1, 0)).is_none())
+            .expect("some key reads clean at 60%");
+        // cache_cap 0 forces disk reads; scrub_batch 0 keeps the
+        // background scrubber out so the degraded window is observable.
+        let server = Server::new(
+            ServerConfig::new(sock("degraded"), &dir)
+                .with_threads(1)
+                .with_cache_cap(0)
+                .with_disk_faults(Some(plan))
+                .with_scrub_batch(0),
+        )
+        .spawn()
+        .unwrap();
+        let mut conn = server.connect().unwrap();
+        // Write faults fire at 60% too: retry with the idempotence guard
+        // until acked — exactly what a fault-tolerant client does.
+        for key in [victim, clean] {
+            let put = Request::PutProfile {
+                key,
+                profile: profile(1),
+                expected_seq: Some(1),
+            };
+            let mut acked = false;
+            for _ in 0..16 {
+                match conn.request(&put).unwrap() {
+                    Response::Ok { seq } => {
+                        assert_eq!(seq, 1);
+                        acked = true;
+                        break;
+                    }
+                    Response::Error { code, .. } => assert_eq!(code, ErrorCode::Store),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            assert!(acked, "retried puts converge");
+        }
+        // First read of the victim trips the scheduled bit-flip.
+        match conn.request(&Request::GetProfile { key: victim }).unwrap() {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::Quarantined),
+            other => panic!("expected quarantined, got {other:?}"),
+        }
+        // Degraded mode: the clean key still serves, flagged.
+        match conn.request(&Request::GetProfile { key: clean }).unwrap() {
+            Response::Profile { degraded, .. } => {
+                assert!(degraded, "quarantine pending marks answers degraded");
+            }
+            other => panic!("expected profile, got {other:?}"),
+        }
+        // Retried victim reads heal within the scheduled bound (≤ 2 more
+        // attempts), served by the get-path repair.
+        let mut healed = false;
+        for _ in 0..3 {
+            match conn.request(&Request::GetProfile { key: victim }).unwrap() {
+                Response::Profile { seq, .. } => {
+                    assert_eq!(seq, 1);
+                    healed = true;
+                    break;
+                }
+                Response::Error { code, .. } => assert_eq!(code, ErrorCode::Quarantined),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(healed, "bit-flips heal on re-read");
+        // Quarantine drained: serving leaves degraded mode.
+        match conn.request(&Request::GetProfile { key: clean }).unwrap() {
+            Response::Profile { degraded, .. } => assert!(!degraded),
+            other => panic!("expected profile, got {other:?}"),
+        }
+        // A wire-driven scrub pass confirms a fully verified store.
+        match conn.request(&Request::Scrub { budget: 100 }).unwrap() {
+            Response::Scrub {
+                wrapped,
+                unrepaired,
+                ..
+            } => {
+                assert!(wrapped);
+                assert_eq!(unrepaired, 0);
+            }
+            other => panic!("expected scrub, got {other:?}"),
+        }
+        match conn.request(&Request::Stats).unwrap() {
+            Response::Stats(stats) => {
+                assert!(stats.disk_write_faults > 0 || stats.disk_read_faults > 0);
+                assert_eq!(stats.quarantine_pending, 0);
+                assert!(stats.repaired_records >= 1);
+                assert!(stats.degraded_answers >= 2);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        drop(conn);
+        let report = server.shutdown().unwrap();
+        assert!(report.graceful);
+        // Cold audit under clean I/O: both acked writes intact.
+        let (mut store, replay) = ProfileStore::open(&dir, "smokescreen-serve").unwrap();
+        assert_eq!(replay.quarantined_records, 0);
+        for key in [victim, clean] {
+            assert_eq!(*store.get(key).unwrap().unwrap().1, profile(1));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_profile_enters_repair_queue_and_reput_repairs() {
+        let dir = tmp_dir("repairq");
+        let server = Server::new(
+            ServerConfig::new(sock("repairq"), &dir)
+                .with_threads(1)
+                .with_drift(16, 4.0),
+        )
+        .spawn()
+        .unwrap();
+        let mut conn = server.connect().unwrap();
+        let key = StoreKey::new(42, 43);
+        conn.request(&Request::PutProfile {
+            key,
+            profile: profile(2),
+            expected_seq: None,
+        })
+        .unwrap();
+        let clean: Vec<f64> = (0..64)
+            .map(|i| 1.0 + 0.05 * ((i % 7) as f64 - 3.0))
+            .collect();
+        conn.request(&Request::PushOutputs {
+            key,
+            outputs: clean.clone(),
+        })
+        .unwrap();
+        let shifted: Vec<f64> = clean.iter().map(|y| y * 3.0).collect();
+        conn.request(&Request::PushOutputs {
+            key,
+            outputs: shifted,
+        })
+        .unwrap();
+        // The latched signal marks the served profile stale with a
+        // widened bound, and the key is queued for re-profiling.
+        match conn.request(&Request::GetProfile { key }).unwrap() {
+            Response::Profile { stale, drift, .. } => {
+                assert!(stale, "latched drift marks the answer stale");
+                let drift = drift.expect("monitor alive");
+                assert!(
+                    drift.widen > 1.0,
+                    "stale answers carry a widening factor, got {}",
+                    drift.widen
+                );
+            }
+            other => panic!("expected profile, got {other:?}"),
+        }
+        match conn.request(&Request::Stats).unwrap() {
+            Response::Stats(stats) => {
+                assert_eq!(stats.repair_queue_len, 1);
+                assert_eq!(
+                    stats.repair_queue,
+                    vec![format!("{:016x}:{:016x}", key.camera, key.grid)]
+                );
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        // Re-profiling the key is the repair: dequeued, monitor retired,
+        // answers fresh again.
+        conn.request(&Request::PutProfile {
+            key,
+            profile: profile(3),
+            expected_seq: None,
+        })
+        .unwrap();
+        match conn.request(&Request::GetProfile { key }).unwrap() {
+            Response::Profile { stale, drift, .. } => {
+                assert!(!stale, "fresh profile serves fresh");
+                assert!(drift.is_none(), "exhausted monitor retired");
+            }
+            other => panic!("expected profile, got {other:?}"),
+        }
+        match conn.request(&Request::Stats).unwrap() {
+            Response::Stats(stats) => {
+                assert_eq!(stats.repair_queue_len, 0);
+                assert!(stats.repair_queue.is_empty());
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        drop(conn);
+        server.shutdown().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tradeoff_cost_budgets_filter_for_every_aggregate() {
+        use smokescreen_core::Aggregate;
+        let aggregates = [
+            Aggregate::Avg,
+            Aggregate::Sum,
+            Aggregate::Count { at_least: 1.0 },
+            Aggregate::Max { r: 0.99 },
+            Aggregate::Min { r: 0.01 },
+            Aggregate::Quantile { r: 0.5 },
+            Aggregate::Var,
+        ];
+        let dir = tmp_dir("cost");
+        let server = Server::new(ServerConfig::new(sock("cost"), &dir).with_threads(1))
+            .spawn()
+            .unwrap();
+        let mut conn = server.connect().unwrap();
+        let native = Resolution::square(COST_NATIVE_RES);
+        let energy = EnergyModel::default();
+        // Budget pinned to the true cost of the fraction-0.2 point: the
+        // filter must keep exactly the points at or under that spend.
+        let cost_at = |fraction: f64| {
+            let shipped = (fraction * COST_WINDOW_FRAMES as f64).ceil() as usize;
+            transmission_cost(
+                &smokescreen_degrade::InterventionSet::sampling(fraction),
+                COST_WINDOW_FRAMES,
+                shipped,
+                native,
+                &energy,
+            )
+        };
+        for (i, aggregate) in aggregates.into_iter().enumerate() {
+            let key = StoreKey::new(100 + i as u64, 9);
+            let mut p = profile(4); // fractions 0.1..0.4, all within max_err below
+            p.aggregate = aggregate;
+            // Budgets pinned to the *stored* fractions (0.1 + 0.1·i is
+            // not exactly 0.2 in floating point).
+            let fractions: Vec<f64> =
+                p.points.iter().map(|pt| pt.set.sample_fraction).collect();
+            conn.request(&Request::PutProfile {
+                key,
+                profile: p,
+                expected_seq: None,
+            })
+            .unwrap();
+            let budget_bytes = cost_at(fractions[1]).bytes;
+            match conn
+                .request(&Request::QueryTradeoff {
+                    key,
+                    max_err: 1.0,
+                    max_fraction: None,
+                    max_bytes: Some(budget_bytes),
+                    max_energy_j: None,
+                })
+                .unwrap()
+            {
+                Response::Tradeoff { matches } => {
+                    assert_eq!(matches.len(), 2, "{aggregate:?}: byte budget keeps 0.1, 0.2");
+                    assert!(matches
+                        .iter()
+                        .all(|m| cost_at(m.set.sample_fraction).bytes <= budget_bytes));
+                    assert!(
+                        matches[0].set.sample_fraction < matches[1].set.sample_fraction,
+                        "cheapest first"
+                    );
+                }
+                other => panic!("expected tradeoff, got {other:?}"),
+            }
+            let budget_j = cost_at(fractions[2]).energy_j;
+            match conn
+                .request(&Request::QueryTradeoff {
+                    key,
+                    max_err: 1.0,
+                    max_fraction: None,
+                    max_bytes: None,
+                    max_energy_j: Some(budget_j),
+                })
+                .unwrap()
+            {
+                Response::Tradeoff { matches } => {
+                    assert_eq!(
+                        matches.len(),
+                        3,
+                        "{aggregate:?}: energy budget keeps 0.1..0.3"
+                    );
+                    assert!(matches
+                        .iter()
+                        .all(|m| cost_at(m.set.sample_fraction).energy_j <= budget_j + 1e-12));
+                }
+                other => panic!("expected tradeoff, got {other:?}"),
+            }
+        }
+        drop(conn);
+        server.shutdown().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_after_trips_kill_between_acks() {
+        let dir = tmp_dir("crashafter");
+        let server = Server::new(
+            ServerConfig::new(sock("crashafter"), &dir)
+                .with_threads(1)
+                .with_crash_after(Some(2)),
+        )
+        .spawn()
+        .unwrap();
+        let mut conn = server.connect().unwrap();
+        let key = StoreKey::new(1, 2);
+        conn.request(&Request::PutProfile {
+            key,
+            profile: profile(1),
+            expected_seq: Some(1),
+        })
+        .unwrap();
+        // The second answered request trips the kill: the ack goes out,
+        // then the server dies as a crash (no compaction).
+        match conn.request(&Request::GetProfile { key }).unwrap() {
+            Response::Profile { seq, .. } => assert_eq!(seq, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        let report = server.join().unwrap();
+        assert!(!report.graceful, "crash_after is a kill, not a drain");
+        assert!(report.compaction.is_none());
+        // The acked write survives the crash: supervisor restarts lose
+        // nothing.
+        let (mut store, replay) = ProfileStore::open(&dir, "smokescreen-serve").unwrap();
+        assert_eq!(replay.quarantined_records, 0);
+        assert_eq!(store.get(key).unwrap().unwrap().0, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn tcp_transport_serves_and_survives_kill_reopen() {
         let dir = tmp_dir("tcp");
         let server = Server::new(
@@ -1034,6 +1784,7 @@ mod tests {
             .request(&Request::PutProfile {
                 key,
                 profile: p.clone(),
+                expected_seq: None,
             })
             .unwrap()
         {

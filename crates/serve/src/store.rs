@@ -28,15 +28,28 @@
 //! by key, so the post-compaction bytes are a pure function of the
 //! surviving `(key → profile, seq)` map — the schedule-independence the
 //! soak test pins.
+//!
+//! The chaos additions keep that contract under injected storage faults
+//! ([`DiskFaultPlan`], threaded through
+//! [`ProfileStore::open_with_options`]): a faulted append is never acked
+//! and its torn bytes are truncated before the next append; a corrupted
+//! read quarantines the record *with its index entry retained* so repair
+//! can re-read it (transient faults heal), re-fetch an earlier intact
+//! version from the append log (real rot), or let a fresh put supersede
+//! it; and an incremental scrubber ([`ProfileStore::scrub_step`]) walks
+//! the live map cross-checking payload checksums so rot is found before
+//! a reader trips on it.
 
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::ops::Bound;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use smokescreen_core::{Aggregate, Profile, ProfilePoint};
 use smokescreen_degrade::InterventionSet;
+use smokescreen_rt::fault::{DiskFaultKind, DiskFaultPlan};
 use smokescreen_rt::journal::{atomic_write, checksum64};
 use smokescreen_video::codec::Quality;
 use smokescreen_video::{ObjectClass, Resolution};
@@ -159,6 +172,21 @@ pub struct StoreStats {
     pub quarantined_bytes: u64,
     /// Compactions performed.
     pub compactions: u64,
+    /// Quarantined records restored — by a clean re-read (a transient
+    /// read fault healed) or by re-fetching an intact earlier version
+    /// from the append log.
+    pub repaired_records: u64,
+    /// Records whose on-disk payload checksum the scrubber verified.
+    pub scrubbed_records: u64,
+    /// Complete scrub passes over the live key set.
+    pub scrub_passes: u64,
+    /// Injected write faults observed on the append path.
+    pub disk_write_faults: u64,
+    /// Injected read faults observed (corrupted read buffers).
+    pub disk_read_faults: u64,
+    /// Torn tails truncated back to the last durable offset after a
+    /// failed append.
+    pub tail_repairs: u64,
 }
 
 /// What a compaction accomplished.
@@ -170,6 +198,58 @@ pub struct CompactionReport {
     pub reclaimed_bytes: u64,
 }
 
+/// What one scrub step (or a full [`ProfileStore::scrub_pass`])
+/// accomplished.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Live records whose on-disk bytes were re-read this step.
+    pub scanned: u64,
+    /// Records whose payload checksum verified clean.
+    pub verified: u64,
+    /// Quarantined records restored (healed re-read or log re-fetch).
+    pub repaired: u64,
+    /// Records newly quarantined by this step's verification reads.
+    pub quarantined: u64,
+    /// Records still quarantine-pending when the step finished.
+    pub unrepaired: u64,
+    /// Whether the incremental cursor completed a full pass and reset.
+    pub wrapped: bool,
+}
+
+impl ScrubReport {
+    /// Folds another step's counts into this report (cursor state —
+    /// `wrapped` — is taken from the later step).
+    pub fn absorb(&mut self, step: ScrubReport) {
+        self.scanned += step.scanned;
+        self.verified += step.verified;
+        self.repaired += step.repaired;
+        self.quarantined += step.quarantined;
+        self.unrepaired = step.unrepaired;
+        self.wrapped = step.wrapped;
+    }
+}
+
+/// Why [`ProfileStore::get_outcome`] produced no profile — callers that
+/// must distinguish "never stored" from "stored but damage-pending"
+/// (degraded-mode serving, retrying clients) branch on this instead of
+/// the `Option` the plain [`ProfileStore::get`] flattens to.
+#[derive(Debug, Clone)]
+pub enum GetOutcome {
+    /// The record was served.
+    Hit {
+        /// Per-key sequence number of the served record.
+        seq: u64,
+        /// The stored profile.
+        profile: Arc<Profile>,
+    },
+    /// No record has ever been stored under the key.
+    Miss,
+    /// A record exists but is quarantine-pending: its last read failed
+    /// its checksum and repair has not succeeded yet. Retryable — the
+    /// scrubber (or the next get) may restore it.
+    Quarantined,
+}
+
 #[derive(Debug, Clone)]
 struct IndexEntry {
     seq: u64,
@@ -179,6 +259,19 @@ struct IndexEntry {
     len: u32,
     checksum: u64,
 }
+
+/// A record pulled out of the live map by a failed read, awaiting repair.
+#[derive(Debug, Clone)]
+struct QuarantineSlot {
+    entry: IndexEntry,
+    /// Failed repair attempts so far; past a threshold the scrubber
+    /// falls back to re-fetching an earlier version from the append log.
+    repair_attempts: u32,
+}
+
+/// Direct re-read failures before the scrubber tries the append-log
+/// fallback for a quarantined record.
+const LOG_REPAIR_THRESHOLD: u32 = 2;
 
 struct CacheSlot {
     last_use: u64,
@@ -203,6 +296,23 @@ pub struct ProfileStore {
     /// Set by [`ProfileStore::put_torn`]: the file tail is deliberately
     /// damaged and further appends would write unrecoverable framing.
     poisoned: bool,
+    /// Armed disk-fault plan (`None` = clean I/O).
+    faults: Option<DiskFaultPlan>,
+    /// Records pulled from the live map by failed reads, pending repair.
+    quarantined: BTreeMap<StoreKey, QuarantineSlot>,
+    /// Append attempts per `(key, seq)` — a retried put rolls a fresh
+    /// write-fault decision. Cleared on ack.
+    write_attempts: BTreeMap<(StoreKey, u64), u32>,
+    /// Read attempts per `(key, seq)` — the counter a transient
+    /// [`DiskFaultKind::ReadBitFlip`] heals against. Kept across
+    /// compaction so a healed record stays healed.
+    read_attempts: BTreeMap<(StoreKey, u64), u32>,
+    /// Whether a faulted append left bytes past `data_len` on disk; the
+    /// next append (or scrub step) truncates them back first.
+    tail_dirty: bool,
+    /// Incremental scrub position: the last live key verified, `None`
+    /// at the start of a pass.
+    scrub_cursor: Option<StoreKey>,
 }
 
 impl ProfileStore {
@@ -219,6 +329,20 @@ impl ProfileStore {
         dir: &Path,
         identity: &str,
         cache_cap: usize,
+    ) -> io::Result<(ProfileStore, StoreReplay)> {
+        Self::open_with_options(dir, identity, cache_cap, None)
+    }
+
+    /// [`ProfileStore::open`] with an explicit read-cache capacity and an
+    /// optional armed [`DiskFaultPlan`] injected behind the store's I/O
+    /// seams. Recovery itself always runs clean — the plan models the
+    /// live append/read path, not the platter, so a cold audit of the
+    /// same directory sees the true bytes.
+    pub fn open_with_options(
+        dir: &Path,
+        identity: &str,
+        cache_cap: usize,
+        faults: Option<DiskFaultPlan>,
     ) -> io::Result<(ProfileStore, StoreReplay)> {
         std::fs::create_dir_all(dir)?;
         let data_path = dir.join(DATA_FILE);
@@ -283,6 +407,12 @@ impl ProfileStore {
                 tick: 0,
                 stats: StoreStats::default(),
                 poisoned: false,
+                faults,
+                quarantined: BTreeMap::new(),
+                write_attempts: BTreeMap::new(),
+                read_attempts: BTreeMap::new(),
+                tail_dirty: false,
+                scrub_cursor: None,
             },
             replay,
         ))
@@ -313,9 +443,18 @@ impl ProfileStore {
         self.map.keys().copied().collect()
     }
 
-    /// Current sequence number for `key` (0 = absent).
+    /// Current sequence number for `key` (0 = absent). A
+    /// quarantine-pending record still owns its sequence number — per-key
+    /// seqs must stay monotone even while its bytes are under repair.
     pub fn seq(&self, key: StoreKey) -> u64 {
-        self.map.get(&key).map_or(0, |e| e.seq)
+        let live = self.map.get(&key).map_or(0, |e| e.seq);
+        let pending = self.quarantined.get(&key).map_or(0, |s| s.entry.seq);
+        live.max(pending)
+    }
+
+    /// Number of records currently quarantine-pending (awaiting repair).
+    pub fn quarantine_pending(&self) -> usize {
+        self.quarantined.len()
     }
 
     /// Data segment size in bytes (header + all appended frames).
@@ -330,16 +469,37 @@ impl ProfileStore {
 
     /// Stores `profile` under `key` durably and returns the new per-key
     /// sequence number. When this returns `Ok`, the record has been
-    /// `sync_data`'d — the ack IS the durability guarantee.
+    /// `sync_data`'d — the ack IS the durability guarantee. Under an
+    /// armed fault plan an append may fail with a torn tail or `EIO`;
+    /// the write is then *not* acked, the torn bytes are truncated
+    /// before the next append, and a retry (same key + seq, next
+    /// attempt) rolls a fresh fault decision. A successful put for a
+    /// quarantine-pending key supersedes the damaged record and clears
+    /// its quarantine slot.
     pub fn put(&mut self, key: StoreKey, profile: &Profile) -> io::Result<u64> {
         debug_assert!(!self.poisoned, "store poisoned by put_torn");
+        self.repair_tail()?;
         let payload = encode_profile(profile);
         let seq = self.seq(key) + 1;
         let frame = frame_record(key, seq, &payload);
+        if let Some(plan) = self.faults {
+            let attempt = self.write_attempts.entry((key, seq)).or_insert(0);
+            *attempt += 1;
+            if let Some(kind) = plan.write_fault(op_key(key, seq, *attempt)) {
+                self.stats.disk_write_faults += 1;
+                return Err(self.inject_write_fault(kind, &frame));
+            }
+        }
         self.data.write_all(&frame)?;
         self.data.sync_data()?;
         let offset = self.data_len + REC_HEADER_LEN as u64;
         self.data_len += frame.len() as u64;
+        self.write_attempts.remove(&(key, seq));
+        if self.quarantined.remove(&key).is_some() {
+            // The new version replaces the damaged record outright — a
+            // re-put IS a repair.
+            self.stats.repaired_records += 1;
+        }
         self.map.insert(
             key,
             IndexEntry {
@@ -361,6 +521,52 @@ impl ProfileStore {
         self.evict();
         self.stats.puts += 1;
         Ok(seq)
+    }
+
+    /// Applies a scheduled write fault: writes whatever prefix of the
+    /// frame the fault lets through, marks the tail dirty, and returns
+    /// the error the caller surfaces instead of an ack.
+    fn inject_write_fault(&mut self, kind: DiskFaultKind, frame: &[u8]) -> io::Error {
+        let err =
+            |what: &str| io::Error::new(io::ErrorKind::Other, format!("injected disk fault: {what}"));
+        match kind {
+            DiskFaultKind::Eio => err("EIO before any byte"),
+            DiskFaultKind::ShortWrite { keep_frac } => {
+                let keep = ((frame.len() as f64 * keep_frac) as usize)
+                    .min(frame.len().saturating_sub(1));
+                if self.data.write_all(&frame[..keep]).is_ok() {
+                    let _ = self.data.sync_data();
+                    self.tail_dirty = true;
+                }
+                err("short write (torn tail)")
+            }
+            DiskFaultKind::TornSync => {
+                // The frame reaches the file but the sync "fails": the
+                // bytes are not durable, so the ack is withheld and the
+                // tail treated as torn.
+                if self.data.write_all(frame).is_ok() {
+                    self.tail_dirty = true;
+                }
+                err("sync failed after append")
+            }
+            DiskFaultKind::ReadBitFlip { .. } => {
+                unreachable!("write stream never schedules read faults")
+            }
+        }
+    }
+
+    /// Truncates any torn bytes a faulted append left past the last
+    /// durable offset, restoring the invariant that appends always
+    /// continue well-formed framing.
+    fn repair_tail(&mut self) -> io::Result<()> {
+        if !self.tail_dirty {
+            return Ok(());
+        }
+        self.data.set_len(self.data_len)?;
+        self.data.sync_data()?;
+        self.tail_dirty = false;
+        self.stats.tail_repairs += 1;
+        Ok(())
     }
 
     /// Deliberately writes a *torn* record — frame header plus a prefix of
@@ -385,30 +591,50 @@ impl ProfileStore {
     /// sequence number alongside the profile. A record whose payload fails
     /// its checksum or decode is **quarantined** — removed from the map
     /// with counters bumped — and reported as absent, never panicked on.
+    /// Callers that must tell "absent" from "quarantine-pending" use
+    /// [`ProfileStore::get_outcome`].
     pub fn get(&mut self, key: StoreKey) -> io::Result<Option<(u64, Arc<Profile>)>> {
+        Ok(match self.get_outcome(key)? {
+            GetOutcome::Hit { seq, profile } => Some((seq, profile)),
+            GetOutcome::Miss | GetOutcome::Quarantined => None,
+        })
+    }
+
+    /// [`ProfileStore::get`] with a typed outcome. A get on a
+    /// quarantine-pending key first attempts one direct repair (the
+    /// re-read heals a transient read fault), so degraded keys recover
+    /// on the read path itself, not only via the scrubber.
+    pub fn get_outcome(&mut self, key: StoreKey) -> io::Result<GetOutcome> {
         self.stats.gets += 1;
+        if self.quarantined.contains_key(&key) {
+            return Ok(match self.try_repair_direct(key)? {
+                Some((seq, profile)) => GetOutcome::Hit { seq, profile },
+                None => GetOutcome::Quarantined,
+            });
+        }
         let entry = match self.map.get(&key) {
             Some(e) => e.clone(),
-            None => return Ok(None),
+            None => return Ok(GetOutcome::Miss),
         };
         if let Some(slot) = self.cache.get_mut(&key) {
             if slot.seq == entry.seq {
                 self.tick += 1;
                 slot.last_use = self.tick;
                 self.stats.cache_hits += 1;
-                return Ok(Some((entry.seq, slot.profile.clone())));
+                return Ok(GetOutcome::Hit {
+                    seq: entry.seq,
+                    profile: slot.profile.clone(),
+                });
             }
         }
         self.stats.cache_misses += 1;
-        if self.read.is_none() {
-            self.read = Some(File::open(self.data_path())?);
-        }
-        let file = self.read.as_mut().expect("just opened");
-        file.seek(SeekFrom::Start(entry.offset))?;
-        let mut payload = vec![0u8; entry.len as usize];
-        if file.read_exact(&mut payload).is_err() || checksum64(&payload) != entry.checksum {
-            return Ok(self.quarantine(key));
-        }
+        let payload = match self.read_payload(key, &entry)? {
+            Some(p) => p,
+            None => {
+                self.quarantine_key(key);
+                return Ok(GetOutcome::Quarantined);
+            }
+        };
         match decode_profile(&payload) {
             Ok(profile) => {
                 let profile = Arc::new(profile);
@@ -422,9 +648,245 @@ impl ProfileStore {
                     },
                 );
                 self.evict();
+                Ok(GetOutcome::Hit {
+                    seq: entry.seq,
+                    profile,
+                })
+            }
+            Err(_) => {
+                self.quarantine_key(key);
+                Ok(GetOutcome::Quarantined)
+            }
+        }
+    }
+
+    /// Reads `entry`'s payload bytes from disk and verifies the checksum;
+    /// `Ok(None)` means the buffer failed verification (corrupt on disk,
+    /// or corrupted in flight by an injected read fault). Each call
+    /// advances the per-record read-attempt counter that transient
+    /// bit-flips heal against.
+    fn read_payload(&mut self, key: StoreKey, entry: &IndexEntry) -> io::Result<Option<Vec<u8>>> {
+        if self.read.is_none() {
+            self.read = Some(File::open(self.data_path())?);
+        }
+        let file = self.read.as_mut().expect("just opened");
+        file.seek(SeekFrom::Start(entry.offset))?;
+        let mut payload = vec![0u8; entry.len as usize];
+        if file.read_exact(&mut payload).is_err() {
+            return Ok(None);
+        }
+        if let Some(plan) = self.faults {
+            let attempt = self.read_attempts.entry((key, entry.seq)).or_insert(0);
+            *attempt += 1;
+            if let Some(DiskFaultKind::ReadBitFlip { heals_after }) =
+                plan.read_fault(op_key(key, entry.seq, 0))
+            {
+                if *attempt <= heals_after && !payload.is_empty() {
+                    let at = (op_key(key, entry.seq, *attempt) as usize) % payload.len();
+                    payload[at] ^= 0x01;
+                    self.stats.disk_read_faults += 1;
+                }
+            }
+        }
+        if checksum64(&payload) != entry.checksum {
+            return Ok(None);
+        }
+        Ok(Some(payload))
+    }
+
+    /// One direct repair attempt for a quarantined key: re-read the same
+    /// bytes and restore the record if they verify and decode — which is
+    /// exactly what heals a transient read-path fault. Returns the
+    /// restored record on success.
+    fn try_repair_direct(
+        &mut self,
+        key: StoreKey,
+    ) -> io::Result<Option<(u64, Arc<Profile>)>> {
+        let entry = match self.quarantined.get(&key) {
+            Some(slot) => slot.entry.clone(),
+            None => return Ok(None),
+        };
+        let restored = self
+            .read_payload(key, &entry)?
+            .and_then(|payload| decode_profile(&payload).ok());
+        match restored {
+            Some(profile) => {
+                self.quarantined.remove(&key);
+                self.map.insert(key, entry.clone());
+                self.stats.repaired_records += 1;
+                let profile = Arc::new(profile);
+                self.tick += 1;
+                self.cache.insert(
+                    key,
+                    CacheSlot {
+                        last_use: self.tick,
+                        seq: entry.seq,
+                        profile: profile.clone(),
+                    },
+                );
+                self.evict();
                 Ok(Some((entry.seq, profile)))
             }
-            Err(_) => Ok(self.quarantine(key)),
+            None => {
+                if let Some(slot) = self.quarantined.get_mut(&key) {
+                    slot.repair_attempts += 1;
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// Append-log fallback for a record whose bytes are damaged on disk:
+    /// walk the data segment's frames — header checksums make
+    /// payload-damaged frames skippable — and restore the newest intact
+    /// earlier version of `key`. The caller must compact afterwards:
+    /// until the damaged frame is rewritten out, a crash-reopen scan
+    /// would stop at it and lose everything appended later.
+    fn try_repair_log(&mut self, key: StoreKey) -> io::Result<bool> {
+        let slot = match self.quarantined.get(&key) {
+            Some(s) => s.clone(),
+            None => return Ok(false),
+        };
+        let bytes = std::fs::read(self.data_path())?;
+        let mut pos = data_header_bytes(&self.identity).len();
+        let mut best: Option<IndexEntry> = None;
+        while bytes.len() - pos >= REC_HEADER_LEN {
+            if read_u64(&bytes, pos + REC_HEADER_SUMMED)
+                != checksum64(&bytes[pos..pos + REC_HEADER_SUMMED])
+            {
+                break; // framing lost — nothing past here is walkable
+            }
+            let camera = read_u64(&bytes, pos);
+            let grid = read_u64(&bytes, pos + 8);
+            let seq = read_u64(&bytes, pos + 16);
+            let len = read_u32(&bytes, pos + 24);
+            let sum = read_u64(&bytes, pos + 28);
+            if len > MAX_PAYLOAD_LEN || seq == 0 {
+                break;
+            }
+            let payload_at = pos + REC_HEADER_LEN;
+            let end = match payload_at.checked_add(len as usize) {
+                Some(e) if e <= bytes.len() => e,
+                _ => break,
+            };
+            let payload = &bytes[payload_at..end];
+            if StoreKey::new(camera, grid) == key
+                && seq <= slot.entry.seq
+                && payload_at as u64 != slot.entry.offset
+                && checksum64(payload) == sum
+                && decode_profile(payload).is_ok()
+                && best.as_ref().map_or(true, |b| seq >= b.seq)
+            {
+                best = Some(IndexEntry {
+                    seq,
+                    offset: payload_at as u64,
+                    len,
+                    checksum: sum,
+                });
+            }
+            pos = end;
+        }
+        match best {
+            Some(entry) => {
+                self.quarantined.remove(&key);
+                self.map.insert(key, entry);
+                self.stats.repaired_records += 1;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Moves a key's live entry into the quarantine map with counters —
+    /// the record stops being served (and counted in [`len`](Self::len))
+    /// until a repair restores it.
+    fn quarantine_key(&mut self, key: StoreKey) {
+        if let Some(e) = self.map.remove(&key) {
+            self.stats.quarantined_bytes += REC_HEADER_LEN as u64 + e.len as u64;
+            self.quarantined.insert(
+                key,
+                QuarantineSlot {
+                    entry: e,
+                    repair_attempts: 0,
+                },
+            );
+        }
+        self.cache.remove(&key);
+        self.stats.quarantined_records += 1;
+    }
+
+    /// One incremental scrub step: repair everything quarantine-pending,
+    /// then re-read and checksum-verify up to `budget` live records past
+    /// the cursor. Records that fail verification are quarantined (with
+    /// counts) and immediately given one repair attempt. Repeatedly
+    /// quarantined records fall back to the append-log re-fetch, which
+    /// forces a compaction so the damaged frame cannot strand a future
+    /// crash-reopen scan.
+    pub fn scrub_step(&mut self, budget: usize) -> io::Result<ScrubReport> {
+        self.repair_tail()?;
+        let budget = budget.max(1);
+        let mut report = ScrubReport::default();
+        let mut log_repaired = false;
+        for key in self.quarantined.keys().copied().collect::<Vec<_>>() {
+            if self.try_repair_direct(key)?.is_some() {
+                report.repaired += 1;
+                continue;
+            }
+            let attempts = self.quarantined.get(&key).map_or(0, |s| s.repair_attempts);
+            if attempts >= LOG_REPAIR_THRESHOLD && self.try_repair_log(key)? {
+                report.repaired += 1;
+                log_repaired = true;
+            }
+        }
+        let keys: Vec<StoreKey> = match self.scrub_cursor {
+            None => self.map.keys().take(budget).copied().collect(),
+            Some(cur) => self
+                .map
+                .range((Bound::Excluded(cur), Bound::Unbounded))
+                .take(budget)
+                .map(|(k, _)| *k)
+                .collect(),
+        };
+        for key in &keys {
+            let entry = match self.map.get(key) {
+                Some(e) => e.clone(),
+                None => continue,
+            };
+            report.scanned += 1;
+            if self.read_payload(*key, &entry)?.is_some() {
+                report.verified += 1;
+                self.stats.scrubbed_records += 1;
+            } else {
+                self.quarantine_key(*key);
+                report.quarantined += 1;
+                if self.try_repair_direct(*key)?.is_some() {
+                    report.repaired += 1;
+                }
+            }
+        }
+        self.scrub_cursor = keys.last().copied();
+        if keys.len() < budget {
+            self.scrub_cursor = None;
+            report.wrapped = true;
+            self.stats.scrub_passes += 1;
+        }
+        if log_repaired {
+            self.compact()?;
+        }
+        report.unrepaired = self.quarantined.len() as u64;
+        Ok(report)
+    }
+
+    /// Runs scrub steps until a full pass over the live key set
+    /// completes, folding the step reports together.
+    pub fn scrub_pass(&mut self) -> io::Result<ScrubReport> {
+        let mut report = ScrubReport::default();
+        loop {
+            let step = self.scrub_step(64)?;
+            report.absorb(step);
+            if step.wrapped {
+                return Ok(report);
+            }
         }
     }
 
@@ -433,6 +895,25 @@ impl ProfileStore {
     /// on-disk bytes are a pure function of the live `(key, seq, profile)`
     /// map — independent of the append order that produced it.
     pub fn compact(&mut self) -> io::Result<CompactionReport> {
+        // Drain the quarantine first: transient read faults heal on
+        // re-read, so injected damage never survives into the compacted
+        // bytes. Whatever stays damaged after the attempts below is real
+        // rot — dropped with counts, never carried forward.
+        for _ in 0..4 {
+            if self.quarantined.is_empty() {
+                break;
+            }
+            let mut progressed = false;
+            for key in self.quarantined.keys().copied().collect::<Vec<_>>() {
+                if self.try_repair_direct(key)?.is_some() {
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        self.quarantined.clear();
         let data = std::fs::read(self.data_path())?;
         let header = data_header_bytes(&self.identity);
         let mut out = Vec::with_capacity(data.len());
@@ -470,6 +951,9 @@ impl ProfileStore {
         self.data = OpenOptions::new().append(true).open(self.data_path())?;
         self.read = None;
         self.cache.clear();
+        // The rewrite dropped any torn tail along with the old inode.
+        self.tail_dirty = false;
+        self.scrub_cursor = None;
         self.stats.compactions += 1;
         Ok(CompactionReport {
             live_records: self.map.len(),
@@ -497,15 +981,6 @@ impl ProfileStore {
         buf.extend_from_slice(&checksum64(&entries).to_le_bytes());
         buf.extend_from_slice(&entries);
         atomic_write(&self.index_path(), &buf)
-    }
-
-    fn quarantine(&mut self, key: StoreKey) -> Option<(u64, Arc<Profile>)> {
-        if let Some(e) = self.map.remove(&key) {
-            self.stats.quarantined_bytes += REC_HEADER_LEN as u64 + e.len as u64;
-        }
-        self.cache.remove(&key);
-        self.stats.quarantined_records += 1;
-        None
     }
 
     fn evict(&mut self) {
@@ -542,6 +1017,18 @@ fn frame_record(key: StoreKey, seq: u64, payload: &[u8]) -> Vec<u8> {
     buf.extend_from_slice(&checksum64(&buf).to_le_bytes());
     buf.extend_from_slice(payload);
     buf
+}
+
+/// Folds a record identity (and attempt ordinal) into the 64-bit
+/// operation key the disk-fault plan decides on. Write ops key on
+/// `(key, seq, attempt)` so a retried append rolls a fresh decision;
+/// read ops key on `(key, seq, 0)` so every reader of a record sees the
+/// same scheduled fate (healing is the attempt counter's job).
+pub(crate) fn op_key(key: StoreKey, seq: u64, attempt: u32) -> u64 {
+    let mut x = key.camera.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= key.grid.rotate_left(21);
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9) ^ seq.rotate_left(42);
+    x.wrapping_mul(0x94D0_49BB_1331_11EB) ^ attempt as u64
 }
 
 fn read_u32(bytes: &[u8], at: usize) -> u32 {
@@ -1324,6 +1811,254 @@ mod tests {
         let misses_before = store.stats().cache_misses;
         store.get(keys[0]).unwrap().unwrap();
         assert_eq!(store.stats().cache_misses, misses_before + 1);
+    }
+
+    /// A plan hot enough that faults fire on the small op sets below.
+    fn hot_plan() -> DiskFaultPlan {
+        DiskFaultPlan::new(0xD15C, 0.6)
+    }
+
+    #[test]
+    fn faulted_puts_are_unacked_retried_and_leave_no_damage() {
+        let dir = tmp_store("diskfault-put");
+        let plan = hot_plan();
+        let keys: Vec<StoreKey> = (0..24).map(|i| StoreKey::new(i, 1)).collect();
+        let mut acked = BTreeMap::new();
+        {
+            let (mut store, _) =
+                ProfileStore::open_with_options(&dir, "fleet", DEFAULT_CACHE_CAP, Some(plan))
+                    .unwrap();
+            for (i, k) in keys.iter().enumerate() {
+                let profile = sample_profile(i as u64);
+                // Retry until acked: every attempt rolls a fresh write
+                // decision, so the loop converges fast.
+                let mut attempts = 0;
+                let seq = loop {
+                    attempts += 1;
+                    assert!(attempts <= 16, "write retries must converge");
+                    match store.put(*k, &profile) {
+                        Ok(seq) => break seq,
+                        Err(e) => assert!(
+                            e.to_string().contains("injected disk fault"),
+                            "unexpected error {e}"
+                        ),
+                    }
+                };
+                assert_eq!(seq, 1, "failed attempts never consume a seq");
+                acked.insert(*k, profile);
+            }
+            assert!(
+                store.stats().disk_write_faults > 0,
+                "a 60% plan over 24 keys must fire at least once"
+            );
+            assert_eq!(store.stats().puts, keys.len() as u64);
+        }
+        // Cold reopen (clean I/O): every acked write is present and no
+        // torn garbage survived — the ack is still the durability line.
+        let (mut store, replay) = ProfileStore::open(&dir, "fleet").unwrap();
+        assert_eq!(replay.quarantined_records, 0, "tails were repaired inline");
+        assert_eq!(replay.records, keys.len());
+        for (k, p) in &acked {
+            assert_eq!(*store.get(*k).unwrap().unwrap().1, *p);
+        }
+    }
+
+    #[test]
+    fn read_fault_quarantines_then_heals_on_retry() {
+        let dir = tmp_store("diskfault-read");
+        let plan = hot_plan();
+        // Find a key whose read stream schedules a bit-flip.
+        let victim = (0..200u64)
+            .map(|i| StoreKey::new(i, 7))
+            .find(|k| plan.read_fault(op_key(*k, 1, 0)).is_some())
+            .expect("some key draws a read fault at 60%");
+        let heals_after = match plan.read_fault(op_key(victim, 1, 0)) {
+            Some(DiskFaultKind::ReadBitFlip { heals_after }) => heals_after,
+            other => panic!("read stream scheduled {other:?}"),
+        };
+        // cache_cap 0: every get goes to disk, so the read seam is hot.
+        let (mut store, _) =
+            ProfileStore::open_with_options(&dir, "fleet", 0, Some(plan)).unwrap();
+        let profile = sample_profile(3);
+        // The 60% plan arms the write stream too; retry until acked.
+        while store.put(victim, &profile).is_err() {}
+        store.cache.clear(); // the put primed the cache; force disk reads
+
+        // Attempts 1..=heals_after corrupt the buffer: first one
+        // quarantines, later ones are failed repairs.
+        for attempt in 1..=heals_after {
+            match store.get_outcome(victim).unwrap() {
+                GetOutcome::Quarantined => {}
+                other => panic!("attempt {attempt}: expected quarantine, got {other:?}"),
+            }
+        }
+        assert_eq!(store.stats().quarantined_records, 1);
+        assert_eq!(store.quarantine_pending(), 1);
+        assert_eq!(store.len(), 0, "quarantined record leaves the live map");
+        assert_eq!(store.seq(victim), 1, "but keeps owning its seq");
+
+        // The next read heals: the get itself repairs and serves.
+        match store.get_outcome(victim).unwrap() {
+            GetOutcome::Hit { seq, profile: got } => {
+                assert_eq!(seq, 1);
+                assert_eq!(*got, profile);
+            }
+            other => panic!("expected healed hit, got {other:?}"),
+        }
+        assert_eq!(store.quarantine_pending(), 0);
+        assert_eq!(store.stats().repaired_records, 1);
+        assert_eq!(store.stats().disk_read_faults, heals_after as u64);
+        // Healed stays healed.
+        assert!(matches!(
+            store.get_outcome(victim).unwrap(),
+            GetOutcome::Hit { .. }
+        ));
+    }
+
+    #[test]
+    fn scrub_pass_verifies_quarantines_and_repairs() {
+        let dir = tmp_store("scrub");
+        let plan = hot_plan();
+        let keys: Vec<StoreKey> = (0..12).map(|i| StoreKey::new(i, 9)).collect();
+        let (mut store, _) =
+            ProfileStore::open_with_options(&dir, "fleet", 0, Some(plan)).unwrap();
+        for k in &keys {
+            // Clean writes: arm only the read stream's trouble by
+            // retrying faulted appends.
+            while store.put(*k, &sample_profile(k.camera)).is_err() {}
+        }
+        // Drive scrub passes until the quarantine drains: pass 1 flips
+        // some buffers (quarantine-with-counts), later passes heal them.
+        let mut passes = 0;
+        loop {
+            passes += 1;
+            assert!(passes <= 6, "scrub must converge");
+            let report = store.scrub_pass().unwrap();
+            assert!(report.wrapped);
+            if report.unrepaired == 0 && report.quarantined == 0 {
+                break;
+            }
+        }
+        assert_eq!(store.len(), keys.len(), "every record restored");
+        assert_eq!(store.quarantine_pending(), 0);
+        assert!(store.stats().scrub_passes >= 1);
+        assert!(store.stats().scrubbed_records > 0);
+        // The store is wholly servable again.
+        for k in &keys {
+            assert_eq!(*store.get(*k).unwrap().unwrap().1, sample_profile(k.camera));
+        }
+    }
+
+    #[test]
+    fn scrub_log_fallback_restores_earlier_version_of_rotted_record() {
+        let dir = tmp_store("scrub-log");
+        let key = StoreKey::new(5, 5);
+        let other = StoreKey::new(6, 6);
+        let v1 = sample_profile(1);
+        let v2 = sample_profile(2);
+        let rot_offset;
+        {
+            let (mut store, _) = ProfileStore::open(&dir, "fleet").unwrap();
+            store.put(key, &v1).unwrap();
+            store.put(other, &sample_profile(9)).unwrap();
+            store.put(key, &v2).unwrap(); // newest version, about to rot
+            rot_offset = store.map.get(&key).unwrap().offset as usize;
+            // Persist the index: record headers stay trusted on reopen,
+            // so the rotted payload reaches the live map instead of the
+            // tail-truncating full-scan recovery path.
+            store.write_index().unwrap();
+        }
+        // Real rot: flip a payload byte of the newest version on disk.
+        let path = dir.join(DATA_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[rot_offset + 2] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (mut store, _) = ProfileStore::open(&dir, "fleet").unwrap();
+        assert!(store.get(key).unwrap().is_none(), "rot quarantines");
+        // Scrub: direct re-reads keep failing (the disk really is rotten)
+        // until the log fallback finds the intact seq-1 frame, restores
+        // it, and compacts the damaged frame out of the file.
+        let mut report = ScrubReport::default();
+        for _ in 0..4 {
+            report.absorb(store.scrub_step(64).unwrap());
+            if report.unrepaired == 0 {
+                break;
+            }
+        }
+        assert_eq!(report.unrepaired, 0, "log fallback must restore seq 1");
+        assert!(report.repaired >= 1);
+        let (seq, got) = store.get(key).unwrap().unwrap();
+        assert_eq!(seq, 1, "the intact earlier version is served");
+        assert_eq!(*got, v1);
+        assert!(store.stats().compactions >= 1, "log repair forces compaction");
+        // After the forced compaction a cold reopen is fully clean — the
+        // damaged frame cannot strand a future crash-recovery scan.
+        drop(store);
+        let (mut store, replay) = ProfileStore::open(&dir, "fleet").unwrap();
+        assert_eq!(replay.quarantined_records, 0);
+        assert_eq!(replay.records, 2);
+        assert_eq!(*store.get(key).unwrap().unwrap().1, v1);
+        assert_eq!(*store.get(other).unwrap().unwrap().1, sample_profile(9));
+    }
+
+    #[test]
+    fn put_supersedes_quarantined_record_and_seq_stays_monotone() {
+        let dir = tmp_store("supersede");
+        let key = StoreKey::new(3, 3);
+        let offset;
+        {
+            let (mut store, _) = ProfileStore::open(&dir, "fleet").unwrap();
+            store.put(key, &sample_profile(1)).unwrap();
+            store.put(key, &sample_profile(2)).unwrap();
+            offset = store.map.get(&key).unwrap().offset as usize;
+            store.write_index().unwrap(); // keep headers index-trusted on reopen
+        }
+        let path = dir.join(DATA_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[offset] ^= 0x80;
+        std::fs::write(&path, &bytes).unwrap();
+        let (mut store, _) = ProfileStore::open(&dir, "fleet").unwrap();
+        assert!(store.get(key).unwrap().is_none());
+        assert_eq!(store.quarantine_pending(), 1);
+        // A fresh put repairs by superseding — and must not rewind seq.
+        let seq = store.put(key, &sample_profile(7)).unwrap();
+        assert_eq!(seq, 3, "seq continues past the quarantined record");
+        assert_eq!(store.quarantine_pending(), 0);
+        assert_eq!(store.stats().repaired_records, 1);
+        assert_eq!(*store.get(key).unwrap().unwrap().1, sample_profile(7));
+    }
+
+    #[test]
+    fn zero_rate_fault_plan_is_byte_invisible() {
+        let dir_clean = tmp_store("inert-clean");
+        let dir_armed = tmp_store("inert-armed");
+        let zero = DiskFaultPlan::new(99, 0.0);
+        let keys: Vec<StoreKey> = (0..5).map(|i| StoreKey::new(i, 2)).collect();
+        let (mut a, _) = ProfileStore::open(&dir_clean, "fleet").unwrap();
+        let (mut b, _) =
+            ProfileStore::open_with_options(&dir_armed, "fleet", DEFAULT_CACHE_CAP, Some(zero))
+                .unwrap();
+        for k in &keys {
+            a.put(*k, &sample_profile(k.camera)).unwrap();
+            b.put(*k, &sample_profile(k.camera)).unwrap();
+            a.get(*k).unwrap().unwrap();
+            b.get(*k).unwrap().unwrap();
+        }
+        a.scrub_pass().unwrap();
+        b.scrub_pass().unwrap();
+        a.compact().unwrap();
+        b.compact().unwrap();
+        assert_eq!(
+            std::fs::read(a.data_path()).unwrap(),
+            std::fs::read(b.data_path()).unwrap()
+        );
+        assert_eq!(
+            std::fs::read(a.index_path()).unwrap(),
+            std::fs::read(b.index_path()).unwrap()
+        );
+        assert_eq!(b.stats().disk_write_faults, 0);
+        assert_eq!(b.stats().disk_read_faults, 0);
     }
 
     #[test]

@@ -77,6 +77,7 @@ fn run_client(
                     .request(&Request::PutProfile {
                         key,
                         profile: profile.clone(),
+                        expected_seq: None,
                     })
                     .expect("put answered")
                 {
@@ -95,6 +96,8 @@ fn run_client(
                     seq,
                     profile,
                     drift,
+                    stale,
+                    degraded,
                 } => {
                     assert_eq!(got_key, key);
                     let (want_seq, want_profile) =
@@ -102,6 +105,7 @@ fn run_client(
                     assert_eq!(seq, *want_seq);
                     assert_eq!(&profile, want_profile, "get returns the acked bytes");
                     assert!(drift.is_none(), "no outputs pushed, no drift status");
+                    assert!(!stale && !degraded, "no faults armed, nothing degraded");
                     format!("{step} get {key:?} seq {seq} points {}", profile.points.len())
                 }
                 Response::Error { code, .. } => {
@@ -119,6 +123,8 @@ fn run_client(
                         key,
                         max_err: 0.2,
                         max_fraction: Some(0.8),
+                        max_bytes: None,
+                        max_energy_j: None,
                     })
                     .expect("query answered")
                 {
